@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation for the paper's central cost knob: the FIFO queue size Tf
+ * (section 6.4 claims its influence is "quite marginal" at small P but
+ * important at P = 16 with a slow host). Sweeps Tf on the matrix
+ * update and the LU factorization, and also sweeps the *interface*
+ * queue depth, which controls host/cell decoupling slack.
+ */
+
+#include <cstdio>
+
+#include "analytic/models.hh"
+#include "bench_util.hh"
+#include "planner/linalg_plan.hh"
+
+using namespace opac;
+using namespace opac::bench;
+using namespace opac::planner;
+
+namespace
+{
+
+double
+runMatUpdate(unsigned p, std::size_t tf, unsigned tau, std::size_t k,
+             std::size_t interface_depth = 0)
+{
+    auto cfg = timingConfig(p, tf, tau);
+    if (interface_depth)
+        cfg.cell.interfaceDepth = interface_depth;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    std::size_t n = analytic::paperTileN(p, tf);
+    MatRef c = allocMat(sys.memory(), n, n);
+    MatRef a = allocMat(sys.memory(), n, k);
+    MatRef b = allocMat(sys.memory(), k, n);
+    plan.matUpdate(c, a, b);
+    plan.commit();
+    Cycle cycles = sys.run();
+    return analytic::matUpdateMultiplyAdds(n, k) / double(cycles);
+}
+
+double
+runLu(unsigned p, std::size_t tf, unsigned tau, std::size_t n)
+{
+    copro::Coprocessor sys(timingConfig(p, tf, tau));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef a = allocMat(sys.memory(), n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        sys.memory().storeF(a.addrOf(i, i), 2.0f);
+    plan.lu(a);
+    plan.commit();
+    Cycle cycles = sys.run();
+    return analytic::luMultiplyAdds(n) / double(cycles);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t lu_n = std::size_t(argValue(argc, argv, "--lun",
+                                                  176));
+    const std::size_t sizes[] = {128, 256, 512, 1024, 2048, 4096};
+
+    std::printf("FIFO-size ablation (Tf drives tile sizes everywhere; "
+                "the per-experiment tile follows the paper rule).\n\n");
+
+    {
+        TextTable t("matrix update, K = 300, tau = 2 "
+                    "(MA/cycle; N grows with Tf)");
+        t.header({"Tf", "P=1", "P=4", "P=16"});
+        for (std::size_t tf : sizes) {
+            t.row({strfmt("%zu", tf),
+                   strfmt("%.3f", runMatUpdate(1, tf, 2, 300)),
+                   strfmt("%.3f", runMatUpdate(4, tf, 2, 300)),
+                   strfmt("%.3f", runMatUpdate(16, tf, 2, 300))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    {
+        TextTable t(strfmt("LU factorization, N = %zu (MA/cycle)",
+                           lu_n));
+        t.header({"Tf", "P=1 t=2", "P=4 t=2", "P=16 t=2", "P=16 t=4"});
+        for (std::size_t tf : sizes) {
+            t.row({strfmt("%zu", tf),
+                   strfmt("%.3f", runLu(1, tf, 2, lu_n)),
+                   strfmt("%.3f", runLu(4, tf, 2, lu_n)),
+                   strfmt("%.3f", runLu(16, tf, 2, lu_n)),
+                   strfmt("%.3f", runLu(16, tf, 4, lu_n))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    {
+        TextTable t("interface-queue depth (decoupling slack), matrix "
+                    "update P = 4, Tf = 512, K = 300, tau = 4");
+        t.header({"depth", "MA/cycle"});
+        for (std::size_t d : {64, 128, 256, 512, 1024, 2048}) {
+            t.row({strfmt("%zu", d),
+                   strfmt("%.3f", runMatUpdate(4, 512, 4, 300, d))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation for section 5.2: FP pipeline depth versus performance on
+ * kernels dominated by short loops and serial round trips. The paper's
+ * point is that with block sizes capped by the FIFO size, inner loops
+ * are short (about 20-50 iterations) and the control mechanisms of
+ * [Se91] must keep short loops at asymptotic speed; deeper FP
+ * pipelines stress exactly the same spots (drain at loop boundaries,
+ * pivot recurrences in LU).
+ */
+
+#include <cstdio>
+
+#include "analytic/models.hh"
+#include "bench_util.hh"
+#include "planner/linalg_plan.hh"
+
+using namespace opac;
+using namespace opac::bench;
+using namespace opac::planner;
+
+namespace
+{
+
+copro::CoprocConfig
+configWithDepth(unsigned p, std::size_t tf, unsigned tau,
+                unsigned mul_lat, unsigned add_lat)
+{
+    auto cfg = timingConfig(p, tf, tau);
+    cfg.cell.mulLatency = mul_lat;
+    cfg.cell.addLatency = add_lat;
+    return cfg;
+}
+
+double
+runMatUpdate(const copro::CoprocConfig &cfg, std::size_t n,
+             std::size_t k)
+{
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef c = allocMat(sys.memory(), n, n);
+    MatRef a = allocMat(sys.memory(), n, k);
+    MatRef b = allocMat(sys.memory(), k, n);
+    plan.matUpdate(c, a, b);
+    plan.commit();
+    Cycle cycles = sys.run();
+    return analytic::matUpdateMultiplyAdds(n, k) / double(cycles);
+}
+
+double
+runLu(const copro::CoprocConfig &cfg, std::size_t n)
+{
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef a = allocMat(sys.memory(), n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        sys.memory().storeF(a.addrOf(i, i), 2.0f);
+    plan.lu(a);
+    plan.commit();
+    Cycle cycles = sys.run();
+    return analytic::luMultiplyAdds(n) / double(cycles);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("FP pipeline depth ablation (single cell, tau = 2, "
+                "Tf = 512 -> 22x22 blocks).\n\n");
+    TextTable t("multiply-adds per cycle vs multiplier/adder latency");
+    t.header({"Lm=La", "matupdate N=22 K=100", "LU N=44", "LU N=88"});
+    for (unsigned lat : {1u, 2u, 3u, 5u, 8u}) {
+        auto cfg = configWithDepth(1, 512, 2, lat, lat);
+        t.row({strfmt("%u", lat),
+               strfmt("%.3f", runMatUpdate(cfg, 22, 100)),
+               strfmt("%.3f", runLu(cfg, 44)),
+               strfmt("%.3f", runLu(cfg, 88))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("The streaming matrix update is latency-tolerant "
+                "(recurrences are queue-length apart); LU loses\n"
+                "ground with depth because every pivot step serializes "
+                "a scale pass behind the pipeline drain.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the table-reproduction benches: system builders,
+ * workload generators and result formatting.
+ *
+ * The benches run the simulator in timing-only arithmetic mode
+ * (FpKind::Token): a test asserts that cycle counts are identical
+ * across FP back-ends, so this changes nothing but wall-clock time.
+ */
+
+#ifndef OPAC_BENCH_BENCH_UTIL_HH
+#define OPAC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "coproc/coprocessor.hh"
+#include "kernels/kernel_set.hh"
+
+namespace opac::bench
+{
+
+/** Build a P-cell coprocessor in timing-only mode. */
+inline copro::CoprocConfig
+timingConfig(unsigned cells, std::size_t tf, unsigned tau,
+             std::size_t memory_words = std::size_t(1) << 23)
+{
+    copro::CoprocConfig cfg;
+    cfg.cells = cells;
+    cfg.cell.tf = tf;
+    cfg.cell.interfaceDepth = std::max<std::size_t>(tf, 2048);
+    cfg.cell.fp = cell::FpKind::Token;
+    cfg.host.tau = tau;
+    cfg.memoryWords = memory_words;
+    cfg.watchdogCycles = 2000000;
+    return cfg;
+}
+
+/** Format a multiply-adds-per-cycle value the way the paper prints. */
+inline std::string
+maPerCycle(double mas, Cycle cycles)
+{
+    return strfmt("%.3f", mas / double(cycles));
+}
+
+/** Simple "--flag value" argument scan. */
+inline long
+argValue(int argc, char **argv, const std::string &flag, long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return std::atol(argv[i + 1]);
+    }
+    return fallback;
+}
+
+/** True if "--flag" is present. */
+inline bool
+argFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] == flag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace opac::bench
+
+#endif // OPAC_BENCH_BENCH_UTIL_HH

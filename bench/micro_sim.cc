@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: softfloat
+ * operation rates, FIFO operation rates and end-to-end cell simulation
+ * speed. These guard the wall-clock cost of the big table sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cell/cell.hh"
+#include "fifo/timed_fifo.hh"
+#include "isa/builder.hh"
+#include "softfloat/float32.hh"
+
+using namespace opac;
+
+namespace
+{
+
+void
+BM_SoftfloatAdd(benchmark::State &state)
+{
+    sf::Context ctx;
+    Word a = floatToWord(1.234f);
+    Word b = floatToWord(-0.567f);
+    for (auto _ : state) {
+        a = sf::add(a, b, ctx);
+        benchmark::DoNotOptimize(a);
+        a = floatToWord(1.234f);
+    }
+}
+BENCHMARK(BM_SoftfloatAdd);
+
+void
+BM_SoftfloatMulAdd(benchmark::State &state)
+{
+    sf::Context ctx;
+    Word a = floatToWord(1.234f);
+    Word b = floatToWord(-0.567f);
+    Word c = floatToWord(3.14f);
+    for (auto _ : state) {
+        Word r = sf::mulAdd(a, b, c, ctx);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SoftfloatMulAdd);
+
+void
+BM_SoftfloatDiv(benchmark::State &state)
+{
+    sf::Context ctx;
+    Word a = floatToWord(1.234f);
+    Word b = floatToWord(-0.567f);
+    for (auto _ : state) {
+        Word r = sf::div(a, b, ctx);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SoftfloatDiv);
+
+void
+BM_FifoPushPop(benchmark::State &state)
+{
+    TimedFifo f("bench", 64);
+    Cycle t = 0;
+    for (auto _ : state) {
+        f.push(42, t);
+        ++t;
+        benchmark::DoNotOptimize(f.pop(t));
+    }
+}
+BENCHMARK(BM_FifoPushPop);
+
+/**
+ * End-to-end cell simulation speed on a self-contained GEMM-style
+ * inner loop (sum cycles through the adder against regay, ret
+ * recirculates as the multiplier operand).
+ */
+void
+BM_CellInnerLoop(benchmark::State &state)
+{
+    using namespace isa;
+    constexpr std::uint32_t iters = 1u << 16;
+    for (auto _ : state) {
+        cell::CellConfig cfg;
+        cfg.fp = cell::FpKind(state.range(0));
+        cell::Cell c("bench", cfg);
+        ProgramBuilder b("spin");
+        b.loopImm(iters, [&] {
+            b.fma(src(Src::RetR), src(Src::RegAy), src(Src::Sum),
+                  DstSum);
+        });
+        c.loadMicrocode(1, b.finish(), 0);
+        c.tpi().push(1, 0);
+        for (int i = 0; i < 16; ++i)
+            c.sumQueue().push(floatToWord(1.0f), 0);
+        c.retQueue().push(floatToWord(0.5f), 0);
+        sim::Engine e(100000);
+        e.add(&c);
+        e.run();
+        benchmark::DoNotOptimize(c.issuedOps());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * iters);
+}
+BENCHMARK(BM_CellInnerLoop)
+    ->Arg(int(cell::FpKind::Soft))
+    ->Arg(int(cell::FpKind::Native))
+    ->Arg(int(cell::FpKind::Token));
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces tables 4.2a and 4.2b (section 4.2): the minimum matrix
+ * size N and the per-cell local memory LM (words) needed for the
+ * matrix update to run at one multiply-add per cycle per cell, for
+ * first-generation RISC hosts (tau = 4) and superscalar hosts
+ * (tau = 2).
+ */
+
+#include <cstdio>
+
+#include "analytic/models.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace opac;
+
+namespace
+{
+
+void
+printTable(const char *title, unsigned tau)
+{
+    TextTable t(title);
+    std::vector<std::string> head = {"P"};
+    std::vector<std::string> n_row = {"N"};
+    std::vector<std::string> lm_row = {"LM"};
+    for (unsigned p = 1; p <= 16; p *= 2) {
+        auto r = analytic::matUpdateRequirement(tau, p);
+        head.push_back(strfmt("%u", p));
+        n_row.push_back(strfmt("%zu", r.minN));
+        lm_row.push_back(strfmt("%zu", r.words));
+    }
+    t.header(head);
+    t.row(n_row);
+    t.row(lm_row);
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Paper tables 4.2a/4.2b: local-memory sizing of the "
+                "matrix update A(N,N) += B*C\n"
+                "(minimum N with 4*N^2 transfers <= N^3/P per-cell "
+                "multiply-adds; LM = N^2/P)\n\n");
+    printTable("Table 4.2a (tau = 4, first-generation RISC)", 4);
+    printTable("Table 4.2b (tau = 2, superscalar)", 2);
+    std::printf("Paper values: 4.2a N = {16,32,64,128,256}, "
+                "LM = {256,512,1024,2048,4096};\n"
+                "              4.2b N = {8,16,32,64,128}, "
+                "LM = {64,128,256,512,1024}.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Firmware utility — the host driver's boot-image workflow:
+ *
+ *   firmware_tool dump <file>   write the standard kernel library as a
+ *                               binary control-store image
+ *   firmware_tool info <file>   list the kernels in an image
+ *   firmware_tool disasm <file> [kernel]
+ *                               disassemble one kernel (or all)
+ *
+ * With no arguments, round-trips the standard library through a
+ * temporary file and prints the inventory.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "isa/disasm.hh"
+#include "kernels/firmware.hh"
+
+using namespace opac;
+using namespace opac::kernels;
+
+namespace
+{
+
+bool
+writeImage(const std::string &path, const std::vector<Word> &image)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f.write(reinterpret_cast<const char *>(image.data()),
+            std::streamsize(image.size() * sizeof(Word)));
+    return bool(f);
+}
+
+std::vector<Word>
+readImage(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    auto bytes = std::size_t(f.tellg());
+    f.seekg(0);
+    std::vector<Word> image(bytes / sizeof(Word));
+    f.read(reinterpret_cast<char *>(image.data()),
+           std::streamsize(bytes));
+    return image;
+}
+
+void
+printInfo(const std::vector<Word> &image)
+{
+    auto set = unpackFirmware(image);
+    std::printf("%zu kernels, %zu words (%zu bytes)\n\n", set.size(),
+                image.size(), image.size() * sizeof(Word));
+    std::printf("%-6s %-18s %-8s %s\n", "entry", "name", "params",
+                "instructions");
+    for (const auto &fe : set) {
+        std::printf("%-6u %-18s %-8u %zu\n", fe.entry,
+                    fe.prog.name().c_str(), fe.nparams,
+                    fe.prog.size());
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 3 && std::strcmp(argv[1], "dump") == 0) {
+        auto image = standardFirmware();
+        if (!writeImage(argv[2], image)) {
+            std::fprintf(stderr, "cannot write %s\n", argv[2]);
+            return 1;
+        }
+        std::printf("wrote %zu words to %s\n", image.size(), argv[2]);
+        return 0;
+    }
+    if (argc >= 3 && std::strcmp(argv[1], "info") == 0) {
+        printInfo(readImage(argv[2]));
+        return 0;
+    }
+    if (argc >= 3 && std::strcmp(argv[1], "disasm") == 0) {
+        auto set = unpackFirmware(readImage(argv[2]));
+        for (const auto &fe : set) {
+            if (argc >= 4 && fe.prog.name() != argv[3])
+                continue;
+            std::printf("%s\n", isa::disasm(fe.prog).c_str());
+        }
+        return 0;
+    }
+
+    // Demo: round-trip through a temp file.
+    const std::string tmp = "/tmp/opac_firmware.bin";
+    auto image = standardFirmware();
+    if (!writeImage(tmp, image)) {
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+        return 1;
+    }
+    auto back = readImage(tmp);
+    std::printf("round trip via %s: %s\n\n", tmp.c_str(),
+                back == image ? "identical" : "MISMATCH");
+    printInfo(back);
+    return back == image ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Spectral analysis and matched filtering — the FFT and correlation
+ * primitives of sections 2.2-2.3 on real signals.
+ *
+ *  1. a 1024-point FFT of a noisy two-tone signal: the coprocessor
+ *     finds both tones;
+ *  2. a matched filter: a known template is located inside a noisy
+ *     stream by 1-D correlation, lags spread across 4 cells.
+ *
+ * Build and run:  ./build/examples/spectral
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "blasref/signal.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/signal_plan.hh"
+
+using namespace opac;
+using namespace opac::planner;
+
+int
+main()
+{
+    copro::CoprocConfig cfg;
+    cfg.cells = 4;
+    cfg.cell.tf = 2048;
+    cfg.host.tau = 2;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    auto &mem = sys.memory();
+    SignalPlanner plan(sys);
+    Rng rng(11);
+
+    // ---- FFT: two tones in noise --------------------------------
+    const std::size_t n = 1024;
+    const std::size_t tone_a = 50, tone_b = 320;
+    std::size_t sig = mem.alloc(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        float t = float(i);
+        float v = std::sin(2.0f * float(M_PI) * float(tone_a) * t
+                           / float(n))
+            + 0.5f * std::sin(2.0f * float(M_PI) * float(tone_b) * t
+                              / float(n))
+            + 0.1f * rng.element();
+        mem.storeF(sig + 2 * i, v);
+        mem.storeF(sig + 2 * i + 1, 0.0f);
+    }
+    std::size_t spec = mem.alloc(2 * n);
+    plan.fft(sig, spec, n, 1);
+    plan.commit();
+    Cycle c1 = sys.run();
+
+    // Peak pick over the positive-frequency half.
+    std::size_t best1 = 0, best2 = 0;
+    float mag1 = 0, mag2 = 0;
+    for (std::size_t k = 1; k < n / 2; ++k) {
+        float re = mem.loadF(spec + 2 * k);
+        float im = mem.loadF(spec + 2 * k + 1);
+        float m = re * re + im * im;
+        if (m > mag1) {
+            mag2 = mag1;
+            best2 = best1;
+            mag1 = m;
+            best1 = k;
+        } else if (m > mag2) {
+            mag2 = m;
+            best2 = k;
+        }
+    }
+    std::printf("FFT(%zu) in %llu cycles: dominant bins %zu and %zu "
+                "(expected %zu and %zu)\n",
+                n, (unsigned long long)c1, best1, best2, tone_a,
+                tone_b);
+
+    // ---- Matched filter by correlation ---------------------------
+    const std::size_t tmpl_len = 64, lags = 256;
+    const std::size_t true_offset = 173;
+    std::size_t tmpl = mem.alloc(tmpl_len);
+    std::vector<float> tv(tmpl_len);
+    for (std::size_t i = 0; i < tmpl_len; ++i) {
+        // A chirp template.
+        tv[i] = std::sin(0.05f * float(i) * float(i));
+        mem.storeF(tmpl + i, tv[i]);
+    }
+    std::size_t stream_len = tmpl_len + lags - 1;
+    std::size_t stream = mem.alloc(stream_len);
+    for (std::size_t i = 0; i < stream_len; ++i) {
+        float v = 0.3f * rng.element();
+        if (i >= true_offset && i < true_offset + tmpl_len)
+            v += tv[i - true_offset];
+        mem.storeF(stream + i, v);
+    }
+    std::size_t corr = mem.alloc(lags);
+    plan.correlation(tmpl, tmpl_len, stream, lags, corr);
+    plan.commit();
+    Cycle c2 = sys.run();
+
+    std::size_t best_lag = 0;
+    float best_val = -1e30f;
+    for (std::size_t d = 0; d < lags; ++d) {
+        float v = mem.loadF(corr + d);
+        if (v > best_val) {
+            best_val = v;
+            best_lag = d;
+        }
+    }
+    std::printf("matched filter (%zu lags across 4 cells) in %llu "
+                "cycles: peak at lag %zu (expected %zu), score %.2f\n",
+                lags, (unsigned long long)c2, best_lag, true_offset,
+                double(best_val));
+
+    bool ok = (best1 == tone_a || best1 == tone_b)
+        && (best2 == tone_a || best2 == tone_b)
+        && best_lag == true_offset;
+    std::printf(ok ? "all detections correct\n"
+                   : "DETECTION MISMATCH\n");
+    return ok ? 0 : 1;
+}

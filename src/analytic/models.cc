@@ -1,0 +1,90 @@
+#include "analytic/models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace opac::analytic
+{
+
+LocalMemoryRequirement
+matUpdateRequirement(unsigned tau, unsigned p)
+{
+    LocalMemoryRequirement r;
+    r.minN = std::size_t(4) * tau * p;
+    r.words = r.minN * r.minN / p;
+    return r;
+}
+
+std::size_t
+paperTileN(unsigned p, std::size_t tf)
+{
+    std::size_t best = 0;
+    std::size_t limit = std::size_t(isqrt(std::int64_t(tf) * p));
+    for (std::size_t n = 1; n <= limit; ++n) {
+        if ((n * n) % p == 0 && n * n <= tf * p)
+            best = n;
+    }
+    opac_assert(best > 0, "no feasible tile size for P=%u Tf=%zu", p,
+                tf);
+    return best;
+}
+
+double
+matUpdateBandwidthBound(unsigned p, unsigned tau, std::size_t n,
+                        std::size_t k)
+{
+    double mas = matUpdateMultiplyAdds(n, k);
+    double words = 2.0 * double(n) * double(n)
+        + double(k) * 2.0 * double(n);
+    double host_cycles = words * tau;
+    return std::min(double(p), mas / host_cycles);
+}
+
+double
+matUpdateAsymptoticBound(unsigned p, unsigned tau, std::size_t n)
+{
+    return std::min(double(p), double(n) / (2.0 * tau));
+}
+
+double
+convBandwidthBound(unsigned cells, unsigned tau, std::size_t m,
+                   std::size_t wu, unsigned p, unsigned q)
+{
+    // Per output row: each block's input slice is re-read (wu + q - 1
+    // words), plus m result writes.
+    double blocks = double(ceilDiv(std::int64_t(m), std::int64_t(wu)));
+    double reads = blocks * double(wu + q - 1);
+    double words_per_row = reads + double(m);
+    double useful = double(m) * p * q;
+    return std::min(double(cells), useful / (words_per_row * tau));
+}
+
+double
+scalarGemmCycles(std::size_t m, std::size_t n, std::size_t k,
+                 unsigned tau, double ma_per_cycle,
+                 std::size_t cache_words)
+{
+    double mas = double(m) * double(n) * double(k);
+    // Square cache blocking: 3 b^2 <= cache; traffic ~ 2 m n k / b.
+    double b = std::max(1.0,
+                        std::floor(std::sqrt(double(cache_words) / 3.0)));
+    b = std::min(b, double(std::min({m, n, k})));
+    double traffic = 2.0 * mas / b + 2.0 * double(m) * double(n);
+    return std::max(mas / ma_per_cycle, traffic * tau);
+}
+
+double
+luMultiplyAdds(std::size_t n)
+{
+    double total = 0.0;
+    for (std::size_t s = n; s >= 1; --s) {
+        double t = double(s - 1);
+        total += t * t + t;
+    }
+    return total;
+}
+
+} // namespace opac::analytic

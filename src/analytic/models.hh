@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Closed-form models from section 4 of the paper, used to generate
+ * tables 4.2a/4.2b and to annotate simulated results with their
+ * host-bandwidth ceilings.
+ */
+
+#ifndef OPAC_ANALYTIC_MODELS_HH
+#define OPAC_ANALYTIC_MODELS_HH
+
+#include <cstddef>
+
+namespace opac::analytic
+{
+
+/** Table 4.2: minimum update size and local memory per cell. */
+struct LocalMemoryRequirement
+{
+    std::size_t minN;  //!< smallest N with compute >= transfer time
+    std::size_t words; //!< local memory per cell: N^2 / P
+};
+
+/**
+ * Section 4.2: for the matrix update A(N,N) += B(N,N)*C(N,N), the 4N^2
+ * word transfers must not exceed the N^3/P per-cell multiply-adds:
+ * N >= 4 tau P, and one matrix operand (N^2/P words per cell) must be
+ * resident.
+ */
+LocalMemoryRequirement matUpdateRequirement(unsigned tau, unsigned p);
+
+/**
+ * Section 6.1's tile-size rule: the greatest N such that N^2 is a
+ * multiple of P and N^2 <= Tf * P (each cell holds N^2/P words).
+ */
+std::size_t paperTileN(unsigned p, std::size_t tf);
+
+/**
+ * Host-bandwidth ceiling for the matrix update of one N x N tile over
+ * K iterations, in multiply-adds per cycle: the host moves 2 N^2 words
+ * of tile traffic plus (N + N) words per iteration at one word per
+ * tau; the cells produce N^2 K multiply-adds.
+ */
+double matUpdateBandwidthBound(unsigned p, unsigned tau, std::size_t n,
+                               std::size_t k);
+
+/**
+ * Asymptotic (K -> inf) matrix-update ceiling: min(P, N / (2 tau)).
+ */
+double matUpdateAsymptoticBound(unsigned p, unsigned tau,
+                                std::size_t n);
+
+/**
+ * Section 6.2: bandwidth ceiling of the blocked p x q convolution in
+ * *useful* multiply-adds per cycle. Per output row the host moves
+ * blocks * Wi reads plus M writes for M * p * q useful multiply-adds.
+ */
+double convBandwidthBound(unsigned cells, unsigned tau, std::size_t m,
+                          std::size_t wu, unsigned p, unsigned q);
+
+/**
+ * Scalar-host baseline (section 4.1): a microprocessor issuing
+ * ma_per_cycle multiply-adds per cycle at best, moving one word per
+ * tau cycles, with a cache of cache_words. Returns estimated cycles
+ * for a blocked M x N x K matrix multiply.
+ */
+double scalarGemmCycles(std::size_t m, std::size_t n, std::size_t k,
+                        unsigned tau, double ma_per_cycle,
+                        std::size_t cache_words);
+
+/**
+ * LU floating-point work in multiply-adds: sum over steps of
+ * (s-1)^2 + (s-1)  (rank-1 update plus column scaling).
+ */
+double luMultiplyAdds(std::size_t n);
+
+/** Matrix-update multiply-adds: N^2 K for an N x N tile. */
+inline double
+matUpdateMultiplyAdds(std::size_t n, std::size_t k)
+{
+    return double(n) * double(n) * double(k);
+}
+
+} // namespace opac::analytic
+
+#endif // OPAC_ANALYTIC_MODELS_HH

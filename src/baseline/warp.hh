@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Warp-style linear coprocessor array baseline (paper sections 3.2-3.3,
+ * fig. 1).
+ *
+ * The same OPAC cell is arranged in a chain: the host feeds cell 0 and
+ * drains cell P-1; each cell's tpo is wired to the next cell's tpx by a
+ * one-word-per-cycle link. Control (tpi) still reaches every cell
+ * directly. A matrix-update workload maps by splitting the K dimension
+ * across the chain: each cell applies its share of rank-1 updates to
+ * the tile as it streams through, then forwards the tile and the
+ * operand stream that downstream cells still need.
+ *
+ * Compared with the horizontal array (fig. 2): the host only ever
+ * sustains two streams regardless of P, but every tile must fit a
+ * *single* cell's sum queue (Tf, not Tf*P), operands for downstream
+ * cells consume issue slots of upstream cells (the forwarding moves),
+ * and the pipeline needs a stream of tiles to fill. bench/ablation_warp
+ * quantifies all three effects.
+ */
+
+#ifndef OPAC_BASELINE_WARP_HH
+#define OPAC_BASELINE_WARP_HH
+
+#include <memory>
+#include <vector>
+
+#include "cell/cell.hh"
+#include "common/stats.hh"
+#include "host/host.hh"
+#include "sim/engine.hh"
+
+namespace opac::baseline
+{
+
+/** Moves one word per cycle from one FIFO to another (a chain link). */
+class ChainLink : public sim::Component
+{
+  public:
+    ChainLink(std::string name, TimedFifo &from, TimedFifo &to)
+        : sim::Component(std::move(name)), from(from), to(to)
+    {}
+
+    void
+    tick(sim::Engine &engine) override
+    {
+        if (from.canPop(engine.now()) && to.canPush()) {
+            to.push(from.pop(engine.now()), engine.now());
+            engine.noteProgress();
+        }
+    }
+
+    bool done() const override { return true; } // passive
+
+    std::string
+    statusLine() const override
+    {
+        return strfmt("%s -> %s (%zu waiting)", from.name().c_str(),
+                      to.name().c_str(), from.size());
+    }
+
+  private:
+    TimedFifo &from;
+    TimedFifo &to;
+};
+
+/** Configuration of a linear array. */
+struct WarpConfig
+{
+    unsigned cells = 4;
+    cell::CellConfig cell;
+    host::HostConfig host;
+    std::size_t memoryWords = 1 << 22;
+    Cycle watchdogCycles = 2000000;
+};
+
+/** A host plus a chain of cells. */
+class WarpArray
+{
+  public:
+    explicit WarpArray(const WarpConfig &cfg);
+
+    unsigned numCells() const { return unsigned(cellPtrs.size()); }
+    cell::Cell &cell(unsigned i) { return *cellPtrs[i]; }
+    host::Host &host() { return *hostPtr; }
+    host::HostMemory &memory() { return mem; }
+    const WarpConfig &config() const { return cfg; }
+
+    /** Install a kernel into every cell. */
+    void loadMicrocode(Word entry, const isa::Program &prog,
+                       unsigned nparams);
+
+    Cycle run(Cycle max_cycles = 0);
+
+  private:
+    WarpConfig cfg;
+    stats::StatGroup statRoot;
+    host::HostMemory mem;
+    sim::Engine eng;
+    std::vector<std::unique_ptr<cell::Cell>> cellPtrs;
+    std::vector<std::unique_ptr<ChainLink>> links;
+    std::unique_ptr<host::Host> hostPtr;
+};
+
+/** Microcode entry used by the warp matrix-update mapping. */
+constexpr Word warpMatUpdateEntry = 100;
+
+/**
+ * Build the chain-cell matrix-update kernel: update the streamed tile
+ * with this cell's K-range, pass the tile on, forward the remaining
+ * operand stream. Parameters: p0 = K_mine, p1 = Mb, p2 = Nb,
+ * p3 = Mb*Nb, p4 = words to forward downstream.
+ */
+isa::Program buildWarpMatUpdate();
+
+/**
+ * Emit the host program for a stream of @p tiles independent matrix
+ * updates C += A*B of shape (n x n) += (n x k_total)*(k_total x n),
+ * with tile t's matrices at the given host-memory refs (see the
+ * ablation bench for layout). Returns useful multiply-adds.
+ */
+double planWarpMatUpdateStream(WarpArray &warp, std::size_t n,
+                               std::size_t k_total, std::size_t tiles,
+                               std::size_t c_base, std::size_t a_base,
+                               std::size_t b_base);
+
+} // namespace opac::baseline
+
+#endif // OPAC_BASELINE_WARP_HH

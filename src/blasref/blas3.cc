@@ -1,0 +1,87 @@
+#include "blasref/blas3.hh"
+
+namespace opac::blasref
+{
+
+void
+gemm(Matrix &c, const Matrix &a, const Matrix &b, bool negate)
+{
+    opac_assert(a.rows() == c.rows() && b.cols() == c.cols()
+                && a.cols() == b.rows(),
+                "gemm shape mismatch: C %zux%zu, A %zux%zu, B %zux%zu",
+                c.rows(), c.cols(), a.rows(), a.cols(), b.rows(),
+                b.cols());
+    const float s = negate ? -1.0f : 1.0f;
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+        for (std::size_t i = 0; i < c.rows(); ++i) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += double(a.at(i, k)) * double(b.at(k, j));
+            c.at(i, j) += s * float(acc);
+        }
+    }
+}
+
+void
+trsmRightUpper(Matrix &a, const Matrix &u)
+{
+    opac_assert(u.rows() == u.cols() && a.cols() == u.rows(),
+                "trsmRightUpper shape mismatch");
+    // Column j of X depends on columns < j: x_j = (a_j - X_{<j} u_{<j,j})
+    // / u_jj.
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            double acc = double(a.at(i, j));
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= double(a.at(i, k)) * double(u.at(k, j));
+            a.at(i, j) = float(acc / double(u.at(j, j)));
+        }
+    }
+}
+
+void
+trsmLeftUnitLower(Matrix &a, const Matrix &l)
+{
+    opac_assert(l.rows() == l.cols() && a.rows() == l.rows(),
+                "trsmLeftUnitLower shape mismatch");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            double acc = double(a.at(i, j));
+            for (std::size_t k = 0; k < i; ++k)
+                acc -= double(l.at(i, k)) * double(a.at(k, j));
+            a.at(i, j) = float(acc);
+        }
+    }
+}
+
+void
+trmmLeftUpper(Matrix &b, const Matrix &u)
+{
+    opac_assert(u.rows() == u.cols() && b.rows() == u.rows(),
+                "trmmLeftUpper shape mismatch");
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < b.rows(); ++i) {
+            double acc = 0.0;
+            for (std::size_t k = i; k < u.cols(); ++k)
+                acc += double(u.at(i, k)) * double(b.at(k, j));
+            b.at(i, j) = float(acc);
+        }
+    }
+}
+
+void
+syrkLower(Matrix &c, const Matrix &a)
+{
+    opac_assert(c.rows() == c.cols() && a.rows() == c.rows(),
+                "syrkLower shape mismatch");
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+        for (std::size_t i = j; i < c.rows(); ++i) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += double(a.at(i, k)) * double(a.at(j, k));
+            c.at(i, j) += float(acc);
+        }
+    }
+}
+
+} // namespace opac::blasref

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reference BLAS-3 style routines (plain C++, double accumulation).
+ *
+ * These are the oracles the coprocessor kernels are validated against,
+ * and the building blocks of the scalar-host baseline. They are written
+ * for clarity, not speed.
+ */
+
+#ifndef OPAC_BLASREF_BLAS3_HH
+#define OPAC_BLASREF_BLAS3_HH
+
+#include "blasref/matrix.hh"
+
+namespace opac::blasref
+{
+
+/** C += A * B (or C -= A * B when negate). */
+void gemm(Matrix &c, const Matrix &a, const Matrix &b,
+          bool negate = false);
+
+/**
+ * Solve X * U = A for X, U upper triangular (non-unit diagonal),
+ * overwriting A with X. This is the BLAS TRSM(right, upper) used by the
+ * LU block algorithm's A10 update.
+ */
+void trsmRightUpper(Matrix &a, const Matrix &u);
+
+/**
+ * Solve L * X = A for X, L unit lower triangular, overwriting A. The LU
+ * block algorithm's A01 update.
+ */
+void trsmLeftUnitLower(Matrix &a, const Matrix &l);
+
+/** B = U * B with U upper triangular (TRMM, left upper). */
+void trmmLeftUpper(Matrix &b, const Matrix &u);
+
+/** C += A * A^T restricted to the lower triangle (SYRK). */
+void syrkLower(Matrix &c, const Matrix &a);
+
+} // namespace opac::blasref
+
+#endif // OPAC_BLASREF_BLAS3_HH

@@ -1,0 +1,106 @@
+#include "blasref/lu.hh"
+
+#include <cmath>
+
+namespace opac::blasref
+{
+
+void
+luFactor(Matrix &a)
+{
+    opac_assert(a.rows() == a.cols(), "LU needs a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t k = 0; k < n; ++k) {
+        const float pivot = a.at(k, k);
+        opac_assert(pivot != 0.0f, "zero pivot at step %zu", k);
+        const float recip = 1.0f / pivot;
+        for (std::size_t i = k + 1; i < n; ++i)
+            a.at(i, k) *= recip;
+        for (std::size_t j = k + 1; j < n; ++j) {
+            const float akj = a.at(k, j);
+            for (std::size_t i = k + 1; i < n; ++i)
+                a.at(i, j) -= a.at(i, k) * akj;
+        }
+    }
+}
+
+std::vector<float>
+luSolve(const Matrix &lu, const std::vector<float> &b)
+{
+    const std::size_t n = lu.rows();
+    opac_assert(b.size() == n, "rhs size mismatch");
+    std::vector<float> x = b;
+    // Forward substitution with unit lower L.
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = x[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= double(lu.at(i, k)) * double(x[k]);
+        x[i] = float(acc);
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= double(lu.at(ii, k)) * double(x[k]);
+        x[ii] = float(acc / double(lu.at(ii, ii)));
+    }
+    return x;
+}
+
+void
+choleskyFactor(Matrix &a)
+{
+    opac_assert(a.rows() == a.cols(), "Cholesky needs a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t k = 0; k < n; ++k) {
+        const float pivot = a.at(k, k);
+        opac_assert(pivot > 0.0f, "non-positive pivot at step %zu", k);
+        const float lkk = std::sqrt(pivot);
+        a.at(k, k) = lkk;
+        const float recip = 1.0f / lkk;
+        for (std::size_t i = k + 1; i < n; ++i)
+            a.at(i, k) *= recip;
+        for (std::size_t j = k + 1; j < n; ++j) {
+            const float ljk = a.at(j, k);
+            for (std::size_t i = j; i < n; ++i)
+                a.at(i, j) -= a.at(i, k) * ljk;
+        }
+    }
+}
+
+Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    Matrix b(n, n);
+    b.randomize(rng);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += double(b.at(i, k)) * double(b.at(j, k));
+            a.at(i, j) = float(acc / double(n));
+        }
+        a.at(i, i) += 1.0f;
+    }
+    return a;
+}
+
+float
+residual(const Matrix &a, const std::vector<float> &x,
+         const std::vector<float> &b)
+{
+    const std::size_t n = a.rows();
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = -double(b[i]);
+        for (std::size_t j = 0; j < n; ++j)
+            acc += double(a.at(i, j)) * double(x[j]);
+        float r = float(acc < 0 ? -acc : acc);
+        if (r > worst)
+            worst = r;
+    }
+    return worst;
+}
+
+} // namespace opac::blasref

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reference LU factorization (no pivoting, as in the paper's block
+ * algorithm) and triangular solves for system solution.
+ */
+
+#ifndef OPAC_BLASREF_LU_HH
+#define OPAC_BLASREF_LU_HH
+
+#include <vector>
+
+#include "blasref/matrix.hh"
+
+namespace opac::blasref
+{
+
+/**
+ * In-place LU factorization without pivoting: A = L * U with L unit
+ * lower triangular stored below the diagonal and U on/above it. The
+ * caller must supply a matrix for which unpivoted LU is stable
+ * (e.g. diagonally dominant).
+ */
+void luFactor(Matrix &a);
+
+/** Solve A x = b given the packed LU factors. */
+std::vector<float> luSolve(const Matrix &lu,
+                           const std::vector<float> &b);
+
+/** Residual max-norm ||A x - b||_inf, for end-to-end checks. */
+float residual(const Matrix &a, const std::vector<float> &x,
+               const std::vector<float> &b);
+
+/**
+ * In-place Cholesky factorization A = L L^T of a symmetric positive-
+ * definite matrix: L fills the lower triangle (the strictly-upper part
+ * is left untouched).
+ */
+void choleskyFactor(Matrix &a);
+
+/** Build a random symmetric positive-definite matrix. */
+Matrix randomSpd(std::size_t n, Rng &rng);
+
+} // namespace opac::blasref
+
+#endif // OPAC_BLASREF_LU_HH

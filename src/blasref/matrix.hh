@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Column-major dense matrix container used by the reference
+ * implementations, the planners and the tests.
+ */
+
+#ifndef OPAC_BLASREF_MATRIX_HH
+#define OPAC_BLASREF_MATRIX_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace opac::blasref
+{
+
+/** A rows x cols column-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() : _rows(0), _cols(0) {}
+
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : _rows(rows), _cols(cols), data(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        opac_assert(r < _rows && c < _cols, "matrix index (%zu, %zu) out "
+                    "of %zux%zu", r, c, _rows, _cols);
+        return data[c * _rows + r];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        opac_assert(r < _rows && c < _cols, "matrix index (%zu, %zu) out "
+                    "of %zux%zu", r, c, _rows, _cols);
+        return data[c * _rows + r];
+    }
+
+    /** Fill with deterministic well-conditioned random elements. */
+    void
+    randomize(Rng &rng)
+    {
+        for (auto &v : data)
+            v = rng.element();
+    }
+
+    /** Make diagonally dominant (for stable unpivoted LU). */
+    void
+    makeDiagonallyDominant()
+    {
+        opac_assert(_rows == _cols, "needs a square matrix");
+        for (std::size_t i = 0; i < _rows; ++i)
+            at(i, i) += float(_rows) + 1.0f;
+    }
+
+    /** Largest absolute elementwise difference to another matrix. */
+    float
+    maxAbsDiff(const Matrix &o) const
+    {
+        opac_assert(_rows == o._rows && _cols == o._cols,
+                    "shape mismatch");
+        float m = 0.0f;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            float d = data[i] - o.data[i];
+            if (d < 0)
+                d = -d;
+            if (d > m)
+                m = d;
+        }
+        return m;
+    }
+
+    const std::vector<float> &raw() const { return data; }
+    std::vector<float> &raw() { return data; }
+
+  private:
+    std::size_t _rows;
+    std::size_t _cols;
+    std::vector<float> data;
+};
+
+} // namespace opac::blasref
+
+#endif // OPAC_BLASREF_MATRIX_HH

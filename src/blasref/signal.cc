@@ -1,0 +1,98 @@
+#include "blasref/signal.hh"
+
+#include <cmath>
+
+#include "common/math_util.hh"
+
+namespace opac::blasref
+{
+
+Matrix
+xcorr2d(const Matrix &image, const Matrix &weights)
+{
+    const std::size_t n_rows = image.rows();
+    const std::size_t n_cols = image.cols();
+    const std::size_t p = weights.rows();
+    const std::size_t q = weights.cols();
+    Matrix out(n_rows, n_cols);
+    for (std::size_t n = 0; n < n_rows; ++n) {
+        for (std::size_t m = 0; m < n_cols; ++m) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < p; ++i) {
+                for (std::size_t j = 0; j < q; ++j) {
+                    std::size_t r = n + i;
+                    std::size_t c = m + j;
+                    if (r < n_rows && c < n_cols)
+                        acc += double(weights.at(i, j))
+                            * double(image.at(r, c));
+                }
+            }
+            out.at(n, m) = float(acc);
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+xcorr1d(const std::vector<float> &x, const std::vector<float> &y,
+        std::size_t lags)
+{
+    opac_assert(y.size() == x.size() + lags - 1,
+                "xcorr1d: y must have length |x| + lags - 1");
+    std::vector<float> out(lags, 0.0f);
+    for (std::size_t d = 0; d < lags; ++d) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            acc += double(x[i]) * double(y[i + d]);
+        out[d] = float(acc);
+    }
+    return out;
+}
+
+std::vector<std::complex<float>>
+dft(const std::vector<std::complex<float>> &x, bool inverse)
+{
+    const std::size_t n = x.size();
+    const double sgn = inverse ? 1.0 : -1.0;
+    std::vector<std::complex<float>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double ang = sgn * 2.0 * M_PI * double(k) * double(i)
+                / double(n);
+            acc += std::complex<double>(x[i])
+                * std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        out[k] = std::complex<float>(acc);
+    }
+    return out;
+}
+
+std::vector<std::complex<float>>
+fft(const std::vector<std::complex<float>> &x, bool inverse)
+{
+    const std::size_t n = x.size();
+    opac_assert(isPow2(std::int64_t(n)), "fft size %zu not a power of 2",
+                n);
+    if (n == 1)
+        return x;
+    std::vector<std::complex<float>> even(n / 2), odd(n / 2);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+        even[i] = x[2 * i];
+        odd[i] = x[2 * i + 1];
+    }
+    auto fe = fft(even, inverse);
+    auto fo = fft(odd, inverse);
+    const double sgn = inverse ? 1.0 : -1.0;
+    std::vector<std::complex<float>> out(n);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        double ang = sgn * 2.0 * M_PI * double(k) / double(n);
+        std::complex<float> w(float(std::cos(ang)), float(std::sin(ang)));
+        std::complex<float> t = w * fo[k];
+        out[k] = fe[k] + t;
+        out[k + n / 2] = fe[k] - t;
+    }
+    return out;
+}
+
+} // namespace opac::blasref

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reference signal-processing routines: 2-D correlation/convolution,
+ * 1-D correlation and the discrete Fourier transform.
+ */
+
+#ifndef OPAC_BLASREF_SIGNAL_HH
+#define OPAC_BLASREF_SIGNAL_HH
+
+#include <complex>
+#include <vector>
+
+#include "blasref/matrix.hh"
+
+namespace opac::blasref
+{
+
+/**
+ * 2-D "valid anchored" cross-correlation, the semantics of the OPAC
+ * conv2d kernel: B(n, m) = sum_{i,j} w(i, j) * A(n + i, m + j), where A
+ * is the zero-padded image (pad p-1 rows at the bottom and q-1 columns
+ * on both... see kernels/conv2d for the exact layout). Here A is the
+ * original N x M image; out-of-range reads are zero.
+ */
+Matrix xcorr2d(const Matrix &image, const Matrix &weights);
+
+/**
+ * 1-D correlation: out[d] = sum_i x[i] * y[i + d] for d in [0, lags),
+ * with y of length x.size() + lags - 1.
+ */
+std::vector<float> xcorr1d(const std::vector<float> &x,
+                           const std::vector<float> &y,
+                           std::size_t lags);
+
+/** In-order DFT of a complex vector (O(n^2), double accumulation). */
+std::vector<std::complex<float>>
+dft(const std::vector<std::complex<float>> &x, bool inverse = false);
+
+/** Recursive radix-2 FFT reference (n must be a power of two). */
+std::vector<std::complex<float>>
+fft(const std::vector<std::complex<float>> &x, bool inverse = false);
+
+} // namespace opac::blasref
+
+#endif // OPAC_BLASREF_SIGNAL_HH

@@ -1,0 +1,610 @@
+#include "cell/cell.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+
+namespace opac::cell
+{
+
+using isa::Src;
+using isa::Opcode;
+
+Cell::Cell(std::string name, const CellConfig &cfg,
+           stats::StatGroup *parent_stats)
+    : sim::Component(name),
+      cfg(cfg),
+      fpu(makeFpUnit(cfg.fp)),
+      _tpx("tpx", cfg.interfaceDepth, cfg.fifoLatency),
+      _tpy("tpy", cfg.interfaceDepth, cfg.fifoLatency),
+      _tpo("tpo", cfg.interfaceDepth, cfg.fifoLatency),
+      _tpi("tpi", cfg.tpiDepth, cfg.fifoLatency),
+      _sum("sum", cfg.tf, cfg.fifoLatency),
+      _ret("ret", cfg.tf, cfg.fifoLatency),
+      _reby("reby", cfg.tf, cfg.fifoLatency),
+      statGroup(name, parent_stats)
+{
+    statGroup.addCounter("issued", &statIssued, "micro-ops issued");
+    statGroup.addCounter("fma", &statFma, "chained multiply-adds");
+    statGroup.addCounter("mulOnly", &statMulOnly, "multiplies");
+    statGroup.addCounter("addOnly", &statAddOnly, "additions");
+    statGroup.addCounter("moves", &statMoves, "move-path transfers");
+    statGroup.addCounter("busyCycles", &statBusy, "cycles not idle");
+    statGroup.addCounter("idleCycles", &statIdle, "cycles waiting for "
+                         "calls");
+    statGroup.addCounter("stallSrcEmpty", &statStallSrc,
+                         "issue stalls: source queue empty");
+    statGroup.addCounter("stallDstFull", &statStallDst,
+                         "issue stalls: destination queue full");
+    statGroup.addCounter("stallRegPending", &statStallReg,
+                         "issue stalls: register write in flight");
+    statGroup.addCounter("calls", &statCalls, "kernel calls executed");
+    statGroup.addCounter("writePortConflicts", &statWritePortConflicts,
+                         "same-cycle writebacks to one queue");
+    _tpx.addStats(statGroup);
+    _tpy.addStats(statGroup);
+    _tpo.addStats(statGroup);
+    _tpi.addStats(statGroup);
+    _sum.addStats(statGroup);
+    _ret.addStats(statGroup);
+    _reby.addStats(statGroup);
+}
+
+void
+Cell::setTraceHook(std::function<void(const std::string &)> hook)
+{
+    traceHook = std::move(hook);
+}
+
+void
+Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
+{
+    prog.validate();
+    opac_assert(nparams <= isa::numParams,
+                "kernel '%s': %u parameters exceed %u registers",
+                prog.name().c_str(), nparams, isa::numParams);
+    microcode[entry] = Kernel{std::move(prog), nparams};
+}
+
+TimedFifo *
+Cell::queueFor(Src s)
+{
+    switch (s) {
+      case Src::TpX:
+        return &_tpx;
+      case Src::TpY:
+        return &_tpy;
+      case Src::Sum:
+      case Src::SumR:
+        return &_sum;
+      case Src::Ret:
+      case Src::RetR:
+        return &_ret;
+      case Src::Reby:
+      case Src::RebyR:
+        return &_reby;
+      default:
+        return nullptr;
+    }
+}
+
+namespace
+{
+
+bool
+isRecirc(Src s)
+{
+    return s == Src::SumR || s == Src::RetR || s == Src::RebyR;
+}
+
+} // anonymous namespace
+
+bool
+Cell::srcReady(const isa::Operand &op, Cycle now) const
+{
+    auto *self = const_cast<Cell *>(this);
+    if (TimedFifo *q = self->queueFor(op.kind))
+        return q->canPop(now);
+    return true;
+}
+
+bool
+Cell::regReady(const isa::Operand &op) const
+{
+    if (op.kind == Src::RegAy)
+        return !regAyPending;
+    if (op.kind == Src::Reg)
+        return !regPending[op.idx];
+    return true;
+}
+
+StallCause
+Cell::checkHazards(const isa::Instr &in, Cycle now) const
+{
+    const isa::Operand *reads[] = {&in.mulA, &in.mulB, &in.addA, &in.addB,
+                                   &in.mvSrc};
+    for (const auto *op : reads) {
+        if (op->kind == Src::MulOut)
+            continue;
+        if (!srcReady(*op, now))
+            return StallCause::SrcEmpty;
+        if (!regReady(*op))
+            return StallCause::RegPending;
+    }
+
+    // WAW interlock: a register with an in-flight write cannot be
+    // written again until it lands.
+    auto wawBlocked = [&](std::uint8_t mask, std::uint8_t dst_reg) {
+        if ((mask & isa::DstRegAy) && regAyPending)
+            return true;
+        if ((mask & isa::DstReg) && regPending[dst_reg])
+            return true;
+        return false;
+    };
+    if (wawBlocked(in.dstMask, in.dstReg)
+        || wawBlocked(in.mvDstMask, in.mvDstReg)) {
+        return StallCause::RegPending;
+    }
+
+    // Net space requirement per queue: pushes minus pops (each <= 1,
+    // enforced by Program::validate()).
+    auto *self = const_cast<Cell *>(this);
+    const TimedFifo *queues[] = {&_sum, &_ret, &_reby, &_tpo, &_tpx,
+                                 &_tpy};
+    int need[6] = {0, 0, 0, 0, 0, 0};
+    auto queueIndex = [&](const TimedFifo *q) -> int {
+        for (int i = 0; i < 6; ++i) {
+            if (queues[i] == q)
+                return i;
+        }
+        return -1;
+    };
+    auto notePush = [&](std::uint8_t mask) {
+        if (mask & isa::DstSum)
+            ++need[0];
+        if (mask & isa::DstRet)
+            ++need[1];
+        if (mask & isa::DstReby)
+            ++need[2];
+        if (mask & isa::DstTpO)
+            ++need[3];
+    };
+    notePush(in.dstMask);
+    notePush(in.mvDstMask);
+    for (const auto *op : reads) {
+        if (TimedFifo *q = self->queueFor(op->kind)) {
+            int qi = queueIndex(q);
+            --need[qi];              // the pop frees a slot at issue
+            if (isRecirc(op->kind))
+                ++need[qi];          // ... which the repush reclaims
+        }
+    }
+    for (int i = 0; i < 6; ++i) {
+        if (need[i] > 0 && queues[i]->space() < std::size_t(need[i]))
+            return StallCause::DstFull;
+    }
+    return StallCause::None;
+}
+
+Word
+Cell::readOperand(const isa::Operand &op, Cycle now, Word mul_out)
+{
+    switch (op.kind) {
+      case Src::None:
+        opac_panic("reading unused operand");
+      case Src::MulOut:
+        return mul_out;
+      case Src::RegAy:
+        return regAy;
+      case Src::Reg:
+        return regs[op.idx];
+      case Src::Zero:
+        return 0;
+      case Src::One:
+        return floatToWord(1.0f);
+      default: {
+        TimedFifo *q = queueFor(op.kind);
+        Word w = q->pop(now);
+        if (isRecirc(op.kind))
+            q->push(w, now); // combinational head-to-tail loop-back
+        return w;
+      }
+    }
+}
+
+void
+Cell::scheduleWrite(Cycle when, Word value, std::uint8_t mask,
+                    std::uint8_t dst_reg, Cycle now)
+{
+    if (mask == 0)
+        return;
+    // Reserve queue slots now so the writeback cannot overflow.
+    if (mask & isa::DstSum)
+        _sum.reserve();
+    if (mask & isa::DstRet)
+        _ret.reserve();
+    if (mask & isa::DstReby)
+        _reby.reserve();
+    if (mask & isa::DstTpO)
+        _tpo.reserve();
+    if (mask & isa::DstRegAy)
+        regAyPending = true;
+    if (mask & isa::DstReg)
+        regPending[dst_reg] = true;
+    (void)now;
+    inflight.push_back(InFlight{when, value, mask, dst_reg});
+}
+
+void
+Cell::issueCompute(const isa::Instr &in, Cycle now)
+{
+    bool mul_active = in.mulA.used();
+    bool add_active = in.addA.used();
+
+    Word mul_out = 0;
+    unsigned fp_latency = 0;
+    if (mul_active) {
+        Word a = readOperand(in.mulA, now, 0);
+        Word b = readOperand(in.mulB, now, 0);
+        mul_out = fpu->mul(a, b);
+        fp_latency += cfg.mulLatency;
+    }
+    Word fp_result = mul_out;
+    if (add_active) {
+        Word a = in.addA.kind == Src::MulOut
+            ? mul_out : readOperand(in.addA, now, 0);
+        Word b = readOperand(in.addB, now, 0);
+        fp_result = fpu->add(a, b, in.addOp);
+        fp_latency += cfg.addLatency;
+    }
+    if (in.fpActive())
+        scheduleWrite(now + fp_latency, fp_result, in.dstMask, in.dstReg,
+                      now);
+
+    if (in.mvActive()) {
+        Word v = readOperand(in.mvSrc, now, mul_out);
+        scheduleWrite(now + cfg.moveLatency, v, in.mvDstMask, in.mvDstReg,
+                      now);
+        ++statMoves;
+    }
+
+    if (mul_active && add_active)
+        ++statFma;
+    else if (mul_active)
+        ++statMulOnly;
+    else if (add_active)
+        ++statAddOnly;
+    ++statIssued;
+}
+
+void
+Cell::drainWritebacks(Cycle now, sim::Engine &engine)
+{
+    // Writebacks commit in issue order per destination: a short-latency
+    // move issued after a long-latency FP op must not overtake it into
+    // the same queue (the queues have one in-order write port). An
+    // entry that cannot commit blocks its destinations for every later
+    // entry; entries commit atomically.
+    bool pushed[4] = {false, false, false, false};
+    bool blocked[4] = {false, false, false, false};
+    bool reg_blocked = false;
+    auto blockedFor = [&](const InFlight &w) {
+        if ((w.dstMask & isa::DstSum) && blocked[0])
+            return true;
+        if ((w.dstMask & isa::DstRet) && blocked[1])
+            return true;
+        if ((w.dstMask & isa::DstReby) && blocked[2])
+            return true;
+        if ((w.dstMask & isa::DstTpO) && blocked[3])
+            return true;
+        if ((w.dstMask & (isa::DstRegAy | isa::DstReg)) && reg_blocked)
+            return true;
+        return false;
+    };
+    auto blockFor = [&](const InFlight &w) {
+        if (w.dstMask & isa::DstSum)
+            blocked[0] = true;
+        if (w.dstMask & isa::DstRet)
+            blocked[1] = true;
+        if (w.dstMask & isa::DstReby)
+            blocked[2] = true;
+        if (w.dstMask & isa::DstTpO)
+            blocked[3] = true;
+        if (w.dstMask & (isa::DstRegAy | isa::DstReg))
+            reg_blocked = true;
+    };
+    for (std::size_t i = 0; i < inflight.size();) {
+        InFlight &w = inflight[i];
+        if (w.when > now || blockedFor(w)) {
+            blockFor(w);
+            ++i;
+            continue;
+        }
+        auto push = [&](TimedFifo &q, int pi) {
+            if (pushed[pi])
+                ++statWritePortConflicts;
+            pushed[pi] = true;
+            q.pushReserved(w.value, now);
+        };
+        if (w.dstMask & isa::DstSum)
+            push(_sum, 0);
+        if (w.dstMask & isa::DstRet)
+            push(_ret, 1);
+        if (w.dstMask & isa::DstReby)
+            push(_reby, 2);
+        if (w.dstMask & isa::DstTpO)
+            push(_tpo, 3);
+        if (w.dstMask & isa::DstRegAy) {
+            regAy = w.value;
+            regAyPending = false;
+        }
+        if (w.dstMask & isa::DstReg) {
+            regs[w.dstReg] = w.value;
+            regPending[w.dstReg] = false;
+        }
+        engine.noteProgress();
+        inflight.erase(inflight.begin() + std::ptrdiff_t(i));
+    }
+}
+
+/**
+ * Execute zero-cost control flow at the current pc: hardware loop
+ * begin/end. Returns false when the lookahead budget is exhausted
+ * without reaching an issueable instruction.
+ */
+bool
+Cell::stepControl(Cycle now)
+{
+    (void)now;
+    unsigned budget = cfg.controlOpsPerCycle;
+    while (budget-- > 0) {
+        opac_assert(pc < current->prog.size(), "pc out of range in '%s'",
+                    current->prog.name().c_str());
+        const isa::Instr &in = current->prog.at(pc);
+        switch (in.op) {
+          case Opcode::LoopBegin: {
+            std::uint32_t count = in.countIsParam
+                ? std::uint32_t(std::max<std::int32_t>(
+                      0, params[in.countParam]))
+                : in.count;
+            if (count == 0) {
+                // Skip the body: scan for the matching LoopEnd.
+                unsigned depth = 1;
+                std::size_t scan = pc + 1;
+                while (depth > 0) {
+                    const isa::Instr &s = current->prog.at(scan);
+                    if (s.op == Opcode::LoopBegin)
+                        ++depth;
+                    else if (s.op == Opcode::LoopEnd)
+                        --depth;
+                    ++scan;
+                }
+                pc = scan;
+            } else {
+                loopStack.push_back(LoopFrame{pc + 1, count - 1});
+                ++pc;
+            }
+            break;
+          }
+          case Opcode::LoopEnd: {
+            opac_assert(!loopStack.empty(), "LoopEnd with empty stack");
+            LoopFrame &f = loopStack.back();
+            if (f.remaining > 0) {
+                --f.remaining;
+                pc = f.bodyPc;
+            } else {
+                loopStack.pop_back();
+                ++pc;
+            }
+            break;
+          }
+          default:
+            return true; // an issueable instruction
+        }
+    }
+    return false; // lookahead bound hit; retry next cycle
+}
+
+void
+Cell::tickSequencer(Cycle now, sim::Engine &engine)
+{
+    switch (state) {
+      case SeqState::Idle:
+        if (_tpi.canPop(now)) {
+            Word entry = _tpi.pop(now);
+            auto it = microcode.find(entry);
+            if (it == microcode.end()) {
+                opac_fatal("%s: call to unknown microcode entry %u",
+                           name().c_str(), entry);
+            }
+            current = &it->second;
+            paramsToRead = current->nparams;
+            paramIndex = 0;
+            state = paramsToRead > 0 ? SeqState::ReadParams
+                                     : SeqState::Decode;
+            decodeLeft = cfg.callDecodeCycles;
+            ++statCalls;
+            ++statBusy;
+            if (traceHook) {
+                traceHook(strfmt("%llu call %s",
+                                 (unsigned long long)now,
+                                 current->prog.name().c_str()));
+            }
+            engine.noteProgress();
+        } else {
+            ++statIdle;
+        }
+        break;
+
+      case SeqState::ReadParams:
+        ++statBusy;
+        if (_tpi.canPop(now)) {
+            params[paramIndex++] = std::int32_t(_tpi.pop(now));
+            if (--paramsToRead == 0)
+                state = SeqState::Decode;
+            engine.noteProgress();
+        }
+        break;
+
+      case SeqState::Decode:
+        ++statBusy;
+        engine.noteProgress();
+        if (decodeLeft > 1) {
+            --decodeLeft;
+        } else {
+            pc = 0;
+            loopStack.clear();
+            state = SeqState::Run;
+        }
+        break;
+
+      case SeqState::Run: {
+        ++statBusy;
+        if (!stepControl(now)) {
+            engine.noteProgress(); // control scan is progress
+            break;
+        }
+        const isa::Instr &in = current->prog.at(pc);
+        switch (in.op) {
+          case Opcode::Compute: {
+            StallCause stall = checkHazards(in, now);
+            switch (stall) {
+              case StallCause::None:
+                issueCompute(in, now);
+                if (traceHook) {
+                    traceHook(strfmt("%llu [%zu] %s",
+                                     (unsigned long long)now, pc,
+                                     isa::disasm(in).c_str()));
+                }
+                ++pc;
+                engine.noteProgress();
+                break;
+              case StallCause::SrcEmpty:
+                ++statStallSrc;
+                break;
+              case StallCause::DstFull:
+                ++statStallDst;
+                break;
+              case StallCause::RegPending:
+                ++statStallReg;
+                break;
+            }
+            break;
+          }
+          case Opcode::SetParam: {
+            std::int32_t &d = params[in.dstParam];
+            switch (in.paramOp) {
+              case isa::ParamOp::LoadImm:
+                d = in.imm;
+                break;
+              case isa::ParamOp::Copy:
+                d = params[in.srcParam];
+                break;
+              case isa::ParamOp::Inc:
+                ++d;
+                break;
+              case isa::ParamOp::Dec:
+                --d;
+                break;
+              case isa::ParamOp::Mul2:
+                d *= 2;
+                break;
+              case isa::ParamOp::Div2:
+                d /= 2;
+                break;
+              case isa::ParamOp::AddImm:
+                d += in.imm;
+                break;
+            }
+            ++pc;
+            ++statIssued;
+            engine.noteProgress();
+            break;
+          }
+          case Opcode::ResetFifo: {
+            // A reset must let in-flight writebacks to the queue land
+            // first, or their reserved slots would be destroyed.
+            std::uint8_t bit = in.fifo == isa::LocalFifo::Sum
+                ? isa::DstSum
+                : in.fifo == isa::LocalFifo::Ret ? isa::DstRet
+                                                 : isa::DstReby;
+            bool write_in_flight = false;
+            for (const auto &w : inflight) {
+                if (w.dstMask & bit) {
+                    write_in_flight = true;
+                    break;
+                }
+            }
+            if (write_in_flight) {
+                ++statStallDst;
+                break;
+            }
+            switch (in.fifo) {
+              case isa::LocalFifo::Sum:
+                _sum.reset();
+                break;
+              case isa::LocalFifo::Ret:
+                _ret.reset();
+                break;
+              case isa::LocalFifo::Reby:
+                _reby.reset();
+                break;
+            }
+            ++pc;
+            ++statIssued;
+            engine.noteProgress();
+            break;
+          }
+          case Opcode::Halt:
+            if (traceHook) {
+                traceHook(strfmt("%llu halt",
+                                 (unsigned long long)now));
+            }
+            state = SeqState::Idle;
+            current = nullptr;
+            engine.noteProgress();
+            break;
+          default:
+            opac_panic("control op leaked to issue stage");
+        }
+        break;
+      }
+    }
+}
+
+void
+Cell::tick(sim::Engine &engine)
+{
+    Cycle now = engine.now();
+    drainWritebacks(now, engine);
+    tickSequencer(now, engine);
+    _sum.sampleOccupancy();
+    _ret.sampleOccupancy();
+    _reby.sampleOccupancy();
+}
+
+bool
+Cell::done() const
+{
+    return state == SeqState::Idle && _tpi.empty() && inflight.empty();
+}
+
+std::string
+Cell::statusLine() const
+{
+    const char *st = "?";
+    switch (state) {
+      case SeqState::Idle: st = "idle"; break;
+      case SeqState::ReadParams: st = "read-params"; break;
+      case SeqState::Decode: st = "decode"; break;
+      case SeqState::Run: st = "run"; break;
+    }
+    return strfmt("state=%s kernel=%s pc=%zu tpi=%zu tpx=%zu tpo=%zu "
+                  "sum=%zu ret=%zu reby=%zu inflight=%zu",
+                  st, current ? current->prog.name().c_str() : "-", pc,
+                  _tpi.size(), _tpx.size(), _tpo.size(), _sum.size(),
+                  _ret.size(), _reby.size(), inflight.size());
+}
+
+} // namespace opac::cell

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The OPAC cell: computation block + sequencer (paper section 5, fig. 4).
+ *
+ * The cell contains:
+ *  - interface FIFO queues tpx, tpy (operands in), tpo (results out) and
+ *    tpi (kernel calls + parameters in),
+ *  - local FIFO queues sum, ret and reby of capacity Tf,
+ *  - the register regay and a small multiport register file,
+ *  - a pipelined FP multiplier and adder with a direct multiply-add
+ *    chain path, plus a one-cycle move/bypass path,
+ *  - a microcode sequencer with hardware loops (zero-cycle loop
+ *    overhead, per [Se91]) and a tiny parameter ALU.
+ *
+ * Timing model (one micro-instruction issued per cycle):
+ *  - issue requires every popped queue non-empty, every net-pushed queue
+ *    to have room (a slot is reserved at issue for the in-flight
+ *    result), and no pending-write register among the reads;
+ *  - a chained multiply-add completes after mulLatency + addLatency
+ *    cycles, mul-only after mulLatency, add-only after addLatency, a
+ *    move after moveLatency;
+ *  - recirculating reads (pop + repush) happen combinationally at issue;
+ *  - a word pushed into a FIFO at cycle t is poppable at t +
+ *    fifoLatency.
+ *
+ * Call protocol on tpi: one word with the microcode entry id, then the
+ * kernel's declared number of parameter words, then a fixed decode
+ * delay. This models the paper's task granularity: the host names a
+ * compute-bound kernel and its array sizes; the cell runs it to
+ * completion.
+ */
+
+#ifndef OPAC_CELL_CELL_HH
+#define OPAC_CELL_CELL_HH
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cell/fp_unit.hh"
+#include "common/stats.hh"
+#include "fifo/timed_fifo.hh"
+#include "isa/program.hh"
+#include "sim/engine.hh"
+
+namespace opac::cell
+{
+
+/** Static configuration of one cell. */
+struct CellConfig
+{
+    std::size_t tf = 2048;          //!< sum/ret/reby capacity (words)
+    std::size_t interfaceDepth = 2048; //!< tpx/tpy/tpo capacity
+    std::size_t tpiDepth = 64;      //!< call queue capacity
+    unsigned mulLatency = 3;        //!< multiplier pipeline depth
+    unsigned addLatency = 3;        //!< adder pipeline depth
+    unsigned moveLatency = 1;       //!< bypass path latency
+    unsigned fifoLatency = 1;       //!< FIFO fall-through latency
+    unsigned callDecodeCycles = 4;  //!< fixed per-call dispatch cost
+    unsigned controlOpsPerCycle = 8; //!< sequencer lookahead bound
+    FpKind fp = FpKind::Soft;       //!< arithmetic back-end
+};
+
+/** Why the sequencer could not issue this cycle (for stall stats). */
+enum class StallCause
+{
+    None,
+    SrcEmpty,
+    DstFull,
+    RegPending,
+};
+
+/** One OPAC cell, a sim::Component on the coprocessor clock. */
+class Cell : public sim::Component
+{
+  public:
+    Cell(std::string name, const CellConfig &cfg,
+         stats::StatGroup *parent_stats = nullptr);
+
+    /**
+     * Install a kernel in the microcode store.
+     * @param entry   Entry id used by call words on tpi.
+     * @param prog    Validated microcode.
+     * @param nparams Number of parameter words following the call word.
+     */
+    void loadMicrocode(Word entry, isa::Program prog, unsigned nparams);
+
+    // Host-side access to the interface queues.
+    TimedFifo &tpx() { return _tpx; }
+    TimedFifo &tpy() { return _tpy; }
+    TimedFifo &tpo() { return _tpo; }
+    TimedFifo &tpi() { return _tpi; }
+
+    const CellConfig &config() const { return cfg; }
+
+    // sim::Component interface.
+    void tick(sim::Engine &engine) override;
+    bool done() const override;
+    std::string statusLine() const override;
+
+    // Observability.
+    std::uint64_t issuedOps() const { return statIssued.value(); }
+    std::uint64_t fmaOps() const { return statFma.value(); }
+    std::uint64_t busyCycles() const { return statBusy.value(); }
+    std::uint8_t fpFlags() const { return fpu->flags(); }
+
+    /** The cell's statistics subtree. */
+    stats::StatGroup &stats() { return statGroup; }
+
+    /**
+     * Install a cycle-trace hook: one line per sequencer event (call
+     * dispatch, instruction issue, halt), formatted
+     * "<cycle> <event>". Pass nullptr to disable. Tracing is off by
+     * default and costs nothing when disabled.
+     */
+    void setTraceHook(std::function<void(const std::string &)> hook);
+
+    /** Local queues, exposed for white-box tests. */
+    TimedFifo &sumQueue() { return _sum; }
+    TimedFifo &retQueue() { return _ret; }
+    TimedFifo &rebyQueue() { return _reby; }
+
+  private:
+    struct Kernel
+    {
+        isa::Program prog;
+        unsigned nparams;
+    };
+
+    /** A value travelling through the FP or move pipeline. */
+    struct InFlight
+    {
+        Cycle when;
+        Word value;
+        std::uint8_t dstMask;
+        std::uint8_t dstReg;
+    };
+
+    enum class SeqState
+    {
+        Idle,       //!< waiting for a call word on tpi
+        ReadParams, //!< popping parameter words
+        Decode,     //!< fixed dispatch delay
+        Run,        //!< executing microcode
+    };
+
+    // -- helpers -------------------------------------------------------
+    TimedFifo *queueFor(isa::Src s);
+    bool srcReady(const isa::Operand &op, Cycle now) const;
+    bool regReady(const isa::Operand &op) const;
+    Word readOperand(const isa::Operand &op, Cycle now, Word mul_out);
+    StallCause checkHazards(const isa::Instr &in, Cycle now) const;
+    void issueCompute(const isa::Instr &in, Cycle now);
+    void scheduleWrite(Cycle when, Word value, std::uint8_t mask,
+                       std::uint8_t dst_reg, Cycle now);
+    void drainWritebacks(Cycle now, sim::Engine &engine);
+    bool stepControl(Cycle now);
+    void tickSequencer(Cycle now, sim::Engine &engine);
+
+    // -- configuration and structure ------------------------------------
+    CellConfig cfg;
+    std::unique_ptr<FpUnit> fpu;
+
+    TimedFifo _tpx;
+    TimedFifo _tpy;
+    TimedFifo _tpo;
+    TimedFifo _tpi;
+    TimedFifo _sum;
+    TimedFifo _ret;
+    TimedFifo _reby;
+
+    std::array<Word, isa::numRegs> regs{};
+    std::array<bool, isa::numRegs> regPending{};
+    Word regAy = 0;
+    bool regAyPending = false;
+
+    std::map<Word, Kernel> microcode;
+
+    // -- sequencer state -------------------------------------------------
+    SeqState state = SeqState::Idle;
+    const Kernel *current = nullptr;
+    std::size_t pc = 0;
+    unsigned paramsToRead = 0;
+    unsigned paramIndex = 0;
+    unsigned decodeLeft = 0;
+    std::array<std::int32_t, isa::numParams> params{};
+
+    struct LoopFrame
+    {
+        std::size_t bodyPc;       //!< first instruction of the body
+        std::uint32_t remaining;  //!< iterations left after current
+    };
+    std::vector<LoopFrame> loopStack;
+
+    std::vector<InFlight> inflight;
+
+    std::function<void(const std::string &)> traceHook;
+
+    // -- statistics -------------------------------------------------------
+    stats::StatGroup statGroup;
+    stats::Counter statIssued;
+    stats::Counter statFma;
+    stats::Counter statMulOnly;
+    stats::Counter statAddOnly;
+    stats::Counter statMoves;
+    stats::Counter statBusy;
+    stats::Counter statIdle;
+    stats::Counter statStallSrc;
+    stats::Counter statStallDst;
+    stats::Counter statStallReg;
+    stats::Counter statCalls;
+    stats::Counter statWritePortConflicts;
+};
+
+} // namespace opac::cell
+
+#endif // OPAC_CELL_CELL_HH

@@ -1,0 +1,89 @@
+#include "cell/fp_unit.hh"
+
+#include "common/logging.hh"
+
+namespace opac::cell
+{
+
+namespace
+{
+
+class SoftFpUnit : public FpUnit
+{
+  public:
+    Word
+    mul(Word a, Word b) override
+    {
+        return sf::mul(a, b, ctx);
+    }
+
+    Word
+    add(Word a, Word b, isa::AddOp op) override
+    {
+        switch (op) {
+          case isa::AddOp::Add:
+            return sf::add(a, b, ctx);
+          case isa::AddOp::SubAB:
+            return sf::sub(a, b, ctx);
+          case isa::AddOp::SubBA:
+            return sf::sub(b, a, ctx);
+        }
+        opac_panic("bad AddOp");
+    }
+
+    std::uint8_t flags() const override { return ctx.flags; }
+
+  private:
+    sf::Context ctx;
+};
+
+class NativeFpUnit : public FpUnit
+{
+  public:
+    Word
+    mul(Word a, Word b) override
+    {
+        return floatToWord(wordToFloat(a) * wordToFloat(b));
+    }
+
+    Word
+    add(Word a, Word b, isa::AddOp op) override
+    {
+        float x = wordToFloat(a);
+        float y = wordToFloat(b);
+        switch (op) {
+          case isa::AddOp::Add:
+            return floatToWord(x + y);
+          case isa::AddOp::SubAB:
+            return floatToWord(x - y);
+          case isa::AddOp::SubBA:
+            return floatToWord(y - x);
+        }
+        opac_panic("bad AddOp");
+    }
+};
+
+class TokenFpUnit : public FpUnit
+{
+  public:
+    Word mul(Word, Word) override { return 0; }
+    Word add(Word, Word, isa::AddOp) override { return 0; }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<FpUnit>
+makeFpUnit(FpKind kind)
+{
+    switch (kind) {
+      case FpKind::Soft:
+        return std::make_unique<SoftFpUnit>();
+      case FpKind::Native:
+        return std::make_unique<NativeFpUnit>();
+      case FpKind::Token:
+        return std::make_unique<TokenFpUnit>();
+    }
+    opac_panic("bad FpKind");
+}
+
+} // namespace opac::cell

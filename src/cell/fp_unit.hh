@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pluggable arithmetic back-ends for the cell datapath.
+ *
+ * The timing of the simulator never depends on operand *values* (there
+ * are no data-dependent stalls in the OPAC pipeline), so the arithmetic
+ * can be swapped without changing any cycle count:
+ *
+ *  - SoftFpUnit:   the bit-accurate softfloat (reference; default),
+ *  - NativeFpUnit: host hardware floats (fast functional runs),
+ *  - TokenFpUnit:  no arithmetic at all (pure timing studies — the big
+ *                  table sweeps).
+ *
+ * A test asserts that cycle counts are identical across all three.
+ */
+
+#ifndef OPAC_CELL_FP_UNIT_HH
+#define OPAC_CELL_FP_UNIT_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/operand.hh"
+#include "softfloat/float32.hh"
+
+namespace opac::cell
+{
+
+/** Which arithmetic back-end a cell uses. */
+enum class FpKind
+{
+    Soft,   //!< bit-accurate binary32 softfloat
+    Native, //!< host float arithmetic
+    Token,  //!< values are not computed (timing-only)
+};
+
+/** The two discrete FP operators of the OPAC computation block. */
+class FpUnit
+{
+  public:
+    virtual ~FpUnit() = default;
+
+    /** Multiplier: a * b. */
+    virtual Word mul(Word a, Word b) = 0;
+
+    /** Adder: a op b. */
+    virtual Word add(Word a, Word b, isa::AddOp op) = 0;
+
+    /** Accumulated IEEE exception flags (0 where not modelled). */
+    virtual std::uint8_t flags() const { return 0; }
+};
+
+/** Factory for the configured back-end. */
+std::unique_ptr<FpUnit> makeFpUnit(FpKind kind);
+
+} // namespace opac::cell
+
+#endif // OPAC_CELL_FP_UNIT_HH

@@ -1,0 +1,58 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace opac
+{
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing (rather than abort()) lets the test suite exercise panic
+    // paths; the top level of every binary treats it as fatal.
+    throw std::logic_error(strfmt("panic: %s:%d: %s", file, line,
+                                  msg.c_str()));
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw std::runtime_error(strfmt("fatal: %s:%d: %s", file, line,
+                                    msg.c_str()));
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace opac

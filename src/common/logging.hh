@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for conditions that indicate a bug
+ * in the simulator itself, fatal() for user/configuration errors that make
+ * continuing impossible, warn()/inform() for non-fatal notices.
+ */
+
+#ifndef OPAC_COMMON_LOGGING_HH
+#define OPAC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace opac
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; the simulation continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+} // namespace opac
+
+/** Abort: a simulator invariant was violated (a bug in this code base). */
+#define opac_panic(...) \
+    ::opac::panicImpl(__FILE__, __LINE__, ::opac::strfmt(__VA_ARGS__))
+
+/** Exit with an error: the user asked for something unsupported. */
+#define opac_fatal(...) \
+    ::opac::fatalImpl(__FILE__, __LINE__, ::opac::strfmt(__VA_ARGS__))
+
+/** panic() unless the given simulator invariant holds. */
+#define opac_assert(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::opac::panicImpl(__FILE__, __LINE__,                     \
+                "assertion '" #cond "' failed: "                      \
+                + ::opac::strfmt(__VA_ARGS__));                       \
+        }                                                             \
+    } while (0)
+
+#endif // OPAC_COMMON_LOGGING_HH

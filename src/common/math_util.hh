@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer helpers used throughout the simulator and the planners.
+ */
+
+#ifndef OPAC_COMMON_MATH_UTIL_HH
+#define OPAC_COMMON_MATH_UTIL_HH
+
+#include <cstdint>
+
+namespace opac
+{
+
+/** Ceiling division of non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True if v is a power of two (v > 0). */
+constexpr bool
+isPow2(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be > 0. */
+constexpr int
+floorLog2(std::int64_t v)
+{
+    int r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round v up to the next multiple of m (m > 0). */
+constexpr std::int64_t
+roundUp(std::int64_t v, std::int64_t m)
+{
+    return ceilDiv(v, m) * m;
+}
+
+/** Integer square root: largest r with r*r <= v. */
+constexpr std::int64_t
+isqrt(std::int64_t v)
+{
+    std::int64_t r = 0;
+    while ((r + 1) * (r + 1) <= v)
+        ++r;
+    return r;
+}
+
+} // namespace opac
+
+#endif // OPAC_COMMON_MATH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator for tests and workload synthesis.
+ *
+ * A fixed xorshift implementation (rather than std::mt19937) guarantees
+ * identical streams across platforms and standard-library versions, which
+ * keeps benchmark inputs and golden test values stable.
+ */
+
+#ifndef OPAC_COMMON_RANDOM_HH
+#define OPAC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace opac
+{
+
+/** xorshift64* generator with utility draws for floats and ranges. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + std::int64_t(next() % std::uint64_t(hi - lo + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return float(next() >> 40) / float(1 << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /**
+     * A well-conditioned matrix/signal element: uniform in [-1, 1],
+     * avoiding the huge dynamic ranges that make reference comparisons
+     * ill-conditioned.
+     */
+    float
+    element()
+    {
+        return uniform(-1.0f, 1.0f);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace opac
+
+#endif // OPAC_COMMON_RANDOM_HH

@@ -1,0 +1,119 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace opac::stats
+{
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v;
+    ++_count;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = _min = _max = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->children.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent) {
+        auto &sib = parent->children;
+        sib.erase(std::remove(sib.begin(), sib.end(), this), sib.end());
+    }
+}
+
+void
+StatGroup::addCounter(const std::string &name, Counter *c,
+                      const std::string &desc)
+{
+    opac_assert(c != nullptr, "null counter '%s'", name.c_str());
+    counters[name] = CounterEntry{c, desc};
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d,
+                           const std::string &desc)
+{
+    opac_assert(d != nullptr, "null distribution '%s'", name.c_str());
+    dists[name] = DistEntry{d, desc};
+}
+
+void
+StatGroup::dump(std::string &out, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[n, e] : counters) {
+        out += strfmt("%-48s %12llu", (base + "." + n).c_str(),
+                      static_cast<unsigned long long>(e.counter->value()));
+        if (!e.desc.empty())
+            out += "  # " + e.desc;
+        out += "\n";
+    }
+    for (const auto &[n, e] : dists) {
+        out += strfmt("%-48s min=%.2f max=%.2f mean=%.2f n=%llu",
+                      (base + "." + n).c_str(), e.dist->min(),
+                      e.dist->max(), e.dist->mean(),
+                      static_cast<unsigned long long>(e.dist->count()));
+        if (!e.desc.empty())
+            out += "  # " + e.desc;
+        out += "\n";
+    }
+    for (const auto *c : children)
+        c->dump(out, base);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[n, e] : counters)
+        e.counter->reset();
+    for (auto &[n, e] : dists)
+        e.dist->reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &path) const
+{
+    // Counter names may themselves contain dots (e.g. "tpx.pushes"), so
+    // prefer an exact match in this group before descending.
+    if (auto it = counters.find(path); it != counters.end())
+        return it->second.counter->value();
+
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        opac_panic("no counter '%s' in group '%s'", path.c_str(),
+                   _name.c_str());
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto *c : children) {
+        if (c->name() == head)
+            return c->counterValue(rest);
+    }
+    opac_panic("no child group '%s' in group '%s'", head.c_str(),
+               _name.c_str());
+}
+
+} // namespace opac::stats

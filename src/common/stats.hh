@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named scalar counters and distributions in a
+ * StatGroup; groups nest to form a tree that can be dumped as text. This is
+ * a deliberately small re-implementation of the usual architecture-
+ * simulator stats idiom: declaration-site registration, cheap updates,
+ * formatted dump at the end of simulation.
+ */
+
+#ifndef OPAC_COMMON_STATS_HH
+#define OPAC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opac::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running min/max/mean over sampled values (e.g. FIFO occupancy). */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of counters and distributions. Groups may nest; the
+ * dump walks the tree depth-first and prints fully qualified stat names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under this group. The counter must outlive it. */
+    void addCounter(const std::string &name, Counter *c,
+                    const std::string &desc = "");
+    /** Register a distribution under this group. */
+    void addDistribution(const std::string &name, Distribution *d,
+                         const std::string &desc = "");
+
+    const std::string &name() const { return _name; }
+
+    /** Append "fullname value # desc" lines for this subtree. */
+    void dump(std::string &out, const std::string &prefix = "") const;
+
+    /** Reset every registered stat in this subtree. */
+    void resetAll();
+
+    /** Look up a counter value by path relative to this group. */
+    std::uint64_t counterValue(const std::string &path) const;
+
+  private:
+    struct CounterEntry { Counter *counter; std::string desc; };
+    struct DistEntry { Distribution *dist; std::string desc; };
+
+    std::string _name;
+    StatGroup *parent;
+    std::vector<StatGroup *> children;
+    std::map<std::string, CounterEntry> counters;
+    std::map<std::string, DistEntry> dists;
+};
+
+} // namespace opac::stats
+
+#endif // OPAC_COMMON_STATS_HH

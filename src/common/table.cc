@@ -1,0 +1,61 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+namespace opac
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncol = head.size();
+    for (const auto &r : rows)
+        ncol = std::max(ncol, r.size());
+
+    std::vector<size_t> width(ncol, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(head);
+    for (const auto &r : rows)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r, std::string &out) {
+        for (size_t i = 0; i < ncol; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            out += cell;
+            if (i + 1 < ncol)
+                out += std::string(width[i] - cell.size() + 2, ' ');
+        }
+        out += "\n";
+    };
+
+    std::string out;
+    if (!title.empty())
+        out += title + "\n";
+    if (!head.empty()) {
+        emit(head, out);
+        size_t total = 0;
+        for (size_t i = 0; i < ncol; ++i)
+            total += width[i] + (i + 1 < ncol ? 2 : 0);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : rows)
+        emit(r, out);
+    return out;
+}
+
+} // namespace opac

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print the
+ * paper's tables.
+ */
+
+#ifndef OPAC_COMMON_TABLE_HH
+#define OPAC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace opac
+{
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a rule under the header. */
+    std::string render() const;
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace opac
+
+#endif // OPAC_COMMON_TABLE_HH

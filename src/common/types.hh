@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every OPAC module.
+ *
+ * The OPAC prototype moves 32-bit words: IEEE-754 binary32 values on the
+ * data paths, and packed call/parameter words on the control path. All
+ * storage (FIFO queues, registers, host memory) is therefore expressed in
+ * terms of Word, and helpers are provided to view a Word as a float.
+ */
+
+#ifndef OPAC_COMMON_TYPES_HH
+#define OPAC_COMMON_TYPES_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace opac
+{
+
+/** A machine word: 32 bits, the unit of every OPAC data path. */
+using Word = std::uint32_t;
+
+/** Simulated time, counted in cycles of the common coprocessor clock. */
+using Cycle = std::uint64_t;
+
+/** Reinterpret a word as the binary32 value it encodes. */
+inline float
+wordToFloat(Word w)
+{
+    return std::bit_cast<float>(w);
+}
+
+/** Reinterpret a binary32 value as its encoding word. */
+inline Word
+floatToWord(float f)
+{
+    return std::bit_cast<Word>(f);
+}
+
+} // namespace opac
+
+#endif // OPAC_COMMON_TYPES_HH

@@ -1,0 +1,53 @@
+#include "coproc/coprocessor.hh"
+
+#include "common/logging.hh"
+
+namespace opac::copro
+{
+
+Coprocessor::Coprocessor(const CoprocConfig &cfg)
+    : cfg(cfg), statRoot("system"), mem(cfg.memoryWords),
+      eng(cfg.watchdogCycles)
+{
+    opac_assert(cfg.cells >= 1 && cfg.cells <= 32,
+                "cell count %u out of range [1, 32]", cfg.cells);
+    std::vector<cell::Cell *> raw;
+    for (unsigned i = 0; i < cfg.cells; ++i) {
+        cellPtrs.push_back(std::make_unique<cell::Cell>(
+            strfmt("cell%u", i), cfg.cell, &statRoot));
+        raw.push_back(cellPtrs.back().get());
+    }
+    hostPtr = std::make_unique<host::Host>("host", cfg.host, mem, raw,
+                                           &statRoot);
+    // The host ticks first each cycle: data it pushes at cycle t becomes
+    // visible to cells at t + fifoLatency either way, so order only
+    // affects nothing observable; registration order is fixed for
+    // determinism.
+    eng.add(hostPtr.get());
+    for (auto &c : cellPtrs)
+        eng.add(c.get());
+}
+
+void
+Coprocessor::loadMicrocode(Word entry, const isa::Program &prog,
+                           unsigned nparams)
+{
+    for (auto &c : cellPtrs)
+        c->loadMicrocode(entry, prog, nparams);
+}
+
+Cycle
+Coprocessor::run(Cycle max_cycles)
+{
+    return eng.run(max_cycles);
+}
+
+std::string
+Coprocessor::statsReport() const
+{
+    std::string out;
+    statRoot.dump(out);
+    return out;
+}
+
+} // namespace opac::copro

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The horizontal OPAC coprocessor (paper figs. 2 and 3): P cells, each
+ * directly connected to the host over a shared bus with broadcast
+ * capability, all on one clock.
+ *
+ * This is the top-level object benchmarks and examples instantiate: it
+ * owns the engine, the host, the host memory and the cells, loads
+ * microcode into every cell, and runs the simulation to completion.
+ */
+
+#ifndef OPAC_COPROC_COPROCESSOR_HH
+#define OPAC_COPROC_COPROCESSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "cell/cell.hh"
+#include "common/stats.hh"
+#include "host/host.hh"
+#include "sim/engine.hh"
+
+namespace opac::copro
+{
+
+/** Full-system configuration. */
+struct CoprocConfig
+{
+    unsigned cells = 1;            //!< P, the number of OPAC cells
+    cell::CellConfig cell;         //!< per-cell configuration
+    host::HostConfig host;         //!< host timing (tau, ...)
+    std::size_t memoryWords = 1 << 22;
+    Cycle watchdogCycles = 200000; //!< deadlock detector
+};
+
+/** Mask addressing every cell of a P-cell coprocessor. */
+inline std::uint32_t
+allCellsMask(unsigned p)
+{
+    return p >= 32 ? 0xffffffffu : ((1u << p) - 1);
+}
+
+/** Host + P cells + engine, ready to execute kernel calls. */
+class Coprocessor
+{
+  public:
+    explicit Coprocessor(const CoprocConfig &cfg);
+
+    unsigned numCells() const { return unsigned(cellPtrs.size()); }
+    cell::Cell &cell(unsigned i) { return *cellPtrs[i]; }
+    host::Host &host() { return *hostPtr; }
+    host::HostMemory &memory() { return mem; }
+    sim::Engine &engine() { return eng; }
+    const CoprocConfig &config() const { return cfg; }
+
+    /** Install a kernel into every cell's microcode store. */
+    void loadMicrocode(Word entry, const isa::Program &prog,
+                       unsigned nparams);
+
+    /**
+     * Run until the host program and all cells complete. Returns the
+     * cycles simulated by this call (the paper's metric: time between
+     * the first word sent and the last result received).
+     */
+    Cycle run(Cycle max_cycles = 0);
+
+    /** Render the full statistics tree. */
+    std::string statsReport() const;
+
+  private:
+    CoprocConfig cfg;
+    stats::StatGroup statRoot;
+    host::HostMemory mem;
+    sim::Engine eng;
+    std::vector<std::unique_ptr<cell::Cell>> cellPtrs;
+    std::unique_ptr<host::Host> hostPtr;
+};
+
+} // namespace opac::copro
+
+#endif // OPAC_COPROC_COPROCESSOR_HH

@@ -1,0 +1,92 @@
+#include "fifo/timed_fifo.hh"
+
+#include "common/logging.hh"
+
+namespace opac
+{
+
+TimedFifo::TimedFifo(std::string name, std::size_t capacity,
+                     unsigned latency)
+    : _name(std::move(name)), _capacity(capacity), latency(latency)
+{
+    opac_assert(capacity > 0, "FIFO '%s' with zero capacity",
+                _name.c_str());
+}
+
+std::size_t
+TimedFifo::space() const
+{
+    std::size_t used = entries.size() + _reserved;
+    return used >= _capacity ? 0 : _capacity - used;
+}
+
+bool
+TimedFifo::canPop(Cycle now) const
+{
+    return !entries.empty() && entries.front().ready <= now;
+}
+
+void
+TimedFifo::push(Word w, Cycle now)
+{
+    opac_assert(space() > 0, "push on full FIFO '%s' (cap %zu)",
+                _name.c_str(), _capacity);
+    entries.push_back(Entry{w, now + latency});
+    ++pushes;
+}
+
+void
+TimedFifo::reserve()
+{
+    opac_assert(space() > 0, "reserve on full FIFO '%s'", _name.c_str());
+    ++_reserved;
+}
+
+void
+TimedFifo::pushReserved(Word w, Cycle now)
+{
+    opac_assert(_reserved > 0, "pushReserved without reservation on '%s'",
+                _name.c_str());
+    --_reserved;
+    entries.push_back(Entry{w, now + latency});
+    ++pushes;
+}
+
+Word
+TimedFifo::pop(Cycle now)
+{
+    opac_assert(canPop(now), "pop on empty/not-ready FIFO '%s'",
+                _name.c_str());
+    Word w = entries.front().word;
+    entries.pop_front();
+    ++pops;
+    return w;
+}
+
+Word
+TimedFifo::front(Cycle now) const
+{
+    opac_assert(canPop(now), "front on empty/not-ready FIFO '%s'",
+                _name.c_str());
+    return entries.front().word;
+}
+
+void
+TimedFifo::reset()
+{
+    entries.clear();
+    _reserved = 0;
+    ++resets;
+}
+
+void
+TimedFifo::addStats(stats::StatGroup &parent)
+{
+    parent.addCounter(_name + ".pushes", &pushes, "words written");
+    parent.addCounter(_name + ".pops", &pops, "words read");
+    parent.addCounter(_name + ".resets", &resets, "reset operations");
+    parent.addDistribution(_name + ".occupancy", &occupancy,
+                           "sampled words held");
+}
+
+} // namespace opac

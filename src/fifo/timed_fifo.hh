@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-timed FIFO queue — the central storage element of OPAC.
+ *
+ * OPAC uses FIFO queues both as host/cell interfaces and as the cell's
+ * local memory (queues sum, ret, reby), implicitly addressed with stride
+ * one. This model captures:
+ *
+ *  - finite capacity (the paper's Tf parameter),
+ *  - fall-through latency: a word pushed at cycle t is poppable at
+ *    t + latency (the prototype's FIFO RAMs had a two-cycle fall-through;
+ *    default here is 1),
+ *  - reservations: the cell reserves an output slot at instruction issue
+ *    so a value emerging from the FP pipeline several cycles later is
+ *    guaranteed space — the mechanism that lets issue logic treat
+ *    "destination full" as an issue-time hazard,
+ *  - reset (the paper's "Reset of FIFO queue reby"),
+ *  - occupancy and traffic statistics.
+ */
+
+#ifndef OPAC_FIFO_TIMED_FIFO_HH
+#define OPAC_FIFO_TIMED_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace opac
+{
+
+/** A finite, cycle-timed FIFO queue of 32-bit words. */
+class TimedFifo
+{
+  public:
+    /**
+     * @param name     Instance name (for stats and error messages).
+     * @param capacity Maximum number of words held (the paper's Tf).
+     * @param latency  Cycles between push and earliest pop of a word.
+     */
+    TimedFifo(std::string name, std::size_t capacity,
+              unsigned latency = 1);
+
+    const std::string &name() const { return _name; }
+    std::size_t capacity() const { return _capacity; }
+
+    /** Words currently stored (including not-yet-visible ones). */
+    std::size_t size() const { return entries.size(); }
+
+    /** True if no words are stored (reservations do not count). */
+    bool empty() const { return entries.empty(); }
+
+    /** Free slots, after stored words and outstanding reservations. */
+    std::size_t space() const;
+
+    /** True if a word can be popped at cycle @p now. */
+    bool canPop(Cycle now) const;
+
+    /** True if a word can be pushed (space for one more). */
+    bool canPush() const { return space() > 0; }
+
+    /** Push a word at cycle @p now; requires canPush(). */
+    void push(Word w, Cycle now);
+
+    /**
+     * Reserve one slot for a future pushReserved(). Requires space().
+     * Used by the cell at issue time for in-flight pipeline results.
+     */
+    void reserve();
+
+    /** Number of outstanding reservations. */
+    std::size_t reservedSlots() const { return _reserved; }
+
+    /** Push into a previously reserved slot. */
+    void pushReserved(Word w, Cycle now);
+
+    /** Pop the front word; requires canPop(now). */
+    Word pop(Cycle now);
+
+    /** Read the front word without popping; requires canPop(now). */
+    Word front(Cycle now) const;
+
+    /** Discard all contents and reservations (the RESET control line). */
+    void reset();
+
+    /** Record an occupancy sample (typically once per cycle). */
+    void sampleOccupancy() { occupancy.sample(double(entries.size())); }
+
+    /** Register this FIFO's stats under @p parent. */
+    void addStats(stats::StatGroup &parent);
+
+    /** Lifetime totals, usable without a StatGroup. */
+    std::uint64_t totalPushes() const { return pushes.value(); }
+    std::uint64_t totalPops() const { return pops.value(); }
+
+  private:
+    struct Entry
+    {
+        Word word;
+        Cycle ready;
+    };
+
+    std::string _name;
+    std::size_t _capacity;
+    unsigned latency;
+    std::size_t _reserved = 0;
+    std::deque<Entry> entries;
+
+    stats::Counter pushes;
+    stats::Counter pops;
+    stats::Counter resets;
+    stats::Distribution occupancy;
+};
+
+} // namespace opac
+
+#endif // OPAC_FIFO_TIMED_FIFO_HH

@@ -1,0 +1,289 @@
+#include "host/host.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace opac::host
+{
+
+HostOp
+sendOp(std::uint32_t cell_mask, Region region, SendTarget target)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Send;
+    op.cellMask = cell_mask;
+    op.region = region;
+    op.target = target;
+    return op;
+}
+
+HostOp
+recvOp(unsigned cell, Region region)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Recv;
+    op.cellMask = 1u << cell;
+    op.region = region;
+    return op;
+}
+
+HostOp
+callOp(std::uint32_t cell_mask, Word entry,
+       const std::vector<std::int32_t> &params)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Call;
+    op.cellMask = cell_mask;
+    op.callWords.push_back(entry);
+    for (auto p : params)
+        op.callWords.push_back(Word(p));
+    return op;
+}
+
+HostOp
+recipOp(std::size_t dst, std::size_t src)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Compute;
+    op.scalarOp = HostScalarOp::Recip;
+    op.scalarDst = dst;
+    op.scalarSrc = src;
+    return op;
+}
+
+HostOp
+sqrtRecipOp(std::size_t dst_sqrt, std::size_t dst_recip,
+            std::size_t src)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Compute;
+    op.scalarOp = HostScalarOp::SqrtRecip;
+    op.scalarDst = dst_sqrt;
+    op.scalarDst2 = dst_recip;
+    op.scalarSrc = src;
+    return op;
+}
+
+Host::Host(std::string name, const HostConfig &cfg, HostMemory &mem,
+           std::vector<cell::Cell *> cells,
+           stats::StatGroup *parent_stats)
+    : sim::Component(std::move(name)), cfg(cfg), mem(mem),
+      cells(std::move(cells)), statGroup(Component::name(), parent_stats)
+{
+    opac_assert(!this->cells.empty(), "host with no cells");
+    opac_assert(this->cells.size() <= 32, "cell mask limited to 32 cells");
+    statGroup.addCounter("wordsSent", &statWordsSent,
+                         "data words host -> cells");
+    statGroup.addCounter("wordsReceived", &statWordsRecv,
+                         "data words cells -> host");
+    statGroup.addCounter("callWords", &statCallWords,
+                         "call/parameter words sent");
+    statGroup.addCounter("busyCycles", &statBusy,
+                         "cycles with program remaining");
+    statGroup.addCounter("stallFifoFull", &statStallFull,
+                         "cycles blocked on a full interface queue");
+    statGroup.addCounter("stallFifoEmpty", &statStallEmpty,
+                         "cycles blocked on an empty tpo");
+    statGroup.addCounter("opsCompleted", &statOpsDone,
+                         "transfer descriptors completed");
+}
+
+void
+Host::enqueue(HostOp op)
+{
+    if (op.kind == HostOp::Kind::Compute)
+        opac_assert(op.scalarDst < mem.size() && op.scalarSrc < mem.size(),
+                    "compute op out of memory range");
+    program.push_back(std::move(op));
+}
+
+void
+Host::enqueue(const std::vector<HostOp> &ops)
+{
+    for (const auto &op : ops)
+        enqueue(op);
+}
+
+bool
+Host::tickSend(const HostOp &op, Cycle now)
+{
+    if (pos >= op.region.count())
+        return true;
+    // All addressed cells must have room (a broadcast is one bus write).
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(op.cellMask & (1u << c)))
+            continue;
+        TimedFifo &q = op.target == SendTarget::TpX ? cells[c]->tpx()
+                                                    : cells[c]->tpy();
+        if (!q.canPush()) {
+            ++statStallFull;
+            return false;
+        }
+    }
+    Word w = mem.load(op.region.addr(pos));
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(op.cellMask & (1u << c)))
+            continue;
+        TimedFifo &q = op.target == SendTarget::TpX ? cells[c]->tpx()
+                                                    : cells[c]->tpy();
+        q.push(w, now);
+    }
+    ++statWordsSent;
+    ++pos;
+    cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
+    return pos >= op.region.count();
+}
+
+bool
+Host::tickRecv(const HostOp &op, Cycle now)
+{
+    if (pos >= op.region.count())
+        return true;
+    unsigned cell_idx = 0;
+    while (!(op.cellMask & (1u << cell_idx)))
+        ++cell_idx;
+    TimedFifo &q = cells[cell_idx]->tpo();
+    if (!q.canPop(now)) {
+        ++statStallEmpty;
+        return false;
+    }
+    mem.store(op.region.addr(pos), q.pop(now));
+    ++statWordsRecv;
+    ++pos;
+    cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
+    return pos >= op.region.count();
+}
+
+bool
+Host::tickCall(const HostOp &op, Cycle now)
+{
+    if (pos >= op.callWords.size())
+        return true;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(op.cellMask & (1u << c)))
+            continue;
+        if (!cells[c]->tpi().canPush()) {
+            ++statStallFull;
+            return false;
+        }
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(op.cellMask & (1u << c)))
+            continue;
+        cells[c]->tpi().push(op.callWords[pos], now);
+    }
+    ++statCallWords;
+    ++pos;
+    cooldown = cfg.callWordCost > 0 ? cfg.callWordCost - 1 : 0;
+    return pos >= op.callWords.size();
+}
+
+void
+Host::applyScalar(const HostOp &op)
+{
+    switch (op.scalarOp) {
+      case HostScalarOp::Recip: {
+        float v = mem.loadF(op.scalarSrc);
+        mem.storeF(op.scalarDst, 1.0f / v);
+        break;
+      }
+      case HostScalarOp::SqrtRecip: {
+        float v = mem.loadF(op.scalarSrc);
+        float s = std::sqrt(v);
+        mem.storeF(op.scalarDst, s);
+        mem.storeF(op.scalarDst2, 1.0f / s);
+        break;
+      }
+    }
+}
+
+bool
+Host::tickCompute(const HostOp &op, Cycle now)
+{
+    (void)now;
+    if (computeLeft == 0)
+        computeLeft = cfg.recipCycles;
+    if (--computeLeft == 0) {
+        applyScalar(op);
+        return true;
+    }
+    return false;
+}
+
+void
+Host::tick(sim::Engine &engine)
+{
+    if (program.empty())
+        return;
+    ++statBusy;
+    if (cooldown > 0) {
+        --cooldown;
+        engine.noteProgress();
+        return;
+    }
+    const HostOp &op = program.front();
+    bool finished = false;
+    std::size_t prev_pos = pos;
+    unsigned prev_compute = computeLeft;
+    switch (op.kind) {
+      case HostOp::Kind::Send:
+        finished = tickSend(op, engine.now());
+        break;
+      case HostOp::Kind::Recv:
+        finished = tickRecv(op, engine.now());
+        break;
+      case HostOp::Kind::Call:
+        finished = tickCall(op, engine.now());
+        break;
+      case HostOp::Kind::Compute:
+        finished = tickCompute(op, engine.now());
+        break;
+    }
+    if (pos != prev_pos || computeLeft != prev_compute || finished)
+        engine.noteProgress();
+    if (finished) {
+        program.pop_front();
+        pos = 0;
+        computeLeft = 0;
+        ++statOpsDone;
+    }
+}
+
+bool
+Host::done() const
+{
+    return program.empty();
+}
+
+std::string
+Host::statusLine() const
+{
+    if (program.empty())
+        return "program complete";
+    const HostOp &op = program.front();
+    const char *kind = "?";
+    std::size_t total = 0;
+    switch (op.kind) {
+      case HostOp::Kind::Send:
+        kind = "send";
+        total = op.region.count();
+        break;
+      case HostOp::Kind::Recv:
+        kind = "recv";
+        total = op.region.count();
+        break;
+      case HostOp::Kind::Call:
+        kind = "call";
+        total = op.callWords.size();
+        break;
+      case HostOp::Kind::Compute:
+        kind = "compute";
+        total = 1;
+        break;
+    }
+    return strfmt("%s mask=%#x %zu/%zu, %zu ops queued", kind,
+                  op.cellMask, pos, total, program.size());
+}
+
+} // namespace opac::host

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The host-processor model (paper section 4.1).
+ *
+ * The host is abstracted to the paper's own parameter: tau, the average
+ * number of cycles it needs per floating-point word moved between its
+ * global memory and the coprocessor (tau = 4 for first-generation RISC,
+ * tau = 2 for superscalar). The host executes a sequential *transfer
+ * program* of descriptors:
+ *
+ *  - Send:    stream a memory region into the tpx (or tpy) queues of one
+ *             or several cells; a word sent to several cells at once is
+ *             a single bus broadcast and costs one memory access;
+ *  - Recv:    drain words from one cell's tpo into a memory region;
+ *  - Call:    push a kernel entry word + parameters into tpi (cheap:
+ *             these come from host registers, not memory);
+ *  - Compute: a host-side scalar operation (reciprocal for pivots /
+ *             triangular diagonals), costing a fixed cycle count.
+ *
+ * Descriptors execute strictly in order — the host is one processor —
+ * and stall on FIFO full/empty, which is exactly how the asynchronous
+ * host/coprocessor decoupling of the paper behaves.
+ */
+
+#ifndef OPAC_HOST_HOST_HH
+#define OPAC_HOST_HOST_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cell/cell.hh"
+#include "common/stats.hh"
+#include "host/memory.hh"
+#include "sim/engine.hh"
+
+namespace opac::host
+{
+
+/** Host timing parameters. */
+struct HostConfig
+{
+    unsigned tau = 2;           //!< cycles per word to/from host memory
+    unsigned callWordCost = 1;  //!< cycles per call word
+    unsigned recipCycles = 16;  //!< cycles for a scalar 1/x on the host
+};
+
+/** Which cell queue a Send targets. */
+enum class SendTarget : std::uint8_t
+{
+    TpX,
+    TpY,
+};
+
+/** Host-side scalar operations available to transfer programs. */
+enum class HostScalarOp : std::uint8_t
+{
+    Recip,     //!< mem[dst] = 1.0f / mem[src]
+    SqrtRecip, //!< mem[dst] = sqrt(mem[src]); mem[dst2] = 1 / mem[dst]
+};
+
+/** One descriptor of the host transfer program. */
+struct HostOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Send,
+        Recv,
+        Call,
+        Compute,
+    };
+
+    Kind kind;
+    std::uint32_t cellMask = 0;  //!< Send/Call: targets; Recv: one bit
+    SendTarget target = SendTarget::TpX;
+    Region region = Region::vec(0, 0);
+    std::vector<Word> callWords; //!< Call: entry word + parameters
+    HostScalarOp scalarOp = HostScalarOp::Recip;
+    std::size_t scalarDst = 0;
+    std::size_t scalarDst2 = 0;
+    std::size_t scalarSrc = 0;
+};
+
+/** Convenience constructors for transfer programs. */
+HostOp sendOp(std::uint32_t cell_mask, Region region,
+              SendTarget target = SendTarget::TpX);
+HostOp recvOp(unsigned cell, Region region);
+HostOp callOp(std::uint32_t cell_mask, Word entry,
+              const std::vector<std::int32_t> &params);
+HostOp recipOp(std::size_t dst, std::size_t src);
+HostOp sqrtRecipOp(std::size_t dst_sqrt, std::size_t dst_recip,
+                   std::size_t src);
+
+/** The host processor, a component on the common clock. */
+class Host : public sim::Component
+{
+  public:
+    Host(std::string name, const HostConfig &cfg, HostMemory &mem,
+         std::vector<cell::Cell *> cells,
+         stats::StatGroup *parent_stats = nullptr);
+
+    /** Append a descriptor to the transfer program. */
+    void enqueue(HostOp op);
+
+    /** Append a whole program. */
+    void enqueue(const std::vector<HostOp> &ops);
+
+    // sim::Component interface.
+    void tick(sim::Engine &engine) override;
+    bool done() const override;
+    std::string statusLine() const override;
+
+    std::uint64_t wordsSent() const { return statWordsSent.value(); }
+    std::uint64_t wordsReceived() const { return statWordsRecv.value(); }
+
+    /** The host's statistics subtree. */
+    stats::StatGroup &stats() { return statGroup; }
+
+  private:
+    bool tickSend(const HostOp &op, Cycle now);
+    bool tickRecv(const HostOp &op, Cycle now);
+    bool tickCall(const HostOp &op, Cycle now);
+    bool tickCompute(const HostOp &op, Cycle now);
+    void applyScalar(const HostOp &op);
+
+    HostConfig cfg;
+    HostMemory &mem;
+    std::vector<cell::Cell *> cells;
+
+    std::deque<HostOp> program;
+    std::size_t pos = 0;       //!< word index within the current op
+    unsigned cooldown = 0;     //!< cycles until the next memory access
+    unsigned computeLeft = 0;  //!< remaining cycles of a Compute op
+
+    stats::StatGroup statGroup;
+    stats::Counter statWordsSent;
+    stats::Counter statWordsRecv;
+    stats::Counter statCallWords;
+    stats::Counter statBusy;
+    stats::Counter statStallFull;
+    stats::Counter statStallEmpty;
+    stats::Counter statOpsDone;
+};
+
+} // namespace opac::host
+
+#endif // OPAC_HOST_HOST_HH

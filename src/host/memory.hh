@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Host global memory and region descriptors.
+ *
+ * The host's memory is the home of all application data; the coprocessor
+ * FIFOs only ever hold working sets. Transfers name memory locations
+ * through Region descriptors: contiguous vectors, strided rows, or
+ * column-major 2-D blocks (the shapes BLAS-style kernels need).
+ */
+
+#ifndef OPAC_HOST_MEMORY_HH
+#define OPAC_HOST_MEMORY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace opac::host
+{
+
+/** Flat word-addressed host memory with a bump allocator. */
+class HostMemory
+{
+  public:
+    explicit HostMemory(std::size_t words = 1 << 22) : mem(words, 0) {}
+
+    /** Allocate @p n consecutive words; returns the base address. */
+    std::size_t
+    alloc(std::size_t n)
+    {
+        opac_assert(brk + n <= mem.size(),
+                    "host memory exhausted (%zu + %zu > %zu)", brk, n,
+                    mem.size());
+        std::size_t base = brk;
+        brk += n;
+        return base;
+    }
+
+    Word
+    load(std::size_t addr) const
+    {
+        opac_assert(addr < mem.size(), "load out of range: %zu", addr);
+        return mem[addr];
+    }
+
+    void
+    store(std::size_t addr, Word w)
+    {
+        opac_assert(addr < mem.size(), "store out of range: %zu", addr);
+        mem[addr] = w;
+    }
+
+    float loadF(std::size_t addr) const { return wordToFloat(load(addr)); }
+    void storeF(std::size_t addr, float f) { store(addr, floatToWord(f)); }
+
+    std::size_t size() const { return mem.size(); }
+
+  private:
+    std::vector<Word> mem;
+    std::size_t brk = 0;
+};
+
+/**
+ * An ordered set of host-memory addresses: the source of a send or the
+ * target of a receive. Supports contiguous, strided and column-major 2-D
+ * shapes.
+ */
+class Region
+{
+  public:
+    /** Contiguous n words starting at base. */
+    static Region
+    vec(std::size_t base, std::size_t n)
+    {
+        return Region{base, n, 1, 1, n};
+    }
+
+    /** n words with a fixed stride (e.g. a matrix row). */
+    static Region
+    strided(std::size_t base, std::size_t n, std::size_t stride)
+    {
+        return Region{base, n, stride, 1, n};
+    }
+
+    /** Column-major rows x cols block with leading dimension ld. */
+    static Region
+    mat(std::size_t base, std::size_t rows, std::size_t cols,
+        std::size_t ld)
+    {
+        return Region{base, rows, 1, cols, ld};
+    }
+
+    /**
+     * Fully general 2-D pattern: cols groups of per_col words, with
+     * @p stride between words in a group and @p col_stride between
+     * groups. Used e.g. for transposed sub-blocks.
+     */
+    static Region
+    grid(std::size_t base, std::size_t per_col, std::size_t stride,
+         std::size_t cols, std::size_t col_stride)
+    {
+        return Region{base, per_col, stride, cols, col_stride};
+    }
+
+    /** Total number of words addressed. */
+    std::size_t count() const { return perCol * cols; }
+
+    /** Address of the i-th word in transfer order (column by column). */
+    std::size_t
+    addr(std::size_t i) const
+    {
+        std::size_t c = i / perCol;
+        std::size_t r = i % perCol;
+        return base + c * ld + r * stride;
+    }
+
+  private:
+    Region(std::size_t base, std::size_t per_col, std::size_t stride,
+           std::size_t cols, std::size_t ld)
+        : base(base), perCol(per_col), stride(stride), cols(cols), ld(ld)
+    {}
+
+    std::size_t base;
+    std::size_t perCol; //!< words per column
+    std::size_t stride; //!< stride between words within a column
+    std::size_t cols;
+    std::size_t ld;     //!< stride between columns
+};
+
+} // namespace opac::host
+
+#endif // OPAC_HOST_MEMORY_HH

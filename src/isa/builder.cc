@@ -1,0 +1,200 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace opac::isa
+{
+
+ProgramBuilder &
+ProgramBuilder::fma(Operand a, Operand b, Operand c,
+                    std::uint8_t dst_mask, AddOp op, std::uint8_t dst_reg)
+{
+    Instr in;
+    in.op = Opcode::Compute;
+    in.mulA = a;
+    in.mulB = b;
+    in.addA = src(Src::MulOut);
+    in.addB = c;
+    in.addOp = op;
+    in.dstMask = dst_mask;
+    in.dstReg = dst_reg;
+    prog.append(in);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(Operand a, Operand b, std::uint8_t dst_mask,
+                    std::uint8_t dst_reg)
+{
+    Instr in;
+    in.op = Opcode::Compute;
+    in.mulA = a;
+    in.mulB = b;
+    in.dstMask = dst_mask;
+    in.dstReg = dst_reg;
+    prog.append(in);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::add(Operand a, Operand b, std::uint8_t dst_mask, AddOp op,
+                    std::uint8_t dst_reg)
+{
+    Instr in;
+    in.op = Opcode::Compute;
+    in.addA = a;
+    in.addB = b;
+    in.addOp = op;
+    in.dstMask = dst_mask;
+    in.dstReg = dst_reg;
+    prog.append(in);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(Operand from, std::uint8_t dst_mask,
+                    std::uint8_t dst_reg)
+{
+    Instr in;
+    in.op = Opcode::Compute;
+    in.mvSrc = from;
+    in.mvDstMask = dst_mask;
+    in.mvDstReg = dst_reg;
+    prog.append(in);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::withMove(Operand from, std::uint8_t dst_mask,
+                         std::uint8_t dst_reg)
+{
+    opac_assert(prog.size() > 0, "withMove on empty program");
+    Instr &in = prog.lastInstr();
+    opac_assert(in.op == Opcode::Compute && !in.mvActive(),
+                "withMove needs a preceding compute without a move");
+    in.mvSrc = from;
+    in.mvDstMask = dst_mask;
+    in.mvDstReg = dst_reg;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::loopImm(std::uint32_t count,
+                        const std::function<void()> &body)
+{
+    Instr in;
+    in.op = Opcode::LoopBegin;
+    in.countIsParam = false;
+    in.count = count;
+    prog.append(in);
+    body();
+    Instr end;
+    end.op = Opcode::LoopEnd;
+    prog.append(end);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::loopParam(std::uint8_t p,
+                          const std::function<void()> &body)
+{
+    Instr in;
+    in.op = Opcode::LoopBegin;
+    in.countIsParam = true;
+    in.countParam = p;
+    prog.append(in);
+    body();
+    Instr end;
+    end.op = Opcode::LoopEnd;
+    prog.append(end);
+    return *this;
+}
+
+namespace
+{
+
+Instr
+paramInstr(ParamOp op, std::uint8_t dst, std::uint8_t src_p,
+           std::int32_t imm)
+{
+    Instr in;
+    in.op = Opcode::SetParam;
+    in.paramOp = op;
+    in.dstParam = dst;
+    in.srcParam = src_p;
+    in.imm = imm;
+    return in;
+}
+
+} // anonymous namespace
+
+ProgramBuilder &
+ProgramBuilder::setParamImm(std::uint8_t p, std::int32_t v)
+{
+    prog.append(paramInstr(ParamOp::LoadImm, p, 0, v));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::copyParam(std::uint8_t dst, std::uint8_t src_p)
+{
+    prog.append(paramInstr(ParamOp::Copy, dst, src_p, 0));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::incParam(std::uint8_t p)
+{
+    prog.append(paramInstr(ParamOp::Inc, p, 0, 0));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::decParam(std::uint8_t p)
+{
+    prog.append(paramInstr(ParamOp::Dec, p, 0, 0));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::mul2Param(std::uint8_t p)
+{
+    prog.append(paramInstr(ParamOp::Mul2, p, 0, 0));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::div2Param(std::uint8_t p)
+{
+    prog.append(paramInstr(ParamOp::Div2, p, 0, 0));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::addParamImm(std::uint8_t p, std::int32_t v)
+{
+    prog.append(paramInstr(ParamOp::AddImm, p, 0, v));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::resetFifo(LocalFifo f)
+{
+    Instr in;
+    in.op = Opcode::ResetFifo;
+    in.fifo = f;
+    prog.append(in);
+    return *this;
+}
+
+Program
+ProgramBuilder::finish()
+{
+    Instr halt;
+    halt.op = Opcode::Halt;
+    prog.append(halt);
+    prog.validate();
+    return std::move(prog);
+}
+
+} // namespace opac::isa

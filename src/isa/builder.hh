@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structured builder for microcode programs.
+ *
+ * Kernel generators use this instead of assembling Instr structs by hand:
+ * loops nest through lambdas, and the common datapath shapes (fma, mul,
+ * add, move) have one-call emitters. finish() validates the result.
+ *
+ * Example — the inner loop of the fig. 5 matrix update:
+ * @code
+ *   ProgramBuilder b("matupdate");
+ *   b.loopParam(PK, [&] {                       // for k = 1..K
+ *       b.loopParam(PM, [&] {                   //   load B(:,k) into reby
+ *           b.mov(Src::TpX, DstReby);
+ *       });
+ *       b.loopParam(PN, [&] {                   //   for n = 1..N
+ *           b.mov(Src::TpX, DstRegAy);          //     regay = C(k,n)
+ *           b.loopParam(PM, [&] {               //     for m = 1..M
+ *               b.fma(Src::RebyR, Src::RegAy, Src::SumR, DstSum);
+ *           });
+ *       });
+ *       b.resetFifo(LocalFifo::Reby);
+ *   });
+ * @endcode
+ */
+
+#ifndef OPAC_ISA_BUILDER_HH
+#define OPAC_ISA_BUILDER_HH
+
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace opac::isa
+{
+
+/** Convenience constructor for plain sources. */
+inline Operand
+src(Src kind)
+{
+    return Operand{kind, 0};
+}
+
+/** Convenience constructor for register-file sources. */
+inline Operand
+reg(std::uint8_t idx)
+{
+    return Operand{Src::Reg, idx};
+}
+
+/** Incrementally builds and finally validates a Program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name) : prog(std::move(name)) {}
+
+    // -- datapath emitters -------------------------------------------
+
+    /** Chained multiply-add: dsts <- (a * b) addOp c. */
+    ProgramBuilder &fma(Operand a, Operand b, Operand c,
+                        std::uint8_t dst_mask, AddOp op = AddOp::Add,
+                        std::uint8_t dst_reg = 0);
+
+    /** Multiply only: dsts <- a * b. */
+    ProgramBuilder &mul(Operand a, Operand b, std::uint8_t dst_mask,
+                        std::uint8_t dst_reg = 0);
+
+    /** Add only: dsts <- a addOp b. */
+    ProgramBuilder &add(Operand a, Operand b, std::uint8_t dst_mask,
+                        AddOp op = AddOp::Add, std::uint8_t dst_reg = 0);
+
+    /** One-cycle move: dsts <- src. */
+    ProgramBuilder &mov(Operand from, std::uint8_t dst_mask,
+                        std::uint8_t dst_reg = 0);
+
+    /** Attach a parallel move to the most recent datapath instruction. */
+    ProgramBuilder &withMove(Operand from, std::uint8_t dst_mask,
+                             std::uint8_t dst_reg = 0);
+
+    // -- control emitters ---------------------------------------------
+
+    /** Loop with a compile-time trip count. */
+    ProgramBuilder &loopImm(std::uint32_t count,
+                            const std::function<void()> &body);
+
+    /** Loop whose trip count is read from parameter register p. */
+    ProgramBuilder &loopParam(std::uint8_t p,
+                              const std::function<void()> &body);
+
+    ProgramBuilder &setParamImm(std::uint8_t p, std::int32_t v);
+    ProgramBuilder &copyParam(std::uint8_t dst, std::uint8_t src);
+    ProgramBuilder &incParam(std::uint8_t p);
+    ProgramBuilder &decParam(std::uint8_t p);
+    ProgramBuilder &mul2Param(std::uint8_t p);
+    ProgramBuilder &div2Param(std::uint8_t p);
+    ProgramBuilder &addParamImm(std::uint8_t p, std::int32_t v);
+
+    ProgramBuilder &resetFifo(LocalFifo f);
+
+    /** Append Halt, validate and return the finished program. */
+    Program finish();
+
+    /** Instructions emitted so far (Halt not yet counted). */
+    std::size_t size() const { return prog.size(); }
+
+  private:
+    Program prog;
+
+    // Overloads taking Src directly keep kernel code terse.
+  public:
+    ProgramBuilder &
+    fma(Src a, Src b, Src c, std::uint8_t dst_mask, AddOp op = AddOp::Add)
+    {
+        return fma(src(a), src(b), src(c), dst_mask, op);
+    }
+
+    ProgramBuilder &
+    mul(Src a, Src b, std::uint8_t dst_mask)
+    {
+        return mul(src(a), src(b), dst_mask);
+    }
+
+    ProgramBuilder &
+    add(Src a, Src b, std::uint8_t dst_mask, AddOp op = AddOp::Add)
+    {
+        return add(src(a), src(b), dst_mask, op);
+    }
+
+    ProgramBuilder &
+    mov(Src from, std::uint8_t dst_mask, std::uint8_t dst_reg = 0)
+    {
+        return mov(src(from), dst_mask, dst_reg);
+    }
+};
+
+} // namespace opac::isa
+
+#endif // OPAC_ISA_BUILDER_HH

@@ -1,0 +1,95 @@
+#include "isa/disasm.hh"
+
+#include "common/logging.hh"
+
+namespace opac::isa
+{
+
+std::string
+disasm(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::Compute: {
+        std::string out;
+        bool mul_active = in.mulA.used();
+        bool add_active = in.addA.used();
+        if (mul_active && add_active && in.addA.kind == Src::MulOut) {
+            out = strfmt("fma %s %s %s %s -> %s",
+                         operandName(in.mulA).c_str(),
+                         operandName(in.mulB).c_str(),
+                         addOpName(in.addOp).c_str(),
+                         operandName(in.addB).c_str(),
+                         dstMaskName(in.dstMask, in.dstReg).c_str());
+        } else if (mul_active && add_active) {
+            out = strfmt("mul+add %s %s ; %s %s %s -> %s",
+                         operandName(in.mulA).c_str(),
+                         operandName(in.mulB).c_str(),
+                         operandName(in.addA).c_str(),
+                         addOpName(in.addOp).c_str(),
+                         operandName(in.addB).c_str(),
+                         dstMaskName(in.dstMask, in.dstReg).c_str());
+        } else if (mul_active) {
+            out = strfmt("mul %s %s -> %s",
+                         operandName(in.mulA).c_str(),
+                         operandName(in.mulB).c_str(),
+                         dstMaskName(in.dstMask, in.dstReg).c_str());
+        } else if (add_active) {
+            out = strfmt("add %s %s %s -> %s",
+                         operandName(in.addA).c_str(),
+                         addOpName(in.addOp).c_str(),
+                         operandName(in.addB).c_str(),
+                         dstMaskName(in.dstMask, in.dstReg).c_str());
+        }
+        if (in.mvActive()) {
+            if (!out.empty())
+                out += " | ";
+            out += strfmt("mov %s -> %s", operandName(in.mvSrc).c_str(),
+                          dstMaskName(in.mvDstMask, in.mvDstReg).c_str());
+        }
+        return out;
+      }
+      case Opcode::LoopBegin:
+        if (in.countIsParam)
+            return strfmt("loop p%u {", in.countParam);
+        return strfmt("loop %u {", in.count);
+      case Opcode::LoopEnd:
+        return "}";
+      case Opcode::SetParam:
+        switch (in.paramOp) {
+          case ParamOp::LoadImm:
+            return strfmt("ldi p%u, %d", in.dstParam, in.imm);
+          case ParamOp::Copy:
+            return strfmt("cp p%u, p%u", in.dstParam, in.srcParam);
+          case ParamOp::AddImm:
+            return strfmt("addi p%u, %d", in.dstParam, in.imm);
+          default:
+            return strfmt("%s p%u", paramOpName(in.paramOp).c_str(),
+                          in.dstParam);
+        }
+      case Opcode::ResetFifo:
+        return strfmt("reset %s", localFifoName(in.fifo).c_str());
+      case Opcode::Halt:
+        return "halt";
+    }
+    opac_panic("bad opcode %d", int(in.op));
+}
+
+std::string
+disasm(const Program &prog)
+{
+    std::string out = prog.name() + ":\n";
+    int indent = 1;
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        const Instr &in = prog.at(pc);
+        if (in.op == Opcode::LoopEnd)
+            --indent;
+        out += strfmt("%4zu: %s%s\n", pc,
+                      std::string(std::size_t(indent) * 2, ' ').c_str(),
+                      disasm(in).c_str());
+        if (in.op == Opcode::LoopBegin)
+            ++indent;
+    }
+    return out;
+}
+
+} // namespace opac::isa

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Microcode disassembler: renders programs in a compact text form used in
+ * debug traces, error messages and golden tests.
+ */
+
+#ifndef OPAC_ISA_DISASM_HH
+#define OPAC_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace opac::isa
+{
+
+/** One instruction as text, e.g. "fma reby* regay + sum* -> sum". */
+std::string disasm(const Instr &in);
+
+/** Whole program with indentation following loop nesting. */
+std::string disasm(const Program &prog);
+
+} // namespace opac::isa
+
+#endif // OPAC_ISA_DISASM_HH

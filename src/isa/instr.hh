@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The OPAC microinstruction.
+ *
+ * One instruction issues per cycle. A Compute instruction drives up to
+ * three things in parallel: the multiplier, the adder (whose first input
+ * is usually the multiplier output — the paper's direct multiply-add
+ * path), and a one-cycle move path used for register loads and
+ * queue-to-queue transfers. Control instructions (hardware loops,
+ * parameter ALU, queue reset, halt) are handled by the sequencer; loop
+ * begin/end consume no cycles, modelling the zero-overhead loop hardware
+ * described in the companion report [Se91].
+ */
+
+#ifndef OPAC_ISA_INSTR_HH
+#define OPAC_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/operand.hh"
+
+namespace opac::isa
+{
+
+/** Instruction classes. */
+enum class Opcode : std::uint8_t
+{
+    Compute,   //!< datapath operation (mul / add / move, in parallel)
+    LoopBegin, //!< hardware loop; count from immediate or parameter
+    LoopEnd,   //!< matches the innermost open LoopBegin
+    SetParam,  //!< parameter-ALU operation
+    ResetFifo, //!< clear one local queue (paper: "Reset of FIFO reby")
+    Halt,      //!< end of kernel; sequencer returns to idle
+};
+
+/** A single microinstruction; field groups are valid per opcode. */
+struct Instr
+{
+    Opcode op = Opcode::Halt;
+
+    // -- Compute -----------------------------------------------------
+    Operand mulA; //!< multiplier input X
+    Operand mulB; //!< multiplier input Y
+    Operand addA; //!< adder input A (Src::MulOut for the chained path)
+    Operand addB; //!< adder input B
+    AddOp addOp = AddOp::Add;
+    std::uint8_t dstMask = 0;  //!< destinations of the FP result
+    std::uint8_t dstReg = 0;   //!< register index when DstReg is set
+    Operand mvSrc;             //!< move-path source (1-cycle bypass)
+    std::uint8_t mvDstMask = 0;
+    std::uint8_t mvDstReg = 0;
+
+    // -- LoopBegin ---------------------------------------------------
+    bool countIsParam = false;
+    std::uint32_t count = 0;     //!< immediate trip count
+    std::uint8_t countParam = 0; //!< parameter register holding count
+
+    // -- SetParam ----------------------------------------------------
+    ParamOp paramOp = ParamOp::LoadImm;
+    std::uint8_t dstParam = 0;
+    std::uint8_t srcParam = 0;
+    std::int32_t imm = 0;
+
+    // -- ResetFifo ---------------------------------------------------
+    LocalFifo fifo = LocalFifo::Sum;
+
+    /** True if the FP section (mul and/or add) is active. */
+    bool fpActive() const { return mulA.used() || addA.used(); }
+
+    /** True if the move path is active. */
+    bool mvActive() const { return mvSrc.used(); }
+};
+
+} // namespace opac::isa
+
+#endif // OPAC_ISA_INSTR_HH

@@ -1,0 +1,99 @@
+#include "isa/operand.hh"
+
+#include "common/logging.hh"
+
+namespace opac::isa
+{
+
+std::string
+srcName(Src s)
+{
+    switch (s) {
+      case Src::None: return "none";
+      case Src::TpX: return "tpx";
+      case Src::TpY: return "tpy";
+      case Src::Sum: return "sum";
+      case Src::SumR: return "sum*";
+      case Src::Ret: return "ret";
+      case Src::RetR: return "ret*";
+      case Src::Reby: return "reby";
+      case Src::RebyR: return "reby*";
+      case Src::RegAy: return "regay";
+      case Src::Reg: return "r";
+      case Src::MulOut: return "mulout";
+      case Src::Zero: return "zero";
+      case Src::One: return "one";
+    }
+    opac_panic("bad Src %d", int(s));
+}
+
+std::string
+operandName(const Operand &op)
+{
+    if (op.kind == Src::Reg)
+        return strfmt("r%u", op.idx);
+    return srcName(op.kind);
+}
+
+std::string
+addOpName(AddOp op)
+{
+    switch (op) {
+      case AddOp::Add: return "+";
+      case AddOp::SubAB: return "-";
+      case AddOp::SubBA: return "rsub";
+    }
+    opac_panic("bad AddOp %d", int(op));
+}
+
+std::string
+dstMaskName(std::uint8_t mask, std::uint8_t dst_reg)
+{
+    std::string out;
+    auto append = [&](const std::string &s) {
+        if (!out.empty())
+            out += ",";
+        out += s;
+    };
+    if (mask & DstSum)
+        append("sum");
+    if (mask & DstRet)
+        append("ret");
+    if (mask & DstReby)
+        append("reby");
+    if (mask & DstTpO)
+        append("tpo");
+    if (mask & DstRegAy)
+        append("regay");
+    if (mask & DstReg)
+        append(strfmt("r%u", dst_reg));
+    return out.empty() ? "none" : out;
+}
+
+std::string
+paramOpName(ParamOp op)
+{
+    switch (op) {
+      case ParamOp::LoadImm: return "ldi";
+      case ParamOp::Copy: return "cp";
+      case ParamOp::Inc: return "inc";
+      case ParamOp::Dec: return "dec";
+      case ParamOp::Mul2: return "mul2";
+      case ParamOp::Div2: return "div2";
+      case ParamOp::AddImm: return "addi";
+    }
+    opac_panic("bad ParamOp %d", int(op));
+}
+
+std::string
+localFifoName(LocalFifo f)
+{
+    switch (f) {
+      case LocalFifo::Sum: return "sum";
+      case LocalFifo::Ret: return "ret";
+      case LocalFifo::Reby: return "reby";
+    }
+    opac_panic("bad LocalFifo %d", int(f));
+}
+
+} // namespace opac::isa

@@ -1,0 +1,229 @@
+#include "isa/program.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace opac::isa
+{
+
+namespace
+{
+
+/** Queue identifiers used for port-conflict accounting. */
+enum QueueId : unsigned
+{
+    QTpX, QTpY, QSum, QRet, QReby, QTpO, QCount
+};
+
+struct PortUse
+{
+    std::array<int, QCount> pops{};
+    std::array<int, QCount> pushes{};
+};
+
+void
+notePops(const Operand &op, PortUse &use)
+{
+    switch (op.kind) {
+      case Src::TpX:
+        ++use.pops[QTpX];
+        break;
+      case Src::TpY:
+        ++use.pops[QTpY];
+        break;
+      case Src::Sum:
+        ++use.pops[QSum];
+        break;
+      case Src::SumR:
+        ++use.pops[QSum];
+        ++use.pushes[QSum];
+        break;
+      case Src::Ret:
+        ++use.pops[QRet];
+        break;
+      case Src::RetR:
+        ++use.pops[QRet];
+        ++use.pushes[QRet];
+        break;
+      case Src::Reby:
+        ++use.pops[QReby];
+        break;
+      case Src::RebyR:
+        ++use.pops[QReby];
+        ++use.pushes[QReby];
+        break;
+      default:
+        break;
+    }
+}
+
+void
+noteDstPushes(std::uint8_t mask, PortUse &use)
+{
+    if (mask & DstSum)
+        ++use.pushes[QSum];
+    if (mask & DstRet)
+        ++use.pushes[QRet];
+    if (mask & DstReby)
+        ++use.pushes[QReby];
+    if (mask & DstTpO)
+        ++use.pushes[QTpO];
+}
+
+const char *queueNames[QCount] = {"tpx", "tpy", "sum", "ret", "reby",
+                                  "tpo"};
+
+void
+checkOperandIdx(const Operand &op, const char *what, std::size_t pc,
+                const std::string &prog)
+{
+    if (op.kind == Src::Reg && op.idx >= numRegs) {
+        opac_fatal("%s[%zu]: %s register index %u out of range",
+                   prog.c_str(), pc, what, op.idx);
+    }
+    if (op.kind == Src::MulOut) {
+        opac_assert(std::string(what) == "addA",
+                    "%s[%zu]: MulOut only valid as adder input A",
+                    prog.c_str(), pc);
+    }
+}
+
+void
+validateCompute(const Instr &in, std::size_t pc, const std::string &prog)
+{
+    bool mul_active = in.mulA.used() || in.mulB.used();
+    bool add_active = in.addA.used() || in.addB.used();
+    bool mv_active = in.mvActive();
+
+    if (!mul_active && !add_active && !mv_active)
+        opac_fatal("%s[%zu]: empty compute instruction", prog.c_str(), pc);
+
+    if (mul_active && (!in.mulA.used() || !in.mulB.used())) {
+        opac_fatal("%s[%zu]: multiplier needs both operands",
+                   prog.c_str(), pc);
+    }
+    if (add_active && (!in.addA.used() || !in.addB.used())) {
+        opac_fatal("%s[%zu]: adder needs both operands", prog.c_str(), pc);
+    }
+    if (in.mulA.kind == Src::MulOut || in.mulB.kind == Src::MulOut
+        || in.addB.kind == Src::MulOut || in.mvSrc.kind == Src::MulOut) {
+        opac_fatal("%s[%zu]: MulOut only valid as adder input A",
+                   prog.c_str(), pc);
+    }
+    if (in.addA.kind == Src::MulOut && !mul_active) {
+        opac_fatal("%s[%zu]: MulOut used with idle multiplier",
+                   prog.c_str(), pc);
+    }
+    if (mul_active && !add_active && in.dstMask == 0) {
+        opac_fatal("%s[%zu]: multiplier result dropped (no adder, no "
+                   "destination)", prog.c_str(), pc);
+    }
+    if ((in.dstMask & DstReg) && in.dstReg >= numRegs) {
+        opac_fatal("%s[%zu]: destination register %u out of range",
+                   prog.c_str(), pc, in.dstReg);
+    }
+    if ((in.mvDstMask & DstReg) && in.mvDstReg >= numRegs) {
+        opac_fatal("%s[%zu]: move destination register %u out of range",
+                   prog.c_str(), pc, in.mvDstReg);
+    }
+    if (add_active && in.dstMask == 0) {
+        opac_fatal("%s[%zu]: adder result dropped (no destination)",
+                   prog.c_str(), pc);
+    }
+    if (mv_active && in.mvDstMask == 0) {
+        opac_fatal("%s[%zu]: move with no destination", prog.c_str(), pc);
+    }
+    if (!in.fpActive() && in.dstMask != 0) {
+        opac_fatal("%s[%zu]: FP destinations with idle FP section",
+                   prog.c_str(), pc);
+    }
+
+    checkOperandIdx(in.mulA, "mulA", pc, prog);
+    checkOperandIdx(in.mulB, "mulB", pc, prog);
+    checkOperandIdx(in.addA, "addA", pc, prog);
+    checkOperandIdx(in.addB, "addB", pc, prog);
+    checkOperandIdx(in.mvSrc, "mvSrc", pc, prog);
+
+    // Dual-port rule: at most one pop and one push per queue per cycle.
+    PortUse use;
+    notePops(in.mulA, use);
+    notePops(in.mulB, use);
+    if (in.addA.kind != Src::MulOut)
+        notePops(in.addA, use);
+    notePops(in.addB, use);
+    notePops(in.mvSrc, use);
+    noteDstPushes(in.dstMask, use);
+    noteDstPushes(in.mvDstMask, use);
+
+    for (unsigned q = 0; q < QCount; ++q) {
+        if (use.pops[q] > 1) {
+            opac_fatal("%s[%zu]: %d pops from queue %s in one cycle "
+                       "(single read port)", prog.c_str(), pc,
+                       use.pops[q], queueNames[q]);
+        }
+        if (use.pushes[q] > 1) {
+            opac_fatal("%s[%zu]: %d pushes to queue %s in one cycle "
+                       "(single write port)", prog.c_str(), pc,
+                       use.pushes[q], queueNames[q]);
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+Program::validate() const
+{
+    opac_assert(!_instrs.empty(), "empty program '%s'", _name.c_str());
+
+    unsigned depth = 0;
+    bool halted = false;
+    for (std::size_t pc = 0; pc < _instrs.size(); ++pc) {
+        const Instr &in = _instrs[pc];
+        if (halted) {
+            opac_fatal("%s[%zu]: instruction after Halt", _name.c_str(),
+                       pc);
+        }
+        switch (in.op) {
+          case Opcode::Compute:
+            validateCompute(in, pc, _name);
+            break;
+          case Opcode::LoopBegin:
+            ++depth;
+            if (depth > maxLoopDepth) {
+                opac_fatal("%s[%zu]: loop nesting exceeds %u",
+                           _name.c_str(), pc, maxLoopDepth);
+            }
+            if (in.countIsParam && in.countParam >= numParams) {
+                opac_fatal("%s[%zu]: loop count parameter %u out of "
+                           "range", _name.c_str(), pc, in.countParam);
+            }
+            break;
+          case Opcode::LoopEnd:
+            if (depth == 0) {
+                opac_fatal("%s[%zu]: LoopEnd without LoopBegin",
+                           _name.c_str(), pc);
+            }
+            --depth;
+            break;
+          case Opcode::SetParam:
+            if (in.dstParam >= numParams || in.srcParam >= numParams) {
+                opac_fatal("%s[%zu]: parameter index out of range",
+                           _name.c_str(), pc);
+            }
+            break;
+          case Opcode::ResetFifo:
+            break;
+          case Opcode::Halt:
+            halted = true;
+            break;
+        }
+    }
+    if (depth != 0)
+        opac_fatal("%s: %u unclosed loop(s)", _name.c_str(), depth);
+    if (!halted)
+        opac_fatal("%s: missing Halt", _name.c_str());
+}
+
+} // namespace opac::isa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A microcode program: a validated sequence of microinstructions that
+ * implements one compute-bound kernel (the paper's task granularity).
+ */
+
+#ifndef OPAC_ISA_PROGRAM_HH
+#define OPAC_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace opac::isa
+{
+
+/** Maximum hardware loop nesting supported by the sequencer. */
+constexpr unsigned maxLoopDepth = 8;
+
+/** Number of parameter registers. */
+constexpr unsigned numParams = 16;
+
+/** Number of entries in the multiport register file. */
+constexpr unsigned numRegs = 32;
+
+/** A named, validated microinstruction sequence. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    const std::vector<Instr> &instrs() const { return _instrs; }
+    std::size_t size() const { return _instrs.size(); }
+    const Instr &at(std::size_t pc) const { return _instrs[pc]; }
+
+    void append(const Instr &i) { _instrs.push_back(i); }
+
+    /** Mutable access to the most recently appended instruction. */
+    Instr &lastInstr() { return _instrs.back(); }
+
+    /**
+     * Check the structural rules of the micro-ISA; throws (fatal) with a
+     * descriptive message on the first violation:
+     *  - loops properly nested, matched and within maxLoopDepth;
+     *  - per instruction, at most one pop and one push per FIFO queue
+     *    (the queues are dual-ported: one read + one write port);
+     *  - multiplier/adder operand pairing rules (MulOut only as adder
+     *    input A, and only when the multiplier is active);
+     *  - register indices within range;
+     *  - the program ends with Halt and has no trailing garbage.
+     */
+    void validate() const;
+
+  private:
+    std::string _name;
+    std::vector<Instr> _instrs;
+};
+
+} // namespace opac::isa
+
+#endif // OPAC_ISA_PROGRAM_HH

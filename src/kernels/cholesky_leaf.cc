@@ -1,0 +1,46 @@
+#include "kernels/cholesky_leaf.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildCholeskyLeaf()
+{
+    ProgramBuilder b("chol_leaf");
+
+    // Packed lower triangle into sum.
+    b.loopParam(1, [&] { b.mov(Src::TpX, DstSum); });
+
+    b.copyParam(2, 0); // p2 = s = n
+    b.loopParam(0, [&] { // for k = 0..n-1
+        b.mov(Src::Sum, DstTpO);   // raw pivot to the host
+        b.mov(Src::TpX, DstRegAy); // r = 1/sqrt(pivot) comes back
+        b.decParam(2);
+        // Scale the column: l(i,k) = a(i,k) * r.
+        b.loopParam(2, [&] {
+            b.mul(src(Src::Sum), src(Src::RegAy), DstRet | DstTpO);
+        });
+        // Rank-1 update passes over the shrinking columns.
+        b.copyParam(3, 2);
+        b.loopParam(2, [&] {
+            b.mov(Src::Ret, DstRegAy); // consume l(j,k)
+            b.decParam(3);
+            // Diagonal: a(j,j) -= l(j,k)^2.
+            b.fma(src(Src::RegAy), src(Src::RegAy), src(Src::Sum),
+                  DstSum, AddOp::SubBA);
+            // Below-diagonal: a(i,j) -= l(i,k) * l(j,k).
+            b.loopParam(3, [&] {
+                b.fma(Src::RetR, Src::RegAy, Src::Sum, DstSum,
+                      AddOp::SubBA);
+            });
+        });
+    });
+
+    return b.finish();
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Single-cell Cholesky factorization leaf (section 2.1 lists the
+ * Cholesky decomposition among the block-decomposable algorithms).
+ *
+ * The lower triangle lives *packed* in the sum queue, column major
+ * (column j holds rows j..n-1), so the columns shrink exactly as the
+ * factorization proceeds — the FIFO "dissociation" of consecutive
+ * elements the paper highlights for triangular problems. Per step k:
+ *
+ *   1. the raw pivot a_kk goes to the host, which returns
+ *      r = 1/sqrt(a_kk) (and keeps sqrt(a_kk) = L(k,k));
+ *   2. the column scales: l(i,k) = a(i,k) * r, leaving on tpo and
+ *      staying in ret;
+ *   3. for each remaining column j: its scale factor l(j,k) is
+ *      *consumed* from ret into regay (the queue shrinks with the
+ *      triangle), the diagonal element updates with regay^2, and the
+ *      rest of the column updates with the recirculating remainder of
+ *      ret — after the last pass ret is empty, no reset needed.
+ *
+ * Parameters: p0 = n, p1 = n(n+1)/2 (packed load size). p2/p3 are the
+ * internal shrinking counters.
+ */
+
+#ifndef OPAC_KERNELS_CHOLESKY_LEAF_HH
+#define OPAC_KERNELS_CHOLESKY_LEAF_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the Cholesky leaf. */
+constexpr unsigned choleskyLeafParams = 2;
+
+/** Build the Cholesky leaf microcode. */
+isa::Program buildCholeskyLeaf();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_CHOLESKY_LEAF_HH

@@ -1,0 +1,116 @@
+#include "kernels/conv2d.hh"
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+namespace
+{
+
+constexpr std::uint8_t scratchReg = 31;
+
+/** Register holding weight (i, j). */
+std::uint8_t
+weightReg(unsigned i, unsigned j, unsigned q)
+{
+    return std::uint8_t(i * q + j);
+}
+
+/**
+ * One pass of weight (i, j) over the row slice in reby: j leading
+ * skips, Wu multiply-adds, q-1-j trailing skips (Wi issues total).
+ *
+ * @param dst    Destination of the accumulated values (DstSum, or
+ *               DstTpO for the pass that completes a row).
+ * @param create First contribution to a fresh partial row (no sum pop).
+ * @param reload Final pass of the row: consume reby without
+ *               recirculation and refill it from tpx in parallel.
+ */
+void
+emitPass(ProgramBuilder &b, unsigned i, unsigned j, unsigned q,
+         std::uint8_t dst, bool create, bool reload)
+{
+    const Src row = reload ? Src::Reby : Src::RebyR;
+
+    auto skip = [&] {
+        if (reload) {
+            b.add(src(Src::Reby), src(Src::Zero), DstReg, AddOp::Add,
+                  scratchReg)
+                .withMove(src(Src::TpX), DstReby);
+        } else {
+            b.mov(Src::RebyR, DstReg, scratchReg);
+        }
+    };
+
+    for (unsigned s = 0; s < j; ++s)
+        skip();
+    b.loopParam(2, [&] {
+        if (create) {
+            b.fma(src(row), reg(weightReg(i, j, q)), src(Src::Zero),
+                  dst);
+            if (reload)
+                b.withMove(src(Src::TpX), DstReby);
+        } else if (reload) {
+            b.fma(src(row), reg(weightReg(i, j, q)), src(Src::Sum), dst)
+                .withMove(src(Src::TpX), DstReby);
+        } else {
+            b.fma(src(row), reg(weightReg(i, j, q)), src(Src::Sum),
+                  dst);
+        }
+    });
+    for (unsigned s = 0; s + j + 1 < q; ++s)
+        skip();
+}
+
+} // anonymous namespace
+
+isa::Program
+buildConv2d(unsigned p, unsigned q)
+{
+    opac_assert(p >= 1 && q >= 1 && p * q <= 30,
+                "conv2d %ux%u weights exceed the register file", p, q);
+    ProgramBuilder b(strfmt("conv2d_%ux%u", p, q));
+
+    // Weights into r0 .. r(p*q-1).
+    for (unsigned k = 0; k < p * q; ++k)
+        b.mov(Src::TpX, DstReg, std::uint8_t(k));
+
+    // p-1 zero partial rows.
+    if (p > 1) {
+        b.loopImm(p - 1, [&] {
+            b.loopParam(2, [&] { b.mov(Src::Zero, DstSum); });
+        });
+    }
+
+    // First input row slice.
+    b.loopParam(1, [&] { b.mov(Src::TpX, DstReby); });
+
+    b.loopParam(0, [&] { // row iterations
+        // The p-1 partial rows revolve through sum in age order, so the
+        // q weight-column passes must be interleaved across rows:
+        // j outer, rows oldest (i = p-1, completing) to newest (i = 0,
+        // created at j = 0) inner. The pass (p-1, q-1) emits the
+        // completed row to tpo; the final pass of the iteration
+        // (0, q-1) consumes reby while reloading the next input row.
+        for (unsigned j = 0; j < q; ++j) {
+            const bool last_j = j + 1 == q;
+            for (unsigned i = p - 1; i >= 1; --i) {
+                std::uint8_t dst = (i == p - 1 && last_j) ? DstTpO
+                                                          : DstSum;
+                emitPass(b, i, j, q, dst, false, false);
+            }
+            std::uint8_t dst0 = (p == 1 && last_j) ? DstTpO : DstSum;
+            emitPass(b, 0, j, q, dst0, j == 0, last_j);
+        }
+    });
+
+    b.resetFifo(LocalFifo::Reby);
+    b.resetFifo(LocalFifo::Sum);
+    return b.finish();
+}
+
+} // namespace opac::kernels

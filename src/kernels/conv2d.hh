@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Two-dimensional p x q convolution kernel (paper section 6.2).
+ *
+ * One call processes one column block of the image, all rows. The
+ * weights sit in the multiport register file (p*q <= 30), the current
+ * input row slice recirculates in reby, and sum holds p-1 partial
+ * output rows. Per input row the microcode makes p*q passes over the
+ * row slice; each pass costs Wi = Wu + q - 1 issues for Wu useful
+ * multiply-adds — the frontier overhead of fig. 6. The pass that
+ * completes the oldest partial row emits it to tpo, and the final pass
+ * of each row consumes reby non-recirculating while its parallel moves
+ * refill it with the next row from tpx, so the row reload is free.
+ *
+ * Semantics: out(n, m) = sum_{i,j} w(i, j) * in(n + i, m + j) over a
+ * zero-padded input ("valid anchored cross-correlation"); the planner
+ * flips the weight matrix to get a true convolution.
+ *
+ * Output protocol: the first p-1 emitted rows are warm-up garbage the
+ * host discards; the host feeds p trailing zero rows (plus one extra
+ * row consumed by the last refill).
+ *
+ * The program is generated per (p, q) — weights are statically
+ * addressed registers, exactly the paper's point about the cost of
+ * static addressing, paid here only for the tiny weight array.
+ *
+ * Parameters: p0 = row iterations (Nout + p - 1), p1 = Wi, p2 = Wu.
+ */
+
+#ifndef OPAC_KERNELS_CONV2D_HH
+#define OPAC_KERNELS_CONV2D_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of a conv2d program. */
+constexpr unsigned conv2dParams = 3;
+
+/** Build the conv2d microcode for a p x q weight array. */
+isa::Program buildConv2d(unsigned p, unsigned q);
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_CONV2D_HH

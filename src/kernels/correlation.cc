@@ -1,0 +1,41 @@
+#include "kernels/correlation.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildCorrelation()
+{
+    ProgramBuilder b("correlation");
+
+    // Window and accumulator initialization. Only the prologue count
+    // (p3 = max(D-1, 1)) of window elements load up front: the newest
+    // element of each step arrives through the parallel move *during*
+    // the step, which keeps the queue in window order (an up-front
+    // element would be overtaken by the recirculated ones).
+    b.loopParam(3, [&] { b.mov(Src::TpX, DstReby); });
+    b.loopParam(0, [&] { b.mov(Src::Zero, DstSum); });
+    b.mov(Src::TpX, DstRegAy); // x[0]
+
+    b.loopParam(1, [&] { // for each sample i
+        // d = 0: retire y[i] from the window head while the parallel
+        // move appends y[i+D] at the tail.
+        b.fma(Src::Reby, Src::RegAy, Src::Sum, DstSum)
+            .withMove(src(Src::TpX), DstReby);
+        // d = 1..D-1: recirculate the window.
+        b.loopParam(2, [&] {
+            b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum);
+        });
+        b.mov(Src::TpX, DstRegAy); // x[i+1]
+    });
+
+    // Drain the D accumulators.
+    b.loopParam(0, [&] { b.mov(Src::Sum, DstTpO); });
+    return b.finish();
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * 1-D correlation kernel (paper section 2.3): out[d] = sum_i x[i] *
+ * y[i+d] for D lags.
+ *
+ * The classic OPAC mapping: the reby queue holds the sliding D-word
+ * window of y, the sum queue holds the D accumulators, and regay holds
+ * the current x[i]. Each step issues D chained multiply-adds — the
+ * first one retires the oldest window element (non-recirculating read)
+ * while its parallel move appends y[i+D] at the tail — followed by one
+ * regay reload, so the steady state runs at D/(D+1) multiply-adds per
+ * cycle with two tpx words per D multiply-adds.
+ *
+ * The accumulator recurrence distance is D+1 cycles, so lags D >=
+ * mulLatency + addLatency keep the pipeline full; smaller D simply
+ * stalls (correct, slower).
+ *
+ * tpx stream: y[0..G-1], x[0], then per step i: y[i+G], x[i+1], where
+ * G = max(D-1, 1) is the prologue window size — the newest window
+ * element of each step arrives mid-step through the parallel move, so
+ * it lands behind the recirculated elements in queue order. The planner
+ * interleaves the streams, padding trailing zeros as needed.
+ *
+ * Parameters: p0 = D, p1 = Nx (steps), p2 = D-1, p3 = G.
+ */
+
+#ifndef OPAC_KERNELS_CORRELATION_HH
+#define OPAC_KERNELS_CORRELATION_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the correlation kernel. */
+constexpr unsigned correlationParams = 4;
+
+/** Build the correlation microcode. */
+isa::Program buildCorrelation();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_CORRELATION_HH

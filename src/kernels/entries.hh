@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Microcode entry-point registry.
+ *
+ * Every kernel program is installed into the cells' microcode stores
+ * under a fixed entry id; host transfer programs name kernels by these
+ * ids (the first word of every call on tpi).
+ */
+
+#ifndef OPAC_KERNELS_ENTRIES_HH
+#define OPAC_KERNELS_ENTRIES_HH
+
+#include "common/types.hh"
+
+namespace opac::kernels::entries
+{
+
+constexpr Word matUpdateAdd = 1;  //!< A += B*C, fig. 5 sequencing
+constexpr Word matUpdateSub = 2;  //!< A -= B*C
+constexpr Word matUpdateOvlAdd = 3; //!< overlapped-reload variant, +=
+constexpr Word matUpdateOvlSub = 4; //!< overlapped-reload variant, -=
+constexpr Word luLeaf = 5;        //!< in-FIFO LU with host pivot recips
+constexpr Word trSolve = 6;       //!< right-upper triangular solve
+constexpr Word correlation = 7;   //!< 1-D correlation, D lags
+constexpr Word fft = 8;           //!< radix-2 constant-geometry FFT
+constexpr Word recipNr = 9;       //!< Newton-Raphson reciprocal
+constexpr Word choleskyLeaf = 10; //!< packed-triangle Cholesky
+constexpr Word gemv = 11;         //!< matrix-vector product (contrast)
+constexpr Word fftBatch = 12;     //!< FFT with resident twiddles
+constexpr Word fftFast = 13;      //!< software-pipelined FFT
+constexpr Word conv2dBase = 16;   //!< conv2d programs: base + generation
+
+} // namespace opac::kernels::entries
+
+#endif // OPAC_KERNELS_ENTRIES_HH

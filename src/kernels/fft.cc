@@ -1,0 +1,161 @@
+#include "kernels/fft.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+namespace
+{
+
+/**
+ * Emit one butterfly reading its complex pair from @p q (Src::Sum or
+ * Src::Ret) and its twiddle from @p w_src (Src::TpX streamed, or
+ * Src::RebyR for a resident recirculating table). Register
+ * allocation: r0 = wr, r1 = wi, r2 = ar, r3 = ai, r4 = br, r5 = bi,
+ * r6 = t_r, r7 = t_i.
+ */
+void
+emitButterfly(ProgramBuilder &b, Src q, Src w_src = Src::TpX)
+{
+    b.mov(src(q), DstReg, 2);            // ar
+    b.mov(src(q), DstReg, 3);            // ai
+    b.mov(src(w_src), DstReg, 0);        // wr
+    b.mov(src(q), DstReg, 4);            // br
+    b.mov(src(w_src), DstReg, 1);        // wi
+    b.mov(src(q), DstReg, 5);            // bi
+    b.mul(reg(0), reg(4), DstReg, 6);    // wr*br
+    b.mul(reg(0), reg(5), DstReg, 7);    // wr*bi
+    // t_r = (wr*br) - wi*bi ; t_i = (wr*bi) + wi*br
+    b.fma(reg(1), reg(5), reg(6), DstReg, AddOp::SubBA, 6);
+    b.fma(reg(1), reg(4), reg(7), DstReg, AddOp::Add, 7);
+    b.add(reg(2), reg(6), DstSum, AddOp::Add);   // u_r
+    b.add(reg(3), reg(7), DstSum, AddOp::Add);   // u_i
+    b.add(reg(2), reg(6), DstRet, AddOp::SubAB); // v_r
+    b.add(reg(3), reg(7), DstRet, AddOp::SubAB); // v_i
+}
+
+/**
+ * Emit two interleaved butterflies A (r0-r7) and B (r8-r15), both
+ * reading pairs from @p q in stream order (A's four data words before
+ * B's). The static schedule spaces every dependent pair at least the
+ * producing unit's latency apart, so the block issues without stalls
+ * at the default 3+3 pipeline.
+ */
+void
+emitButterflyPair(ProgramBuilder &b, Src q, Src w_src = Src::TpX)
+{
+    b.mov(src(q), DstReg, 2);             // arA
+    b.mov(src(q), DstReg, 3);             // aiA
+    b.mov(src(w_src), DstReg, 0);         // wrA
+    b.mov(src(q), DstReg, 4);             // brA
+    b.mov(src(w_src), DstReg, 1);         // wiA
+    b.mov(src(q), DstReg, 5);             // biA
+    b.mul(reg(0), reg(4), DstReg, 6);     // wrA*brA
+    b.mov(src(q), DstReg, 10);            // arB
+    b.mul(reg(0), reg(5), DstReg, 7);     // wrA*biA
+    b.mov(src(q), DstReg, 11);            // aiB
+    b.fma(reg(1), reg(5), reg(6), DstReg, AddOp::SubBA, 6); // t_rA
+    b.mov(src(w_src), DstReg, 8);         // wrB
+    b.fma(reg(1), reg(4), reg(7), DstReg, AddOp::Add, 7);   // t_iA
+    b.mov(src(q), DstReg, 12);            // brB
+    b.mov(src(w_src), DstReg, 9);         // wiB
+    b.mov(src(q), DstReg, 13);            // biB
+    b.mul(reg(8), reg(12), DstReg, 14);   // wrB*brB
+    b.add(reg(2), reg(6), DstSum, AddOp::Add);   // u_rA
+    b.mul(reg(8), reg(13), DstReg, 15);   // wrB*biB
+    b.add(reg(3), reg(7), DstSum, AddOp::Add);   // u_iA
+    b.fma(reg(9), reg(13), reg(14), DstReg, AddOp::SubBA, 14); // t_rB
+    b.add(reg(2), reg(6), DstRet, AddOp::SubAB); // v_rA
+    b.fma(reg(9), reg(12), reg(15), DstReg, AddOp::Add, 15);   // t_iB
+    b.add(reg(3), reg(7), DstRet, AddOp::SubAB); // v_iA
+    b.add(reg(10), reg(14), DstSum, AddOp::Add);   // u_rB
+    b.add(reg(11), reg(15), DstSum, AddOp::Add);   // u_iB
+    b.add(reg(10), reg(14), DstRet, AddOp::SubAB); // v_rB
+    b.add(reg(11), reg(15), DstRet, AddOp::SubAB); // v_iB
+}
+
+} // anonymous namespace
+
+isa::Program
+buildFftFast()
+{
+    ProgramBuilder b("fft_fast");
+    b.loopParam(2, [&] { b.mov(Src::TpX, DstSum); });
+    b.loopParam(2, [&] { b.mov(Src::TpX, DstRet); });
+    b.loopParam(0, [&] { // m stages
+        b.loopParam(1, [&] { emitButterflyPair(b, Src::Sum); });
+        b.loopParam(1, [&] { emitButterflyPair(b, Src::Ret); });
+    });
+    b.loopParam(2, [&] { b.mov(Src::Sum, DstTpO); });
+    b.loopParam(2, [&] { b.mov(Src::Ret, DstTpO); });
+    return b.finish();
+}
+
+isa::Program
+buildFft()
+{
+    ProgramBuilder b("fft");
+
+    // Load bit-reversed input: first n words to sum, next n to ret.
+    b.loopParam(2, [&] { b.mov(Src::TpX, DstSum); });
+    b.loopParam(2, [&] { b.mov(Src::TpX, DstRet); });
+
+    b.loopParam(0, [&] { // m stages
+        b.loopParam(1, [&] { emitButterfly(b, Src::Sum); });
+        b.loopParam(1, [&] { emitButterfly(b, Src::Ret); });
+    });
+
+    // Natural-order result: sum (first half) then ret.
+    b.loopParam(2, [&] { b.mov(Src::Sum, DstTpO); });
+    b.loopParam(2, [&] { b.mov(Src::Ret, DstTpO); });
+    return b.finish();
+}
+
+isa::Program
+buildFftBatch()
+{
+    ProgramBuilder b("fft_batch");
+
+    // Twiddle table into reby, once.
+    b.loopParam(4, [&] { b.mov(Src::TpX, DstReby); });
+
+    b.loopParam(3, [&] { // batches
+        b.loopParam(2, [&] { b.mov(Src::TpX, DstSum); });
+        b.loopParam(2, [&] { b.mov(Src::TpX, DstRet); });
+        b.loopParam(0, [&] { // m stages
+            b.loopParam(1, [&] {
+                emitButterfly(b, Src::Sum, Src::RebyR);
+            });
+            b.loopParam(1, [&] {
+                emitButterfly(b, Src::Ret, Src::RebyR);
+            });
+        });
+        b.loopParam(2, [&] { b.mov(Src::Sum, DstTpO); });
+        b.loopParam(2, [&] { b.mov(Src::Ret, DstTpO); });
+    });
+    b.resetFifo(LocalFifo::Reby);
+    return b.finish();
+}
+
+std::size_t
+bitReverse(std::size_t v, unsigned bits)
+{
+    std::size_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+std::size_t
+fftTwiddleExponent(unsigned s, std::size_t i, unsigned m)
+{
+    const unsigned d = m - 1 - s;
+    return (i >> d) << d;
+}
+
+} // namespace opac::kernels

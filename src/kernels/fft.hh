@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Radix-2 constant-geometry FFT kernel (paper section 2.2).
+ *
+ * The paper singles out the FFT's perfect shuffle as the access pattern
+ * that "classical vector instructions" cannot express but FIFO queues
+ * can. This kernel uses the Pease constant-geometry decimation-in-time
+ * form: every stage reads adjacent pairs from the logical stream
+ * [sum; ret] and writes u = a + w*b to sum and v = a - w*b to ret, so
+ * all m = log2(n) stages execute the *same* loop body — one kernel
+ * call runs the whole transform.
+ *
+ *  - input: bit-reversed order, complex interleaved (re, im), first
+ *    n/2 complex into sum, rest into ret;
+ *  - stage s, butterfly i twiddle: W_n^((i >> (m-1-s)) << (m-1-s)),
+ *    streamed on tpx (2 words per butterfly);
+ *  - output: natural order, sum then ret, on tpo.
+ *
+ * Constraints: n >= 4 a power of two; peak queue occupancy is 1.5 n
+ * words, so n <= 2*Tf/3 (n = 1024 fits the prototype's Tf = 2048).
+ *
+ * The butterfly is a straight-line 14-op block using the register file
+ * for the complex temporaries; it is *not* software pipelined, so the
+ * per-butterfly cost includes FP-latency stalls (measured by the
+ * kernels-throughput bench and discussed in EXPERIMENTS.md).
+ *
+ * Parameters: p0 = m, p1 = n/4 (butterflies per half), p2 = n (words
+ * per queue).
+ */
+
+#ifndef OPAC_KERNELS_FFT_HH
+#define OPAC_KERNELS_FFT_HH
+
+#include <cstddef>
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the FFT kernel. */
+constexpr unsigned fftParams = 3;
+
+/** Build the FFT microcode (twiddles streamed from tpx). */
+isa::Program buildFft();
+
+/**
+ * Batched variant with the twiddle table *resident in reby*: the
+ * paper's section 2.2 point that when the transform applies to a set
+ * of vectors the coefficients are read once, making the asymptotic
+ * ratio 5 log2(n) / 4 operations per memory access. The whole
+ * stage-major table (m*n words) loads into reby up front and makes
+ * exactly one recirculating revolution per transform.
+ *
+ * Constraint: m*n <= Tf (n <= 256 for the prototype's Tf = 2048).
+ * Parameters: p0 = m, p1 = n/4, p2 = n (words per queue),
+ * p3 = batch count, p4 = m*n (twiddle words).
+ */
+constexpr unsigned fftBatchParams = 5;
+
+/** Build the resident-twiddle batched FFT microcode. */
+isa::Program buildFftBatch();
+
+/**
+ * Software-pipelined variant: two independent butterflies interleave
+ * through disjoint register sets (r0-r7 / r8-r15). The first
+ * butterfly's latency stalls disappear behind the partner's operand
+ * moves; the pair's tail still waits on the second butterfly's own
+ * multiply-adds (~12% net gain — full removal would need rotation
+ * across loop iterations, which the static microcode format cannot
+ * express without loop-carried register renaming). Requires n >= 8.
+ * Parameters: p0 = m, p1 = n/8 (butterfly pairs per half), p2 = n.
+ */
+constexpr unsigned fftFastParams = 3;
+
+/** Build the interleaved (software-pipelined) FFT microcode. */
+isa::Program buildFftFast();
+
+/** Bit-reverse the low @p bits of @p v. */
+std::size_t bitReverse(std::size_t v, unsigned bits);
+
+/** Twiddle exponent of stage @p s, butterfly @p i (m = log2 n). */
+std::size_t fftTwiddleExponent(unsigned s, std::size_t i, unsigned m);
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_FFT_HH

@@ -1,0 +1,119 @@
+#include "kernels/firmware.hh"
+
+#include "common/logging.hh"
+#include "isa/encode.hh"
+#include "kernels/cholesky_leaf.hh"
+#include "kernels/correlation.hh"
+#include "kernels/entries.hh"
+#include "kernels/fft.hh"
+#include "kernels/gemv.hh"
+#include "kernels/lu_leaf.hh"
+#include "kernels/matupdate.hh"
+#include "kernels/recip_nr.hh"
+#include "kernels/trsolve.hh"
+
+namespace opac::kernels
+{
+
+namespace
+{
+
+constexpr Word firmwareMagic = 0x4f504143u; // "OPAC"
+
+} // anonymous namespace
+
+std::vector<Word>
+packFirmware(const std::vector<FirmwareEntry> &set)
+{
+    std::vector<Word> image;
+    image.push_back(firmwareMagic);
+    image.push_back(Word(set.size()));
+    for (const auto &fe : set) {
+        image.push_back(fe.entry);
+        image.push_back(fe.nparams);
+        const std::string &name = fe.prog.name();
+        image.push_back(Word(name.size()));
+        for (std::size_t i = 0; i < name.size(); i += 4) {
+            Word w = 0;
+            for (std::size_t b = 0; b < 4 && i + b < name.size(); ++b)
+                w |= Word(std::uint8_t(name[i + b])) << (8 * b);
+            image.push_back(w);
+        }
+        auto code = isa::encode(fe.prog);
+        image.push_back(Word(fe.prog.size()));
+        image.insert(image.end(), code.begin(), code.end());
+    }
+    return image;
+}
+
+std::vector<FirmwareEntry>
+unpackFirmware(const std::vector<Word> &image)
+{
+    std::size_t at = 0;
+    auto next = [&]() -> Word {
+        opac_assert(at < image.size(), "truncated firmware image at "
+                    "word %zu", at);
+        return image[at++];
+    };
+    if (next() != firmwareMagic)
+        opac_fatal("bad firmware magic");
+    Word count = next();
+    std::vector<FirmwareEntry> out;
+    for (Word k = 0; k < count; ++k) {
+        FirmwareEntry fe;
+        fe.entry = next();
+        fe.nparams = next();
+        Word name_len = next();
+        opac_assert(name_len < 256, "implausible kernel name length");
+        std::string name;
+        for (Word i = 0; i < name_len; i += 4) {
+            Word w = next();
+            for (Word b = 0; b < 4 && i + b < name_len; ++b)
+                name.push_back(char((w >> (8 * b)) & 0xff));
+        }
+        Word instrs = next();
+        std::vector<Word> code;
+        for (Word i = 0; i < instrs * 4; ++i)
+            code.push_back(next());
+        fe.prog = isa::decode(code, name);
+        out.push_back(std::move(fe));
+    }
+    opac_assert(at == image.size(), "%zu trailing words in firmware",
+                image.size() - at);
+    return out;
+}
+
+void
+installFirmware(copro::Coprocessor &sys, const std::vector<Word> &image)
+{
+    for (auto &fe : unpackFirmware(image))
+        sys.loadMicrocode(fe.entry, fe.prog, fe.nparams);
+}
+
+std::vector<Word>
+standardFirmware()
+{
+    std::vector<FirmwareEntry> set;
+    set.push_back({entries::matUpdateAdd, matUpdateParams,
+                   buildMatUpdate(false)});
+    set.push_back({entries::matUpdateSub, matUpdateParams,
+                   buildMatUpdate(true)});
+    set.push_back({entries::matUpdateOvlAdd, matUpdateOvlParams,
+                   buildMatUpdateOverlap(false)});
+    set.push_back({entries::matUpdateOvlSub, matUpdateOvlParams,
+                   buildMatUpdateOverlap(true)});
+    set.push_back({entries::luLeaf, luLeafParams, buildLuLeaf()});
+    set.push_back({entries::trSolve, trSolveParams, buildTrSolve()});
+    set.push_back({entries::correlation, correlationParams,
+                   buildCorrelation()});
+    set.push_back({entries::fft, fftParams, buildFft()});
+    set.push_back({entries::fftBatch, fftBatchParams, buildFftBatch()});
+    set.push_back({entries::fftFast, fftFastParams, buildFftFast()});
+    set.push_back({entries::recipNr, recipNrParams, buildRecipNr()});
+    set.push_back({entries::choleskyLeaf, choleskyLeafParams,
+                   buildCholeskyLeaf()});
+    set.push_back({entries::gemv, gemvParams, buildGemv()});
+    return packFirmware(set);
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Microcode firmware images.
+ *
+ * A firmware image bundles a set of kernels (entry id, parameter
+ * count, control-store encoding) into one flat word vector — the form
+ * a real host driver would keep on disk and download into the cells'
+ * control stores at boot. Round-trips exactly through the isa/encode
+ * packing; installFirmware() validates and loads every kernel into
+ * every cell.
+ *
+ * Image layout (32-bit words):
+ *   [0] magic 0x4f504143 ("OPAC")  [1] kernel count
+ *   per kernel: entry, nparams, name length, ceil(len/4) name words,
+ *               instruction count, 4 words per instruction.
+ */
+
+#ifndef OPAC_KERNELS_FIRMWARE_HH
+#define OPAC_KERNELS_FIRMWARE_HH
+
+#include <vector>
+
+#include "coproc/coprocessor.hh"
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** One kernel in a firmware bundle. */
+struct FirmwareEntry
+{
+    Word entry;
+    unsigned nparams;
+    isa::Program prog;
+};
+
+/** Pack kernels into a flat image. */
+std::vector<Word> packFirmware(const std::vector<FirmwareEntry> &set);
+
+/** Unpack an image; throws (fatal) on corruption. */
+std::vector<FirmwareEntry>
+unpackFirmware(const std::vector<Word> &image);
+
+/** Validate and install every kernel of @p image into @p sys. */
+void installFirmware(copro::Coprocessor &sys,
+                     const std::vector<Word> &image);
+
+/** The standard kernel library as a firmware image. */
+std::vector<Word> standardFirmware();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_FIRMWARE_HH

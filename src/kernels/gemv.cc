@@ -1,0 +1,25 @@
+#include "kernels/gemv.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildGemv()
+{
+    ProgramBuilder b("gemv");
+    b.loopParam(0, [&] { b.mov(Src::TpX, DstSum); }); // y
+    b.loopParam(1, [&] {                              // columns
+        b.mov(Src::TpX, DstRegAy);                    // x[j]
+        b.loopParam(0, [&] {
+            b.fma(Src::TpX, Src::RegAy, Src::Sum, DstSum);
+        });
+    });
+    b.loopParam(0, [&] { b.mov(Src::Sum, DstTpO); });
+    return b.finish();
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Matrix-vector product y += A x — deliberately *not* compute-bound:
+ * every matrix element is used exactly once, so the kernel runs at the
+ * host's word rate (1/tau multiply-adds per cycle) no matter how many
+ * cells exist. It is the section 4.1 contrast case: the coprocessor
+ * only pays off when operations outnumber data, and this kernel's
+ * measured rate (bench/kernels_throughput) shows the wall.
+ *
+ * The y vector accumulates in sum (M recirculating partials), x enters
+ * one element per column into regay, and the A column streams straight
+ * from tpx into the multiplier.
+ *
+ * tpx stream: y (M words), then per column j: x[j], A(:,j).
+ * Parameters: p0 = M, p1 = N.
+ */
+
+#ifndef OPAC_KERNELS_GEMV_HH
+#define OPAC_KERNELS_GEMV_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the gemv kernel. */
+constexpr unsigned gemvParams = 2;
+
+/** Build the gemv microcode. */
+isa::Program buildGemv();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_GEMV_HH

@@ -1,0 +1,41 @@
+#include "kernels/kernel_set.hh"
+
+#include "kernels/cholesky_leaf.hh"
+#include "kernels/correlation.hh"
+#include "kernels/entries.hh"
+#include "kernels/fft.hh"
+#include "kernels/gemv.hh"
+#include "kernels/lu_leaf.hh"
+#include "kernels/matupdate.hh"
+#include "kernels/recip_nr.hh"
+#include "kernels/trsolve.hh"
+
+namespace opac::kernels
+{
+
+void
+installStandardKernels(copro::Coprocessor &sys)
+{
+    sys.loadMicrocode(entries::matUpdateAdd, buildMatUpdate(false),
+                      matUpdateParams);
+    sys.loadMicrocode(entries::matUpdateSub, buildMatUpdate(true),
+                      matUpdateParams);
+    sys.loadMicrocode(entries::matUpdateOvlAdd,
+                      buildMatUpdateOverlap(false), matUpdateOvlParams);
+    sys.loadMicrocode(entries::matUpdateOvlSub,
+                      buildMatUpdateOverlap(true), matUpdateOvlParams);
+    sys.loadMicrocode(entries::luLeaf, buildLuLeaf(), luLeafParams);
+    sys.loadMicrocode(entries::trSolve, buildTrSolve(), trSolveParams);
+    sys.loadMicrocode(entries::correlation, buildCorrelation(),
+                      correlationParams);
+    sys.loadMicrocode(entries::fft, buildFft(), fftParams);
+    sys.loadMicrocode(entries::fftBatch, buildFftBatch(),
+                      fftBatchParams);
+    sys.loadMicrocode(entries::fftFast, buildFftFast(), fftFastParams);
+    sys.loadMicrocode(entries::recipNr, buildRecipNr(), recipNrParams);
+    sys.loadMicrocode(entries::choleskyLeaf, buildCholeskyLeaf(),
+                      choleskyLeafParams);
+    sys.loadMicrocode(entries::gemv, buildGemv(), gemvParams);
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Installs the standard kernel library into a coprocessor's microcode
+ * stores (every cell gets every kernel — the cells are homogeneous).
+ */
+
+#ifndef OPAC_KERNELS_KERNEL_SET_HH
+#define OPAC_KERNELS_KERNEL_SET_HH
+
+#include "coproc/coprocessor.hh"
+
+namespace opac::kernels
+{
+
+/** Load every standard kernel into all cells of @p sys. */
+void installStandardKernels(copro::Coprocessor &sys);
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_KERNEL_SET_HH

@@ -1,0 +1,46 @@
+#include "kernels/lu_leaf.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildLuLeaf()
+{
+    ProgramBuilder b("lu_leaf");
+
+    // Load A (column major) into sum.
+    b.loopParam(1, [&] { b.mov(Src::TpX, DstSum); });
+
+    // p2 = current trailing size s, starting at n.
+    b.copyParam(2, 0);
+
+    b.loopParam(0, [&] { // for k = 0..n-1
+        b.mov(Src::Sum, DstTpO);   // pivot out: U(k,k)
+        b.mov(Src::TpX, DstRegAy); // 1/pivot back from the host
+        b.decParam(2);             // s - 1 rows/columns remain
+
+        // Scale the L column: l(i,k) = a(i,k) * recip.
+        b.loopParam(2, [&] {
+            b.mul(src(Src::Sum), src(Src::RegAy), DstRet | DstTpO);
+        });
+
+        // Rank-1 update of the s-1 remaining columns.
+        b.loopParam(2, [&] {
+            // Column top element is the final U(k,j): to host + regay.
+            b.mov(Src::Sum, DstRegAy | DstTpO);
+            b.loopParam(2, [&] {
+                b.fma(Src::RetR, Src::RegAy, Src::Sum, DstSum,
+                      AddOp::SubBA);
+            });
+        });
+        b.resetFifo(LocalFifo::Ret);
+    });
+
+    return b.finish();
+}
+
+} // namespace opac::kernels

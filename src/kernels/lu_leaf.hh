@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Single-cell LU factorization leaf (paper section 6.3).
+ *
+ * The n x n matrix (n^2 <= Tf) lives in the sum queue, column major.
+ * OPAC has no divider, so each pivot makes a round trip: the cell emits
+ * a_kk on tpo, the host computes its reciprocal (a scalar Compute op)
+ * and sends it back on tpx — the dominant start-up cost the paper
+ * observes for small N. Per step k:
+ *
+ *   1. pivot a_kk leaves to the host (it is also the final U(k,k));
+ *   2. the reciprocal arrives into regay;
+ *   3. the L column below the pivot is scaled (mul) and lands in ret
+ *      (for the rank-1 update) and on tpo (final L entries);
+ *   4. for every remaining column j: its top element (the final
+ *      U(k,j)) moves to regay and tpo, then s-1 chained multiply-adds
+ *      compute a(i,j) -= l(i,k) * a(k,j), recirculating the L column
+ *      in ret and cycling the trailing matrix through sum.
+ *
+ * Parameters: p0 = n, p1 = n^2 (load count). p2 is the internal
+ * shrinking size counter.
+ */
+
+#ifndef OPAC_KERNELS_LU_LEAF_HH
+#define OPAC_KERNELS_LU_LEAF_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the LU leaf. */
+constexpr unsigned luLeafParams = 2;
+
+/** Build the LU leaf microcode. */
+isa::Program buildLuLeaf();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_LU_LEAF_HH

@@ -1,0 +1,102 @@
+#include "kernels/matupdate.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildMatUpdate(bool negate)
+{
+    const AddOp op = negate ? AddOp::SubBA : AddOp::Add;
+    ProgramBuilder b(negate ? "matupdate_sub" : "matupdate_add");
+
+    // Load the chunk of A into sum.
+    b.loopParam(8, [&] { b.mov(Src::TpX, DstSum); });
+
+    b.loopParam(0, [&] { // for k = 1..K
+        // B(:,k) arrives broadcast; store it in reby, then rotate the
+        // queue so its head is the chunk's first row.
+        b.loopParam(1, [&] { b.mov(Src::TpX, DstReby); });
+        b.loopParam(2, [&] { b.mov(Src::Reby, DstReby); });
+
+        // Head partial column.
+        b.loopParam(3, [&] { b.mov(Src::TpX, DstRegAy); });
+        b.loopParam(4, [&] {
+            b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum, op);
+        });
+
+        // Full columns.
+        b.loopParam(5, [&] {
+            b.mov(Src::TpX, DstRegAy);
+            b.loopParam(1, [&] {
+                b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum, op);
+            });
+        });
+
+        // Tail partial column.
+        b.loopParam(6, [&] { b.mov(Src::TpX, DstRegAy); });
+        b.loopParam(7, [&] {
+            b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum, op);
+        });
+
+        b.resetFifo(LocalFifo::Reby);
+    });
+
+    // Drain the updated chunk.
+    b.loopParam(8, [&] { b.mov(Src::Sum, DstTpO); });
+    return b.finish();
+}
+
+isa::Program
+buildMatUpdateOverlap(bool negate)
+{
+    const AddOp op = negate ? AddOp::SubBA : AddOp::Add;
+    ProgramBuilder b(negate ? "matupdate_ovl_sub" : "matupdate_ovl_add");
+
+    // Load the chunk of A into sum and the first B column into reby.
+    b.loopParam(3, [&] { b.mov(Src::TpX, DstSum); });
+    b.loopParam(1, [&] { b.mov(Src::TpX, DstReby); });
+
+    // K-1 iterations that reload B(:,k+1) under the last column.
+    b.loopParam(0, [&] {
+        // All but the last column recirculate reby.
+        b.decParam(2);
+        b.loopParam(2, [&] {
+            b.mov(Src::TpX, DstRegAy);
+            b.loopParam(1, [&] {
+                b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum, op);
+            });
+        });
+        b.incParam(2);
+        // Final column: consume reby while the parallel move refills it
+        // with the next k's B column from tpx.
+        b.mov(Src::TpX, DstRegAy);
+        b.loopParam(1, [&] {
+            b.fma(Src::Reby, Src::RegAy, Src::Sum, DstSum, op)
+                .withMove(src(Src::TpX), DstReby);
+        });
+    });
+
+    // Last iteration: no reload.
+    b.decParam(2);
+    b.loopParam(2, [&] {
+        b.mov(Src::TpX, DstRegAy);
+        b.loopParam(1, [&] {
+            b.fma(Src::RebyR, Src::RegAy, Src::Sum, DstSum, op);
+        });
+    });
+    b.incParam(2);
+    b.mov(Src::TpX, DstRegAy);
+    b.loopParam(1, [&] {
+        b.fma(Src::Reby, Src::RegAy, Src::Sum, DstSum, op);
+    });
+
+    // Drain.
+    b.loopParam(3, [&] { b.mov(Src::Sum, DstTpO); });
+    return b.finish();
+}
+
+} // namespace opac::kernels

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The matrix-update kernel A(M,N) += B(M,K) * C(K,N) — the paper's
+ * flagship primitive (section 6.1, figs. 2 and 5).
+ *
+ * Each cell owns a contiguous *chunk* of the column-major result tile
+ * (the paper's N^2/P words per cell), resident in its sum queue for the
+ * whole call. Per outer iteration k the host broadcasts the tile's B
+ * column (stored in reby and reused by recirculation) and sends each
+ * cell the C-row values for the columns its chunk touches (loaded into
+ * regay one at a time).
+ *
+ * A chunk may start and end mid-column (that is how N^2/P-word chunks
+ * fall), so the microcode is parameterized with head/tail segments whose
+ * presence is encoded as 0/1-trip loops — the zero-overhead hardware
+ * loops double as predication. The reby queue is rotated after each
+ * reload so its read position lines up with the chunk's first row.
+ *
+ * Parameters (in tpi order):
+ *   p0 = K        outer iterations
+ *   p1 = Mb       tile rows = B column length
+ *   p2 = rot      reby rotation (chunk's first row index)
+ *   p3 = h1       1 if a head partial column exists, else 0
+ *   p4 = h        head length
+ *   p5 = f        number of full columns
+ *   p6 = t1       1 if a tail partial column exists, else 0
+ *   p7 = t        tail length
+ *   p8 = chunk    total chunk words (h + f*Mb + t)
+ *
+ * The overlapped variant (entries::matUpdateOvl*) requires whole-column
+ * chunks and hides the B-column reload under the previous iteration's
+ * final column of multiply-adds using the parallel move path; it is the
+ * ablation for the fig. 5 "separate load phase" design choice.
+ */
+
+#ifndef OPAC_KERNELS_MATUPDATE_HH
+#define OPAC_KERNELS_MATUPDATE_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the fig. 5 variant. */
+constexpr unsigned matUpdateParams = 9;
+
+/** Build the fig. 5 matrix-update microcode (+= or -=). */
+isa::Program buildMatUpdate(bool negate);
+
+/**
+ * Number of tpi parameter words of the overlapped variant:
+ *   p0 = K-1, p1 = Mb, p2 = f (full columns), p3 = chunk (f*Mb).
+ */
+constexpr unsigned matUpdateOvlParams = 4;
+
+/** Build the overlapped-reload variant (whole-column chunks only). */
+isa::Program buildMatUpdateOverlap(bool negate);
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_MATUPDATE_HH

@@ -1,0 +1,28 @@
+#include "kernels/recip_nr.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildRecipNr()
+{
+    ProgramBuilder b("recip_nr");
+    b.mov(Src::TpX, DstReg, 2); // the constant 2.0
+    b.loopParam(0, [&] {
+        b.mov(Src::TpX, DstReg, 0); // x
+        b.mov(Src::TpX, DstReg, 1); // seed r0
+        b.loopParam(1, [&] {
+            // r3 = 2 - x*r ; r1 = r1 * r3
+            b.fma(reg(0), reg(1), reg(2), DstReg, AddOp::SubBA, 3);
+            b.mul(reg(1), reg(3), DstReg, 1);
+        });
+        b.mov(reg(1), DstTpO);
+    });
+    return b.finish();
+}
+
+} // namespace opac::kernels

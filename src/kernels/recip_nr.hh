@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Newton-Raphson reciprocal kernel — division on a datapath that only
+ * multiplies and adds (OPAC has no divider; the paper routes LU pivot
+ * reciprocals through the host).
+ *
+ * For each input pair (x, r0) on tpx the kernel iterates
+ * r <- r * (2 - x * r) a parameterized number of times and emits r on
+ * tpo. With the classic linear seed (r0 = c1 - c2*x on a binade) three
+ * iterations reach full single precision; convergence is quadratic.
+ * The constant 2.0 arrives once per call on tpx.
+ *
+ * The iteration is a genuine scalar recurrence, so each step pays the
+ * full multiply+add pipeline latency — the measured cost per
+ * reciprocal quantifies what an on-cell divide would cost versus the
+ * host round trip (see bench/ablation_recip).
+ *
+ * Parameters: p0 = element count, p1 = iterations.
+ */
+
+#ifndef OPAC_KERNELS_RECIP_NR_HH
+#define OPAC_KERNELS_RECIP_NR_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the reciprocal kernel. */
+constexpr unsigned recipNrParams = 2;
+
+/** Build the Newton-Raphson reciprocal microcode. */
+isa::Program buildRecipNr();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_RECIP_NR_HH

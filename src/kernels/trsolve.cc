@@ -1,0 +1,42 @@
+#include "kernels/trsolve.hh"
+
+#include "isa/builder.hh"
+
+namespace opac::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildTrSolve()
+{
+    ProgramBuilder b("trsolve");
+
+    // Load the M x n row block (column major) into sum.
+    b.loopParam(2, [&] { b.mov(Src::TpX, DstSum); });
+
+    // p3 = number of update passes remaining after the current column.
+    b.copyParam(3, 0);
+
+    b.loopParam(0, [&] { // for j = 0..n-1
+        b.mov(Src::TpX, DstRegAy); // r_j = 1/u_jj
+        // Scale: x(:,j) = a(:,j) * r_j -> tpo (result) and ret (reuse).
+        b.loopParam(1, [&] {
+            b.mul(src(Src::Sum), src(Src::RegAy), DstRet | DstTpO);
+        });
+        b.decParam(3);
+        // Updates: a(:,l) -= x(:,j) * u_jl for l = j+1..n-1.
+        b.loopParam(3, [&] {
+            b.mov(Src::TpX, DstRegAy); // u_jl
+            b.loopParam(1, [&] {
+                b.fma(Src::RetR, Src::RegAy, Src::Sum, DstSum,
+                      AddOp::SubBA);
+            });
+        });
+        b.resetFifo(LocalFifo::Ret);
+    });
+
+    return b.finish();
+}
+
+} // namespace opac::kernels

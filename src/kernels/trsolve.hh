@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Right-looking triangular solve leaf: X * U = A, with U n x n upper
+ * triangular and A an M x n block of rows (M*n <= Tf), column major in
+ * the sum queue.
+ *
+ * The host pre-computes the reciprocals of U's diagonal (it owns U in
+ * its memory after the leaf LU that produced it — no round trips here)
+ * and streams, per column j: r_j = 1/u_jj followed by the row slice
+ * u_j,j+1 .. u_j,n-1. Per step j:
+ *
+ *   1. column j is scaled: x(:,j) = a(:,j) * r_j (mul), leaving on tpo
+ *      and staying in ret for the updates;
+ *   2. for l = j+1..n-1: a(:,l) -= x(:,j) * u_jl, cycling columns
+ *      through sum and recirculating x(:,j) in ret.
+ *
+ * The same microcode solves L * X = A with L unit lower triangular: the
+ * planner transposes the problem (X^T L^T = A^T) so L^T is upper
+ * triangular with a unit diagonal, and streams r_j = 1.0.
+ *
+ * Parameters: p0 = n, p1 = M, p2 = M*n. p3 is the internal pass
+ * counter.
+ */
+
+#ifndef OPAC_KERNELS_TRSOLVE_HH
+#define OPAC_KERNELS_TRSOLVE_HH
+
+#include "isa/program.hh"
+
+namespace opac::kernels
+{
+
+/** Number of tpi parameter words of the triangular-solve leaf. */
+constexpr unsigned trSolveParams = 3;
+
+/** Build the triangular-solve leaf microcode. */
+isa::Program buildTrSolve();
+
+} // namespace opac::kernels
+
+#endif // OPAC_KERNELS_TRSOLVE_HH

@@ -1,0 +1,47 @@
+#include "planner/chunking.hh"
+
+#include <algorithm>
+
+namespace opac::planner
+{
+
+Segments
+splitChunk(const Chunk &ch, std::size_t mb)
+{
+    Segments s{};
+    std::size_t r0 = ch.w0 % mb;
+    s.col0 = ch.w0 / mb;
+    s.rot = r0;
+    std::size_t remaining = ch.words();
+    if (r0 != 0 && remaining > 0) {
+        s.head = std::min(mb - r0, remaining);
+        remaining -= s.head;
+    }
+    s.fullCol0 = s.col0 + (s.head > 0 ? 1 : 0);
+    s.full = remaining / mb;
+    remaining -= s.full * mb;
+    s.tail = remaining;
+    s.tailCol = s.fullCol0 + s.full;
+    if (ch.words() > 0) {
+        std::size_t col_last = (ch.w1 - 1) / mb;
+        s.colCount = col_last - s.col0 + 1;
+    }
+    return s;
+}
+
+std::vector<Chunk>
+splitWords(std::size_t total, unsigned parts)
+{
+    std::vector<Chunk> out;
+    std::size_t base = total / parts;
+    std::size_t rem = total % parts;
+    std::size_t at = 0;
+    for (unsigned c = 0; c < parts; ++c) {
+        std::size_t len = base + (c < rem ? 1 : 0);
+        out.push_back(Chunk{at, at + len});
+        at += len;
+    }
+    return out;
+}
+
+} // namespace opac::planner

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chunk decomposition of a column-major tile across cells.
+ *
+ * The paper gives each cell N^2/P contiguous words of the result tile
+ * (so chunks may start and end mid-column); the matrix-update microcode
+ * consumes a chunk as head partial column + full columns + tail partial
+ * column, with the reby queue rotated to the chunk's first row. These
+ * helpers compute that geometry; they are pure functions, property-
+ * tested in tests/test_planner.cc.
+ */
+
+#ifndef OPAC_PLANNER_CHUNKING_HH
+#define OPAC_PLANNER_CHUNKING_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace opac::planner
+{
+
+/** One cell's share of a tile: a contiguous word range [w0, w1). */
+struct Chunk
+{
+    std::size_t w0;
+    std::size_t w1;
+
+    std::size_t words() const { return w1 - w0; }
+};
+
+/** The head/full/tail segment decomposition of a chunk. */
+struct Segments
+{
+    std::size_t rot;      //!< first row index (reby rotation)
+    std::size_t head;     //!< words in the leading partial column
+    std::size_t col0;     //!< first column touched
+    std::size_t fullCol0; //!< first full column
+    std::size_t full;     //!< number of full columns
+    std::size_t tail;     //!< words in the trailing partial column
+    std::size_t tailCol;  //!< column of the tail segment
+    std::size_t colCount; //!< distinct columns touched
+};
+
+/** Decompose chunk @p ch of a tile with @p mb rows into segments. */
+Segments splitChunk(const Chunk &ch, std::size_t mb);
+
+/** Evenly split @p total words into @p parts contiguous chunks. */
+std::vector<Chunk> splitWords(std::size_t total, unsigned parts);
+
+} // namespace opac::planner
+
+#endif // OPAC_PLANNER_CHUNKING_HH

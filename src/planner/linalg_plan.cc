@@ -1,0 +1,544 @@
+#include "planner/linalg_plan.hh"
+
+#include "planner/chunking.hh"
+
+#include <algorithm>
+
+#include "common/math_util.hh"
+#include "kernels/entries.hh"
+#include "kernels/lu_leaf.hh"
+#include "kernels/matupdate.hh"
+#include "kernels/trsolve.hh"
+
+namespace opac::planner
+{
+
+using host::HostOp;
+using host::Region;
+
+LinalgPlanner::LinalgPlanner(copro::Coprocessor &sys) : sys(sys)
+{
+    oneAddr = sys.memory().alloc(1);
+    sys.memory().storeF(oneAddr, 1.0f);
+}
+
+void
+LinalgPlanner::commit()
+{
+    sys.host().enqueue(ops);
+    ops.clear();
+}
+
+std::size_t
+LinalgPlanner::luLeafMax() const
+{
+    return std::size_t(isqrt(std::int64_t(sys.config().cell.tf)));
+}
+
+// ---------------------------------------------------------------------
+// Matrix update (fig. 2 / fig. 5)
+// ---------------------------------------------------------------------
+
+void
+LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
+                             const MatRef &b, bool negate,
+                             bool b_transposed, bool a_transposed)
+{
+    const std::size_t mb = c.rows;
+    const std::size_t nb = c.cols;
+    const std::size_t k = a_transposed ? a.rows : a.cols;
+    const unsigned p = sys.numCells();
+    const Word entry = negate ? kernels::entries::matUpdateSub
+                              : kernels::entries::matUpdateAdd;
+
+    auto chunks = splitWords(mb * nb, p);
+    std::vector<Segments> segs;
+    for (const auto &ch : chunks) {
+        opac_assert(ch.words() <= sys.config().cell.tf,
+                    "tile chunk of %zu words exceeds Tf %zu", ch.words(),
+                    sys.config().cell.tf);
+        segs.push_back(splitChunk(ch, mb));
+    }
+
+    // Kernel calls (per cell: its own segment geometry).
+    for (unsigned cc = 0; cc < p; ++cc) {
+        if (chunks[cc].words() == 0)
+            continue;
+        const Segments &s = segs[cc];
+        ops.push_back(host::callOp(
+            1u << cc, entry,
+            {std::int32_t(k), std::int32_t(mb), std::int32_t(s.rot),
+             s.head > 0 ? 1 : 0, std::int32_t(s.head),
+             std::int32_t(s.full), s.tail > 0 ? 1 : 0,
+             std::int32_t(s.tail), std::int32_t(chunks[cc].words())}));
+        ++planStats.leafCalls;
+    }
+
+    // Initial chunk contents (up to three regions per cell).
+    auto chunkRegions = [&](const Segments &s) {
+        std::vector<Region> rs;
+        if (s.head > 0)
+            rs.push_back(Region::vec(c.addrOf(s.rot, s.col0), s.head));
+        if (s.full > 0)
+            rs.push_back(Region::mat(c.addrOf(0, s.fullCol0), mb, s.full,
+                                     c.ld));
+        if (s.tail > 0)
+            rs.push_back(Region::vec(c.addrOf(0, s.tailCol), s.tail));
+        return rs;
+    };
+    for (unsigned cc = 0; cc < p; ++cc) {
+        if (chunks[cc].words() == 0)
+            continue;
+        for (const Region &r : chunkRegions(segs[cc]))
+            ops.push_back(host::sendOp(1u << cc, r));
+    }
+
+    // K iterations: broadcast A(:,kk), then per-cell B-row slices.
+    std::uint32_t active = 0;
+    for (unsigned cc = 0; cc < p; ++cc) {
+        if (chunks[cc].words() > 0)
+            active |= 1u << cc;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        // A(:,kk): contiguous in normal storage, a strided row of the
+        // stored matrix when A is its transpose.
+        Region a_col = a_transposed
+            ? Region::strided(a.addrOf(kk, 0), mb, a.ld)
+            : Region::vec(a.addrOf(0, kk), mb);
+        ops.push_back(host::sendOp(active, a_col));
+        for (unsigned cc = 0; cc < p; ++cc) {
+            if (chunks[cc].words() == 0)
+                continue;
+            const Segments &s = segs[cc];
+            // Row kk of B restricted to this cell's columns: strided
+            // in normal storage, contiguous when B is the transpose
+            // of the stored matrix.
+            Region slice = b_transposed
+                ? Region::vec(b.addrOf(s.col0, kk), s.colCount)
+                : Region::strided(b.addrOf(kk, s.col0), s.colCount,
+                                  b.ld);
+            ops.push_back(host::sendOp(1u << cc, slice));
+        }
+    }
+
+    // Collect the updated chunks.
+    for (unsigned cc = 0; cc < p; ++cc) {
+        if (chunks[cc].words() == 0)
+            continue;
+        for (const Region &r : chunkRegions(segs[cc]))
+            ops.push_back(host::recvOp(cc, r));
+    }
+    ++planStats.tiles;
+}
+
+void
+LinalgPlanner::matUpdate(const MatRef &c, const MatRef &a,
+                         const MatRef &b, bool negate, bool b_transposed,
+                         bool a_transposed)
+{
+    const std::size_t a_rows = a_transposed ? a.cols : a.rows;
+    const std::size_t a_cols = a_transposed ? a.rows : a.cols;
+    const std::size_t b_rows = b_transposed ? b.cols : b.rows;
+    const std::size_t b_cols = b_transposed ? b.rows : b.cols;
+    opac_assert(a_rows == c.rows && b_cols == c.cols && a_cols == b_rows,
+                "matUpdate shape mismatch");
+    if (c.rows == 0 || c.cols == 0 || a_cols == 0)
+        return;
+
+    const std::size_t tf = sys.config().cell.tf;
+    const unsigned p = sys.numCells();
+
+    // Tile shape: square-ish, capped so a B column fits reby (mb <= tf)
+    // and each cell's chunk fits sum (ceil(mb*nb/p) <= tf).
+    std::size_t mb = std::min(c.rows,
+                              std::max<std::size_t>(
+                                  1, std::size_t(isqrt(
+                                      std::int64_t(tf) * p))));
+    mb = std::min(mb, tf);
+    std::size_t nb = std::max<std::size_t>(
+        1, std::min(c.cols, (tf * p) / mb));
+    while (ceilDiv(std::int64_t(mb * nb), p) > std::int64_t(tf) && nb > 1)
+        --nb;
+
+    for (std::size_t j = 0; j < c.cols; j += nb) {
+        std::size_t ncb = std::min(nb, c.cols - j);
+        MatRef b_block = b_transposed ? b.sub(j, 0, ncb, b.cols)
+                                      : b.sub(0, j, b.rows, ncb);
+        for (std::size_t i = 0; i < c.rows; i += mb) {
+            std::size_t nrb = std::min(mb, c.rows - i);
+            MatRef a_block = a_transposed
+                ? a.sub(0, i, a.rows, nrb)
+                : a.sub(i, 0, nrb, a.cols);
+            matUpdateTile(c.sub(i, j, nrb, ncb), a_block, b_block,
+                          negate, b_transposed, a_transposed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TRMM and SYRK (composed from matrix-update calls)
+// ---------------------------------------------------------------------
+
+void
+LinalgPlanner::trmmLeftUpper(const MatRef &out, const MatRef &u,
+                             const MatRef &b)
+{
+    const std::size_t n = u.rows;
+    opac_assert(u.cols == n && b.rows == n && out.rows == n
+                && out.cols == b.cols, "trmm shape mismatch");
+    if (n == 0 || b.cols == 0)
+        return;
+    // Row blocks sized like the matrix-update tiles; each row block I
+    // multiplies only the K-range I..n (the nonzero triangle).
+    const std::size_t tf = sys.config().cell.tf;
+    std::size_t rb = std::max<std::size_t>(
+        1, std::min<std::size_t>(n, std::size_t(isqrt(
+            std::int64_t(tf) * sys.numCells()))));
+    for (std::size_t i = 0; i < n; i += rb) {
+        std::size_t nr = std::min(rb, n - i);
+        matUpdate(out.sub(i, 0, nr, out.cols),
+                  u.sub(i, i, nr, n - i),
+                  b.sub(i, 0, n - i, b.cols), false);
+    }
+}
+
+void
+LinalgPlanner::syrkLower(const MatRef &c, const MatRef &a, bool negate)
+{
+    const std::size_t n = c.rows;
+    opac_assert(c.cols == n && a.rows == n, "syrk shape mismatch");
+    if (n == 0 || a.cols == 0)
+        return;
+    const std::size_t tf = sys.config().cell.tf;
+    std::size_t cb = std::max<std::size_t>(
+        1, std::min<std::size_t>(n, std::size_t(isqrt(
+            std::int64_t(tf) * sys.numCells()))));
+    for (std::size_t j = 0; j < n; j += cb) {
+        std::size_t nc = std::min(cb, n - j);
+        // Block column j..j+nc of the lower triangle, rows j..n; the
+        // A^T operand streams straight out of A's storage.
+        matUpdate(c.sub(j, j, n - j, nc), a.sub(j, 0, n - j, a.cols),
+                  a.sub(j, 0, nc, a.cols), negate,
+                  /*b_transposed=*/true);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triangular solves
+// ---------------------------------------------------------------------
+
+void
+LinalgPlanner::trsmRightUpperLeaf(const MatRef &a, const MatRef &u,
+                                  std::size_t recips, bool u_transposed)
+{
+    const std::size_t n = u.rows;
+    const std::size_t m = a.rows;
+    const unsigned p = sys.numCells();
+
+    // Partition the m rows across cells.
+    std::vector<std::size_t> row0(p + 1, 0);
+    for (unsigned cc = 0; cc < p; ++cc)
+        row0[cc + 1] = row0[cc] + m / p + (cc < m % p ? 1 : 0);
+
+    std::uint32_t active = 0;
+    for (unsigned cc = 0; cc < p; ++cc) {
+        std::size_t mc = row0[cc + 1] - row0[cc];
+        if (mc == 0)
+            continue;
+        active |= 1u << cc;
+        opac_assert(mc * n <= sys.config().cell.tf,
+                    "trsm leaf block %zu words exceeds Tf", mc * n);
+        ops.push_back(host::callOp(
+            1u << cc, kernels::entries::trSolve,
+            {std::int32_t(n), std::int32_t(mc), std::int32_t(mc * n)}));
+        ops.push_back(host::sendOp(
+            1u << cc,
+            Region::mat(a.addrOf(row0[cc], 0), mc, n, a.ld)));
+        ++planStats.leafCalls;
+        ++planStats.trsmLeaves;
+    }
+
+    // Shared U data, broadcast: per column j, the diagonal reciprocal
+    // then the row slice u(j, j+1..n-1) — a contiguous column of the
+    // stored lower triangle when U is its transpose.
+    for (std::size_t j = 0; j < n; ++j) {
+        ops.push_back(host::sendOp(active, Region::vec(recips + j, 1)));
+        if (j + 1 < n) {
+            Region slice = u_transposed
+                ? Region::vec(u.addrOf(j + 1, j), n - 1 - j)
+                : Region::strided(u.addrOf(j, j + 1), n - 1 - j, u.ld);
+            ops.push_back(host::sendOp(active, slice));
+        }
+    }
+
+    // Results: X columns per cell, in column order per cell.
+    for (unsigned cc = 0; cc < p; ++cc) {
+        std::size_t mc = row0[cc + 1] - row0[cc];
+        if (mc == 0)
+            continue;
+        ops.push_back(host::recvOp(
+            cc, Region::mat(a.addrOf(row0[cc], 0), mc, n, a.ld)));
+    }
+}
+
+void
+LinalgPlanner::trsmRightUpper(const MatRef &a, const MatRef &u,
+                              std::size_t recips, bool u_transposed)
+{
+    const std::size_t n = u.rows;
+    if (n == 0 || a.rows == 0)
+        return;
+    const std::size_t tf = sys.config().cell.tf;
+    // Leaf condition: one row block per cell must fit sum. Rows can be
+    // split arbitrarily, so only n forces recursion: need n <= tf and a
+    // sensible aspect (at least one row per cell block).
+    const unsigned p = sys.numCells();
+    std::size_t max_rows_per_cell = tf / std::max<std::size_t>(1, n);
+    if (max_rows_per_cell >= 1 && n * n <= tf * p) {
+        // Process in row blocks of p * max_rows_per_cell.
+        std::size_t rb = std::max<std::size_t>(1,
+                                               max_rows_per_cell * p);
+        for (std::size_t r = 0; r < a.rows; r += rb) {
+            std::size_t nr = std::min(rb, a.rows - r);
+            trsmRightUpperLeaf(a.sub(r, 0, nr, n), u, recips,
+                               u_transposed);
+        }
+        return;
+    }
+    // Recurse on the triangle: X1*U11 = A1; A2 -= X1*U12; X2*U22 = A2.
+    // When U is the transpose of the stored lower triangle, U12 is the
+    // transpose of the stored (n1.., 0..n1) block.
+    std::size_t n1 = n / 2;
+    MatRef u12 = u_transposed ? u.sub(n1, 0, n - n1, n1)
+                              : u.sub(0, n1, n1, n - n1);
+    trsmRightUpper(a.sub(0, 0, a.rows, n1), u.sub(0, 0, n1, n1), recips,
+                   u_transposed);
+    matUpdate(a.sub(0, n1, a.rows, n - n1), a.sub(0, 0, a.rows, n1),
+              u12, true, u_transposed);
+    trsmRightUpper(a.sub(0, n1, a.rows, n - n1),
+                   u.sub(n1, n1, n - n1, n - n1), recips + n1,
+                   u_transposed);
+}
+
+void
+LinalgPlanner::trsmLeftUnitLowerLeaf(const MatRef &l, const MatRef &a)
+{
+    // Solve L * X = A by transposition: X^T * L^T = A^T, L^T upper
+    // triangular with unit diagonal (reciprocals are 1.0).
+    const std::size_t n = l.rows;
+    const std::size_t m = a.cols; // rows of the transposed problem
+    const unsigned p = sys.numCells();
+
+    std::vector<std::size_t> col0(p + 1, 0);
+    for (unsigned cc = 0; cc < p; ++cc)
+        col0[cc + 1] = col0[cc] + m / p + (cc < m % p ? 1 : 0);
+
+    std::uint32_t active = 0;
+    for (unsigned cc = 0; cc < p; ++cc) {
+        std::size_t mc = col0[cc + 1] - col0[cc];
+        if (mc == 0)
+            continue;
+        active |= 1u << cc;
+        opac_assert(mc * n <= sys.config().cell.tf,
+                    "trsm leaf block %zu words exceeds Tf", mc * n);
+        ops.push_back(host::callOp(
+            1u << cc, kernels::entries::trSolve,
+            {std::int32_t(n), std::int32_t(mc), std::int32_t(mc * n)}));
+        // A^T block: "column j" of the transposed problem is row j of
+        // A restricted to this cell's columns.
+        ops.push_back(host::sendOp(
+            1u << cc, Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n,
+                                   1)));
+        ++planStats.leafCalls;
+        ++planStats.trsmLeaves;
+    }
+
+    // Shared L^T data: unit diagonal (1.0) plus column slices of L.
+    for (std::size_t j = 0; j < n; ++j) {
+        ops.push_back(host::sendOp(active, Region::vec(oneAddr, 1)));
+        if (j + 1 < n) {
+            ops.push_back(host::sendOp(
+                active, Region::vec(l.addrOf(j + 1, j), n - 1 - j)));
+        }
+    }
+
+    for (unsigned cc = 0; cc < p; ++cc) {
+        std::size_t mc = col0[cc + 1] - col0[cc];
+        if (mc == 0)
+            continue;
+        ops.push_back(host::recvOp(
+            cc, Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n, 1)));
+    }
+}
+
+void
+LinalgPlanner::trsmLeftUnitLower(const MatRef &l, const MatRef &a)
+{
+    const std::size_t n = l.rows;
+    if (n == 0 || a.cols == 0)
+        return;
+    const std::size_t tf = sys.config().cell.tf;
+    const unsigned p = sys.numCells();
+    std::size_t max_cols_per_cell = tf / std::max<std::size_t>(1, n);
+    if (max_cols_per_cell >= 1 && n * n <= tf * p) {
+        std::size_t cb = std::max<std::size_t>(1,
+                                               max_cols_per_cell * p);
+        for (std::size_t c0 = 0; c0 < a.cols; c0 += cb) {
+            std::size_t nc = std::min(cb, a.cols - c0);
+            trsmLeftUnitLowerLeaf(l, a.sub(0, c0, n, nc));
+        }
+        return;
+    }
+    // L = [L11 0; L21 L22]: L11*X1 = A1; A2 -= L21*X1; L22*X2 = A2.
+    std::size_t n1 = n / 2;
+    trsmLeftUnitLower(l.sub(0, 0, n1, n1), a.sub(0, 0, n1, a.cols));
+    matUpdate(a.sub(n1, 0, n - n1, a.cols), l.sub(n1, 0, n - n1, n1),
+              a.sub(0, 0, n1, a.cols), true);
+    trsmLeftUnitLower(l.sub(n1, n1, n - n1, n - n1),
+                      a.sub(n1, 0, n - n1, a.cols));
+}
+
+// ---------------------------------------------------------------------
+// LU factorization (fig. 7)
+// ---------------------------------------------------------------------
+
+void
+LinalgPlanner::luLeaf(const MatRef &a, std::size_t recips)
+{
+    const std::size_t n = a.rows;
+    ops.push_back(host::callOp(
+        1u, kernels::entries::luLeaf,
+        {std::int32_t(n), std::int32_t(n * n)}));
+    ops.push_back(host::sendOp(1u, Region::mat(a.base, n, n, a.ld)));
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t s = n - k;
+        // Pivot comes home, its reciprocal goes back (and is kept for
+        // the later TRSM leaves).
+        ops.push_back(host::recvOp(0, Region::vec(a.addrOf(k, k), 1)));
+        ops.push_back(host::recipOp(recips + k, a.addrOf(k, k)));
+        ops.push_back(host::sendOp(1u, Region::vec(recips + k, 1)));
+        ++planStats.recipOps;
+        if (s > 1) {
+            ops.push_back(host::recvOp(
+                0, Region::vec(a.addrOf(k + 1, k), s - 1)));
+            ops.push_back(host::recvOp(
+                0, Region::strided(a.addrOf(k, k + 1), s - 1, a.ld)));
+        }
+    }
+    ++planStats.leafCalls;
+    ++planStats.luLeaves;
+}
+
+void
+LinalgPlanner::luRecurse(const MatRef &a, std::size_t recips)
+{
+    const std::size_t n = a.rows;
+    if (n == 0)
+        return;
+    if (n <= luLeafMax()) {
+        luLeaf(a, recips);
+        return;
+    }
+    const std::size_t n1 = n / 2;
+    const std::size_t n2 = n - n1;
+    MatRef a00 = a.sub(0, 0, n1, n1);
+    MatRef a10 = a.sub(n1, 0, n2, n1);
+    MatRef a01 = a.sub(0, n1, n1, n2);
+    MatRef a11 = a.sub(n1, n1, n2, n2);
+
+    luRecurse(a00, recips);                       // 1. factor A00
+    trsmRightUpper(a10, a00, recips);             // 2. A10 U00^-1
+    trsmLeftUnitLower(a00, a01);                  // 3. L00^-1 A01
+    matUpdate(a11, a10, a01, true);               // 4. A11 -= A10 A01
+    luRecurse(a11, recips + n1);                  // 5. factor A11
+}
+
+void
+LinalgPlanner::lu(const MatRef &a)
+{
+    opac_assert(a.rows == a.cols, "LU needs a square matrix");
+    std::size_t recips = sys.memory().alloc(a.rows);
+    luRecurse(a, recips);
+}
+
+// ---------------------------------------------------------------------
+// Cholesky factorization
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Largest n whose packed lower triangle fits tf words. */
+std::size_t
+cholLeafMax(std::size_t tf)
+{
+    std::size_t n = 1;
+    while ((n + 1) * (n + 2) / 2 <= tf)
+        ++n;
+    return n;
+}
+
+} // anonymous namespace
+
+void
+LinalgPlanner::cholLeaf(const MatRef &a, std::size_t recips)
+{
+    const std::size_t n = a.rows;
+    ops.push_back(host::callOp(
+        1u, kernels::entries::choleskyLeaf,
+        {std::int32_t(n), std::int32_t(n * (n + 1) / 2)}));
+    // Packed lower triangle, column by column.
+    for (std::size_t j = 0; j < n; ++j) {
+        ops.push_back(host::sendOp(1u,
+                                   Region::vec(a.addrOf(j, j), n - j)));
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t s = n - k;
+        // Raw pivot home; L(k,k) = sqrt stays in place, 1/L(k,k) is
+        // kept for the TRSM leaves; reciprocal back to the cell.
+        ops.push_back(host::recvOp(0, Region::vec(a.addrOf(k, k), 1)));
+        ops.push_back(host::sqrtRecipOp(a.addrOf(k, k), recips + k,
+                                        a.addrOf(k, k)));
+        ops.push_back(host::sendOp(1u, Region::vec(recips + k, 1)));
+        ++planStats.recipOps;
+        if (s > 1) {
+            ops.push_back(host::recvOp(
+                0, Region::vec(a.addrOf(k + 1, k), s - 1)));
+        }
+    }
+    ++planStats.leafCalls;
+    ++planStats.cholLeaves;
+}
+
+void
+LinalgPlanner::cholRecurse(const MatRef &a, std::size_t recips)
+{
+    const std::size_t n = a.rows;
+    if (n == 0)
+        return;
+    if (n <= cholLeafMax(sys.config().cell.tf)) {
+        cholLeaf(a, recips);
+        return;
+    }
+    const std::size_t n1 = n / 2;
+    const std::size_t n2 = n - n1;
+    MatRef a11 = a.sub(0, 0, n1, n1);
+    MatRef a21 = a.sub(n1, 0, n2, n1);
+    MatRef a22 = a.sub(n1, n1, n2, n2);
+
+    cholRecurse(a11, recips);                       // 1. factor A11
+    trsmRightUpper(a21, a11, recips,
+                   /*u_transposed=*/true);          // 2. A21 L11^-T
+    syrkLower(a22, a21, /*negate=*/true);           // 3. A22 -= A21 A21^T
+    cholRecurse(a22, recips + n1);                  // 4. factor A22
+}
+
+void
+LinalgPlanner::cholesky(const MatRef &a)
+{
+    opac_assert(a.rows == a.cols, "Cholesky needs a square matrix");
+    std::size_t recips = sys.memory().alloc(a.rows);
+    cholRecurse(a, recips);
+}
+
+} // namespace opac::planner

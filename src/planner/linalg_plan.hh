@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Host-side planners for the dense linear-algebra kernels: tiled
+ * multi-cell matrix update (fig. 2), recursive triangular solves and
+ * the recursive block LU factorization (fig. 7).
+ *
+ * A planner walks the block decomposition of a problem whose data lives
+ * in host memory and emits the flat host transfer program (calls,
+ * sends, broadcasts, receives, scalar reciprocals) that executes it on
+ * a P-cell coprocessor. Nothing here touches the simulation clock: all
+ * cost is paid when the host executes the emitted descriptors.
+ */
+
+#ifndef OPAC_PLANNER_LINALG_PLAN_HH
+#define OPAC_PLANNER_LINALG_PLAN_HH
+
+#include <vector>
+
+#include "coproc/coprocessor.hh"
+#include "planner/matref.hh"
+
+namespace opac::planner
+{
+
+/** Statistics about an emitted plan (inspected by tests and benches). */
+struct PlanStats
+{
+    std::size_t leafCalls = 0;   //!< kernel calls emitted
+    std::size_t tiles = 0;       //!< matrix-update tiles
+    std::size_t luLeaves = 0;    //!< leaf LU factorizations
+    std::size_t cholLeaves = 0;  //!< leaf Cholesky factorizations
+    std::size_t trsmLeaves = 0;  //!< leaf triangular solves
+    std::size_t recipOps = 0;    //!< host scalar reciprocals
+};
+
+/** Emits host transfer programs for linear-algebra operations. */
+class LinalgPlanner
+{
+  public:
+    explicit LinalgPlanner(copro::Coprocessor &sys);
+
+    /**
+     * C += A * B (negate: C -= A * B). Tiles C so each cell's chunk of a
+     * tile fits its sum queue, partitions tile columns/words across the
+     * P cells and broadcasts A columns (the fig. 2 mapping).
+     *
+     * When @p b_transposed (@p a_transposed) is set, the B (A) operand
+     * is read as the transpose of the stored matrix — its slices
+     * become contiguous or strided reads of the stored layout, so no
+     * materialized transpose is ever needed. Together they cover all
+     * four BLAS GEMM transpose combinations.
+     */
+    void matUpdate(const MatRef &c, const MatRef &a, const MatRef &b,
+                   bool negate = false, bool b_transposed = false,
+                   bool a_transposed = false);
+
+    /**
+     * A <- A * U^-1 with U upper triangular (non-unit). @p recips is
+     * the host-memory base of the n precomputed diagonal reciprocals.
+     * Recurses on n until a leaf fits the cells, distributing row
+     * blocks across cells. With @p u_transposed, U is read as the
+     * transpose of the stored (lower-triangular) matrix — used by the
+     * Cholesky recursion where U = L11^T.
+     */
+    void trsmRightUpper(const MatRef &a, const MatRef &u,
+                        std::size_t recips, bool u_transposed = false);
+
+    /** A <- L^-1 * A with L unit lower triangular (transposed leaf). */
+    void trsmLeftUnitLower(const MatRef &l, const MatRef &a);
+
+    /**
+     * out += U * B with U upper triangular (BLAS TRMM, left upper,
+     * out-of-place): composed from matrix-update calls over row
+     * blocks, skipping the zero block triangle. U's square storage
+     * must hold zeros below the diagonal (only the triangle is
+     * mathematically read, but diagonal blocks stream as full tiles).
+     */
+    void trmmLeftUpper(const MatRef &out, const MatRef &u,
+                       const MatRef &b);
+
+    /**
+     * C += A * A^T (negate: C -= A * A^T) on the lower block triangle
+     * (BLAS SYRK). Strictly upper off-diagonal blocks are untouched;
+     * the upper parts of diagonal blocks receive their (correct,
+     * symmetric) updates. A^T is streamed directly from A's storage
+     * through transposed regions.
+     */
+    void syrkLower(const MatRef &c, const MatRef &a,
+                   bool negate = false);
+
+    /**
+     * In-place Cholesky factorization A = L L^T of a symmetric
+     * positive-definite matrix (only the lower triangle is read and
+     * written) — section 2.1's "Cholesky decomposition" via the same
+     * block recursion as LU: factor A11, A21 <- A21 * L11^-T (TRSM
+     * against the transposed triangle), A22 -= A21 * A21^T (SYRK),
+     * recurse on A22. Leaves run on cell 0 with sqrt/reciprocal round
+     * trips through the host.
+     */
+    void cholesky(const MatRef &a);
+
+    /**
+     * In-place LU factorization without pivoting, the fig. 7 recursive
+     * block algorithm. Leaf factorizations run on cell 0; the three
+     * block updates use the full coprocessor.
+     */
+    void lu(const MatRef &a);
+
+    /** Enqueue every emitted descriptor into the host and clear. */
+    void commit();
+
+    /** Ops emitted and not yet committed. */
+    const std::vector<host::HostOp> &pending() const { return ops; }
+
+    const PlanStats &stats() const { return planStats; }
+
+    /** Largest n with n*n <= Tf: the LU leaf bound. */
+    std::size_t luLeafMax() const;
+
+  private:
+    void luRecurse(const MatRef &a, std::size_t recips);
+    void luLeaf(const MatRef &a, std::size_t recips);
+    void cholRecurse(const MatRef &a, std::size_t recips);
+    void cholLeaf(const MatRef &a, std::size_t recips);
+    void trsmRightUpperLeaf(const MatRef &a, const MatRef &u,
+                            std::size_t recips, bool u_transposed);
+    void trsmLeftUnitLowerLeaf(const MatRef &l, const MatRef &a);
+    void matUpdateTile(const MatRef &c, const MatRef &a, const MatRef &b,
+                       bool negate, bool b_transposed,
+                       bool a_transposed);
+
+    copro::Coprocessor &sys;
+    std::vector<host::HostOp> ops;
+    PlanStats planStats;
+    std::size_t oneAddr;  //!< host scratch holding the constant 1.0f
+};
+
+} // namespace opac::planner
+
+#endif // OPAC_PLANNER_LINALG_PLAN_HH

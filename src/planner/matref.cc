@@ -1,0 +1,35 @@
+#include "planner/matref.hh"
+
+namespace opac::planner
+{
+
+MatRef
+allocMat(host::HostMemory &mem, std::size_t rows, std::size_t cols)
+{
+    return MatRef{mem.alloc(rows * cols), rows, cols, rows};
+}
+
+void
+storeMat(host::HostMemory &mem, const MatRef &ref,
+         const blasref::Matrix &m)
+{
+    opac_assert(m.rows() == ref.rows && m.cols() == ref.cols,
+                "storeMat shape mismatch");
+    for (std::size_t c = 0; c < ref.cols; ++c) {
+        for (std::size_t r = 0; r < ref.rows; ++r)
+            mem.storeF(ref.addrOf(r, c), m.at(r, c));
+    }
+}
+
+blasref::Matrix
+loadMat(const host::HostMemory &mem, const MatRef &ref)
+{
+    blasref::Matrix m(ref.rows, ref.cols);
+    for (std::size_t c = 0; c < ref.cols; ++c) {
+        for (std::size_t r = 0; r < ref.rows; ++r)
+            m.at(r, c) = mem.loadF(ref.addrOf(r, c));
+    }
+    return m;
+}
+
+} // namespace opac::planner

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A reference to a column-major matrix living in host memory — the
+ * currency of the planners.
+ */
+
+#ifndef OPAC_PLANNER_MATREF_HH
+#define OPAC_PLANNER_MATREF_HH
+
+#include <cstddef>
+
+#include "blasref/matrix.hh"
+#include "host/memory.hh"
+
+namespace opac::planner
+{
+
+/** A column-major rows x cols view into host memory. */
+struct MatRef
+{
+    std::size_t base = 0; //!< address of element (0, 0)
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t ld = 0;   //!< leading dimension (>= rows)
+
+    /** Address of element (r, c). */
+    std::size_t
+    addrOf(std::size_t r, std::size_t c) const
+    {
+        return base + c * ld + r;
+    }
+
+    /** Submatrix view starting at (r0, c0) with shape nr x nc. */
+    MatRef
+    sub(std::size_t r0, std::size_t c0, std::size_t nr,
+        std::size_t nc) const
+    {
+        opac_assert(r0 + nr <= rows && c0 + nc <= cols,
+                    "sub(%zu,%zu,%zu,%zu) out of %zux%zu", r0, c0, nr,
+                    nc, rows, cols);
+        return MatRef{addrOf(r0, c0), nr, nc, ld};
+    }
+};
+
+/** Allocate a rows x cols matrix in host memory. */
+MatRef allocMat(host::HostMemory &mem, std::size_t rows,
+                std::size_t cols);
+
+/** Copy a blasref::Matrix into host memory at @p ref. */
+void storeMat(host::HostMemory &mem, const MatRef &ref,
+              const blasref::Matrix &m);
+
+/** Read host memory at @p ref back into a blasref::Matrix. */
+blasref::Matrix loadMat(const host::HostMemory &mem, const MatRef &ref);
+
+} // namespace opac::planner
+
+#endif // OPAC_PLANNER_MATREF_HH

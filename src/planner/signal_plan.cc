@@ -1,0 +1,334 @@
+#include "planner/signal_plan.hh"
+
+#include <cmath>
+
+#include "common/math_util.hh"
+#include "kernels/conv2d.hh"
+#include "kernels/correlation.hh"
+#include "kernels/entries.hh"
+#include "kernels/fft.hh"
+
+namespace opac::planner
+{
+
+using host::HostOp;
+using host::Region;
+
+SignalPlanner::SignalPlanner(copro::Coprocessor &sys)
+    : sys(sys), nextConvEntry(kernels::entries::conv2dBase)
+{}
+
+void
+SignalPlanner::commit()
+{
+    sys.host().enqueue(ops);
+    ops.clear();
+}
+
+ConvGeometry
+SignalPlanner::conv2d(const MatRef &image_t, const MatRef &weights,
+                      const MatRef &out_t, std::size_t n_rows,
+                      std::size_t m_cols)
+{
+    const unsigned p = unsigned(weights.rows);
+    const unsigned q = unsigned(weights.cols);
+    const std::size_t tf = sys.config().cell.tf;
+    const unsigned cells = sys.numCells();
+
+    opac_assert(image_t.rows >= m_cols + q - 1
+                && image_t.cols >= n_rows + p,
+                "padded transposed image too small: %zux%zu for "
+                "%zux%zu image with %ux%u weights", image_t.rows,
+                image_t.cols, n_rows, m_cols, p, q);
+
+    // The paper's sizing rule: p output rows of the block plus q words
+    // must fit the sum queue.
+    opac_assert(tf > std::size_t(p) * q + q, "Tf too small for conv2d");
+    std::size_t wu_max = (tf - q) / p - (q - 1);
+    ConvGeometry geom;
+    // Blocks no wider than the FIFO sizing rule allows, and no wider
+    // than an even split across the P cells (the paper's 1024/16 = 64
+    // columns per cell at P = 16).
+    std::size_t even = ceilDiv(std::int64_t(m_cols),
+                               std::int64_t(cells));
+    geom.wu = std::min({m_cols, wu_max, std::size_t(even)});
+    geom.wi = geom.wu + q - 1;
+    geom.blocks = ceilDiv(std::int64_t(m_cols), std::int64_t(geom.wu));
+    geom.waves = ceilDiv(std::int64_t(geom.blocks),
+                         std::int64_t(cells));
+    geom.usefulMas = n_rows * m_cols * p * q;
+
+    // Generate and install the microcode for this (p, q).
+    const Word entry = nextConvEntry++;
+    sys.loadMicrocode(entry, kernels::buildConv2d(p, q),
+                      kernels::conv2dParams);
+
+    // Warm-up emissions land in scratch.
+    std::size_t scratch = sys.memory().alloc(geom.wu);
+
+    const std::size_t iters = n_rows + p - 1;
+    for (std::size_t wave = 0; wave < geom.waves; ++wave) {
+        std::uint32_t active = 0;
+        std::vector<std::size_t> c0(cells, 0), bw(cells, 0);
+        for (unsigned cc = 0; cc < cells; ++cc) {
+            std::size_t blk = wave * cells + cc;
+            if (blk >= geom.blocks)
+                continue;
+            active |= 1u << cc;
+            c0[cc] = blk * geom.wu;
+            bw[cc] = std::min(geom.wu, m_cols - c0[cc]);
+        }
+
+        for (unsigned cc = 0; cc < cells; ++cc) {
+            if (!(active & (1u << cc)))
+                continue;
+            std::size_t wi_c = bw[cc] + q - 1;
+            ops.push_back(host::callOp(
+                1u << cc, entry,
+                {std::int32_t(iters), std::int32_t(wi_c),
+                 std::int32_t(bw[cc])}));
+        }
+        // Weights, broadcast row-major (the register order w(i, j) =
+        // r[i*q+j]).
+        for (unsigned i = 0; i < p; ++i) {
+            ops.push_back(host::sendOp(
+                active, Region::strided(weights.addrOf(i, 0), q,
+                                        weights.ld)));
+        }
+        // First row slice per cell.
+        for (unsigned cc = 0; cc < cells; ++cc) {
+            if (active & (1u << cc)) {
+                ops.push_back(host::sendOp(
+                    1u << cc, Region::vec(image_t.addrOf(c0[cc], 0),
+                                          bw[cc] + q - 1)));
+            }
+        }
+        // Pipelined row streaming and result collection.
+        for (std::size_t r = 0; r < iters; ++r) {
+            for (unsigned cc = 0; cc < cells; ++cc) {
+                if (active & (1u << cc)) {
+                    ops.push_back(host::sendOp(
+                        1u << cc,
+                        Region::vec(image_t.addrOf(c0[cc], r + 1),
+                                    bw[cc] + q - 1)));
+                }
+            }
+            for (unsigned cc = 0; cc < cells; ++cc) {
+                if (!(active & (1u << cc)))
+                    continue;
+                if (r < std::size_t(p) - 1) {
+                    ops.push_back(host::recvOp(
+                        cc, Region::vec(scratch, bw[cc])));
+                } else {
+                    ops.push_back(host::recvOp(
+                        cc, Region::vec(out_t.addrOf(c0[cc],
+                                                     r - (p - 1)),
+                                        bw[cc])));
+                }
+            }
+        }
+    }
+    return geom;
+}
+
+void
+SignalPlanner::correlation(std::size_t x_base, std::size_t nx,
+                           std::size_t y_base, std::size_t lags,
+                           std::size_t out_base)
+{
+    const unsigned cells = sys.numCells();
+    host::HostMemory &mem = sys.memory();
+
+    // Partition the lags across cells; each cell receives its own
+    // interleaved stream built in scratch memory (address generation is
+    // free in the tau model; every word transfer is paid).
+    std::size_t d0 = 0;
+    for (unsigned cc = 0; cc < cells && d0 < lags; ++cc) {
+        std::size_t dc = lags / cells + (cc < lags % cells ? 1 : 0);
+        if (dc == 0)
+            continue;
+        // Stream: y[d0 .. d0+g-1], x[0], then per i: y[d0+i+g], x[i+1]
+        // with zero pads past the end of each input. The prologue size
+        // g = max(dc-1, 1) keeps the window queue ordered (see
+        // kernels/correlation.hh).
+        std::size_t g = dc > 1 ? dc - 1 : 1;
+        std::size_t len = g + 1 + 2 * nx;
+        std::size_t s = mem.alloc(len);
+        std::size_t at = s;
+        auto y_at = [&](std::size_t idx) {
+            // y index space: valid [0, nx + lags - 1); pads are zero.
+            return idx < nx + lags - 1 ? mem.load(y_base + idx)
+                                       : floatToWord(0.0f);
+        };
+        for (std::size_t d = 0; d < g; ++d)
+            mem.store(at++, y_at(d0 + d));
+        mem.store(at++, mem.load(x_base));
+        for (std::size_t i = 0; i < nx; ++i) {
+            mem.store(at++, y_at(d0 + i + g));
+            mem.store(at++, i + 1 < nx ? mem.load(x_base + i + 1)
+                                       : floatToWord(0.0f));
+        }
+        ops.push_back(host::callOp(
+            1u << cc, kernels::entries::correlation,
+            {std::int32_t(dc), std::int32_t(nx), std::int32_t(dc - 1),
+             std::int32_t(g)}));
+        ops.push_back(host::sendOp(1u << cc, Region::vec(s, len)));
+        ops.push_back(host::recvOp(cc,
+                                   Region::vec(out_base + d0, dc)));
+        d0 += dc;
+    }
+}
+
+void
+SignalPlanner::fft(std::size_t in_base, std::size_t out_base,
+                   std::size_t n, std::size_t batch, bool pipelined)
+{
+    opac_assert(isPow2(std::int64_t(n)) && n >= 4,
+                "fft size %zu must be a power of two >= 4", n);
+    opac_assert(!pipelined || n >= 8,
+                "pipelined fft needs n >= 8 (butterfly pairs)");
+    opac_assert(3 * n <= 2 * sys.config().cell.tf,
+                "fft size %zu exceeds 2*Tf/3", n);
+    const unsigned m = unsigned(floorLog2(std::int64_t(n)));
+    host::HostMemory &mem = sys.memory();
+    const unsigned cells = sys.numCells();
+
+    // Twiddle table, stage-major, butterfly order (shared by batches).
+    std::size_t twiddles = mem.alloc(m * n);
+    std::size_t at = twiddles;
+    for (unsigned s = 0; s < m; ++s) {
+        for (std::size_t i = 0; i < n / 2; ++i) {
+            double ang = -2.0 * M_PI
+                * double(kernels::fftTwiddleExponent(s, i, m))
+                / double(n);
+            mem.storeF(at++, float(std::cos(ang)));
+            mem.storeF(at++, float(std::sin(ang)));
+        }
+    }
+
+    // Waves of up to P concurrent transforms: all sends of a wave go
+    // out before its receives, so the cells overlap.
+    for (std::size_t w0 = 0; w0 < batch; w0 += cells) {
+        std::size_t in_wave = std::min<std::size_t>(cells, batch - w0);
+        for (std::size_t k = 0; k < in_wave; ++k) {
+            std::size_t bb = w0 + k;
+            unsigned cc = unsigned(k);
+            // Bit-reversed input copy (address generation is free; the
+            // transfer is paid).
+            std::size_t rev = mem.alloc(2 * n);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t r = kernels::bitReverse(i, m);
+                mem.store(rev + 2 * i,
+                          mem.load(in_base + bb * 2 * n + 2 * r));
+                mem.store(rev + 2 * i + 1,
+                          mem.load(in_base + bb * 2 * n + 2 * r + 1));
+            }
+            if (pipelined) {
+                ops.push_back(host::callOp(
+                    1u << cc, kernels::entries::fftFast,
+                    {std::int32_t(m), std::int32_t(n / 8),
+                     std::int32_t(n)}));
+            } else {
+                ops.push_back(host::callOp(
+                    1u << cc, kernels::entries::fft,
+                    {std::int32_t(m), std::int32_t(n / 4),
+                     std::int32_t(n)}));
+            }
+            ops.push_back(host::sendOp(1u << cc,
+                                       Region::vec(rev, 2 * n)));
+            ops.push_back(host::sendOp(1u << cc,
+                                       Region::vec(twiddles, m * n)));
+        }
+        for (std::size_t k = 0; k < in_wave; ++k) {
+            std::size_t bb = w0 + k;
+            ops.push_back(host::recvOp(
+                unsigned(k), Region::vec(out_base + bb * 2 * n,
+                                         2 * n)));
+        }
+    }
+}
+
+void
+SignalPlanner::fftResident(std::size_t in_base, std::size_t out_base,
+                           std::size_t n, std::size_t batch)
+{
+    opac_assert(isPow2(std::int64_t(n)) && n >= 4,
+                "fft size %zu must be a power of two >= 4", n);
+    const unsigned m = unsigned(floorLog2(std::int64_t(n)));
+    opac_assert(m * n <= sys.config().cell.tf,
+                "twiddle table %zu words exceeds Tf", std::size_t(m) * n);
+    host::HostMemory &mem = sys.memory();
+    const unsigned cells = sys.numCells();
+
+    std::size_t twiddles = mem.alloc(m * n);
+    std::size_t at = twiddles;
+    for (unsigned s = 0; s < m; ++s) {
+        for (std::size_t i = 0; i < n / 2; ++i) {
+            double ang = -2.0 * M_PI
+                * double(kernels::fftTwiddleExponent(s, i, m))
+                / double(n);
+            mem.storeF(at++, float(std::cos(ang)));
+            mem.storeF(at++, float(std::sin(ang)));
+        }
+    }
+
+    // Batch split across cells; one call per active cell, the table
+    // broadcast once.
+    std::uint32_t active = 0;
+    std::vector<std::size_t> count(cells, 0);
+    for (std::size_t bb = 0; bb < batch; ++bb)
+        ++count[bb % cells];
+    for (unsigned cc = 0; cc < cells; ++cc) {
+        if (count[cc] == 0)
+            continue;
+        active |= 1u << cc;
+        ops.push_back(host::callOp(
+            1u << cc, kernels::entries::fftBatch,
+            {std::int32_t(m), std::int32_t(n / 4), std::int32_t(n),
+             std::int32_t(count[cc]), std::int32_t(m * n)}));
+    }
+    ops.push_back(host::sendOp(active, Region::vec(twiddles, m * n)));
+
+    // Waves of one batch per cell: sends, then receives.
+    for (std::size_t w0 = 0; w0 < batch; w0 += cells) {
+        std::size_t in_wave = std::min<std::size_t>(cells, batch - w0);
+        for (std::size_t k = 0; k < in_wave; ++k) {
+            std::size_t bb = w0 + k;
+            std::size_t rev = mem.alloc(2 * n);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t r = kernels::bitReverse(i, m);
+                mem.store(rev + 2 * i,
+                          mem.load(in_base + bb * 2 * n + 2 * r));
+                mem.store(rev + 2 * i + 1,
+                          mem.load(in_base + bb * 2 * n + 2 * r + 1));
+            }
+            ops.push_back(host::sendOp(1u << unsigned(k),
+                                       Region::vec(rev, 2 * n)));
+        }
+        for (std::size_t k = 0; k < in_wave; ++k) {
+            std::size_t bb = w0 + k;
+            ops.push_back(host::recvOp(
+                unsigned(k), Region::vec(out_base + bb * 2 * n,
+                                         2 * n)));
+        }
+    }
+}
+
+void
+SignalPlanner::gemv(const MatRef &a, std::size_t x_base,
+                    std::size_t y_base)
+{
+    const std::size_t m = a.rows;
+    const std::size_t n = a.cols;
+    opac_assert(m <= sys.config().cell.tf, "gemv rows exceed Tf");
+    ops.push_back(host::callOp(1u, kernels::entries::gemv,
+                               {std::int32_t(m), std::int32_t(n)}));
+    ops.push_back(host::sendOp(1u, Region::vec(y_base, m)));
+    for (std::size_t j = 0; j < n; ++j) {
+        ops.push_back(host::sendOp(1u, Region::vec(x_base + j, 1)));
+        ops.push_back(host::sendOp(1u, Region::vec(a.addrOf(0, j), m)));
+    }
+    ops.push_back(host::recvOp(0, Region::vec(y_base, m)));
+}
+
+} // namespace opac::planner

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Host-side planners for the signal-processing kernels: blocked 2-D
+ * convolution (fig. 6), 1-D correlation and batched FFTs.
+ */
+
+#ifndef OPAC_PLANNER_SIGNAL_PLAN_HH
+#define OPAC_PLANNER_SIGNAL_PLAN_HH
+
+#include <complex>
+#include <vector>
+
+#include "coproc/coprocessor.hh"
+#include "planner/matref.hh"
+
+namespace opac::planner
+{
+
+/** Geometry of a planned 2-D convolution (inspected by benches). */
+struct ConvGeometry
+{
+    std::size_t wu = 0;        //!< useful output columns per block
+    std::size_t wi = 0;        //!< input columns per block (wu + q - 1)
+    std::size_t blocks = 0;    //!< number of column blocks
+    std::size_t waves = 0;     //!< sequential waves of P blocks
+    std::size_t usefulMas = 0; //!< p*q per output element
+};
+
+/** Planner for the signal kernels. */
+class SignalPlanner
+{
+  public:
+    explicit SignalPlanner(copro::Coprocessor &sys);
+
+    /**
+     * 2-D p x q correlation of an N x M image.
+     *
+     * @p image_t is the *transposed padded* input in host memory:
+     * (M + q - 1) x (N + p) column-major, column r holding padded
+     * input row r (real image rows 0..N-1, then p zero rows; q-1 zero
+     * columns at the right edge of each row). @p out_t is the M x N
+     * transposed output. @p weights is a p x q matrix in host memory
+     * (row-major flattened at weights.base is not assumed — a MatRef).
+     *
+     * Installs a generated conv2d program under a fresh entry id,
+     * splits the M output columns into blocks of at most
+     * (Tf - q) / p - (q - 1) useful columns (the paper's sizing rule),
+     * and distributes blocks round-robin over the P cells.
+     */
+    ConvGeometry conv2d(const MatRef &image_t, const MatRef &weights,
+                        const MatRef &out_t, std::size_t n_rows,
+                        std::size_t m_cols);
+
+    /**
+     * 1-D correlation: out[d] = sum_i x[i] * y[i+d], d in [0, lags).
+     * x, y and out are host-memory vectors (y of length |x| + lags -
+     * 1). Lags are partitioned across the P cells.
+     */
+    void correlation(std::size_t x_base, std::size_t nx,
+                     std::size_t y_base, std::size_t lags,
+                     std::size_t out_base);
+
+    /**
+     * Batched forward FFTs of size n (power of two >= 4, n <=
+     * 2*Tf/3): each of the @p batch complex vectors (interleaved
+     * re/im, 2n words) at in_base + b*2n is transformed into out_base
+     * + b*2n (natural order). Batches are dealt round-robin to cells.
+     */
+    /** @p pipelined selects the 2-way interleaved butterfly (n >= 8). */
+    void fft(std::size_t in_base, std::size_t out_base,
+             std::size_t n, std::size_t batch, bool pipelined = false);
+
+    /**
+     * Batched FFTs with the stage-major twiddle table resident in each
+     * cell's reby queue (broadcast once): host traffic drops to 4n
+     * words per transform, the paper's 5 log2(n)/4 operations per
+     * access. Requires n * log2(n) <= Tf.
+     */
+    void fftResident(std::size_t in_base, std::size_t out_base,
+                     std::size_t n, std::size_t batch);
+
+    /**
+     * y += A x on one cell (bandwidth-bound contrast; section 4.1):
+     * A is an m x n MatRef, x and y are host vectors.
+     */
+    void gemv(const MatRef &a, std::size_t x_base, std::size_t y_base);
+
+    /** Enqueue every emitted descriptor into the host and clear. */
+    void commit();
+
+    const std::vector<host::HostOp> &pending() const { return ops; }
+
+  private:
+    copro::Coprocessor &sys;
+    std::vector<host::HostOp> ops;
+    Word nextConvEntry;
+};
+
+} // namespace opac::planner
+
+#endif // OPAC_PLANNER_SIGNAL_PLAN_HH

@@ -1,0 +1,58 @@
+#include "sim/engine.hh"
+
+#include "common/logging.hh"
+
+namespace opac::sim
+{
+
+bool
+Engine::allDone() const
+{
+    for (const auto *c : components) {
+        if (!c->done())
+            return false;
+    }
+    return true;
+}
+
+std::string
+Engine::statusDump() const
+{
+    std::string out;
+    for (const auto *c : components) {
+        out += strfmt("  %-24s %s %s\n", c->name().c_str(),
+                      c->done() ? "[done]" : "[busy]",
+                      c->statusLine().c_str());
+    }
+    return out;
+}
+
+Cycle
+Engine::run(Cycle max_cycles)
+{
+    Cycle start = cycle;
+    Cycle idle_cycles = 0;
+    while (!allDone()) {
+        if (max_cycles != 0 && cycle - start >= max_cycles) {
+            opac_fatal("simulation exceeded %llu cycles\n%s",
+                       static_cast<unsigned long long>(max_cycles),
+                       statusDump().c_str());
+        }
+        progressed = false;
+        for (auto *c : components)
+            c->tick(*this);
+        ++cycle;
+        if (progressed) {
+            idle_cycles = 0;
+        } else if (watchdogCycles != 0 && ++idle_cycles >= watchdogCycles) {
+            opac_fatal("deadlock: no progress for %llu cycles at cycle "
+                       "%llu\n%s",
+                       static_cast<unsigned long long>(watchdogCycles),
+                       static_cast<unsigned long long>(cycle),
+                       statusDump().c_str());
+        }
+    }
+    return cycle - start;
+}
+
+} // namespace opac::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cycle-driven simulation engine.
+ *
+ * All OPAC components (host, bus, cells) advance in lock step on a common
+ * clock, which matches the synchronous prototype. Components are ticked in
+ * registration order every cycle; cross-component visibility is one cycle
+ * (a FIFO word pushed in cycle t becomes poppable in a later cycle), so
+ * results do not depend on tick order.
+ *
+ * A watchdog aborts the run with a per-component status dump when no
+ * component reports progress for a configurable number of cycles — FIFO
+ * protocol deadlocks (host and cell each waiting on the other) are the
+ * characteristic failure mode of this architecture, and silent hangs are
+ * useless.
+ */
+
+#ifndef OPAC_SIM_ENGINE_HH
+#define OPAC_SIM_ENGINE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace opac::sim
+{
+
+class Engine;
+
+/** Anything that advances once per clock cycle. */
+class Component
+{
+  public:
+    explicit Component(std::string name) : _name(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance one cycle. Call Engine::noteProgress() if work was done. */
+    virtual void tick(Engine &engine) = 0;
+
+    /** True once this component has nothing left to do. */
+    virtual bool done() const = 0;
+
+    /** One-line state description, used in deadlock reports. */
+    virtual std::string statusLine() const { return "(no status)"; }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+};
+
+/** The clock and run loop. */
+class Engine
+{
+  public:
+    /**
+     * @param watchdog_cycles Abort after this many cycles without any
+     *                        component reporting progress (0 = disabled).
+     */
+    explicit Engine(Cycle watchdog_cycles = 100000)
+        : watchdogCycles(watchdog_cycles)
+    {}
+
+    /** Register a component; it must outlive the engine. */
+    void add(Component *c) { components.push_back(c); }
+
+    Cycle now() const { return cycle; }
+
+    /** Components call this from tick() when they made forward progress. */
+    void noteProgress() { progressed = true; }
+
+    /**
+     * Run until every component reports done(), or max_cycles elapse
+     * (0 = unbounded). Returns the number of cycles simulated. Throws on
+     * watchdog expiry with a full component status dump.
+     */
+    Cycle run(Cycle max_cycles = 0);
+
+    /** True when every registered component is done. */
+    bool allDone() const;
+
+    /** Status dump of every component (used in error reports). */
+    std::string statusDump() const;
+
+  private:
+    std::vector<Component *> components;
+    Cycle cycle = 0;
+    Cycle watchdogCycles;
+    bool progressed = false;
+};
+
+} // namespace opac::sim
+
+#endif // OPAC_SIM_ENGINE_HH

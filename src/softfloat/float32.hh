@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bit-accurate IEEE-754 binary32 arithmetic.
+ *
+ * The OPAC datapath is built from a pipelined single-precision multiplier
+ * and adder; this module is the arithmetic substrate those units use. It
+ * is a from-scratch software implementation (no dependence on the host
+ * FPU), with all four IEEE rounding directions, gradual underflow, NaN
+ * propagation and the five exception flags.
+ *
+ * Two composite operations are provided on top of the primitives:
+ *  - mulAdd(): a *fused* multiply-add with a single rounding, and
+ *  - chainedMulAdd(): multiply rounded, then add rounded — which is what
+ *    the OPAC cell actually computes, since its multiplier and adder are
+ *    two separate pipelined units connected by a direct path.
+ */
+
+#ifndef OPAC_SOFTFLOAT_FLOAT32_HH
+#define OPAC_SOFTFLOAT_FLOAT32_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace opac::sf
+{
+
+/** IEEE-754 rounding directions. */
+enum class Round : std::uint8_t
+{
+    NearestEven, //!< roundTiesToEven (default)
+    TowardZero,
+    Down,        //!< toward -infinity
+    Up,          //!< toward +infinity
+};
+
+/** IEEE-754 exception flags, OR-able. */
+enum Flag : std::uint8_t
+{
+    FlagInexact   = 1 << 0,
+    FlagUnderflow = 1 << 1,
+    FlagOverflow  = 1 << 2,
+    FlagDivZero   = 1 << 3,
+    FlagInvalid   = 1 << 4,
+};
+
+/** Default quiet NaN produced by invalid operations. */
+constexpr Word defaultNaN = 0x7fc00000u;
+
+/** Positive/negative zero and infinity encodings. */
+constexpr Word posZero = 0x00000000u;
+constexpr Word negZero = 0x80000000u;
+constexpr Word posInf  = 0x7f800000u;
+constexpr Word negInf  = 0xff800000u;
+
+/** Classification helpers on raw encodings. */
+bool isNaN(Word a);
+bool isSignalingNaN(Word a);
+bool isInf(Word a);
+bool isZero(Word a);
+bool isSubnormal(Word a);
+bool sign(Word a);
+
+/**
+ * Arithmetic context: rounding direction plus accumulated exception
+ * flags. Every operation takes the context by reference and ORs the flags
+ * it raises into it.
+ */
+struct Context
+{
+    Round rounding = Round::NearestEven;
+    std::uint8_t flags = 0;
+
+    void raise(std::uint8_t f) { flags |= f; }
+    bool raised(std::uint8_t f) const { return (flags & f) != 0; }
+    void clearFlags() { flags = 0; }
+};
+
+/** a + b, correctly rounded. */
+Word add(Word a, Word b, Context &ctx);
+
+/** a - b, correctly rounded. */
+Word sub(Word a, Word b, Context &ctx);
+
+/** a * b, correctly rounded. */
+Word mul(Word a, Word b, Context &ctx);
+
+/** Fused a * b + c with a single rounding. */
+Word mulAdd(Word a, Word b, Word c, Context &ctx);
+
+/**
+ * The OPAC datapath composite: round(round(a * b) + c). Two roundings, as
+ * produced by a discrete multiplier chained into a discrete adder.
+ */
+Word chainedMulAdd(Word a, Word b, Word c, Context &ctx);
+
+/** a / b, correctly rounded. */
+Word div(Word a, Word b, Context &ctx);
+
+/** sqrt(a), correctly rounded. */
+Word sqrt(Word a, Context &ctx);
+
+/** Negation (sign-bit flip; never raises flags, per IEEE negate). */
+Word neg(Word a);
+
+/** Absolute value (sign-bit clear). */
+Word abs(Word a);
+
+/** Quiet equality comparison (NaN != everything, -0 == +0). */
+bool eq(Word a, Word b, Context &ctx);
+
+/** Signaling less-than (invalid on any NaN). */
+bool lt(Word a, Word b, Context &ctx);
+
+/** Signaling less-or-equal (invalid on any NaN). */
+bool le(Word a, Word b, Context &ctx);
+
+/** Convert a signed 32-bit integer to binary32 (rounded). */
+Word fromInt32(std::int32_t v, Context &ctx);
+
+/** Convert binary32 to signed 32-bit integer, rounding per context. */
+std::int32_t toInt32(Word a, Context &ctx);
+
+} // namespace opac::sf
+
+#endif // OPAC_SOFTFLOAT_FLOAT32_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared test harness for driving a single OPAC cell without a host
+ * model: feeds words into tpx/tpy at a configurable rate, enqueues call
+ * words on tpi, runs the engine and collects tpo output.
+ */
+
+#ifndef OPAC_TESTS_CELL_HARNESS_HH
+#define OPAC_TESTS_CELL_HARNESS_HH
+
+#include <vector>
+
+#include "cell/cell.hh"
+#include "common/logging.hh"
+#include "sim/engine.hh"
+
+namespace opac::test
+{
+
+/** Pushes a prepared word stream into a FIFO, one word per interval. */
+class Feeder : public sim::Component
+{
+  public:
+    Feeder(std::string name, TimedFifo &target, std::vector<Word> words,
+           unsigned interval = 1)
+        : sim::Component(std::move(name)), target(target),
+          words(std::move(words)), interval(interval)
+    {}
+
+    void
+    tick(sim::Engine &engine) override
+    {
+        if (pos >= words.size())
+            return;
+        if (engine.now() < nextTime)
+            return;
+        if (!target.canPush())
+            return;
+        target.push(words[pos++], engine.now());
+        nextTime = engine.now() + interval;
+        engine.noteProgress();
+    }
+
+    bool done() const override { return pos >= words.size(); }
+
+    std::string
+    statusLine() const override
+    {
+        return strfmt("fed %zu/%zu into %s", pos, words.size(),
+                      target.name().c_str());
+    }
+
+  private:
+    TimedFifo &target;
+    std::vector<Word> words;
+    unsigned interval;
+    std::size_t pos = 0;
+    Cycle nextTime = 0;
+};
+
+/** Pops every available word from a FIFO, one per cycle. */
+class Sink : public sim::Component
+{
+  public:
+    Sink(std::string name, TimedFifo &source, std::size_t expected)
+        : sim::Component(std::move(name)), source(source),
+          expected(expected)
+    {}
+
+    void
+    tick(sim::Engine &engine) override
+    {
+        if (collected.size() >= expected)
+            return;
+        if (source.canPop(engine.now())) {
+            collected.push_back(source.pop(engine.now()));
+            engine.noteProgress();
+        }
+    }
+
+    bool done() const override { return collected.size() >= expected; }
+
+    std::string
+    statusLine() const override
+    {
+        return strfmt("collected %zu/%zu from %s", collected.size(),
+                      expected, source.name().c_str());
+    }
+
+    std::vector<Word> collected;
+
+  private:
+    TimedFifo &source;
+    std::size_t expected;
+};
+
+/** One cell plus its drivers. */
+struct CellHarness
+{
+    explicit CellHarness(const cell::CellConfig &cfg = {},
+                         Cycle watchdog = 100000)
+        : engine(watchdog), cell("cell0", cfg)
+    {
+        engine.add(&cell);
+    }
+
+    /** Enqueue a kernel call: entry word plus parameter words. */
+    void
+    call(Word entry, const std::vector<std::int32_t> &params)
+    {
+        cell.tpi().push(entry, 0);
+        for (auto p : params)
+            cell.tpi().push(Word(p), 0);
+    }
+
+    /** Stream float data into tpx at one word per @p interval cycles. */
+    Feeder &
+    feedX(const std::vector<float> &values, unsigned interval = 1)
+    {
+        std::vector<Word> words;
+        words.reserve(values.size());
+        for (float v : values)
+            words.push_back(floatToWord(v));
+        feeders.push_back(std::make_unique<Feeder>(
+            strfmt("feedx%zu", feeders.size()), cell.tpx(),
+            std::move(words), interval));
+        engine.add(feeders.back().get());
+        return *feeders.back();
+    }
+
+    /** Stream float data into tpy. */
+    Feeder &
+    feedY(const std::vector<float> &values, unsigned interval = 1)
+    {
+        std::vector<Word> words;
+        words.reserve(values.size());
+        for (float v : values)
+            words.push_back(floatToWord(v));
+        feeders.push_back(std::make_unique<Feeder>(
+            strfmt("feedy%zu", feeders.size()), cell.tpy(),
+            std::move(words), interval));
+        engine.add(feeders.back().get());
+        return *feeders.back();
+    }
+
+    /** Collect @p n words from tpo while running. */
+    Sink &
+    sinkO(std::size_t n)
+    {
+        sinks.push_back(std::make_unique<Sink>(
+            strfmt("sink%zu", sinks.size()), cell.tpo(), n));
+        engine.add(sinks.back().get());
+        return *sinks.back();
+    }
+
+    /** Run to completion; returns cycles simulated. */
+    Cycle run(Cycle max_cycles = 0) { return engine.run(max_cycles); }
+
+    /** Collected floats from the first sink. */
+    std::vector<float>
+    output() const
+    {
+        opac_assert(!sinks.empty(), "no sink configured");
+        std::vector<float> out;
+        for (Word w : sinks.front()->collected)
+            out.push_back(wordToFloat(w));
+        return out;
+    }
+
+    sim::Engine engine;
+    cell::Cell cell;
+    std::vector<std::unique_ptr<Feeder>> feeders;
+    std::vector<std::unique_ptr<Sink>> sinks;
+};
+
+} // namespace opac::test
+
+#endif // OPAC_TESTS_CELL_HARNESS_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the Warp-style linear-array baseline and the section-4
+ * analytic models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/models.hh"
+#include "baseline/warp.hh"
+#include "blasref/blas3.hh"
+
+using namespace opac;
+using namespace opac::baseline;
+using blasref::Matrix;
+
+namespace
+{
+
+/** Run a stream of tiles through a warp array; return results. */
+std::vector<Matrix>
+runWarpStream(unsigned cells, std::size_t n, std::size_t k,
+              std::size_t tiles, const std::vector<Matrix> &cs,
+              const std::vector<Matrix> &as,
+              const std::vector<Matrix> &bs, Cycle *cycles = nullptr)
+{
+    WarpConfig cfg;
+    cfg.cells = cells;
+    cfg.cell.tpiDepth = 256;
+    WarpArray warp(cfg);
+    warp.loadMicrocode(warpMatUpdateEntry, buildWarpMatUpdate(), 5);
+
+    auto &mem = warp.memory();
+    std::size_t c_base = mem.alloc(tiles * n * n);
+    std::size_t a_base = mem.alloc(tiles * n * k);
+    std::size_t b_base = mem.alloc(tiles * n * k);
+    for (std::size_t t = 0; t < tiles; ++t) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+                mem.storeF(c_base + t * n * n + j * n + i,
+                           cs[t].at(i, j));
+            }
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+                mem.storeF(a_base + t * n * k + j * n + i,
+                           as[t].at(i, j));
+            }
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < k; ++i) {
+                mem.storeF(b_base + t * n * k + j * k + i,
+                           bs[t].at(i, j));
+            }
+        }
+    }
+    planWarpMatUpdateStream(warp, n, k, tiles, c_base, a_base, b_base);
+    Cycle c = warp.run();
+    if (cycles)
+        *cycles = c;
+
+    std::vector<Matrix> out;
+    for (std::size_t t = 0; t < tiles; ++t) {
+        Matrix m(n, n);
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < n; ++i)
+                m.at(i, j) = mem.loadF(c_base + t * n * n + j * n + i);
+        }
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+struct WarpCase
+{
+    unsigned cells;
+    std::size_t n, k, tiles;
+};
+
+class WarpSweep : public ::testing::TestWithParam<WarpCase>
+{};
+
+TEST_P(WarpSweep, StreamMatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n + tc.k * 11 + tc.cells);
+    std::vector<Matrix> cs, as, bs, expect;
+    for (std::size_t t = 0; t < tc.tiles; ++t) {
+        Matrix c(tc.n, tc.n), a(tc.n, tc.k), b(tc.k, tc.n);
+        c.randomize(rng);
+        a.randomize(rng);
+        b.randomize(rng);
+        Matrix e = c;
+        blasref::gemm(e, a, b);
+        cs.push_back(c);
+        as.push_back(a);
+        bs.push_back(b);
+        expect.push_back(e);
+    }
+    auto got = runWarpStream(tc.cells, tc.n, tc.k, tc.tiles, cs, as,
+                             bs);
+    for (std::size_t t = 0; t < tc.tiles; ++t) {
+        EXPECT_LT(got[t].maxAbsDiff(expect[t]), 1e-3f)
+            << "tile " << t << " P=" << tc.cells;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WarpSweep, ::testing::Values(
+    WarpCase{1, 6, 4, 2},
+    WarpCase{2, 8, 6, 3},
+    WarpCase{4, 8, 16, 6},
+    WarpCase{4, 8, 3, 5},   // fewer k than cells: some cells idle
+    WarpCase{8, 10, 24, 10},
+    WarpCase{3, 12, 7, 1}   // single tile: pipeline never fills
+));
+
+TEST(Warp, PipelineBeatsSingleCellOnTileStream)
+{
+    const std::size_t n = 12, k = 24, tiles = 12;
+    Rng rng(5);
+    std::vector<Matrix> cs, as, bs;
+    for (std::size_t t = 0; t < tiles; ++t) {
+        Matrix c(n, n), a(n, k), b(k, n);
+        c.randomize(rng);
+        a.randomize(rng);
+        b.randomize(rng);
+        cs.push_back(c);
+        as.push_back(a);
+        bs.push_back(b);
+    }
+    Cycle one = 0, four = 0;
+    runWarpStream(1, n, k, tiles, cs, as, bs, &one);
+    runWarpStream(4, n, k, tiles, cs, as, bs, &four);
+    EXPECT_LT(four, one); // the chain must give real speedup
+}
+
+TEST(Warp, RejectsTileLargerThanCell)
+{
+    WarpConfig cfg;
+    cfg.cells = 2;
+    cfg.cell.tf = 64;
+    WarpArray warp(cfg);
+    warp.loadMicrocode(warpMatUpdateEntry, buildWarpMatUpdate(), 5);
+    EXPECT_THROW(planWarpMatUpdateStream(warp, 10, 4, 1, 0, 0, 0),
+                 std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Analytic models (section 4)
+// ---------------------------------------------------------------------
+
+TEST(Analytic, Table42aFirstGenerationRisc)
+{
+    // tau = 4: N = 16P, LM = N^2/P (paper table 4.2a).
+    const std::size_t expect_n[] = {16, 32, 64, 128, 256};
+    const std::size_t expect_lm[] = {256, 512, 1024, 2048, 4096};
+    unsigned p = 1;
+    for (int i = 0; i < 5; ++i, p *= 2) {
+        auto r = analytic::matUpdateRequirement(4, p);
+        EXPECT_EQ(r.minN, expect_n[i]) << "P=" << p;
+        EXPECT_EQ(r.words, expect_lm[i]) << "P=" << p;
+    }
+}
+
+TEST(Analytic, Table42bSuperscalar)
+{
+    // tau = 2: N = 8P, LM = 64P (paper table 4.2b).
+    const std::size_t expect_n[] = {8, 16, 32, 64, 128};
+    const std::size_t expect_lm[] = {64, 128, 256, 512, 1024};
+    unsigned p = 1;
+    for (int i = 0; i < 5; ++i, p *= 2) {
+        auto r = analytic::matUpdateRequirement(2, p);
+        EXPECT_EQ(r.minN, expect_n[i]) << "P=" << p;
+        EXPECT_EQ(r.words, expect_lm[i]) << "P=" << p;
+    }
+}
+
+TEST(Analytic, PaperTileSizes)
+{
+    // Section 6.1: P=16, Tf=512 gives N=88 (88^2/16 = 484 <= 512).
+    EXPECT_EQ(analytic::paperTileN(16, 512), 88u);
+    // P=1, Tf=2048: N=45.
+    EXPECT_EQ(analytic::paperTileN(1, 2048), 45u);
+    // P=1, Tf=512: N=22.
+    EXPECT_EQ(analytic::paperTileN(1, 512), 22u);
+    // P=16, Tf=2048: N^2 multiple of 16, N^2 <= 32768: N=180.
+    EXPECT_EQ(analytic::paperTileN(16, 2048), 180u);
+}
+
+TEST(Analytic, MatUpdateBandwidthBoundPaperCase)
+{
+    // The paper's quantitative anchor: tau=4, Tf=512, P=16, N=88: 704
+    // cycles to feed one iteration that yields 484 multiply-adds per
+    // cell. Asymptotically: 16 * 484/704 = 11.
+    double bound = analytic::matUpdateAsymptoticBound(16, 4, 88);
+    EXPECT_NEAR(bound, 11.0, 0.01);
+    // tau=2 doubles the ceiling and saturates at P.
+    EXPECT_NEAR(analytic::matUpdateAsymptoticBound(16, 2, 88), 16.0,
+                0.01);
+}
+
+TEST(Analytic, ConvBandwidthBoundPaperCase)
+{
+    // Section 6.2's accounting: 16 cells, 64-column blocks, 5x5, tau=4
+    // gives the paper 2.94 useful MA/cycle (their centered blocks carry
+    // a (q-1)-column frontier on *each* side: 72-wide reads). Our
+    // anchored correlation needs only a one-sided q-1 halo (68-wide
+    // reads), so the same formula yields a slightly higher ceiling:
+    // 16*1600 / (4 * (16*68 + 1024)) = 3.03.
+    double b4 = analytic::convBandwidthBound(16, 4, 1024, 64, 5, 5);
+    EXPECT_NEAR(b4, 3.03, 0.01);
+    double b2 = analytic::convBandwidthBound(16, 2, 1024, 64, 5, 5);
+    EXPECT_NEAR(b2, 6.06, 0.01);
+}
+
+TEST(Analytic, LuWork)
+{
+    // n=2: step 1: 1 + 1; step 2: 0.
+    EXPECT_DOUBLE_EQ(analytic::luMultiplyAdds(2), 2.0);
+    // Asymptotically n^3/3.
+    double w = analytic::luMultiplyAdds(300);
+    EXPECT_NEAR(w / (300.0 * 300 * 300 / 3.0), 1.0, 0.02);
+}
+
+TEST(Analytic, ScalarBaselineRespectsBothLimits)
+{
+    // Compute-bound when cache is large.
+    double c1 = analytic::scalarGemmCycles(64, 64, 64, 4, 1.0,
+                                           1 << 20);
+    EXPECT_NEAR(c1, 64.0 * 64 * 64, 64.0 * 64 * 64 * 0.5);
+    // Memory-bound when cache is tiny.
+    double c2 = analytic::scalarGemmCycles(64, 64, 64, 4, 1.0, 3);
+    EXPECT_GT(c2, 2.0 * 64 * 64 * 64);
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the reference math library (the oracles themselves):
+ * internal consistency and hand-computed cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blasref/blas3.hh"
+#include "blasref/lu.hh"
+#include "blasref/signal.hh"
+
+using namespace opac;
+using namespace opac::blasref;
+
+TEST(Matrix, Basics)
+{
+    Matrix m(3, 2, 1.5f);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m.at(2, 1), 1.5f);
+    m.at(1, 0) = -2.0f;
+    EXPECT_EQ(m.at(1, 0), -2.0f);
+    EXPECT_THROW(m.at(3, 0), std::logic_error);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a(2, 2), b(2, 2);
+    a.at(0, 0) = 1.0f;
+    b.at(0, 0) = 1.5f;
+    b.at(1, 1) = -0.25f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5f);
+}
+
+TEST(Gemm, HandComputed2x2)
+{
+    Matrix a(2, 2), b(2, 2), c(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    c.at(0, 0) = 1;
+    gemm(c, a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 1 + 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Gemm, NegateSubtracts)
+{
+    Rng rng(1);
+    Matrix a(4, 3), b(3, 5), c(4, 5), d(4, 5);
+    a.randomize(rng);
+    b.randomize(rng);
+    c.randomize(rng);
+    d = c;
+    gemm(c, a, b, false);
+    gemm(c, a, b, true);
+    EXPECT_LT(c.maxAbsDiff(d), 1e-5f);
+}
+
+TEST(Trsm, RightUpperSolves)
+{
+    Rng rng(2);
+    const std::size_t n = 8, m = 6;
+    Matrix u(n, n);
+    u.randomize(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            u.at(i, j) = 0.0f;
+        u.at(i, i) += 4.0f;
+    }
+    Matrix a(m, n), orig(m, n);
+    a.randomize(rng);
+    orig = a;
+    trsmRightUpper(a, u);
+    // X * U should reproduce the original A.
+    Matrix check(m, n);
+    gemm(check, a, u);
+    EXPECT_LT(check.maxAbsDiff(orig), 1e-4f);
+}
+
+TEST(Trsm, LeftUnitLowerSolves)
+{
+    Rng rng(3);
+    const std::size_t n = 7, m = 5;
+    Matrix l(n, n);
+    l.randomize(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        l.at(i, i) = 1.0f;
+        for (std::size_t j = i + 1; j < n; ++j)
+            l.at(i, j) = 0.0f;
+    }
+    Matrix a(n, m), orig(n, m);
+    a.randomize(rng);
+    orig = a;
+    trsmLeftUnitLower(a, l);
+    Matrix check(n, m);
+    gemm(check, l, a);
+    EXPECT_LT(check.maxAbsDiff(orig), 1e-4f);
+}
+
+TEST(Trmm, MatchesGemmWithTriangle)
+{
+    Rng rng(4);
+    const std::size_t n = 6, m = 4;
+    Matrix u(n, n);
+    u.randomize(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            u.at(i, j) = 0.0f;
+    }
+    Matrix b(n, m), expect(n, m);
+    b.randomize(rng);
+    gemm(expect, u, b);
+    trmmLeftUpper(b, u);
+    EXPECT_LT(b.maxAbsDiff(expect), 1e-4f);
+}
+
+TEST(Syrk, MatchesGemmLowerTriangle)
+{
+    Rng rng(5);
+    const std::size_t n = 6, k = 4;
+    Matrix a(n, k);
+    a.randomize(rng);
+    Matrix at(k, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < k; ++j)
+            at.at(j, i) = a.at(i, j);
+    }
+    Matrix full(n, n);
+    gemm(full, a, at);
+    Matrix c(n, n);
+    syrkLower(c, a);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = j; i < n; ++i)
+            EXPECT_NEAR(c.at(i, j), full.at(i, j), 1e-4f);
+    }
+}
+
+TEST(Lu, FactorsAndSolves)
+{
+    Rng rng(6);
+    const std::size_t n = 12;
+    Matrix a(n, n);
+    a.randomize(rng);
+    a.makeDiagonallyDominant();
+    Matrix lu_m = a;
+    luFactor(lu_m);
+    std::vector<float> b(n);
+    for (auto &v : b)
+        v = rng.element();
+    auto x = luSolve(lu_m, b);
+    EXPECT_LT(residual(a, x, b), 1e-3f);
+}
+
+TEST(Lu, ReconstructsViaLTimesU)
+{
+    Rng rng(7);
+    const std::size_t n = 9;
+    Matrix a(n, n);
+    a.randomize(rng);
+    a.makeDiagonallyDominant();
+    Matrix f = a;
+    luFactor(f);
+    Matrix l(n, n), u(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        l.at(i, i) = 1.0f;
+        for (std::size_t j = 0; j < i; ++j)
+            l.at(i, j) = f.at(i, j);
+        for (std::size_t j = i; j < n; ++j)
+            u.at(i, j) = f.at(i, j);
+    }
+    Matrix prod(n, n);
+    gemm(prod, l, u);
+    EXPECT_LT(prod.maxAbsDiff(a), 1e-3f);
+}
+
+TEST(Signal, Xcorr2dHandComputed)
+{
+    Matrix img(3, 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t r = 0; r < 3; ++r)
+            img.at(r, c) = float(r * 3 + c + 1);
+    }
+    Matrix w(2, 2, 1.0f); // box filter
+    Matrix out = xcorr2d(img, w);
+    // out(0,0) = img(0,0)+img(0,1)+img(1,0)+img(1,1) = 1+2+4+5.
+    EXPECT_FLOAT_EQ(out.at(0, 0), 12.0f);
+    // bottom-right uses zero padding: only img(2,2).
+    EXPECT_FLOAT_EQ(out.at(2, 2), 9.0f);
+}
+
+TEST(Signal, Xcorr1dHandComputed)
+{
+    std::vector<float> x = {1, 2, 3};
+    std::vector<float> y = {4, 5, 6, 7};
+    auto out = xcorr1d(x, y, 2);
+    EXPECT_FLOAT_EQ(out[0], 1 * 4 + 2 * 5 + 3 * 6);
+    EXPECT_FLOAT_EQ(out[1], 1 * 5 + 2 * 6 + 3 * 7);
+}
+
+TEST(Signal, FftMatchesDft)
+{
+    Rng rng(8);
+    const std::size_t n = 64;
+    std::vector<std::complex<float>> x(n);
+    for (auto &v : x)
+        v = {rng.element(), rng.element()};
+    auto a = fft(x);
+    auto b = dft(x);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(a[i].real(), b[i].real(), 1e-3f);
+        EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-3f);
+    }
+}
+
+TEST(Signal, FftInverseRoundTrip)
+{
+    Rng rng(9);
+    const std::size_t n = 32;
+    std::vector<std::complex<float>> x(n);
+    for (auto &v : x)
+        v = {rng.element(), rng.element()};
+    auto f = fft(x);
+    auto back = fft(f, true);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(back[i].real() / float(n), x[i].real(), 1e-4f);
+        EXPECT_NEAR(back[i].imag() / float(n), x[i].imag(), 1e-4f);
+    }
+}
+
+TEST(Signal, FftRejectsNonPowerOfTwo)
+{
+    std::vector<std::complex<float>> x(6);
+    EXPECT_THROW(fft(x), std::logic_error);
+}

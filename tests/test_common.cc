@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging, stats, table formatting,
+ * math helpers and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+using namespace opac;
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+    EXPECT_EQ(strfmt("plain"), "plain");
+    EXPECT_EQ(strfmt("%5.2f", 3.14159), " 3.14");
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(opac_panic("boom %d", 7), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(opac_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(opac_assert(1 + 1 == 2, "math"));
+    EXPECT_THROW(opac_assert(false, "always"), std::logic_error);
+}
+
+TEST(Types, FloatWordRoundTrip)
+{
+    EXPECT_EQ(wordToFloat(floatToWord(1.5f)), 1.5f);
+    EXPECT_EQ(floatToWord(0.0f), 0u);
+    EXPECT_EQ(floatToWord(-0.0f), 0x80000000u);
+    EXPECT_EQ(floatToWord(1.0f), 0x3f800000u);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(-4));
+}
+
+TEST(MathUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(1024), 10);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 4), 12);
+    EXPECT_EQ(roundUp(12, 4), 12);
+    EXPECT_EQ(roundUp(0, 4), 0);
+}
+
+TEST(MathUtil, Isqrt)
+{
+    EXPECT_EQ(isqrt(0), 0);
+    EXPECT_EQ(isqrt(1), 1);
+    EXPECT_EQ(isqrt(3), 1);
+    EXPECT_EQ(isqrt(4), 2);
+    EXPECT_EQ(isqrt(2048), 45);
+    EXPECT_EQ(isqrt(512), 22);
+}
+
+TEST(Random, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Random, UniformBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.uniform();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Random, ElementInRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.element();
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Stats, CounterBasics)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionBasics)
+{
+    stats::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(Stats, GroupDumpAndLookup)
+{
+    stats::StatGroup root("sim");
+    stats::StatGroup child("cell0", &root);
+    stats::Counter c;
+    c += 17;
+    child.addCounter("issued", &c, "ops issued");
+
+    EXPECT_EQ(root.counterValue("cell0.issued"), 17u);
+
+    std::string out;
+    root.dump(out);
+    EXPECT_NE(out.find("sim.cell0.issued"), std::string::npos);
+    EXPECT_NE(out.find("17"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    stats::StatGroup root("sim");
+    stats::Counter c;
+    c += 3;
+    root.addCounter("x", &c);
+    root.resetAll();
+    EXPECT_EQ(root.counterValue("x"), 0u);
+}
+
+TEST(Stats, MissingCounterPanics)
+{
+    stats::StatGroup root("sim");
+    EXPECT_THROW(root.counterValue("nope"), std::logic_error);
+}
+
+TEST(Table, RendersAligned)
+{
+    TextTable t("title");
+    t.header({"a", "bbbb"});
+    t.row({"1", "2"});
+    t.row({"333", "4"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+    EXPECT_NE(out.find("333  4"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"x"});
+    t.row({"1", "2", "3"});
+    EXPECT_NO_THROW(t.render());
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the timed FIFO model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.hh"
+#include "fifo/timed_fifo.hh"
+
+using namespace opac;
+
+TEST(TimedFifo, ZeroCapacityPanics)
+{
+    EXPECT_THROW(TimedFifo("bad", 0), std::logic_error);
+}
+
+TEST(TimedFifo, PushNotVisibleSameCycle)
+{
+    TimedFifo f("f", 4, 1);
+    f.push(11, 0);
+    EXPECT_FALSE(f.canPop(0));
+    EXPECT_TRUE(f.canPop(1));
+    EXPECT_EQ(f.pop(1), 11u);
+}
+
+TEST(TimedFifo, FallThroughLatencyRespected)
+{
+    TimedFifo f("f", 4, 3);
+    f.push(7, 10);
+    EXPECT_FALSE(f.canPop(12));
+    EXPECT_TRUE(f.canPop(13));
+}
+
+TEST(TimedFifo, FifoOrderPreserved)
+{
+    TimedFifo f("f", 8);
+    for (Word w = 0; w < 8; ++w)
+        f.push(w, 0);
+    for (Word w = 0; w < 8; ++w)
+        EXPECT_EQ(f.pop(100), w);
+}
+
+TEST(TimedFifo, CapacityEnforced)
+{
+    TimedFifo f("f", 2);
+    f.push(1, 0);
+    f.push(2, 0);
+    EXPECT_FALSE(f.canPush());
+    EXPECT_THROW(f.push(3, 0), std::logic_error);
+    f.pop(5);
+    EXPECT_TRUE(f.canPush());
+}
+
+TEST(TimedFifo, ReservationsCountAgainstSpace)
+{
+    TimedFifo f("f", 3);
+    f.reserve();
+    f.reserve();
+    EXPECT_EQ(f.space(), 1u);
+    EXPECT_EQ(f.reservedSlots(), 2u);
+    f.push(1, 0);
+    EXPECT_FALSE(f.canPush());
+    f.pushReserved(2, 0);
+    EXPECT_EQ(f.reservedSlots(), 1u);
+    // Slot freed from reservation, consumed by the stored word: still full.
+    EXPECT_FALSE(f.canPush());
+    f.pushReserved(3, 0);
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.pop(5), 1u);
+    EXPECT_EQ(f.pop(5), 2u);
+    EXPECT_EQ(f.pop(5), 3u);
+}
+
+TEST(TimedFifo, PushReservedWithoutReservationPanics)
+{
+    TimedFifo f("f", 2);
+    EXPECT_THROW(f.pushReserved(1, 0), std::logic_error);
+}
+
+TEST(TimedFifo, PopEmptyPanics)
+{
+    TimedFifo f("f", 2);
+    EXPECT_THROW(f.pop(0), std::logic_error);
+}
+
+TEST(TimedFifo, FrontDoesNotConsume)
+{
+    TimedFifo f("f", 2);
+    f.push(9, 0);
+    EXPECT_EQ(f.front(1), 9u);
+    EXPECT_EQ(f.front(1), 9u);
+    EXPECT_EQ(f.size(), 1u);
+    EXPECT_EQ(f.pop(1), 9u);
+}
+
+TEST(TimedFifo, ResetClearsContentAndReservations)
+{
+    TimedFifo f("f", 4);
+    f.push(1, 0);
+    f.reserve();
+    f.reset();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.reservedSlots(), 0u);
+    EXPECT_EQ(f.space(), 4u);
+}
+
+TEST(TimedFifo, StatsCountTraffic)
+{
+    stats::StatGroup g("top");
+    TimedFifo f("q", 4);
+    f.addStats(g);
+    f.push(1, 0);
+    f.push(2, 0);
+    f.pop(3);
+    f.reset();
+    EXPECT_EQ(g.counterValue("q.pushes"), 2u);
+    EXPECT_EQ(g.counterValue("q.pops"), 1u);
+    EXPECT_EQ(g.counterValue("q.resets"), 1u);
+}
+
+/**
+ * Property: under a random interleaving of pushes and pops, the FIFO
+ * behaves exactly like an ideal queue (contents and order), and never
+ * exceeds capacity.
+ */
+TEST(TimedFifoProperty, MatchesIdealQueueUnderRandomOps)
+{
+    Rng rng(0xf1f0);
+    TimedFifo f("f", 16, 1);
+    std::deque<Word> model;
+    Word next_val = 0;
+    for (Cycle t = 0; t < 20000; ++t) {
+        if (rng.range(0, 1) == 0 && f.canPush()) {
+            f.push(next_val, t);
+            model.push_back(next_val);
+            ++next_val;
+        }
+        if (rng.range(0, 2) == 0 && f.canPop(t)) {
+            ASSERT_FALSE(model.empty());
+            EXPECT_EQ(f.pop(t), model.front());
+            model.pop_front();
+        }
+        EXPECT_LE(f.size(), 16u);
+    }
+    // Drain.
+    while (!model.empty()) {
+        EXPECT_EQ(f.pop(30000), model.front());
+        model.pop_front();
+    }
+    EXPECT_TRUE(f.empty());
+}
+
+/** Property: recirculation (pop + push) preserves cyclic order. */
+TEST(TimedFifoProperty, RecirculationPreservesCyclicOrder)
+{
+    TimedFifo f("f", 8, 1);
+    for (Word w = 0; w < 6; ++w)
+        f.push(w, 0);
+    Cycle t = 1;
+    // Recirculate two full revolutions.
+    for (int i = 0; i < 12; ++i) {
+        Word w = f.pop(t);
+        EXPECT_EQ(w, Word(i % 6));
+        f.push(w, t);
+        ++t;
+    }
+}

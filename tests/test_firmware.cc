@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for firmware images: round-trip fidelity, corruption
+ * rejection, and functional equivalence of a firmware-booted
+ * coprocessor with a directly-loaded one.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blasref/blas3.hh"
+#include "isa/disasm.hh"
+#include "kernels/firmware.hh"
+#include "kernels/lu_leaf.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/linalg_plan.hh"
+
+using namespace opac;
+using namespace opac::kernels;
+using namespace opac::planner;
+
+TEST(Firmware, RoundTripsStandardSet)
+{
+    auto image = standardFirmware();
+    auto set = unpackFirmware(image);
+    EXPECT_EQ(set.size(), 13u);
+    // Spot-check one kernel survives textually identical.
+    bool found = false;
+    for (const auto &fe : set) {
+        if (fe.prog.name() == "lu_leaf") {
+            found = true;
+            EXPECT_EQ(isa::disasm(fe.prog),
+                      isa::disasm(buildLuLeaf()));
+            EXPECT_EQ(fe.nparams, luLeafParams);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Firmware, RejectsCorruption)
+{
+    auto image = standardFirmware();
+    // Bad magic.
+    auto bad = image;
+    bad[0] ^= 1;
+    EXPECT_THROW(unpackFirmware(bad), std::runtime_error);
+    // Truncation.
+    auto trunc = image;
+    trunc.resize(trunc.size() - 3);
+    EXPECT_THROW(unpackFirmware(trunc), std::logic_error);
+    // Trailing garbage.
+    auto extra = image;
+    extra.push_back(0);
+    EXPECT_THROW(unpackFirmware(extra), std::logic_error);
+}
+
+TEST(Firmware, BootedCoprocessorMatchesDirectLoad)
+{
+    auto run_gemm = [&](bool via_firmware) {
+        copro::CoprocConfig cfg;
+        cfg.cells = 2;
+        cfg.cell.tf = 256;
+        copro::Coprocessor sys(cfg);
+        if (via_firmware)
+            installFirmware(sys, standardFirmware());
+        else
+            installStandardKernels(sys);
+        LinalgPlanner plan(sys);
+        Rng rng(4);
+        blasref::Matrix c(12, 12), a(12, 8), b(8, 12);
+        c.randomize(rng);
+        a.randomize(rng);
+        b.randomize(rng);
+        MatRef cr = allocMat(sys.memory(), 12, 12);
+        MatRef ar = allocMat(sys.memory(), 12, 8);
+        MatRef br = allocMat(sys.memory(), 8, 12);
+        storeMat(sys.memory(), cr, c);
+        storeMat(sys.memory(), ar, a);
+        storeMat(sys.memory(), br, b);
+        plan.matUpdate(cr, ar, br);
+        plan.commit();
+        Cycle cycles = sys.run();
+        return std::pair<Cycle, blasref::Matrix>(
+            cycles, loadMat(sys.memory(), cr));
+    };
+    auto direct = run_gemm(false);
+    auto booted = run_gemm(true);
+    EXPECT_EQ(direct.first, booted.first); // identical timing
+    EXPECT_LT(direct.second.maxAbsDiff(booted.second), 1e-7f);
+}
+
+TEST(Firmware, ImageIsCompact)
+{
+    // The paper's argument: implicit FIFO addressing keeps microcode
+    // small. The entire 13-kernel library fits a few KB.
+    auto image = standardFirmware();
+    EXPECT_LT(image.size() * 4, 40000u); // < 40 KB
+}

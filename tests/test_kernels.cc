@@ -1,0 +1,472 @@
+/**
+ * @file
+ * End-to-end integration tests: kernels planned by the host planners,
+ * executed on the simulated coprocessor, checked against the reference
+ * math. Parameterized sweeps cover cell counts, FIFO sizes and host
+ * speeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blasref/blas3.hh"
+#include "blasref/lu.hh"
+#include "blasref/signal.hh"
+#include "kernels/entries.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/linalg_plan.hh"
+#include "planner/signal_plan.hh"
+
+using namespace opac;
+using namespace opac::planner;
+using blasref::Matrix;
+using copro::CoprocConfig;
+using copro::Coprocessor;
+
+namespace
+{
+
+CoprocConfig
+makeConfig(unsigned cells, std::size_t tf, unsigned tau)
+{
+    CoprocConfig cfg;
+    cfg.cells = cells;
+    cfg.cell.tf = tf;
+    cfg.cell.interfaceDepth = std::max<std::size_t>(tf, 2048);
+    cfg.host.tau = tau;
+    cfg.watchdogCycles = 500000;
+    return cfg;
+}
+
+/** Run C += A*B on the coprocessor; returns the result matrix. */
+Matrix
+runMatUpdate(const CoprocConfig &cfg, const Matrix &c0, const Matrix &a0,
+             const Matrix &b0, bool negate = false)
+{
+    Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef c = allocMat(sys.memory(), c0.rows(), c0.cols());
+    MatRef a = allocMat(sys.memory(), a0.rows(), a0.cols());
+    MatRef b = allocMat(sys.memory(), b0.rows(), b0.cols());
+    storeMat(sys.memory(), c, c0);
+    storeMat(sys.memory(), a, a0);
+    storeMat(sys.memory(), b, b0);
+    plan.matUpdate(c, a, b, negate);
+    plan.commit();
+    sys.run();
+    return loadMat(sys.memory(), c);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Matrix update
+// ---------------------------------------------------------------------
+
+struct MatUpdateCase
+{
+    unsigned cells;
+    std::size_t tf;
+    unsigned tau;
+    std::size_t m, n, k;
+};
+
+class MatUpdateSweep : public ::testing::TestWithParam<MatUpdateCase>
+{};
+
+TEST_P(MatUpdateSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.m * 31 + tc.n * 7 + tc.k);
+    Matrix c(tc.m, tc.n), a(tc.m, tc.k), b(tc.k, tc.n);
+    c.randomize(rng);
+    a.randomize(rng);
+    b.randomize(rng);
+    Matrix expect = c;
+    blasref::gemm(expect, a, b);
+
+    Matrix got = runMatUpdate(makeConfig(tc.cells, tc.tf, tc.tau), c, a,
+                              b);
+    EXPECT_LT(got.maxAbsDiff(expect), 1e-3f)
+        << "P=" << tc.cells << " tf=" << tc.tf << " m=" << tc.m
+        << " n=" << tc.n << " k=" << tc.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatUpdateSweep, ::testing::Values(
+    MatUpdateCase{1, 2048, 2, 8, 8, 8},
+    MatUpdateCase{1, 64, 2, 8, 8, 8},      // multi-tile on one cell
+    MatUpdateCase{2, 2048, 2, 12, 9, 5},
+    MatUpdateCase{4, 512, 4, 16, 16, 10},
+    MatUpdateCase{4, 64, 2, 10, 30, 4},    // many tiles, odd shapes
+    MatUpdateCase{3, 128, 3, 17, 13, 11},  // non-power-of-two everything
+    MatUpdateCase{8, 256, 2, 40, 24, 6},
+    MatUpdateCase{16, 512, 4, 88, 88, 5},  // the paper's P=16 geometry
+    MatUpdateCase{5, 2048, 1, 1, 1, 1},    // degenerate 1x1
+    MatUpdateCase{4, 2048, 2, 2, 64, 3}    // chunks smaller than a column
+));
+
+TEST(MatUpdate, TransposedOperandsCoverAllGemmForms)
+{
+    // C += op(A) * op(B) for all four transpose combinations, streamed
+    // straight from the untransposed storage.
+    const std::size_t m = 14, n = 11, k = 9;
+    Rng rng(64);
+    Matrix a(m, k), at(k, m), b(k, n), bt(n, k), c0(m, n);
+    a.randomize(rng);
+    b.randomize(rng);
+    c0.randomize(rng);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < k; ++j)
+            at.at(j, i) = a.at(i, j);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            bt.at(j, i) = b.at(i, j);
+    }
+    Matrix expect = c0;
+    blasref::gemm(expect, a, b);
+
+    for (int form = 0; form < 4; ++form) {
+        const bool ta = form & 1;
+        const bool tb = form & 2;
+        Coprocessor sys(makeConfig(3, 128, 2));
+        kernels::installStandardKernels(sys);
+        LinalgPlanner plan(sys);
+        MatRef cr = allocMat(sys.memory(), m, n);
+        storeMat(sys.memory(), cr, c0);
+        MatRef ar = ta ? allocMat(sys.memory(), k, m)
+                       : allocMat(sys.memory(), m, k);
+        storeMat(sys.memory(), ar, ta ? at : a);
+        MatRef br = tb ? allocMat(sys.memory(), n, k)
+                       : allocMat(sys.memory(), k, n);
+        storeMat(sys.memory(), br, tb ? bt : b);
+        plan.matUpdate(cr, ar, br, false, tb, ta);
+        plan.commit();
+        sys.run();
+        EXPECT_LT(loadMat(sys.memory(), cr).maxAbsDiff(expect), 1e-3f)
+            << "ta=" << ta << " tb=" << tb;
+    }
+}
+
+TEST(MatUpdate, NegateSubtracts)
+{
+    Rng rng(77);
+    Matrix c(10, 10), a(10, 6), b(6, 10);
+    c.randomize(rng);
+    a.randomize(rng);
+    b.randomize(rng);
+    Matrix expect = c;
+    blasref::gemm(expect, a, b, true);
+    Matrix got = runMatUpdate(makeConfig(2, 512, 2), c, a, b, true);
+    EXPECT_LT(got.maxAbsDiff(expect), 1e-3f);
+}
+
+TEST(MatUpdate, EmptyProblemEmitsNothing)
+{
+    CoprocConfig cfg = makeConfig(2, 512, 2);
+    Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef c = allocMat(sys.memory(), 4, 4);
+    MatRef a = allocMat(sys.memory(), 4, 0);
+    MatRef b = allocMat(sys.memory(), 0, 4);
+    plan.matUpdate(c, a, b);
+    EXPECT_TRUE(plan.pending().empty());
+}
+
+TEST(MatUpdate, OverlappedVariantMatchesReference)
+{
+    // Drive the overlapped-reload kernel directly on one cell: whole
+    // matrix as a single chunk (f whole columns).
+    const int m = 6, n = 5, k = 4;
+    Rng rng(99);
+    Matrix c(m, n), a(m, k), b(k, n);
+    c.randomize(rng);
+    a.randomize(rng);
+    b.randomize(rng);
+    Matrix expect = c;
+    blasref::gemm(expect, a, b);
+
+    Coprocessor sys(makeConfig(1, 2048, 2));
+    kernels::installStandardKernels(sys);
+    MatRef cr = allocMat(sys.memory(), m, n);
+    MatRef ar = allocMat(sys.memory(), m, k);
+    MatRef br = allocMat(sys.memory(), k, n);
+    storeMat(sys.memory(), cr, c);
+    storeMat(sys.memory(), ar, a);
+    storeMat(sys.memory(), br, b);
+
+    using host::Region;
+    auto &h = sys.host();
+    h.enqueue(host::callOp(1, kernels::entries::matUpdateOvlAdd,
+                           {k - 1, m, n, m * n}));
+    h.enqueue(host::sendOp(1, Region::mat(cr.base, m, n, m)));
+    h.enqueue(host::sendOp(1, Region::vec(ar.addrOf(0, 0), m)));
+    for (int kk = 0; kk < k; ++kk) {
+        // C row kk then (except for the last k) the next A column.
+        h.enqueue(host::sendOp(1, Region::strided(br.addrOf(kk, 0), n,
+                                                  k)));
+        if (kk + 1 < k) {
+            h.enqueue(host::sendOp(1, Region::vec(ar.addrOf(0, kk + 1),
+                                                  m)));
+        }
+    }
+    h.enqueue(host::recvOp(0, Region::mat(cr.base, m, n, m)));
+    sys.run();
+    EXPECT_LT(loadMat(sys.memory(), cr).maxAbsDiff(expect), 1e-3f);
+}
+
+// ---------------------------------------------------------------------
+// Triangular solves
+// ---------------------------------------------------------------------
+
+struct TrsmCase
+{
+    unsigned cells;
+    std::size_t tf;
+    std::size_t m, n;
+};
+
+class TrsmSweep : public ::testing::TestWithParam<TrsmCase>
+{};
+
+TEST_P(TrsmSweep, RightUpperMatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.m * 13 + tc.n);
+    Matrix u(tc.n, tc.n);
+    u.randomize(rng);
+    for (std::size_t i = 0; i < tc.n; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            u.at(i, j) = 0.0f;
+        u.at(i, i) += 4.0f;
+    }
+    Matrix a(tc.m, tc.n);
+    a.randomize(rng);
+    Matrix expect = a;
+    blasref::trsmRightUpper(expect, u);
+
+    Coprocessor sys(makeConfig(tc.cells, tc.tf, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), tc.m, tc.n);
+    MatRef ur = allocMat(sys.memory(), tc.n, tc.n);
+    storeMat(sys.memory(), ar, a);
+    storeMat(sys.memory(), ur, u);
+    // Precompute diagonal reciprocals (normally done by the LU leaf).
+    std::size_t recips = sys.memory().alloc(tc.n);
+    for (std::size_t i = 0; i < tc.n; ++i)
+        sys.memory().storeF(recips + i, 1.0f / u.at(i, i));
+    plan.trsmRightUpper(ar, ur, recips);
+    plan.commit();
+    sys.run();
+    EXPECT_LT(loadMat(sys.memory(), ar).maxAbsDiff(expect), 1e-3f);
+}
+
+TEST_P(TrsmSweep, LeftUnitLowerMatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.m * 17 + tc.n);
+    Matrix l(tc.n, tc.n);
+    l.randomize(rng);
+    for (std::size_t i = 0; i < tc.n; ++i) {
+        l.at(i, i) = 1.0f;
+        for (std::size_t j = i + 1; j < tc.n; ++j)
+            l.at(i, j) = 0.0f;
+    }
+    Matrix a(tc.n, tc.m);
+    a.randomize(rng);
+    Matrix expect = a;
+    blasref::trsmLeftUnitLower(expect, l);
+
+    Coprocessor sys(makeConfig(tc.cells, tc.tf, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), tc.n, tc.m);
+    MatRef lr = allocMat(sys.memory(), tc.n, tc.n);
+    storeMat(sys.memory(), ar, a);
+    storeMat(sys.memory(), lr, l);
+    plan.trsmLeftUnitLower(lr, ar);
+    plan.commit();
+    sys.run();
+    EXPECT_LT(loadMat(sys.memory(), ar).maxAbsDiff(expect), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TrsmSweep, ::testing::Values(
+    TrsmCase{1, 2048, 6, 6},
+    TrsmCase{2, 512, 10, 8},
+    TrsmCase{4, 256, 16, 12},
+    TrsmCase{4, 64, 9, 20},   // forces the recursive split
+    TrsmCase{3, 128, 21, 11},
+    TrsmCase{1, 32, 4, 12}    // tiny FIFOs, deep recursion
+));
+
+// ---------------------------------------------------------------------
+// LU factorization
+// ---------------------------------------------------------------------
+
+struct LuCase
+{
+    unsigned cells;
+    std::size_t tf;
+    unsigned tau;
+    std::size_t n;
+};
+
+class LuSweep : public ::testing::TestWithParam<LuCase>
+{};
+
+TEST_P(LuSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n * 3 + tc.cells);
+    Matrix a(tc.n, tc.n);
+    a.randomize(rng);
+    a.makeDiagonallyDominant();
+    Matrix expect = a;
+    blasref::luFactor(expect);
+
+    Coprocessor sys(makeConfig(tc.cells, tc.tf, tc.tau));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), tc.n, tc.n);
+    storeMat(sys.memory(), ar, a);
+    plan.lu(ar);
+    plan.commit();
+    sys.run();
+    Matrix got = loadMat(sys.memory(), ar);
+    EXPECT_LT(got.maxAbsDiff(expect), 2e-3f)
+        << "P=" << tc.cells << " tf=" << tc.tf << " n=" << tc.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LuSweep, ::testing::Values(
+    LuCase{1, 2048, 2, 8},      // single leaf
+    LuCase{1, 2048, 2, 45},     // largest single leaf at Tf=2048
+    LuCase{1, 2048, 2, 46},     // just past the leaf: one recursion
+    LuCase{1, 512, 4, 44},      // the paper's smallest table size
+    LuCase{2, 512, 2, 30},
+    LuCase{4, 512, 2, 60},
+    LuCase{4, 128, 4, 37},      // deep recursion, odd size
+    LuCase{16, 512, 2, 88},
+    LuCase{1, 2048, 2, 1},      // degenerate
+    LuCase{1, 2048, 2, 2}
+));
+
+TEST(Lu, SolvesSystemEndToEnd)
+{
+    const std::size_t n = 24;
+    Rng rng(123);
+    Matrix a(n, n);
+    a.randomize(rng);
+    a.makeDiagonallyDominant();
+    std::vector<float> bvec(n);
+    for (auto &v : bvec)
+        v = rng.element();
+
+    Coprocessor sys(makeConfig(2, 256, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), n, n);
+    storeMat(sys.memory(), ar, a);
+    plan.lu(ar);
+    plan.commit();
+    sys.run();
+    Matrix f = loadMat(sys.memory(), ar);
+    auto x = blasref::luSolve(f, bvec);
+    EXPECT_LT(blasref::residual(a, x, bvec), 5e-3f);
+}
+
+// ---------------------------------------------------------------------
+// Cholesky factorization
+// ---------------------------------------------------------------------
+
+struct CholCase
+{
+    unsigned cells;
+    std::size_t tf;
+    std::size_t n;
+};
+
+class CholSweep : public ::testing::TestWithParam<CholCase>
+{};
+
+TEST_P(CholSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n * 7 + tc.cells);
+    Matrix a = blasref::randomSpd(tc.n, rng);
+    Matrix expect = a;
+    blasref::choleskyFactor(expect);
+
+    Coprocessor sys(makeConfig(tc.cells, tc.tf, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), tc.n, tc.n);
+    storeMat(sys.memory(), ar, a);
+    plan.cholesky(ar);
+    plan.commit();
+    sys.run();
+    Matrix got = loadMat(sys.memory(), ar);
+    // Compare the lower triangle only (upper is untouched scratch).
+    for (std::size_t j = 0; j < tc.n; ++j) {
+        for (std::size_t i = j; i < tc.n; ++i) {
+            EXPECT_NEAR(got.at(i, j), expect.at(i, j), 2e-3f)
+                << i << "," << j << " P=" << tc.cells
+                << " tf=" << tc.tf;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CholSweep, ::testing::Values(
+    CholCase{1, 2048, 12},   // single leaf
+    CholCase{1, 2048, 63},   // largest leaf at Tf=2048
+    CholCase{1, 2048, 64},   // one recursion
+    CholCase{1, 512, 44},
+    CholCase{4, 512, 60},
+    CholCase{4, 128, 37},    // deep recursion, odd size
+    CholCase{16, 512, 80},
+    CholCase{1, 2048, 1},
+    CholCase{2, 2048, 2}
+));
+
+TEST(Cholesky, ReconstructsViaLLT)
+{
+    const std::size_t n = 32;
+    Rng rng(9);
+    Matrix a = blasref::randomSpd(n, rng);
+
+    Coprocessor sys(makeConfig(2, 256, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef ar = allocMat(sys.memory(), n, n);
+    storeMat(sys.memory(), ar, a);
+    plan.cholesky(ar);
+    EXPECT_GT(plan.stats().cholLeaves, 1u);
+    plan.commit();
+    sys.run();
+    Matrix f = loadMat(sys.memory(), ar);
+
+    // L * L^T must reproduce A.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k <= j; ++k)
+                acc += double(f.at(i, k)) * double(f.at(j, k));
+            EXPECT_NEAR(float(acc), a.at(i, j), 5e-3f) << i << "," << j;
+        }
+    }
+}
+
+TEST(Lu, PlanStatsCountLeaves)
+{
+    Coprocessor sys(makeConfig(1, 512, 2));
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    EXPECT_EQ(plan.luLeafMax(), 22u);
+    MatRef ar = allocMat(sys.memory(), 44, 44);
+    plan.lu(ar);
+    // 44 splits into two 22-leaves.
+    EXPECT_EQ(plan.stats().luLeaves, 2u);
+    EXPECT_EQ(plan.stats().recipOps, 44u);
+    EXPECT_GT(plan.stats().trsmLeaves, 0u);
+}

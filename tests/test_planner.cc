@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and property tests for the planner substrate: chunk/segment
+ * decomposition, region emission and plan structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/chunking.hh"
+#include "planner/linalg_plan.hh"
+#include "planner/matref.hh"
+
+using namespace opac;
+using namespace opac::planner;
+
+TEST(SplitWords, EvenAndRaggedSplits)
+{
+    auto chunks = splitWords(10, 4);
+    ASSERT_EQ(chunks.size(), 4u);
+    EXPECT_EQ(chunks[0].words(), 3u);
+    EXPECT_EQ(chunks[1].words(), 3u);
+    EXPECT_EQ(chunks[2].words(), 2u);
+    EXPECT_EQ(chunks[3].words(), 2u);
+    EXPECT_EQ(chunks[0].w0, 0u);
+    EXPECT_EQ(chunks[3].w1, 10u);
+}
+
+TEST(SplitWords, MorePartsThanWords)
+{
+    auto chunks = splitWords(2, 5);
+    ASSERT_EQ(chunks.size(), 5u);
+    EXPECT_EQ(chunks[0].words(), 1u);
+    EXPECT_EQ(chunks[1].words(), 1u);
+    for (int i = 2; i < 5; ++i)
+        EXPECT_EQ(chunks[std::size_t(i)].words(), 0u);
+}
+
+TEST(SplitChunk, WholeColumns)
+{
+    Segments s = splitChunk(Chunk{0, 12}, 4);
+    EXPECT_EQ(s.rot, 0u);
+    EXPECT_EQ(s.head, 0u);
+    EXPECT_EQ(s.full, 3u);
+    EXPECT_EQ(s.tail, 0u);
+    EXPECT_EQ(s.colCount, 3u);
+}
+
+TEST(SplitChunk, MidColumnBoundaries)
+{
+    // Tile rows mb = 5; chunk [3, 14): head rows 3..4 of col 0, full
+    // col 1, tail rows 0..3 of col 2.
+    Segments s = splitChunk(Chunk{3, 14}, 5);
+    EXPECT_EQ(s.rot, 3u);
+    EXPECT_EQ(s.head, 2u);
+    EXPECT_EQ(s.col0, 0u);
+    EXPECT_EQ(s.fullCol0, 1u);
+    EXPECT_EQ(s.full, 1u);
+    EXPECT_EQ(s.tail, 4u);
+    EXPECT_EQ(s.tailCol, 2u);
+    EXPECT_EQ(s.colCount, 3u);
+}
+
+TEST(SplitChunk, InsideSingleColumn)
+{
+    Segments s = splitChunk(Chunk{7, 9}, 5); // rows 2..3 of col 1
+    EXPECT_EQ(s.rot, 2u);
+    EXPECT_EQ(s.head, 2u);
+    EXPECT_EQ(s.full, 0u);
+    EXPECT_EQ(s.tail, 0u);
+    EXPECT_EQ(s.colCount, 1u);
+}
+
+/**
+ * Property: for random tiles and cell counts, the segment
+ * decompositions of the chunks exactly re-cover the tile's word range
+ * in order, and every reported field is internally consistent.
+ */
+TEST(SplitChunkProperty, SegmentsReconstructTheChunk)
+{
+    Rng rng(0x5e6);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::size_t mb = std::size_t(rng.range(1, 40));
+        std::size_t nb = std::size_t(rng.range(1, 40));
+        unsigned parts = unsigned(rng.range(1, 17));
+        auto chunks = splitWords(mb * nb, parts);
+
+        std::size_t covered = 0;
+        for (const auto &ch : chunks) {
+            EXPECT_EQ(ch.w0, covered);
+            covered = ch.w1;
+            Segments s = splitChunk(ch, mb);
+            // Word count adds up.
+            EXPECT_EQ(s.head + s.full * mb + s.tail, ch.words());
+            // Rotation is the first row.
+            EXPECT_EQ(s.rot, ch.w0 % mb);
+            // Head never spans a column; tail strictly shorter than
+            // one (else it would be a full column).
+            EXPECT_LE(s.head, mb - s.rot);
+            EXPECT_LT(s.tail, mb);
+            if (ch.words() > 0) {
+                // Column count matches the touched range.
+                std::size_t first = ch.w0 / mb;
+                std::size_t last = (ch.w1 - 1) / mb;
+                EXPECT_EQ(s.colCount, last - first + 1);
+                EXPECT_EQ(s.col0, first);
+            }
+            // Reconstruct the word sequence from the segments.
+            std::vector<std::size_t> words;
+            for (std::size_t i = 0; i < s.head; ++i)
+                words.push_back(s.col0 * mb + s.rot + i);
+            for (std::size_t f = 0; f < s.full; ++f) {
+                for (std::size_t i = 0; i < mb; ++i)
+                    words.push_back((s.fullCol0 + f) * mb + i);
+            }
+            for (std::size_t i = 0; i < s.tail; ++i)
+                words.push_back(s.tailCol * mb + i);
+            ASSERT_EQ(words.size(), ch.words());
+            for (std::size_t i = 0; i < words.size(); ++i)
+                EXPECT_EQ(words[i], ch.w0 + i);
+        }
+        EXPECT_EQ(covered, mb * nb);
+        if (HasFailure())
+            break;
+    }
+}
+
+TEST(PlanStructure, MatUpdateOpsAreWellFormed)
+{
+    copro::CoprocConfig cfg;
+    cfg.cells = 4;
+    cfg.cell.tf = 256;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef c = allocMat(sys.memory(), 40, 40);
+    MatRef a = allocMat(sys.memory(), 40, 20);
+    MatRef b = allocMat(sys.memory(), 20, 40);
+    plan.matUpdate(c, a, b);
+
+    std::size_t sent = 0, received = 0, calls = 0;
+    for (const auto &op : plan.pending()) {
+        switch (op.kind) {
+          case host::HostOp::Kind::Send:
+            // A broadcast of w words counts once.
+            sent += op.region.count();
+            break;
+          case host::HostOp::Kind::Recv:
+            received += op.region.count();
+            break;
+          case host::HostOp::Kind::Call:
+            ++calls;
+            break;
+          default:
+            break;
+        }
+    }
+    // Tile traffic: chunk loads (40*40) + K * (A column broadcast +
+    // B row, with at most P-1 duplicated split-column words) and the
+    // full drain.
+    EXPECT_EQ(received, 1600u);
+    EXPECT_GE(sent, 1600u + 20u * (40 + 40));
+    EXPECT_LE(sent, 1600u + 20u * (40 + 40 + 3) * 2);
+    EXPECT_GE(calls, 4u);
+    // 40x40 tiled at 32x32 (Tf*P = 1024 words): 2x2 = 4 tiles.
+    EXPECT_EQ(plan.stats().tiles, 4u);
+}
+
+TEST(PlanStructure, LuRecursionCountsScale)
+{
+    copro::CoprocConfig cfg;
+    cfg.cells = 1;
+    cfg.cell.tf = 512; // leaf max 22
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef a = allocMat(sys.memory(), 176, 176);
+    plan.lu(a);
+    // 176 -> 88/88 -> 44/44 each -> 22-leaves: 8 leaves, one
+    // reciprocal per diagonal element.
+    EXPECT_EQ(plan.stats().luLeaves, 8u);
+    EXPECT_EQ(plan.stats().recipOps, 176u);
+}
+
+TEST(PlanStructure, CommitMovesOpsToHost)
+{
+    copro::CoprocConfig cfg;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    LinalgPlanner plan(sys);
+    MatRef c = allocMat(sys.memory(), 8, 8);
+    MatRef a = allocMat(sys.memory(), 8, 4);
+    MatRef b = allocMat(sys.memory(), 4, 8);
+    plan.matUpdate(c, a, b);
+    EXPECT_FALSE(plan.pending().empty());
+    plan.commit();
+    EXPECT_TRUE(plan.pending().empty());
+    EXPECT_FALSE(sys.host().done());
+}
+
+TEST(MatRefApi, SubViewAddressing)
+{
+    MatRef m{100, 10, 8, 12};
+    MatRef s = m.sub(2, 3, 4, 5);
+    EXPECT_EQ(s.addrOf(0, 0), m.addrOf(2, 3));
+    EXPECT_EQ(s.addrOf(3, 4), m.addrOf(5, 7));
+    EXPECT_EQ(s.ld, 12u);
+    EXPECT_THROW(m.sub(8, 0, 4, 1), std::logic_error);
+}

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * End-to-end tests of the signal kernels — 2-D convolution, 1-D
+ * correlation, FFT — against the reference implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "blasref/signal.hh"
+#include "kernels/fft.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/signal_plan.hh"
+
+using namespace opac;
+using namespace opac::planner;
+using blasref::Matrix;
+using copro::CoprocConfig;
+using copro::Coprocessor;
+
+namespace
+{
+
+CoprocConfig
+makeConfig(unsigned cells, std::size_t tf, unsigned tau)
+{
+    CoprocConfig cfg;
+    cfg.cells = cells;
+    cfg.cell.tf = tf;
+    cfg.cell.interfaceDepth = std::max<std::size_t>(tf, 2048);
+    cfg.host.tau = tau;
+    cfg.watchdogCycles = 500000;
+    return cfg;
+}
+
+/**
+ * Store the transposed, padded image: (M + q - 1) x (N + p)
+ * column-major, column r = padded input row r.
+ */
+MatRef
+storeImageT(host::HostMemory &mem, const Matrix &img, unsigned p,
+            unsigned q)
+{
+    MatRef ref = allocMat(mem, img.cols() + q - 1, img.rows() + p);
+    for (std::size_t r = 0; r < ref.cols; ++r) {
+        for (std::size_t c = 0; c < ref.rows; ++c) {
+            float v = 0.0f;
+            if (r < img.rows() && c < img.cols())
+                v = img.at(r, c);
+            mem.storeF(ref.addrOf(c, r), v);
+        }
+    }
+    return ref;
+}
+
+Matrix
+runConv(const CoprocConfig &cfg, const Matrix &img, const Matrix &w)
+{
+    Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    const unsigned p = unsigned(w.rows());
+    const unsigned q = unsigned(w.cols());
+    MatRef image_t = storeImageT(sys.memory(), img, p, q);
+    MatRef wr = allocMat(sys.memory(), p, q);
+    storeMat(sys.memory(), wr, w);
+    MatRef out_t = allocMat(sys.memory(), img.cols(), img.rows());
+    plan.conv2d(image_t, wr, out_t, img.rows(), img.cols());
+    plan.commit();
+    sys.run();
+    // Transpose back.
+    Matrix out(img.rows(), img.cols());
+    for (std::size_t r = 0; r < img.rows(); ++r) {
+        for (std::size_t c = 0; c < img.cols(); ++c)
+            out.at(r, c) = sys.memory().loadF(out_t.addrOf(c, r));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+struct ConvCase
+{
+    unsigned cells;
+    std::size_t tf;
+    std::size_t n, m;
+    unsigned p, q;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase>
+{};
+
+TEST_P(ConvSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n * 5 + tc.m + tc.p);
+    Matrix img(tc.n, tc.m);
+    img.randomize(rng);
+    Matrix w(tc.p, tc.q);
+    w.randomize(rng);
+    Matrix expect = blasref::xcorr2d(img, w);
+    Matrix got = runConv(makeConfig(tc.cells, tc.tf, 2), img, w);
+    EXPECT_LT(got.maxAbsDiff(expect), 1e-4f)
+        << "P=" << tc.cells << " tf=" << tc.tf << " img=" << tc.n << "x"
+        << tc.m << " w=" << tc.p << "x" << tc.q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvSweep, ::testing::Values(
+    ConvCase{1, 2048, 8, 8, 3, 3},
+    ConvCase{1, 2048, 12, 16, 5, 5},
+    ConvCase{1, 128, 10, 40, 3, 3},   // forces column blocking
+    ConvCase{4, 128, 9, 50, 3, 3},    // blocks across cells
+    ConvCase{2, 2048, 6, 6, 1, 1},    // degenerate 1x1 kernel
+    ConvCase{1, 2048, 7, 9, 1, 4},    // single-row kernel
+    ConvCase{1, 2048, 9, 7, 4, 1},    // single-column kernel
+    ConvCase{3, 256, 16, 33, 5, 5},   // ragged last block
+    ConvCase{2, 2048, 2, 5, 2, 2}     // image smaller than warm-up
+));
+
+TEST(Conv, IssueCountMatchesTheFrontierFormula)
+{
+    // Per row iteration the cell issues exactly p*q*Wi datapath ops
+    // (the fig. 6 frontier overhead made concrete), plus the loads,
+    // drains and weight setup.
+    const std::size_t n = 10, m = 20;
+    const unsigned p = 3, q = 3;
+    Coprocessor sys(makeConfig(1, 2048, 1));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    MatRef image_t = allocMat(sys.memory(), m + q - 1, n + p);
+    MatRef w = allocMat(sys.memory(), p, q);
+    MatRef out_t = allocMat(sys.memory(), m, n);
+    auto geom = plan.conv2d(image_t, w, out_t, n, m);
+    plan.commit();
+    sys.run();
+    ASSERT_EQ(geom.blocks, 1u);
+    const std::size_t wi = m + q - 1;
+    const std::size_t iters = n + p - 1;
+    std::size_t expected = p * q                  // weight loads
+        + (p - 1) * m                             // zero partials
+        + wi                                      // first row load
+        + iters * (p * q * wi)                    // all passes
+        + 2;                                      // final queue resets
+    EXPECT_EQ(sys.cell(0).issuedOps(), expected);
+}
+
+TEST(Conv, GeometryMatchesPaperSizing)
+{
+    // Tf = 512, 5x5: Wu = (512-5)/5 - 4 = 97 useful columns.
+    Coprocessor sys(makeConfig(1, 512, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    Rng rng(1);
+    Matrix img(8, 300);
+    img.randomize(rng);
+    Matrix w(5, 5);
+    w.randomize(rng);
+    MatRef image_t = storeImageT(sys.memory(), img, 5, 5);
+    MatRef wr = allocMat(sys.memory(), 5, 5);
+    storeMat(sys.memory(), wr, w);
+    MatRef out_t = allocMat(sys.memory(), 300, 8);
+    auto geom = plan.conv2d(image_t, wr, out_t, 8, 300);
+    EXPECT_EQ(geom.wu, 97u);
+    EXPECT_EQ(geom.wi, 101u);
+    EXPECT_EQ(geom.blocks, 4u); // ceil(300 / 97)
+}
+
+struct CorrCase
+{
+    unsigned cells;
+    std::size_t nx, lags;
+};
+
+class CorrSweep : public ::testing::TestWithParam<CorrCase>
+{};
+
+TEST_P(CorrSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.nx + tc.lags * 3);
+    std::vector<float> x(tc.nx), y(tc.nx + tc.lags - 1);
+    for (auto &v : x)
+        v = rng.element();
+    for (auto &v : y)
+        v = rng.element();
+    auto expect = blasref::xcorr1d(x, y, tc.lags);
+
+    Coprocessor sys(makeConfig(tc.cells, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    auto &mem = sys.memory();
+    std::size_t xb = mem.alloc(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        mem.storeF(xb + i, x[i]);
+    std::size_t yb = mem.alloc(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        mem.storeF(yb + i, y[i]);
+    std::size_t ob = mem.alloc(tc.lags);
+    plan.correlation(xb, tc.nx, yb, tc.lags, ob);
+    plan.commit();
+    sys.run();
+    for (std::size_t d = 0; d < tc.lags; ++d)
+        EXPECT_NEAR(mem.loadF(ob + d), expect[d], 1e-3f) << "lag " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CorrSweep, ::testing::Values(
+    CorrCase{1, 64, 16},
+    CorrCase{1, 100, 3},    // D below the pipeline depth: stalls only
+    CorrCase{1, 10, 1},     // single lag
+    CorrCase{4, 128, 32},   // lags partitioned across cells
+    CorrCase{4, 50, 10},    // uneven partition
+    CorrCase{2, 5, 8}       // lags exceed samples
+));
+
+struct FftCase
+{
+    unsigned cells;
+    std::size_t n, batch;
+};
+
+class FftSweep : public ::testing::TestWithParam<FftCase>
+{};
+
+TEST_P(FftSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n + tc.batch);
+    std::vector<std::vector<std::complex<float>>> xs(tc.batch);
+    for (auto &x : xs) {
+        x.resize(tc.n);
+        for (auto &v : x)
+            v = {rng.element(), rng.element()};
+    }
+
+    Coprocessor sys(makeConfig(tc.cells, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    auto &mem = sys.memory();
+    std::size_t in = mem.alloc(2 * tc.n * tc.batch);
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        for (std::size_t i = 0; i < tc.n; ++i) {
+            mem.storeF(in + b * 2 * tc.n + 2 * i, xs[b][i].real());
+            mem.storeF(in + b * 2 * tc.n + 2 * i + 1, xs[b][i].imag());
+        }
+    }
+    std::size_t out = mem.alloc(2 * tc.n * tc.batch);
+    plan.fft(in, out, tc.n, tc.batch);
+    plan.commit();
+    sys.run();
+
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        auto expect = blasref::fft(xs[b]);
+        float tol = 2e-3f * float(tc.n > 64 ? tc.n / 64 : 1);
+        for (std::size_t k = 0; k < tc.n; ++k) {
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k),
+                        expect[k].real(), tol)
+                << "batch " << b << " bin " << k;
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k + 1),
+                        expect[k].imag(), tol)
+                << "batch " << b << " bin " << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FftSweep, ::testing::Values(
+    FftCase{1, 4, 1},
+    FftCase{1, 8, 1},
+    FftCase{1, 64, 1},
+    FftCase{1, 256, 1},
+    FftCase{1, 1024, 1},  // the paper's reference size (fits Tf=2048)
+    FftCase{4, 64, 8},    // batch across cells
+    FftCase{2, 16, 3}     // odd batch
+));
+
+class FftFastSweep : public ::testing::TestWithParam<FftCase>
+{};
+
+TEST_P(FftFastSweep, PipelinedMatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n * 13 + tc.batch);
+    std::vector<std::vector<std::complex<float>>> xs(tc.batch);
+    for (auto &x : xs) {
+        x.resize(tc.n);
+        for (auto &v : x)
+            v = {rng.element(), rng.element()};
+    }
+    Coprocessor sys(makeConfig(tc.cells, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    auto &mem = sys.memory();
+    std::size_t in = mem.alloc(2 * tc.n * tc.batch);
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        for (std::size_t i = 0; i < tc.n; ++i) {
+            mem.storeF(in + b * 2 * tc.n + 2 * i, xs[b][i].real());
+            mem.storeF(in + b * 2 * tc.n + 2 * i + 1, xs[b][i].imag());
+        }
+    }
+    std::size_t out = mem.alloc(2 * tc.n * tc.batch);
+    plan.fft(in, out, tc.n, tc.batch, /*pipelined=*/true);
+    plan.commit();
+    sys.run();
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        auto expect = blasref::fft(xs[b]);
+        float tol = 2e-3f * float(tc.n > 64 ? tc.n / 64 : 1);
+        for (std::size_t k = 0; k < tc.n; ++k) {
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k),
+                        expect[k].real(), tol) << b << "/" << k;
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k + 1),
+                        expect[k].imag(), tol) << b << "/" << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FftFastSweep, ::testing::Values(
+    FftCase{1, 8, 1},     // one pair per half
+    FftCase{1, 64, 2},
+    FftCase{1, 1024, 1},
+    FftCase{2, 32, 3}
+));
+
+TEST(FftFast, BeatsPlainButterfly)
+{
+    auto cycles_for = [&](bool pipelined) {
+        Coprocessor sys(makeConfig(1, 2048, 2));
+        kernels::installStandardKernels(sys);
+        SignalPlanner plan(sys);
+        std::size_t in = sys.memory().alloc(2 * 1024);
+        std::size_t out = sys.memory().alloc(2 * 1024);
+        plan.fft(in, out, 1024, 1, pipelined);
+        plan.commit();
+        return sys.run();
+    };
+    Cycle plain = cycles_for(false);
+    Cycle fast = cycles_for(true);
+    // 2-way interleaving removes the A-butterfly stalls but the B
+    // tail still waits on its own multiply-adds: ~12% in practice.
+    EXPECT_LT(double(fast), 0.92 * double(plain));
+}
+
+TEST(FftFast, RejectsTooSmallSize)
+{
+    Coprocessor sys(makeConfig(1, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    std::size_t buf = sys.memory().alloc(64);
+    EXPECT_THROW(plan.fft(buf, buf, 4, 1, true), std::logic_error);
+}
+
+class FftResidentSweep : public ::testing::TestWithParam<FftCase>
+{};
+
+TEST_P(FftResidentSweep, MatchesReference)
+{
+    const auto &tc = GetParam();
+    Rng rng(tc.n * 3 + tc.batch);
+    std::vector<std::vector<std::complex<float>>> xs(tc.batch);
+    for (auto &x : xs) {
+        x.resize(tc.n);
+        for (auto &v : x)
+            v = {rng.element(), rng.element()};
+    }
+    Coprocessor sys(makeConfig(tc.cells, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    auto &mem = sys.memory();
+    std::size_t in = mem.alloc(2 * tc.n * tc.batch);
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        for (std::size_t i = 0; i < tc.n; ++i) {
+            mem.storeF(in + b * 2 * tc.n + 2 * i, xs[b][i].real());
+            mem.storeF(in + b * 2 * tc.n + 2 * i + 1, xs[b][i].imag());
+        }
+    }
+    std::size_t out = mem.alloc(2 * tc.n * tc.batch);
+    plan.fftResident(in, out, tc.n, tc.batch);
+    plan.commit();
+    sys.run();
+    for (std::size_t b = 0; b < tc.batch; ++b) {
+        auto expect = blasref::fft(xs[b]);
+        for (std::size_t k = 0; k < tc.n; ++k) {
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k),
+                        expect[k].real(), 2e-3f) << b << "/" << k;
+            EXPECT_NEAR(mem.loadF(out + b * 2 * tc.n + 2 * k + 1),
+                        expect[k].imag(), 2e-3f) << b << "/" << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FftResidentSweep, ::testing::Values(
+    FftCase{1, 16, 1},
+    FftCase{1, 64, 4},    // multiple revolutions of the table
+    FftCase{1, 256, 3},   // table exactly fills Tf = 2048
+    FftCase{4, 64, 10},   // batches across cells
+    FftCase{2, 32, 5}
+));
+
+TEST(FftResident, RejectsOversizedTable)
+{
+    Coprocessor sys(makeConfig(1, 512, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    std::size_t buf = sys.memory().alloc(4096);
+    // 256-point table = 8 * 256 = 2048 words > Tf = 512.
+    EXPECT_THROW(plan.fftResident(buf, buf, 256, 1),
+                 std::logic_error);
+}
+
+TEST(FftResident, CutsHostTrafficPerTransform)
+{
+    auto words_for = [&](bool resident) {
+        Coprocessor sys(makeConfig(1, 2048, 2));
+        kernels::installStandardKernels(sys);
+        SignalPlanner plan(sys);
+        const std::size_t n = 64, batch = 8;
+        std::size_t in = sys.memory().alloc(2 * n * batch);
+        std::size_t out = sys.memory().alloc(2 * n * batch);
+        if (resident)
+            plan.fftResident(in, out, n, batch);
+        else
+            plan.fft(in, out, n, batch);
+        plan.commit();
+        sys.run();
+        return sys.host().wordsSent() + sys.host().wordsReceived();
+    };
+    std::uint64_t streamed = words_for(false);
+    std::uint64_t resident = words_for(true);
+    // Streamed: (4n + mn) per transform; resident: 4n + mn once.
+    EXPECT_LT(resident, streamed / 2);
+}
+
+TEST(Gemv, MatchesReferenceAndIsBandwidthBound)
+{
+    const std::size_t m = 48, n = 96;
+    Rng rng(5);
+    Matrix a(m, n);
+    a.randomize(rng);
+    std::vector<float> x(n), y(m);
+    for (auto &v : x)
+        v = rng.element();
+    for (auto &v : y)
+        v = rng.element();
+
+    Coprocessor sys(makeConfig(1, 2048, 4));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    auto &mem = sys.memory();
+    MatRef ar = allocMat(mem, m, n);
+    storeMat(mem, ar, a);
+    std::size_t xb = mem.alloc(n);
+    for (std::size_t i = 0; i < n; ++i)
+        mem.storeF(xb + i, x[i]);
+    std::size_t yb = mem.alloc(m);
+    for (std::size_t i = 0; i < m; ++i)
+        mem.storeF(yb + i, y[i]);
+    plan.gemv(ar, xb, yb);
+    plan.commit();
+    Cycle cycles = sys.run();
+
+    for (std::size_t i = 0; i < m; ++i) {
+        double acc = y[i];
+        for (std::size_t j = 0; j < n; ++j)
+            acc += double(a.at(i, j)) * double(x[j]);
+        EXPECT_NEAR(mem.loadF(yb + i), float(acc), 1e-3f) << i;
+    }
+    // The kernel is memory-bound: ~1/tau multiply-adds per cycle.
+    double rate = double(m) * double(n) / double(cycles);
+    EXPECT_LT(rate, 1.0 / 4.0 + 0.05);
+    EXPECT_GT(rate, 1.0 / 4.0 - 0.08);
+}
+
+TEST(Fft, RejectsBadSizes)
+{
+    Coprocessor sys(makeConfig(1, 2048, 2));
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    std::size_t buf = sys.memory().alloc(4096);
+    EXPECT_THROW(plan.fft(buf, buf, 6, 1), std::logic_error);
+    EXPECT_THROW(plan.fft(buf, buf, 2, 1), std::logic_error);
+    EXPECT_THROW(plan.fft(buf, buf, 2048, 1), std::logic_error);
+}
+
+TEST(Fft, TwiddleExponentFormula)
+{
+    using kernels::fftTwiddleExponent;
+    // Stage 0: all zero.
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(fftTwiddleExponent(0, i, 4), 0u);
+    // Last stage: identity.
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(fftTwiddleExponent(3, i, 4), i);
+}
+
+TEST(Fft, BitReverse)
+{
+    using kernels::bitReverse;
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b110, 3), 0b011u);
+    EXPECT_EQ(bitReverse(5, 1), 1u);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the cycle-driven engine: ordering, completion, watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/engine.hh"
+
+using namespace opac;
+using namespace opac::sim;
+
+namespace
+{
+
+/** Counts down a fixed number of cycles of "work". */
+class CountdownComponent : public Component
+{
+  public:
+    CountdownComponent(std::string name, int work)
+        : Component(std::move(name)), remaining(work)
+    {}
+
+    void
+    tick(Engine &engine) override
+    {
+        if (remaining > 0) {
+            --remaining;
+            engine.noteProgress();
+            lastTick = engine.now();
+        }
+    }
+
+    bool done() const override { return remaining == 0; }
+
+    std::string
+    statusLine() const override
+    {
+        return strfmt("remaining=%d", remaining);
+    }
+
+    int remaining;
+    Cycle lastTick = 0;
+};
+
+/** Never finishes and never reports progress: a deadlock. */
+class StuckComponent : public Component
+{
+  public:
+    StuckComponent() : Component("stuck") {}
+    void tick(Engine &) override {}
+    bool done() const override { return false; }
+};
+
+} // anonymous namespace
+
+TEST(Engine, RunsUntilAllDone)
+{
+    Engine e;
+    CountdownComponent a("a", 5);
+    CountdownComponent b("b", 9);
+    e.add(&a);
+    e.add(&b);
+    Cycle cycles = e.run();
+    EXPECT_EQ(cycles, 9u);
+    EXPECT_TRUE(a.done());
+    EXPECT_TRUE(b.done());
+    EXPECT_TRUE(e.allDone());
+}
+
+TEST(Engine, NowAdvancesWithCycles)
+{
+    Engine e;
+    CountdownComponent a("a", 3);
+    e.add(&a);
+    e.run();
+    EXPECT_EQ(e.now(), 3u);
+    EXPECT_EQ(a.lastTick, 2u); // last productive tick at cycle 2
+}
+
+TEST(Engine, SecondRunContinuesClock)
+{
+    Engine e;
+    CountdownComponent a("a", 2);
+    e.add(&a);
+    e.run();
+    a.remaining = 3;
+    Cycle more = e.run();
+    EXPECT_EQ(more, 3u);
+    EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(Engine, WatchdogDetectsDeadlock)
+{
+    Engine e(50);
+    StuckComponent s;
+    e.add(&s);
+    try {
+        e.run();
+        FAIL() << "expected watchdog to fire";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("deadlock"),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("stuck"),
+                  std::string::npos);
+    }
+}
+
+TEST(Engine, MaxCyclesBoundsRun)
+{
+    Engine e;
+    CountdownComponent a("a", 1000);
+    e.add(&a);
+    EXPECT_THROW(e.run(10), std::runtime_error);
+}
+
+TEST(Engine, EmptyEngineIsDone)
+{
+    Engine e;
+    EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, StatusDumpListsComponents)
+{
+    Engine e;
+    CountdownComponent a("alpha", 2);
+    e.add(&a);
+    std::string dump = e.statusDump();
+    EXPECT_NE(dump.find("alpha"), std::string::npos);
+    EXPECT_NE(dump.find("remaining=2"), std::string::npos);
+}
