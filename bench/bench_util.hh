@@ -11,13 +11,21 @@
 #ifndef OPAC_BENCH_BENCH_UTIL_HH
 #define OPAC_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "coproc/coprocessor.hh"
 #include "kernels/kernel_set.hh"
+#include "trace/aggregate.hh"
+#include "trace/json.hh"
+#include "trace/sinks.hh"
+#include "trace/trace.hh"
 
 namespace opac::bench
 {
@@ -66,6 +74,157 @@ argFlag(int argc, char **argv, const std::string &flag)
     }
     return false;
 }
+
+/** Value of "--flag=text" (or "--flag text"); empty when absent. */
+inline std::string
+argText(int argc, char **argv, const std::string &flag)
+{
+    const std::string prefix = flag + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+        if (arg == flag && i + 1 < argc)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+/**
+ * One traced run within a bench binary, driven by `--trace=<file>`.
+ * Attach to the representative system before running it; on
+ * finish() the trace file is written (Chrome trace-event JSON, or the
+ * CSV archival form when the path ends in ".csv" — the input format of
+ * tools/trace_report) and the in-memory aggregate report is printed,
+ * optionally against an analytic occupancy prediction.
+ */
+class TraceSession
+{
+  public:
+    TraceSession(int argc, char **argv)
+        : path(argText(argc, argv, "--trace"))
+    {}
+
+    /** True when the user asked for a trace. */
+    bool wanted() const { return !path.empty(); }
+
+    /** True once a system has been claimed as the traced run. */
+    bool attached() const { return tracer != nullptr; }
+
+    /** Claim @p sys as the traced run (first caller wins). */
+    void
+    attach(copro::Coprocessor &sys)
+    {
+        opac_assert(wanted() && !attached(),
+                    "attach on an unwanted or already-claimed session");
+        tracer = std::make_unique<trace::Tracer>();
+        file.open(path, std::ios::out | std::ios::trunc);
+        if (!file) {
+            opac_fatal("cannot open trace file '%s'", path.c_str());
+        }
+        bool csv = path.size() >= 4
+                   && path.compare(path.size() - 4, 4, ".csv") == 0;
+        if (csv)
+            fileSink = std::make_unique<trace::CsvSink>(file);
+        else
+            fileSink = std::make_unique<trace::ChromeTraceSink>(file);
+        tracer->addSink(fileSink.get());
+        tracer->addSink(&aggregate);
+        sys.attachTracer(tracer.get());
+    }
+
+    /**
+     * Close the trace and print the aggregate report. When
+     * @p predicted_ma is non-negative, also print the measured
+     * multiply-add occupancy against that analytic prediction.
+     */
+    void
+    finish(Cycle end, double predicted_ma = -1.0)
+    {
+        if (!attached())
+            return;
+        tracer->finish(end);
+        file.close();
+        std::printf("\n=== trace: %llu events -> %s ===\n\n",
+                    (unsigned long long)tracer->eventCount(),
+                    path.c_str());
+        std::printf("%s", aggregate.report().c_str());
+        if (predicted_ma >= 0.0) {
+            double measured = aggregate.totalMaPerCycle();
+            std::printf("measured MA occupancy %.4f vs analytic "
+                        "prediction %.4f (%+.2f%%)\n",
+                        measured, predicted_ma,
+                        predicted_ma != 0.0
+                            ? 100.0 * (measured - predicted_ma)
+                                  / predicted_ma
+                            : 0.0);
+        }
+    }
+
+    const trace::Aggregate &agg() const { return aggregate; }
+
+  private:
+    std::string path;
+    std::unique_ptr<trace::Tracer> tracer;
+    std::unique_ptr<trace::Sink> fileSink;
+    trace::Aggregate aggregate;
+    std::ofstream file;
+};
+
+/**
+ * Collects benchmark results and writes them as `BENCH_<name>.json`
+ * (an array of {name, cycles, flops_per_cycle, efficiency} records) so
+ * the performance trajectory is machine-readable across PRs. A flop
+ * here is an FP operation: one multiply-add counts as two, matching
+ * peak 2P flops/cycle for a P-cell coprocessor.
+ */
+class BenchJsonWriter
+{
+  public:
+    explicit BenchJsonWriter(std::string bench_name)
+        : benchName(std::move(bench_name))
+    {}
+
+    ~BenchJsonWriter() { write(); }
+
+    BenchJsonWriter(const BenchJsonWriter &) = delete;
+    BenchJsonWriter &operator=(const BenchJsonWriter &) = delete;
+
+    void
+    record(const std::string &name, Cycle cycles, double flops_per_cycle,
+           double efficiency)
+    {
+        records.push_back(strfmt(
+            "  {\"name\": \"%s\", \"cycles\": %llu, "
+            "\"flops_per_cycle\": %.6f, \"efficiency\": %.6f}",
+            trace::json::escape(name).c_str(),
+            (unsigned long long)cycles, flops_per_cycle, efficiency));
+    }
+
+    /** Write BENCH_<name>.json now (also runs at destruction). */
+    void
+    write()
+    {
+        if (written || records.empty())
+            return;
+        written = true;
+        std::string path = "BENCH_" + benchName + ".json";
+        std::ofstream out(path, std::ios::out | std::ios::trunc);
+        if (!out) {
+            warn(strfmt("cannot write %s", path.c_str()));
+            return;
+        }
+        out << "[\n";
+        for (std::size_t i = 0; i < records.size(); ++i)
+            out << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
+        out << "]\n";
+    }
+
+  private:
+    std::string benchName;
+    std::vector<std::string> records;
+    bool written = false;
+};
 
 } // namespace opac::bench
 

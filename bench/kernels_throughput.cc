@@ -21,7 +21,7 @@ namespace
 {
 
 void
-fftTable()
+fftTable(BenchJsonWriter &json)
 {
     TextTable t("radix-2 FFT, one cell, Tf = 2048, tau = 2 "
                 "(flops = 10 * (n/2) * log2 n)");
@@ -44,6 +44,9 @@ fftTable()
                strfmt("%llu", (unsigned long long)cycles),
                strfmt("%.3f", flops / double(cycles)),
                strfmt("%.3f", words / flops)});
+        json.record(strfmt("fft_n%zu_b%zu", n, batch), cycles,
+                    flops / double(cycles),
+                    flops / double(cycles) / 2.0);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("The butterfly is a straight-line block through the "
@@ -54,7 +57,7 @@ fftTable()
 }
 
 void
-fftResidentTable()
+fftResidentTable(BenchJsonWriter &json)
 {
     TextTable t("batched FFT with the twiddle table resident in reby "
                 "(section 2.2's 'coefficients read one time')");
@@ -69,7 +72,7 @@ fftResidentTable()
         std::size_t out = sys.memory().alloc(2 * n * batch);
         plan.fftResident(in, out, n, batch);
         plan.commit();
-        sys.run();
+        Cycle cycles = sys.run();
         unsigned m = unsigned(floorLog2(std::int64_t(n)));
         double flops = 10.0 * double(n / 2) * m * double(batch);
         double words = double(sys.host().wordsSent()
@@ -77,6 +80,9 @@ fftResidentTable()
         t.row({strfmt("%zu", n), strfmt("%zu", batch),
                strfmt("%.4f", words / flops),
                strfmt("%.4f", 4.0 / (5.0 * m))});
+        json.record(strfmt("fft_resident_n%zu_b%zu", n, batch), cycles,
+                    flops / double(cycles),
+                    flops / double(cycles) / 2.0);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("With the table broadcast once, traffic approaches 4n "
@@ -85,24 +91,40 @@ fftResidentTable()
 }
 
 void
-gemvTable()
+gemvTable(BenchJsonWriter &json, TraceSession &trace)
 {
     TextTable t("gemv y += A x (NOT compute-bound: the section 4.1 "
                 "contrast case), one cell, 256x512");
     t.header({"tau", "MA/cycle", "1/tau wall"});
+    const std::size_t m = 256, n = 512;
+    double predicted_ma = -1.0;
     for (unsigned tau : {1u, 2u, 4u}) {
         copro::Coprocessor sys(timingConfig(1, 2048, tau));
         kernels::installStandardKernels(sys);
         SignalPlanner plan(sys);
-        MatRef a = allocMat(sys.memory(), 256, 512);
-        std::size_t x = sys.memory().alloc(512);
-        std::size_t y = sys.memory().alloc(256);
+        MatRef a = allocMat(sys.memory(), m, n);
+        std::size_t x = sys.memory().alloc(n);
+        std::size_t y = sys.memory().alloc(m);
         plan.gemv(a, x, y);
         plan.commit();
+        // The traced representative run: the bandwidth-bound contrast
+        // kernel, whose whole-run occupancy the section 4.1 host model
+        // predicts as MAs over tau times the words the host must move.
+        bool traced = trace.wanted() && !trace.attached() && tau == 2;
+        if (traced) {
+            trace.attach(sys);
+            double host_words = double(m * n + n + 2 * m);
+            predicted_ma =
+                double(m * n) / (double(tau) * host_words);
+        }
         Cycle cycles = sys.run();
-        t.row({strfmt("%u", tau),
-               strfmt("%.3f", 256.0 * 512.0 / double(cycles)),
+        if (traced)
+            trace.finish(sys.engine().now(), predicted_ma);
+        double ma_rate = double(m * n) / double(cycles);
+        t.row({strfmt("%u", tau), strfmt("%.3f", ma_rate),
                strfmt("%.3f", 1.0 / tau)});
+        json.record(strfmt("gemv_256x512_tau%u", tau), cycles,
+                    2.0 * ma_rate, ma_rate);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Each matrix word is used once, so no number of cells "
@@ -110,7 +132,7 @@ gemvTable()
 }
 
 void
-correlationTable()
+correlationTable(BenchJsonWriter &json)
 {
     TextTable t("1-D correlation, one cell, tau = 2, Nx = 4096 "
                 "(expected steady rate D/(D+1))");
@@ -132,6 +154,8 @@ correlationTable()
         t.row({strfmt("%zu", d), strfmt("%.3f", mas / double(cycles)),
                strfmt("%.3f", double(d) / double(d + 1)),
                strfmt("%.4f", words / mas)});
+        json.record(strfmt("correlation_d%zu", d), cycles,
+                    2.0 * mas / double(cycles), mas / double(cycles));
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Small D stalls on the accumulator recurrence "
@@ -143,13 +167,15 @@ correlationTable()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJsonWriter json("kernels_throughput");
+    TraceSession trace(argc, argv);
     std::printf("Signal-kernel throughput (no paper table; section 2 "
                 "claims).\n\n");
-    fftTable();
-    fftResidentTable();
-    correlationTable();
-    gemvTable();
+    fftTable(json);
+    fftResidentTable(json);
+    correlationTable(json);
+    gemvTable(json, trace);
     return 0;
 }

@@ -35,7 +35,7 @@ namespace
 
 double
 runCase(unsigned p, std::size_t tf, unsigned tau, std::size_t n,
-        std::size_t k)
+        std::size_t k, BenchJsonWriter &json, TraceSession *trace)
 {
     copro::Coprocessor sys(timingConfig(p, tf, tau));
     kernels::installStandardKernels(sys);
@@ -45,8 +45,19 @@ runCase(unsigned p, std::size_t tf, unsigned tau, std::size_t n,
     MatRef b = allocMat(sys.memory(), k, n);
     plan.matUpdate(c, a, b);
     plan.commit();
+    if (trace)
+        trace->attach(sys);
     Cycle cycles = sys.run();
-    return analytic::matUpdateMultiplyAdds(n, k) / double(cycles);
+    double r = analytic::matUpdateMultiplyAdds(n, k) / double(cycles);
+    if (trace) {
+        // The aggregator's measured MA occupancy must agree with the
+        // occupancy computed from the analytic operation count — the
+        // trace sees every issue event the datapath executes.
+        trace->finish(sys.engine().now(), r);
+    }
+    json.record(strfmt("matupdate_P%u_Tf%zu_tau%u_K%zu", p, tf, tau, k),
+                cycles, 2.0 * r, r / double(p));
+    return r;
 }
 
 } // anonymous namespace
@@ -55,6 +66,8 @@ int
 main(int argc, char **argv)
 {
     const bool quick = argFlag(argc, argv, "--quick");
+    BenchJsonWriter json("table_6_1");
+    TraceSession trace(argc, argv);
     const unsigned cells[] = {1, 4, 16};
     const std::size_t tfs[] = {512, 2048};
     const unsigned taus[] = {2, 4};
@@ -76,7 +89,13 @@ main(int argc, char **argv)
                 std::vector<std::string> row = {strfmt("%u", p),
                                                 strfmt("%zu", n)};
                 for (std::size_t k : ks) {
-                    double r = runCase(p, tf, tau, n, k);
+                    // Trace the first compute-bound configuration
+                    // (P=1, Tf=2048, tau=2, K=300) when asked.
+                    bool traced = trace.wanted() && !trace.attached()
+                                  && p == 1 && tf == 2048 && tau == 2
+                                  && k == 300;
+                    double r = runCase(p, tf, tau, n, k, json,
+                                       traced ? &trace : nullptr);
                     row.push_back(strfmt("%.3f", r));
                 }
                 row.push_back(strfmt(

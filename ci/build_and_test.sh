@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI entry point: build the default configuration and the sanitized
+# configuration (OPAC_SANITIZE=ON: ASan + UBSan) and run the test suite
+# under both. Usage: ci/build_and_test.sh [build-root]
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build_root=${1:-"$root/build-ci"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+    name=$1
+    shift
+    dir="$build_root/$name"
+    echo "=== configure $name ($*) ==="
+    cmake -B "$dir" -S "$root" "$@"
+    echo "=== build $name ==="
+    cmake --build "$dir" -j "$jobs"
+    echo "=== test $name ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOPAC_SANITIZE=ON
+
+# Smoke-test the tracing pipeline end to end: a traced bench run must
+# produce a Chrome trace that trace_report accepts.
+echo "=== trace smoke test ==="
+plain="$build_root/plain"
+(cd "$plain" && ./bench/kernels_throughput --trace=trace_smoke.json \
+    > /dev/null)
+"$plain/tools/trace_report" "$plain/trace_smoke.json" > /dev/null
+echo "trace smoke test OK"

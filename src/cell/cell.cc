@@ -58,6 +58,20 @@ Cell::setTraceHook(std::function<void(const std::string &)> hook)
 }
 
 void
+Cell::attachTracer(trace::Tracer *t)
+{
+    tracer = t;
+    traceComp = t ? t->internComponent(name()) : 0;
+    _tpx.attachTracer(t, traceComp);
+    _tpy.attachTracer(t, traceComp);
+    _tpo.attachTracer(t, traceComp);
+    _tpi.attachTracer(t, traceComp);
+    _sum.attachTracer(t, traceComp);
+    _ret.attachTracer(t, traceComp);
+    _reby.attachTracer(t, traceComp);
+}
+
+void
 Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
 {
     prog.validate();
@@ -205,10 +219,9 @@ Cell::readOperand(const isa::Operand &op, Cycle now, Word mul_out)
         return floatToWord(1.0f);
       default: {
         TimedFifo *q = queueFor(op.kind);
-        Word w = q->pop(now);
         if (isRecirc(op.kind))
-            q->push(w, now); // combinational head-to-tail loop-back
-        return w;
+            return q->recirculate(now);
+        return q->pop(now);
       }
     }
 }
@@ -276,6 +289,23 @@ Cell::issueCompute(const isa::Instr &in, Cycle now)
     else if (add_active)
         ++statAddOnly;
     ++statIssued;
+
+    if (tracer) {
+        trace::OpClass cls = trace::OpClass::Move;
+        unsigned latency = cfg.moveLatency;
+        if (mul_active && add_active) {
+            cls = trace::OpClass::Fma;
+            latency = fp_latency;
+        } else if (mul_active) {
+            cls = trace::OpClass::Mul;
+            latency = fp_latency;
+        } else if (add_active) {
+            cls = trace::OpClass::Add;
+            latency = fp_latency;
+        }
+        tracer->emit(now, trace::EventKind::Issue, std::uint8_t(cls),
+                     traceComp, 0, std::uint32_t(pc), latency);
+    }
 }
 
 void
@@ -342,6 +372,10 @@ Cell::drainWritebacks(Cycle now, sim::Engine &engine)
         if (w.dstMask & isa::DstReg) {
             regs[w.dstReg] = w.value;
             regPending[w.dstReg] = false;
+        }
+        if (tracer) {
+            tracer->emit(now, trace::EventKind::Retire, 0, traceComp, 0,
+                         w.dstMask, w.value);
         }
         engine.noteProgress();
         inflight.erase(inflight.begin() + std::ptrdiff_t(i));
@@ -431,6 +465,12 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
                                  (unsigned long long)now,
                                  current->prog.name().c_str()));
             }
+            if (tracer) {
+                callTrack = tracer->internTrack(traceComp,
+                                                current->prog.name());
+                tracer->emit(now, trace::EventKind::CallBegin, 0,
+                             traceComp, callTrack, entry, 0);
+            }
             engine.noteProgress();
         } else {
             ++statIdle;
@@ -482,12 +522,28 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
                 break;
               case StallCause::SrcEmpty:
                 ++statStallSrc;
+                if (tracer) {
+                    tracer->emit(now, trace::EventKind::Stall,
+                                 std::uint8_t(trace::StallWhy::SrcEmpty),
+                                 traceComp, 0, std::uint32_t(pc), 0);
+                }
                 break;
               case StallCause::DstFull:
                 ++statStallDst;
+                if (tracer) {
+                    tracer->emit(now, trace::EventKind::Stall,
+                                 std::uint8_t(trace::StallWhy::DstFull),
+                                 traceComp, 0, std::uint32_t(pc), 0);
+                }
                 break;
               case StallCause::RegPending:
                 ++statStallReg;
+                if (tracer) {
+                    tracer->emit(now, trace::EventKind::Stall,
+                                 std::uint8_t(
+                                     trace::StallWhy::RegPending),
+                                 traceComp, 0, std::uint32_t(pc), 0);
+                }
                 break;
             }
             break;
@@ -519,6 +575,11 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
             }
             ++pc;
             ++statIssued;
+            if (tracer) {
+                tracer->emit(now, trace::EventKind::Issue,
+                             std::uint8_t(trace::OpClass::Control),
+                             traceComp, 0, std::uint32_t(pc - 1), 0);
+            }
             engine.noteProgress();
             break;
           }
@@ -538,21 +599,31 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
             }
             if (write_in_flight) {
                 ++statStallDst;
+                if (tracer) {
+                    tracer->emit(now, trace::EventKind::Stall,
+                                 std::uint8_t(trace::StallWhy::DstFull),
+                                 traceComp, 0, std::uint32_t(pc), 0);
+                }
                 break;
             }
             switch (in.fifo) {
               case isa::LocalFifo::Sum:
-                _sum.reset();
+                _sum.reset(now);
                 break;
               case isa::LocalFifo::Ret:
-                _ret.reset();
+                _ret.reset(now);
                 break;
               case isa::LocalFifo::Reby:
-                _reby.reset();
+                _reby.reset(now);
                 break;
             }
             ++pc;
             ++statIssued;
+            if (tracer) {
+                tracer->emit(now, trace::EventKind::Issue,
+                             std::uint8_t(trace::OpClass::Control),
+                             traceComp, 0, std::uint32_t(pc - 1), 0);
+            }
             engine.noteProgress();
             break;
           }
@@ -560,6 +631,10 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
             if (traceHook) {
                 traceHook(strfmt("%llu halt",
                                  (unsigned long long)now));
+            }
+            if (tracer) {
+                tracer->emit(now, trace::EventKind::CallEnd, 0,
+                             traceComp, callTrack, 0, 0);
             }
             state = SeqState::Idle;
             current = nullptr;

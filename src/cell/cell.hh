@@ -117,6 +117,13 @@ class Cell : public sim::Component
      */
     void setTraceHook(std::function<void(const std::string &)> hook);
 
+    /**
+     * Start emitting structured trace events (issue/retire/stall,
+     * call begin/end, and FIFO traffic of all seven queues) into
+     * @p t. Costs one null-pointer test per event site when detached.
+     */
+    void attachTracer(trace::Tracer *t);
+
     /** Local queues, exposed for white-box tests. */
     TimedFifo &sumQueue() { return _sum; }
     TimedFifo &retQueue() { return _ret; }
@@ -197,6 +204,10 @@ class Cell : public sim::Component
     std::vector<InFlight> inflight;
 
     std::function<void(const std::string &)> traceHook;
+
+    trace::Tracer *tracer = nullptr;
+    std::uint16_t traceComp = 0;
+    std::uint16_t callTrack = 0; //!< track of the running kernel's name
 
     // -- statistics -------------------------------------------------------
     stats::StatGroup statGroup;

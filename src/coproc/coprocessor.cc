@@ -36,6 +36,15 @@ Coprocessor::loadMicrocode(Word entry, const isa::Program &prog,
         c->loadMicrocode(entry, prog, nparams);
 }
 
+void
+Coprocessor::attachTracer(trace::Tracer *t)
+{
+    eng.setTracer(t);
+    hostPtr->attachTracer(t);
+    for (auto &c : cellPtrs)
+        c->attachTracer(t);
+}
+
 Cycle
 Coprocessor::run(Cycle max_cycles)
 {

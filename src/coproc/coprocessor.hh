@@ -58,6 +58,15 @@ class Coprocessor
                        unsigned nparams);
 
     /**
+     * Attach a trace recorder to the whole system: the host bus, every
+     * cell (including all seven of its queues) and the engine's
+     * deadlock reports. Call before run(); pass nullptr to detach.
+     * With no tracer attached every emission site costs one pointer
+     * test.
+     */
+    void attachTracer(trace::Tracer *t);
+
+    /**
      * Run until the host program and all cells complete. Returns the
      * cycles simulated by this call (the paper's metric: time between
      * the first word sent and the last result received).

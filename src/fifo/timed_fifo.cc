@@ -33,6 +33,10 @@ TimedFifo::push(Word w, Cycle now)
                 _name.c_str(), _capacity);
     entries.push_back(Entry{w, now + latency});
     ++pushes;
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::FifoPush, 0, traceComp,
+                     traceTrack, std::uint32_t(entries.size()), w);
+    }
 }
 
 void
@@ -50,6 +54,10 @@ TimedFifo::pushReserved(Word w, Cycle now)
     --_reserved;
     entries.push_back(Entry{w, now + latency});
     ++pushes;
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::FifoPush, 1, traceComp,
+                     traceTrack, std::uint32_t(entries.size()), w);
+    }
 }
 
 Word
@@ -60,6 +68,29 @@ TimedFifo::pop(Cycle now)
     Word w = entries.front().word;
     entries.pop_front();
     ++pops;
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::FifoPop, 0, traceComp,
+                     traceTrack, std::uint32_t(entries.size()), w);
+    }
+    return w;
+}
+
+Word
+TimedFifo::recirculate(Cycle now)
+{
+    opac_assert(canPop(now), "recirculate on empty/not-ready FIFO '%s'",
+                _name.c_str());
+    Word w = entries.front().word;
+    entries.pop_front();
+    entries.push_back(Entry{w, now + latency});
+    // Counted as one pop plus one push so lifetime totals match the
+    // word traffic the datapath actually performed.
+    ++pops;
+    ++pushes;
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::FifoRecirc, 0, traceComp,
+                     traceTrack, std::uint32_t(entries.size()), w);
+    }
     return w;
 }
 
@@ -72,11 +103,24 @@ TimedFifo::front(Cycle now) const
 }
 
 void
-TimedFifo::reset()
+TimedFifo::reset(Cycle now)
 {
+    std::size_t dropped = entries.size();
     entries.clear();
     _reserved = 0;
     ++resets;
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::FifoReset, 0, traceComp,
+                     traceTrack, std::uint32_t(dropped), 0);
+    }
+}
+
+void
+TimedFifo::attachTracer(trace::Tracer *t, std::uint16_t comp)
+{
+    tracer = t;
+    traceComp = comp;
+    traceTrack = t ? t->internTrack(comp, _name) : 0;
 }
 
 void

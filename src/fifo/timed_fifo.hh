@@ -27,6 +27,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace opac
 {
@@ -79,17 +80,35 @@ class TimedFifo
     /** Pop the front word; requires canPop(now). */
     Word pop(Cycle now);
 
+    /**
+     * Pop the front word and repush it in the same cycle (the cell's
+     * combinational head-to-tail loop-back for reuse reads). Unlike a
+     * pop + push pair this cannot be blocked by outstanding
+     * reservations, and it traces as one recirculation event.
+     * Requires canPop(now).
+     */
+    Word recirculate(Cycle now);
+
     /** Read the front word without popping; requires canPop(now). */
     Word front(Cycle now) const;
 
-    /** Discard all contents and reservations (the RESET control line). */
-    void reset();
+    /**
+     * Discard all contents and reservations (the RESET control line).
+     * @p now is only used to timestamp the trace event.
+     */
+    void reset(Cycle now = 0);
 
     /** Record an occupancy sample (typically once per cycle). */
     void sampleOccupancy() { occupancy.sample(double(entries.size())); }
 
     /** Register this FIFO's stats under @p parent. */
     void addStats(stats::StatGroup &parent);
+
+    /**
+     * Start emitting push/pop/recirculate/reset events into @p t as a
+     * track of component @p comp. Pass nullptr to stop tracing.
+     */
+    void attachTracer(trace::Tracer *t, std::uint16_t comp);
 
     /** Lifetime totals, usable without a StatGroup. */
     std::uint64_t totalPushes() const { return pushes.value(); }
@@ -107,6 +126,10 @@ class TimedFifo
     unsigned latency;
     std::size_t _reserved = 0;
     std::deque<Entry> entries;
+
+    trace::Tracer *tracer = nullptr;
+    std::uint16_t traceComp = 0;
+    std::uint16_t traceTrack = 0;
 
     stats::Counter pushes;
     stats::Counter pops;

@@ -90,6 +90,32 @@ Host::Host(std::string name, const HostConfig &cfg, HostMemory &mem,
 }
 
 void
+Host::attachTracer(trace::Tracer *t)
+{
+    tracer = t;
+    traceComp = t ? t->internComponent(name()) : 0;
+    for (auto &track : kindTracks)
+        track = 0;
+}
+
+std::uint16_t
+Host::opTrack(const HostOp &op)
+{
+    static const char *names[] = {"send", "recv", "call", "compute"};
+    auto i = std::size_t(op.kind);
+    if (kindTracks[i] == 0)
+        kindTracks[i] = tracer->internTrack(traceComp, names[i]);
+    return kindTracks[i];
+}
+
+void
+Host::traceWord(Cycle now, unsigned cost)
+{
+    tracer->emit(now, trace::EventKind::BusWord, 0, traceComp, 0,
+                 std::uint32_t(pos), cost);
+}
+
+void
 Host::enqueue(HostOp op)
 {
     if (op.kind == HostOp::Kind::Compute)
@@ -118,6 +144,11 @@ Host::tickSend(const HostOp &op, Cycle now)
                                                     : cells[c]->tpy();
         if (!q.canPush()) {
             ++statStallFull;
+            if (tracer) {
+                tracer->emit(now, trace::EventKind::Stall,
+                             std::uint8_t(trace::StallWhy::BusFull),
+                             traceComp, 0, std::uint32_t(pos), 0);
+            }
             return false;
         }
     }
@@ -131,6 +162,8 @@ Host::tickSend(const HostOp &op, Cycle now)
     }
     ++statWordsSent;
     ++pos;
+    if (tracer)
+        traceWord(now, cfg.tau);
     cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
     return pos >= op.region.count();
 }
@@ -146,11 +179,18 @@ Host::tickRecv(const HostOp &op, Cycle now)
     TimedFifo &q = cells[cell_idx]->tpo();
     if (!q.canPop(now)) {
         ++statStallEmpty;
+        if (tracer) {
+            tracer->emit(now, trace::EventKind::Stall,
+                         std::uint8_t(trace::StallWhy::BusEmpty),
+                         traceComp, 0, std::uint32_t(pos), 0);
+        }
         return false;
     }
     mem.store(op.region.addr(pos), q.pop(now));
     ++statWordsRecv;
     ++pos;
+    if (tracer)
+        traceWord(now, cfg.tau);
     cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
     return pos >= op.region.count();
 }
@@ -165,6 +205,11 @@ Host::tickCall(const HostOp &op, Cycle now)
             continue;
         if (!cells[c]->tpi().canPush()) {
             ++statStallFull;
+            if (tracer) {
+                tracer->emit(now, trace::EventKind::Stall,
+                             std::uint8_t(trace::StallWhy::BusFull),
+                             traceComp, 0, std::uint32_t(pos), 0);
+            }
             return false;
         }
     }
@@ -175,6 +220,8 @@ Host::tickCall(const HostOp &op, Cycle now)
     }
     ++statCallWords;
     ++pos;
+    if (tracer)
+        traceWord(now, cfg.callWordCost);
     cooldown = cfg.callWordCost > 0 ? cfg.callWordCost - 1 : 0;
     return pos >= op.callWords.size();
 }
@@ -223,6 +270,24 @@ Host::tick(sim::Engine &engine)
         return;
     }
     const HostOp &op = program.front();
+    if (tracer && !opAnnounced) {
+        opAnnounced = true;
+        std::uint32_t total = 0;
+        switch (op.kind) {
+          case HostOp::Kind::Send:
+          case HostOp::Kind::Recv:
+            total = std::uint32_t(op.region.count());
+            break;
+          case HostOp::Kind::Call:
+            total = std::uint32_t(op.callWords.size());
+            break;
+          case HostOp::Kind::Compute:
+            total = 1;
+            break;
+        }
+        tracer->emit(engine.now(), trace::EventKind::BusBegin, 0,
+                     traceComp, opTrack(op), total, 0);
+    }
     bool finished = false;
     std::size_t prev_pos = pos;
     unsigned prev_compute = computeLeft;
@@ -243,9 +308,14 @@ Host::tick(sim::Engine &engine)
     if (pos != prev_pos || computeLeft != prev_compute || finished)
         engine.noteProgress();
     if (finished) {
+        if (tracer) {
+            tracer->emit(engine.now(), trace::EventKind::BusEnd, 0,
+                         traceComp, opTrack(op), std::uint32_t(pos), 0);
+        }
         program.pop_front();
         pos = 0;
         computeLeft = 0;
+        opAnnounced = false;
         ++statOpsDone;
     }
 }

@@ -112,9 +112,17 @@ class Host : public sim::Component
 
     std::uint64_t wordsSent() const { return statWordsSent.value(); }
     std::uint64_t wordsReceived() const { return statWordsRecv.value(); }
+    std::uint64_t callWordsSent() const { return statCallWords.value(); }
 
     /** The host's statistics subtree. */
     stats::StatGroup &stats() { return statGroup; }
+
+    /**
+     * Start emitting bus events (descriptor begin/end, one event per
+     * word moved with its cycle cost, full/empty stalls) into @p t.
+     * Costs one null-pointer test per event site when detached.
+     */
+    void attachTracer(trace::Tracer *t);
 
   private:
     bool tickSend(const HostOp &op, Cycle now);
@@ -131,6 +139,14 @@ class Host : public sim::Component
     std::size_t pos = 0;       //!< word index within the current op
     unsigned cooldown = 0;     //!< cycles until the next memory access
     unsigned computeLeft = 0;  //!< remaining cycles of a Compute op
+
+    trace::Tracer *tracer = nullptr;
+    std::uint16_t traceComp = 0;
+    bool opAnnounced = false;  //!< BusBegin emitted for the front op
+    std::uint16_t kindTracks[4] = {0, 0, 0, 0}; //!< per HostOp::Kind
+
+    std::uint16_t opTrack(const HostOp &op);
+    void traceWord(Cycle now, unsigned cost);
 
     stats::StatGroup statGroup;
     stats::Counter statWordsSent;

@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace opac::sim
 {
@@ -24,6 +25,8 @@ Engine::statusDump() const
                       c->done() ? "[done]" : "[busy]",
                       c->statusLine().c_str());
     }
+    if (_tracer)
+        out += _tracer->recentReport();
     return out;
 }
 

@@ -24,6 +24,11 @@
 
 #include "common/types.hh"
 
+namespace opac::trace
+{
+class Tracer;
+}
+
 namespace opac::sim
 {
 
@@ -84,14 +89,27 @@ class Engine
     /** True when every registered component is done. */
     bool allDone() const;
 
-    /** Status dump of every component (used in error reports). */
+    /**
+     * Status dump of every component (used in error reports). When a
+     * tracer is attached, the last few trace events of every component
+     * are appended, so a deadlock report shows not just where each
+     * component is stuck but what it last did.
+     */
     std::string statusDump() const;
+
+    /**
+     * Attach the trace recorder consulted by error reports. The engine
+     * emits no events itself; pass nullptr to detach.
+     */
+    void setTracer(trace::Tracer *t) { _tracer = t; }
+    trace::Tracer *tracer() const { return _tracer; }
 
   private:
     std::vector<Component *> components;
     Cycle cycle = 0;
     Cycle watchdogCycles;
     bool progressed = false;
+    trace::Tracer *_tracer = nullptr;
 };
 
 } // namespace opac::sim

@@ -1,0 +1,270 @@
+#include "trace/aggregate.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace opac::trace
+{
+
+std::uint64_t
+Aggregate::CompStats::totalIssued() const
+{
+    std::uint64_t n = 0;
+    for (auto v : issuedByClass)
+        n += v;
+    return n;
+}
+
+std::uint64_t
+Aggregate::CompStats::totalStalls() const
+{
+    std::uint64_t n = 0;
+    for (auto v : stallsByWhy)
+        n += v;
+    return n;
+}
+
+namespace
+{
+
+unsigned
+depthBucket(std::uint32_t depth)
+{
+    if (depth == 0)
+        return 0;
+    unsigned b = 1;
+    while (depth > 1) {
+        depth >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+std::string
+bucketLabel(unsigned i)
+{
+    if (i == 0)
+        return "0";
+    std::uint32_t lo = 1u << (i - 1);
+    std::uint32_t hi = (1u << i) - 1;
+    return lo == hi ? strfmt("%u", lo) : strfmt("%u-%u", lo, hi);
+}
+
+} // anonymous namespace
+
+void
+Aggregate::event(const Tracer &tracer, const Event &e)
+{
+    sawEvent = true;
+    lastCycle = std::max(lastCycle, e.cycle);
+    const std::string &comp = tracer.componentName(e.comp);
+    switch (e.kind) {
+      case EventKind::FifoPush:
+      case EventKind::FifoPop:
+      case EventKind::FifoRecirc:
+      case EventKind::FifoReset: {
+        FifoStats &f =
+            fifoStats[comp + "." + tracer.trackName(e.track)];
+        if (e.kind == EventKind::FifoPush)
+            ++f.pushes;
+        else if (e.kind == EventKind::FifoPop)
+            ++f.pops;
+        else if (e.kind == EventKind::FifoRecirc)
+            ++f.recircs;
+        else
+            ++f.resets;
+        std::uint32_t depth = e.kind == EventKind::FifoReset ? 0 : e.a;
+        f.maxDepth = std::max(f.maxDepth, depth);
+        f.depthSum += depth;
+        ++f.depthSamples;
+        unsigned bucket = depthBucket(depth);
+        if (f.buckets.size() <= bucket)
+            f.buckets.resize(bucket + 1, 0);
+        ++f.buckets[bucket];
+        break;
+      }
+      case EventKind::Issue:
+        ++comps[comp].issuedByClass[e.arg % 5];
+        break;
+      case EventKind::Retire:
+        ++comps[comp].retires;
+        break;
+      case EventKind::Stall:
+        ++comps[comp].stallsByWhy[e.arg % 5];
+        break;
+      case EventKind::BusWord: {
+        CompStats &c = comps[comp];
+        ++c.busWordsMoved;
+        c.busBusyCycles += e.b;
+        break;
+      }
+      case EventKind::CallBegin:
+        ++comps[comp].calls;
+        break;
+      case EventKind::BusBegin:
+      case EventKind::BusEnd:
+      case EventKind::CallEnd:
+        comps[comp]; // ensure the component appears in the report
+        break;
+    }
+}
+
+void
+Aggregate::finish(const Tracer &tracer, Cycle end)
+{
+    (void)tracer;
+    endCycle = end;
+}
+
+Cycle
+Aggregate::span() const
+{
+    if (endCycle > 0)
+        return endCycle;
+    return sawEvent ? lastCycle + 1 : 0;
+}
+
+double
+Aggregate::maPerCycle(const std::string &comp) const
+{
+    auto it = comps.find(comp);
+    Cycle s = span();
+    if (it == comps.end() || s == 0)
+        return 0.0;
+    return double(
+               it->second.issuedByClass[std::size_t(OpClass::Fma)])
+           / double(s);
+}
+
+double
+Aggregate::totalMaPerCycle() const
+{
+    Cycle s = span();
+    if (s == 0)
+        return 0.0;
+    std::uint64_t fma = 0;
+    for (const auto &[name, c] : comps)
+        fma += c.issuedByClass[std::size_t(OpClass::Fma)];
+    return double(fma) / double(s);
+}
+
+double
+Aggregate::utilization(const std::string &comp) const
+{
+    auto it = comps.find(comp);
+    Cycle s = span();
+    if (it == comps.end() || s == 0)
+        return 0.0;
+    return double(it->second.totalIssued()) / double(s);
+}
+
+double
+Aggregate::busOccupancy(const std::string &comp) const
+{
+    auto it = comps.find(comp);
+    Cycle s = span();
+    if (it == comps.end() || s == 0)
+        return 0.0;
+    return double(it->second.busBusyCycles) / double(s);
+}
+
+std::string
+Aggregate::report() const
+{
+    Cycle s = span();
+    std::string out =
+        strfmt("trace aggregate over %llu cycles\n\n",
+               static_cast<unsigned long long>(s));
+
+    TextTable util("component utilization (issues per elapsed cycle)");
+    util.header({"component", "calls", "issued", "fma", "mul", "add",
+                 "move", "ctrl", "util", "MA/cycle"});
+    for (const auto &[name, c] : comps) {
+        if (c.totalIssued() == 0 && c.calls == 0)
+            continue;
+        util.row({name, strfmt("%llu", (unsigned long long)c.calls),
+                  strfmt("%llu", (unsigned long long)c.totalIssued()),
+                  strfmt("%llu", (unsigned long long)
+                         c.issuedByClass[std::size_t(OpClass::Fma)]),
+                  strfmt("%llu", (unsigned long long)
+                         c.issuedByClass[std::size_t(OpClass::Mul)]),
+                  strfmt("%llu", (unsigned long long)
+                         c.issuedByClass[std::size_t(OpClass::Add)]),
+                  strfmt("%llu", (unsigned long long)
+                         c.issuedByClass[std::size_t(OpClass::Move)]),
+                  strfmt("%llu", (unsigned long long)
+                         c.issuedByClass[std::size_t(OpClass::Control)]),
+                  strfmt("%.3f", utilization(name)),
+                  strfmt("%.3f", maPerCycle(name))});
+    }
+    out += util.render() + "\n";
+
+    if (!fifoStats.empty()) {
+        TextTable ft("FIFO traffic and depth (depth sampled at each "
+                     "push/pop)");
+        ft.header({"fifo", "pushes", "pops", "recirc", "resets", "max",
+                   "mean", "depth histogram"});
+        for (const auto &[name, f] : fifoStats) {
+            std::string hist;
+            for (std::size_t i = 0; i < f.buckets.size(); ++i) {
+                if (f.buckets[i] == 0)
+                    continue;
+                if (!hist.empty())
+                    hist += " ";
+                hist += strfmt("%s:%llu", bucketLabel(unsigned(i)).c_str(),
+                               (unsigned long long)f.buckets[i]);
+            }
+            ft.row({name, strfmt("%llu", (unsigned long long)f.pushes),
+                    strfmt("%llu", (unsigned long long)f.pops),
+                    strfmt("%llu", (unsigned long long)f.recircs),
+                    strfmt("%llu", (unsigned long long)f.resets),
+                    strfmt("%u", f.maxDepth),
+                    strfmt("%.1f", f.meanDepth()), hist});
+        }
+        out += ft.render() + "\n";
+    }
+
+    bool any_bus = false;
+    for (const auto &[name, c] : comps)
+        any_bus = any_bus || c.busWordsMoved > 0;
+    if (any_bus) {
+        TextTable bt("host bus");
+        bt.header({"component", "words", "busy cycles", "occupancy"});
+        for (const auto &[name, c] : comps) {
+            if (c.busWordsMoved == 0)
+                continue;
+            bt.row({name,
+                    strfmt("%llu", (unsigned long long)c.busWordsMoved),
+                    strfmt("%llu", (unsigned long long)c.busBusyCycles),
+                    strfmt("%.3f", busOccupancy(name))});
+        }
+        out += bt.render() + "\n";
+    }
+
+    bool any_stall = false;
+    for (const auto &[name, c] : comps)
+        any_stall = any_stall || c.totalStalls() > 0;
+    if (any_stall) {
+        TextTable st("stall causes (cycles a ready instruction or bus "
+                     "word could not proceed)");
+        st.header({"component", "cause", "cycles", "% of run"});
+        for (const auto &[name, c] : comps) {
+            for (std::size_t w = 0; w < c.stallsByWhy.size(); ++w) {
+                if (c.stallsByWhy[w] == 0)
+                    continue;
+                st.row({name, stallWhyName(StallWhy(w)),
+                        strfmt("%llu",
+                               (unsigned long long)c.stallsByWhy[w]),
+                        strfmt("%.1f", s ? 100.0 * double(c.stallsByWhy[w])
+                                               / double(s)
+                                         : 0.0)});
+            }
+        }
+        out += st.render() + "\n";
+    }
+    return out;
+}
+
+} // namespace opac::trace

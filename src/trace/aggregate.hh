@@ -1,0 +1,107 @@
+/**
+ * @file
+ * In-memory trace aggregation: turns the event stream into the
+ * paper-facing occupancy numbers without retaining events.
+ *
+ * Computes, per component: issue counts by op class, utilization
+ * (issues per elapsed cycle), multiply-add occupancy (the paper's
+ * MA/cycle metric), a stall-cause breakdown, bus-word traffic and the
+ * fraction of elapsed cycles the host bus was moving data; per FIFO:
+ * push/pop/recirculate totals and a power-of-two depth histogram.
+ *
+ * Registered as a regular Sink, so it can aggregate live during a
+ * simulation or offline from a CSV trace replay (tools/trace_report).
+ */
+
+#ifndef OPAC_TRACE_AGGREGATE_HH
+#define OPAC_TRACE_AGGREGATE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace opac::trace
+{
+
+/** Streaming reducer over the event stream. */
+class Aggregate : public Sink
+{
+  public:
+    struct CompStats
+    {
+        std::array<std::uint64_t, 5> issuedByClass{}; //!< by OpClass
+        std::array<std::uint64_t, 5> stallsByWhy{};   //!< by StallWhy
+        std::uint64_t retires = 0;
+        std::uint64_t calls = 0;
+        std::uint64_t busWordsMoved = 0;
+        std::uint64_t busBusyCycles = 0;
+
+        std::uint64_t totalIssued() const;
+        std::uint64_t totalStalls() const;
+    };
+
+    struct FifoStats
+    {
+        std::uint64_t pushes = 0;
+        std::uint64_t pops = 0;
+        std::uint64_t recircs = 0;
+        std::uint64_t resets = 0;
+        std::uint32_t maxDepth = 0;
+        double depthSum = 0.0;
+        std::uint64_t depthSamples = 0;
+        /** Depth histogram: bucket 0 holds depth 0, bucket i >= 1
+         *  holds depths in [2^(i-1), 2^i). */
+        std::vector<std::uint64_t> buckets;
+
+        double meanDepth() const
+        {
+            return depthSamples ? depthSum / double(depthSamples) : 0.0;
+        }
+    };
+
+    // Sink interface.
+    void event(const Tracer &tracer, const Event &e) override;
+    void finish(const Tracer &tracer, Cycle end) override;
+
+    /** Elapsed cycles (finish() end, or last event cycle + 1). */
+    Cycle span() const;
+
+    /** Multiply-add issues per elapsed cycle for one component. */
+    double maPerCycle(const std::string &comp) const;
+
+    /** Multiply-add issues per elapsed cycle summed over components. */
+    double totalMaPerCycle() const;
+
+    /** Issues of any class per elapsed cycle for one component. */
+    double utilization(const std::string &comp) const;
+
+    /** Fraction of elapsed cycles @p comp spent moving bus words. */
+    double busOccupancy(const std::string &comp) const;
+
+    const std::map<std::string, CompStats> &components() const
+    {
+        return comps;
+    }
+    const std::map<std::string, FifoStats> &fifos() const
+    {
+        return fifoStats;
+    }
+
+    /** Render every table (utilization, FIFOs, bus, stalls) as text. */
+    std::string report() const;
+
+  private:
+    std::map<std::string, CompStats> comps;
+    std::map<std::string, FifoStats> fifoStats; //!< key "comp.fifo"
+    Cycle lastCycle = 0;
+    Cycle endCycle = 0;
+    bool sawEvent = false;
+};
+
+} // namespace opac::trace
+
+#endif // OPAC_TRACE_AGGREGATE_HH

@@ -1,0 +1,311 @@
+#include "trace/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace opac::trace::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text(text), err(err)
+    {}
+
+    bool
+    run(Value &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos != text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err)
+            *err = strfmt("json error at offset %zu: %s", pos,
+                          what.c_str());
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() && std::isspace(
+                   static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word, Value &out, Value::Type type, bool b)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return fail(strfmt("expected '%s'", word));
+        pos += n;
+        out.type = type;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code += unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code += unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    // UTF-8 encode the BMP code point (no surrogate
+                    // pairing; trace names are ASCII in practice).
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xc0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3f));
+                    } else {
+                        out += char(0xe0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3f));
+                        out += char(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("unescaped control character in string");
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        auto digits = [&] {
+            std::size_t before = pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+            return pos > before;
+        };
+        if (!digits())
+            return fail("expected digits");
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (!digits())
+                return fail("expected fraction digits");
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-')) {
+                ++pos;
+            }
+            if (!digits())
+                return fail("expected exponent digits");
+        }
+        out.type = Value::Type::Number;
+        out.number = std::strtod(text.substr(start, pos - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (depth > 200)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case '{': {
+            ++pos;
+            ++depth;
+            out.type = Value::Type::Object;
+            skipSpace();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.object.emplace_back(std::move(key), std::move(v));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    --depth;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos;
+            ++depth;
+            out.type = Value::Type::Array;
+            skipSpace();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    --depth;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.type = Value::Type::String;
+            return parseString(out.str);
+          case 't':
+            return literal("true", out, Value::Type::Bool, true);
+          case 'f':
+            return literal("false", out, Value::Type::Bool, false);
+          case 'n':
+            return literal("null", out, Value::Type::Null, false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text;
+    std::string *err;
+    std::size_t pos = 0;
+    unsigned depth = 0;
+};
+
+} // anonymous namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *err)
+{
+    return Parser(text, err).run(out);
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", unsigned(c));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace opac::trace::json

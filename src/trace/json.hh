@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Exists so the test suite can parse a Chrome trace file back and
+ * assert its structure, and so tools/trace_report can summarize one,
+ * without adding an external dependency. Handles the full JSON grammar
+ * (objects, arrays, strings with escapes, numbers, booleans, null);
+ * not tuned for large documents.
+ */
+
+#ifndef OPAC_TRACE_JSON_HH
+#define OPAC_TRACE_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace opac::trace::json
+{
+
+/** A parsed JSON value (tagged union over a recursive document). */
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const Value *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns false (with a position-annotated
+ * message in @p err, if given) on any syntax error or trailing junk.
+ */
+bool parse(const std::string &text, Value &out, std::string *err = nullptr);
+
+/** Escape a string for embedding in JSON output (no quotes added). */
+std::string escape(const std::string &s);
+
+} // namespace opac::trace::json
+
+#endif // OPAC_TRACE_JSON_HH

@@ -1,0 +1,238 @@
+#include "trace/sinks.hh"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "trace/json.hh"
+
+namespace opac::trace
+{
+
+namespace
+{
+
+// Fixed thread-id layout inside each component's Chrome process.
+constexpr unsigned tidSlices = 0;    // kernel-call / bus-descriptor B/E
+constexpr unsigned tidIssue = 1;     // instruction-issue instants
+constexpr unsigned tidStall = 2;     // stall instants
+constexpr unsigned tidWriteback = 3; // retire instants
+
+} // anonymous namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &out) : out(out)
+{
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+void
+ChromeTraceSink::emitRecord(const std::string &body)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << body;
+}
+
+void
+ChromeTraceSink::ensureProcessMeta(const Tracer &tracer, std::uint16_t comp)
+{
+    if (!knownProcs.insert(comp).second)
+        return;
+    emitRecord(strfmt("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                      "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                      comp,
+                      json::escape(tracer.componentName(comp)).c_str()));
+}
+
+void
+ChromeTraceSink::ensureThreadMeta(const Tracer &tracer, std::uint16_t comp,
+                                  unsigned tid, const char *name)
+{
+    ensureProcessMeta(tracer, comp);
+    if (!knownThreads.insert({comp, tid}).second)
+        return;
+    emitRecord(strfmt("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                      "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                      comp, tid, name));
+}
+
+void
+ChromeTraceSink::event(const Tracer &tracer, const Event &e)
+{
+    auto ts = static_cast<unsigned long long>(e.cycle);
+    switch (e.kind) {
+      case EventKind::FifoPush:
+      case EventKind::FifoPop:
+      case EventKind::FifoRecirc:
+      case EventKind::FifoReset: {
+        // Depth counter track per FIFO. Resets drop to zero.
+        ensureProcessMeta(tracer, e.comp);
+        std::uint32_t depth =
+            e.kind == EventKind::FifoReset ? 0 : e.a;
+        emitRecord(strfmt(
+            "{\"name\":\"%s depth\",\"ph\":\"C\",\"pid\":%u,\"ts\":%llu,"
+            "\"args\":{\"depth\":%u}}",
+            json::escape(tracer.trackName(e.track)).c_str(), e.comp, ts,
+            depth));
+        break;
+      }
+      case EventKind::Issue:
+        ensureThreadMeta(tracer, e.comp, tidIssue, "issue");
+        emitRecord(strfmt(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
+            "\"tid\":%u,\"ts\":%llu,\"args\":{\"pc\":%u,\"latency\":%u}}",
+            opClassName(OpClass(e.arg)), e.comp, tidIssue, ts, e.a, e.b));
+        break;
+      case EventKind::Retire:
+        ensureThreadMeta(tracer, e.comp, tidWriteback, "writeback");
+        emitRecord(strfmt(
+            "{\"name\":\"retire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
+            "\"tid\":%u,\"ts\":%llu,\"args\":{\"mask\":%u}}",
+            e.comp, tidWriteback, ts, e.a));
+        break;
+      case EventKind::Stall:
+        ensureThreadMeta(tracer, e.comp, tidStall, "stall");
+        emitRecord(strfmt(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
+            "\"tid\":%u,\"ts\":%llu,\"args\":{\"at\":%u}}",
+            stallWhyName(StallWhy(e.arg)), e.comp, tidStall, ts, e.a));
+        break;
+      case EventKind::BusBegin:
+      case EventKind::CallBegin:
+        ensureThreadMeta(tracer, e.comp, tidSlices,
+                         e.kind == EventKind::BusBegin ? "bus" : "calls");
+        emitRecord(strfmt(
+            "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":%u,\"tid\":%u,"
+            "\"ts\":%llu,\"args\":{\"a\":%u}}",
+            json::escape(tracer.trackName(e.track)).c_str(), e.comp,
+            tidSlices, ts, e.a));
+        break;
+      case EventKind::BusEnd:
+      case EventKind::CallEnd:
+        ensureThreadMeta(tracer, e.comp, tidSlices,
+                         e.kind == EventKind::BusEnd ? "bus" : "calls");
+        emitRecord(strfmt(
+            "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%u,\"tid\":%u,"
+            "\"ts\":%llu}",
+            json::escape(tracer.trackName(e.track)).c_str(), e.comp,
+            tidSlices, ts));
+        break;
+      case EventKind::BusWord: {
+        ensureProcessMeta(tracer, e.comp);
+        std::uint64_t total = ++busWords[e.comp];
+        emitRecord(strfmt(
+            "{\"name\":\"bus words\",\"ph\":\"C\",\"pid\":%u,\"ts\":%llu,"
+            "\"args\":{\"words\":%llu}}",
+            e.comp, ts, static_cast<unsigned long long>(total)));
+        break;
+      }
+    }
+}
+
+void
+ChromeTraceSink::finish(const Tracer &tracer, Cycle end)
+{
+    (void)tracer;
+    if (closed)
+        return;
+    closed = true;
+    // A final clock-domain marker so the viewer's time axis spans the
+    // whole run even if the last event landed earlier.
+    emitRecord(strfmt("{\"name\":\"simulation end\",\"ph\":\"i\","
+                      "\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":%llu}",
+                      static_cast<unsigned long long>(end)));
+    out << "\n]}\n";
+    out.flush();
+}
+
+CsvSink::CsvSink(std::ostream &out) : out(out)
+{
+    out << "cycle,component,track,kind,arg,a,b\n";
+}
+
+void
+CsvSink::event(const Tracer &tracer, const Event &e)
+{
+    out << e.cycle << ',' << tracer.componentName(e.comp) << ','
+        << (e.track ? tracer.trackName(e.track) : std::string("-")) << ','
+        << eventKindName(e.kind) << ',' << unsigned(e.arg) << ',' << e.a
+        << ',' << e.b << '\n';
+}
+
+void
+CsvSink::finish(const Tracer &tracer, Cycle end)
+{
+    (void)tracer;
+    (void)end;
+    out.flush();
+}
+
+bool
+readCsv(std::istream &in, Tracer &tracer, std::string *err)
+{
+    auto fail = [&](std::size_t lineno, const std::string &what) {
+        if (err)
+            *err = strfmt("csv line %zu: %s", lineno, what.c_str());
+        return false;
+    };
+
+    static const EventKind allKinds[] = {
+        EventKind::FifoPush, EventKind::FifoPop, EventKind::FifoRecirc,
+        EventKind::FifoReset, EventKind::Issue, EventKind::Retire,
+        EventKind::Stall, EventKind::BusBegin, EventKind::BusWord,
+        EventKind::BusEnd, EventKind::CallBegin, EventKind::CallEnd,
+    };
+
+    std::string line;
+    std::size_t lineno = 0;
+    Cycle last = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (lineno == 1 && line.rfind("cycle,", 0) == 0)
+            continue; // header
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        while (true) {
+            std::size_t comma = line.find(',', start);
+            if (comma == std::string::npos) {
+                cells.push_back(line.substr(start));
+                break;
+            }
+            cells.push_back(line.substr(start, comma - start));
+            start = comma + 1;
+        }
+        if (cells.size() != 7)
+            return fail(lineno, strfmt("expected 7 fields, got %zu",
+                                       cells.size()));
+        Cycle cycle = std::strtoull(cells[0].c_str(), nullptr, 10);
+        const EventKind *kind = nullptr;
+        for (const EventKind &k : allKinds) {
+            if (cells[3] == eventKindName(k)) {
+                kind = &k;
+                break;
+            }
+        }
+        if (!kind)
+            return fail(lineno, "unknown event kind '" + cells[3] + "'");
+        std::uint16_t comp = tracer.internComponent(cells[1]);
+        std::uint16_t track =
+            cells[2] == "-" ? 0 : tracer.internTrack(comp, cells[2]);
+        tracer.emit(cycle, *kind,
+                    std::uint8_t(std::strtoul(cells[4].c_str(), nullptr,
+                                              10)),
+                    comp, track,
+                    std::uint32_t(std::strtoul(cells[5].c_str(), nullptr,
+                                               10)),
+                    std::uint32_t(std::strtoul(cells[6].c_str(), nullptr,
+                                               10)));
+        last = cycle;
+    }
+    tracer.finish(last + 1);
+    return true;
+}
+
+} // namespace opac::trace

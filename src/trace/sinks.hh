@@ -1,0 +1,80 @@
+/**
+ * @file
+ * File-format sinks for the trace stream.
+ *
+ *  - ChromeTraceSink writes the Chrome trace-event JSON format (open
+ *    the file in chrome://tracing or https://ui.perfetto.dev): one
+ *    process per simulator component, B/E duration slices for kernel
+ *    calls and bus descriptors, instants for issues/stalls/retires,
+ *    and counter tracks for FIFO depths and cumulative bus words.
+ *    One simulated cycle maps to one microsecond of trace time.
+ *
+ *  - CsvSink writes one event per line
+ *    (`cycle,component,track,kind,arg,a,b`) — the lossless archival
+ *    form, readable back with readCsv() for offline aggregation by
+ *    tools/trace_report.
+ *
+ * Both sinks stream: events are formatted as they arrive and nothing
+ * is retained in memory, so multi-million-event traces are fine.
+ */
+
+#ifndef OPAC_TRACE_SINKS_HH
+#define OPAC_TRACE_SINKS_HH
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace opac::trace
+{
+
+/** Streams Chrome trace-event JSON to an ostream. */
+class ChromeTraceSink : public Sink
+{
+  public:
+    /** @param out Destination stream; must outlive the sink. */
+    explicit ChromeTraceSink(std::ostream &out);
+
+    void event(const Tracer &tracer, const Event &e) override;
+    void finish(const Tracer &tracer, Cycle end) override;
+
+  private:
+    void emitRecord(const std::string &body);
+    void ensureProcessMeta(const Tracer &tracer, std::uint16_t comp);
+    void ensureThreadMeta(const Tracer &tracer, std::uint16_t comp,
+                          unsigned tid, const char *name);
+
+    std::ostream &out;
+    bool first = true;
+    bool closed = false;
+    std::set<std::uint16_t> knownProcs;
+    std::set<std::pair<std::uint16_t, unsigned>> knownThreads;
+    std::map<std::uint16_t, std::uint64_t> busWords; //!< per host comp
+};
+
+/** Streams the lossless CSV form to an ostream. */
+class CsvSink : public Sink
+{
+  public:
+    explicit CsvSink(std::ostream &out);
+
+    void event(const Tracer &tracer, const Event &e) override;
+    void finish(const Tracer &tracer, Cycle end) override;
+
+  private:
+    std::ostream &out;
+};
+
+/**
+ * Parse a CSV trace (as written by CsvSink) from @p in, re-interning
+ * names into @p tracer and re-emitting every event to its sinks.
+ * Returns false with a message in @p err on malformed input.
+ */
+bool readCsv(std::istream &in, Tracer &tracer, std::string *err = nullptr);
+
+} // namespace opac::trace
+
+#endif // OPAC_TRACE_SINKS_HH

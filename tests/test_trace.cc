@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the trace & telemetry subsystem: event ordering, FIFO
+ * depth accounting (push / pop / recirculate / reset), Chrome
+ * trace-event well-formedness (parsed back with the bundled JSON
+ * parser), aggregator arithmetic on a hand-built stream, CSV
+ * round-tripping, and the deadlock watchdog's trace-backed abort
+ * report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "coproc/coprocessor.hh"
+#include "fifo/timed_fifo.hh"
+#include "host/host.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/signal_plan.hh"
+#include "trace/aggregate.hh"
+#include "trace/json.hh"
+#include "trace/sinks.hh"
+#include "trace/trace.hh"
+
+using namespace opac;
+using namespace opac::trace;
+using opac::planner::SignalPlanner;
+using opac::planner::allocMat;
+using opac::planner::MatRef;
+
+namespace
+{
+
+copro::CoprocConfig
+smallConfig(unsigned cells = 1, std::size_t tf = 256, unsigned tau = 2)
+{
+    copro::CoprocConfig cfg;
+    cfg.cells = cells;
+    cfg.cell.tf = tf;
+    cfg.host.tau = tau;
+    return cfg;
+}
+
+/** Run a tiny gemv with @p sink attached; returns final cycle. */
+Cycle
+runTracedGemv(Tracer &tracer)
+{
+    copro::Coprocessor sys(smallConfig());
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    const std::size_t m = 8, n = 8;
+    MatRef a = allocMat(sys.memory(), m, n);
+    std::size_t x = sys.memory().alloc(n);
+    std::size_t y = sys.memory().alloc(m);
+    plan.gemv(a, x, y);
+    plan.commit();
+    sys.attachTracer(&tracer);
+    sys.run();
+    Cycle end = sys.engine().now();
+    tracer.finish(end);
+    return end;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Tracer basics and event ordering
+// ---------------------------------------------------------------------
+
+TEST(Tracer, InternsNamesOnce)
+{
+    Tracer t;
+    std::uint16_t a = t.internComponent("cell0");
+    std::uint16_t b = t.internComponent("host");
+    EXPECT_NE(a, 0);       // id 0 is the reserved unnamed slot
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.internComponent("cell0"), a);
+    EXPECT_EQ(t.componentName(a), "cell0");
+
+    std::uint16_t q = t.internTrack(a, "tpx");
+    EXPECT_EQ(t.internTrack(a, "tpx"), q);
+    EXPECT_EQ(t.trackName(q), "tpx");
+    EXPECT_EQ(t.trackComponent(q), a);
+    // The same track name under another component is a distinct track.
+    EXPECT_NE(t.internTrack(b, "tpx"), q);
+}
+
+TEST(Tracer, EventsArriveInNondecreasingCycleOrder)
+{
+    Tracer tracer;
+    VectorSink sink;
+    tracer.addSink(&sink);
+    Cycle end = runTracedGemv(tracer);
+
+    ASSERT_FALSE(sink.events.empty());
+    EXPECT_EQ(tracer.eventCount(), sink.events.size());
+    for (std::size_t i = 1; i < sink.events.size(); ++i)
+        EXPECT_LE(sink.events[i - 1].cycle, sink.events[i].cycle)
+            << "event " << i << " went backwards";
+    EXPECT_LT(sink.events.back().cycle, end);
+
+    // The run must contain the structural markers: one kernel call
+    // begin/end pair per call, at least one issue and one retire.
+    auto count = [&](EventKind k) {
+        std::size_t n = 0;
+        for (const Event &e : sink.events)
+            if (e.kind == k)
+                ++n;
+        return n;
+    };
+    EXPECT_GT(count(EventKind::CallBegin), 0u);
+    EXPECT_EQ(count(EventKind::CallBegin), count(EventKind::CallEnd));
+    EXPECT_GT(count(EventKind::Issue), 0u);
+    EXPECT_GT(count(EventKind::Retire), 0u);
+    EXPECT_GT(count(EventKind::BusBegin), 0u);
+    EXPECT_EQ(count(EventKind::BusBegin), count(EventKind::BusEnd));
+}
+
+// ---------------------------------------------------------------------
+// FIFO depth accounting
+// ---------------------------------------------------------------------
+
+TEST(FifoTracing, DepthAccountsAcrossPushPopRecirculate)
+{
+    Tracer tracer;
+    VectorSink sink;
+    tracer.addSink(&sink);
+    std::uint16_t comp = tracer.internComponent("cellX");
+
+    TimedFifo f("q", 4, 1);
+    f.attachTracer(&tracer, comp);
+
+    f.push(10, 0);
+    f.push(11, 0);
+    EXPECT_EQ(f.pop(1), 10u);
+    // Recirculate: front comes out and goes to the back in one cycle.
+    EXPECT_EQ(f.recirculate(1), 11u);
+    EXPECT_EQ(f.size(), 1u);
+    // The recirculated word obeys fall-through latency again.
+    EXPECT_FALSE(f.canPop(1));
+    EXPECT_TRUE(f.canPop(2));
+    f.reserve();
+    f.pushReserved(12, 1);
+    f.reset(2);
+    EXPECT_EQ(f.size(), 0u);
+
+    ASSERT_EQ(sink.events.size(), 6u);
+    const auto &ev = sink.events;
+
+    EXPECT_EQ(ev[0].kind, EventKind::FifoPush);
+    EXPECT_EQ(ev[0].arg, 0);      // plain push
+    EXPECT_EQ(ev[0].a, 1u);       // depth after
+    EXPECT_EQ(ev[0].b, 10u);
+
+    EXPECT_EQ(ev[1].kind, EventKind::FifoPush);
+    EXPECT_EQ(ev[1].a, 2u);
+
+    EXPECT_EQ(ev[2].kind, EventKind::FifoPop);
+    EXPECT_EQ(ev[2].a, 1u);       // depth after the pop
+    EXPECT_EQ(ev[2].b, 10u);
+
+    EXPECT_EQ(ev[3].kind, EventKind::FifoRecirc);
+    EXPECT_EQ(ev[3].a, 1u);       // depth unchanged
+    EXPECT_EQ(ev[3].b, 11u);
+
+    EXPECT_EQ(ev[4].kind, EventKind::FifoPush);
+    EXPECT_EQ(ev[4].arg, 1);      // reserved-slot push
+    EXPECT_EQ(ev[4].a, 2u);
+    EXPECT_EQ(ev[4].b, 12u);
+
+    EXPECT_EQ(ev[5].kind, EventKind::FifoReset);
+    EXPECT_EQ(ev[5].a, 2u);       // words discarded
+    EXPECT_EQ(ev[5].cycle, 2u);
+
+    // All six share the component and the interned "q" track.
+    for (const Event &e : ev) {
+        EXPECT_EQ(e.comp, comp);
+        EXPECT_EQ(tracer.trackName(e.track), "q");
+    }
+
+    // Counter totals treat a recirculation as one pop + one push, so
+    // existing stats stay consistent with the pre-trace behaviour.
+    EXPECT_EQ(f.totalPushes(), 4u);
+    EXPECT_EQ(f.totalPops(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event output
+// ---------------------------------------------------------------------
+
+TEST(ChromeTrace, OutputParsesBackAndBalances)
+{
+    Tracer tracer;
+    std::ostringstream out;
+    ChromeTraceSink chrome(out);
+    tracer.addSink(&chrome);
+    runTracedGemv(tracer);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(out.str(), doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_GT(events->array.size(), 10u);
+
+    // Duration slices must balance per process, and every record needs
+    // the mandatory fields.
+    std::map<int, int> depth;
+    bool sawProcessName = false;
+    for (const auto &e : events->array) {
+        const json::Value *ph = e.find("ph");
+        const json::Value *pid = e.find("pid");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_TRUE(ph->isString());
+        ASSERT_NE(pid, nullptr);
+        int p = int(pid->number);
+        if (ph->str == "B") {
+            ++depth[p];
+        } else if (ph->str == "E") {
+            --depth[p];
+            EXPECT_GE(depth[p], 0);
+        } else if (ph->str == "M") {
+            const json::Value *name = e.find("name");
+            if (name && name->str == "process_name")
+                sawProcessName = true;
+        } else if (ph->str == "C" || ph->str == "i") {
+            const json::Value *ts = e.find("ts");
+            ASSERT_NE(ts, nullptr);
+            EXPECT_TRUE(ts->isNumber());
+        }
+    }
+    for (const auto &[p, d] : depth)
+        EXPECT_EQ(d, 0) << "unbalanced B/E slices for pid " << p;
+    EXPECT_TRUE(sawProcessName);
+}
+
+// ---------------------------------------------------------------------
+// Aggregator arithmetic on a hand-built stream
+// ---------------------------------------------------------------------
+
+TEST(Aggregator, UtilizationAndOccupancyMath)
+{
+    Tracer tracer;
+    Aggregate agg;
+    tracer.addSink(&agg);
+    std::uint16_t cell = tracer.internComponent("c");
+    std::uint16_t hostc = tracer.internComponent("h");
+    std::uint16_t q = tracer.internTrack(cell, "q");
+
+    // 4 multiply-add issues in an 8-cycle run: occupancy 0.5.
+    for (Cycle t = 0; t < 4; ++t)
+        tracer.emit(2 * t, EventKind::Issue,
+                    std::uint8_t(OpClass::Fma), cell, 0, t, 3);
+    // One control issue: counts toward utilization, not MA/cycle.
+    tracer.emit(1, EventKind::Issue, std::uint8_t(OpClass::Control),
+                cell, 0, 9, 0);
+    // Two stalls waiting on an operand queue.
+    tracer.emit(3, EventKind::Stall, std::uint8_t(StallWhy::SrcEmpty),
+                cell, 0, 5, 0);
+    tracer.emit(4, EventKind::Stall, std::uint8_t(StallWhy::SrcEmpty),
+                cell, 0, 5, 0);
+    // Host moves 3 words at 2 bus cycles each: occupancy 6/8.
+    for (Cycle t = 0; t < 3; ++t)
+        tracer.emit(t, EventKind::BusWord, 0, hostc, 0, t, 2);
+    // FIFO depth samples: pushes to depths 1, 2, 3, pop back to 2.
+    tracer.emit(0, EventKind::FifoPush, 0, cell, q, 1, 100);
+    tracer.emit(1, EventKind::FifoPush, 0, cell, q, 2, 101);
+    tracer.emit(2, EventKind::FifoPush, 0, cell, q, 3, 102);
+    tracer.emit(3, EventKind::FifoPop, 0, cell, q, 2, 100);
+    tracer.finish(8);
+
+    EXPECT_EQ(agg.span(), 8u);
+    EXPECT_DOUBLE_EQ(agg.maPerCycle("c"), 0.5);
+    EXPECT_DOUBLE_EQ(agg.totalMaPerCycle(), 0.5);
+    EXPECT_DOUBLE_EQ(agg.utilization("c"), 5.0 / 8.0);
+    EXPECT_DOUBLE_EQ(agg.busOccupancy("h"), 0.75);
+
+    const auto &cs = agg.components().at("c");
+    EXPECT_EQ(cs.issuedByClass[std::size_t(OpClass::Fma)], 4u);
+    EXPECT_EQ(cs.issuedByClass[std::size_t(OpClass::Control)], 1u);
+    EXPECT_EQ(cs.stallsByWhy[std::size_t(StallWhy::SrcEmpty)], 2u);
+
+    const auto &hs = agg.components().at("h");
+    EXPECT_EQ(hs.busWordsMoved, 3u);
+    EXPECT_EQ(hs.busBusyCycles, 6u);
+
+    const auto &fs = agg.fifos().at("c.q");
+    EXPECT_EQ(fs.pushes, 3u);
+    EXPECT_EQ(fs.pops, 1u);
+    EXPECT_EQ(fs.maxDepth, 3u);
+    EXPECT_EQ(fs.depthSamples, 4u);
+    EXPECT_DOUBLE_EQ(fs.meanDepth(), (1 + 2 + 3 + 2) / 4.0);
+    // Bucket 0 = depth 0, bucket i = [2^(i-1), 2^i): depths 1 -> b1,
+    // {2, 3, 2} -> b2.
+    ASSERT_GE(fs.buckets.size(), 3u);
+    EXPECT_EQ(fs.buckets[0], 0u);
+    EXPECT_EQ(fs.buckets[1], 1u);
+    EXPECT_EQ(fs.buckets[2], 3u);
+
+    // The rendered report mentions every table and component.
+    std::string rep = agg.report();
+    EXPECT_NE(rep.find("component utilization"), std::string::npos);
+    EXPECT_NE(rep.find("c.q"), std::string::npos);
+    EXPECT_NE(rep.find("stall causes"), std::string::npos);
+}
+
+TEST(Aggregator, MeasuredOccupancyMatchesCounters)
+{
+    // On a real run, the aggregator's MA count must equal the cell's
+    // own fma counter (the trace sees every issue), and the bus words
+    // must match the host counters.
+    Tracer tracer;
+    Aggregate agg;
+    tracer.addSink(&agg);
+
+    copro::Coprocessor sys(smallConfig());
+    kernels::installStandardKernels(sys);
+    SignalPlanner plan(sys);
+    const std::size_t m = 8, n = 8;
+    MatRef a = allocMat(sys.memory(), m, n);
+    std::size_t x = sys.memory().alloc(n);
+    std::size_t y = sys.memory().alloc(m);
+    plan.gemv(a, x, y);
+    plan.commit();
+    sys.attachTracer(&tracer);
+    Cycle cycles = sys.run();
+    tracer.finish(sys.engine().now());
+
+    const auto &cs = agg.components().at("cell0");
+    EXPECT_EQ(cs.issuedByClass[std::size_t(OpClass::Fma)],
+              sys.cell(0).fmaOps());
+    EXPECT_DOUBLE_EQ(agg.maPerCycle("cell0"),
+                     double(sys.cell(0).fmaOps()) / double(cycles));
+    // Every word on the bus is traced: data words plus call words.
+    const auto &hs = agg.components().at("host");
+    EXPECT_EQ(hs.busWordsMoved,
+              sys.host().wordsSent() + sys.host().wordsReceived()
+                  + sys.host().callWordsSent());
+}
+
+// ---------------------------------------------------------------------
+// CSV round-trip
+// ---------------------------------------------------------------------
+
+TEST(CsvTrace, RoundTripsLosslessly)
+{
+    Tracer tracer;
+    std::ostringstream csv;
+    CsvSink sink(csv);
+    VectorSink keep;
+    tracer.addSink(&sink);
+    tracer.addSink(&keep);
+    runTracedGemv(tracer);
+
+    Tracer replay;
+    VectorSink got;
+    replay.addSink(&got);
+    std::istringstream in(csv.str());
+    std::string err;
+    ASSERT_TRUE(readCsv(in, replay, &err)) << err;
+
+    ASSERT_EQ(got.events.size(), keep.events.size());
+    for (std::size_t i = 0; i < keep.events.size(); ++i) {
+        const Event &want = keep.events[i];
+        const Event &have = got.events[i];
+        EXPECT_EQ(have.cycle, want.cycle);
+        EXPECT_EQ(have.kind, want.kind);
+        EXPECT_EQ(have.arg, want.arg);
+        EXPECT_EQ(have.a, want.a);
+        EXPECT_EQ(have.b, want.b);
+        // Ids may differ between the two intern tables; names must not.
+        EXPECT_EQ(replay.componentName(have.comp),
+                  tracer.componentName(want.comp));
+        EXPECT_EQ(replay.trackName(have.track),
+                  tracer.trackName(want.track));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadlock watchdog report
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, DeadlockReportNamesBothBlockedComponents)
+{
+    // Provoke a genuine host/cell FIFO deadlock: the host streams 100
+    // words at an idle cell whose tpx holds only 4, and no kernel ever
+    // drains them. The watchdog must fire and its report must show the
+    // status and the recent trace events of both the blocked host and
+    // the full cell.
+    copro::CoprocConfig cfg = smallConfig();
+    cfg.cell.interfaceDepth = 4;
+    cfg.watchdogCycles = 200;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+
+    Tracer tracer;
+    sys.attachTracer(&tracer);
+    sys.host().enqueue(
+        host::sendOp(0x1, host::Region::vec(0, 100)));
+
+    try {
+        sys.run();
+        FAIL() << "expected the deadlock watchdog to fire";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("host"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cell0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("recent trace events of host"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("recent trace events of cell0"),
+                  std::string::npos)
+            << msg;
+        // The cell's ring must end on the tpx pushes that filled it,
+        // and the host's on full-queue stalls.
+        EXPECT_NE(msg.find("tpx"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bus-full"), std::string::npos) << msg;
+    }
+}
+
+TEST(Watchdog, ReportOmitsTraceSectionWhenDetached)
+{
+    copro::CoprocConfig cfg = smallConfig();
+    cfg.cell.interfaceDepth = 4;
+    cfg.watchdogCycles = 200;
+    copro::Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+    sys.host().enqueue(
+        host::sendOp(0x1, host::Region::vec(0, 100)));
+
+    try {
+        sys.run();
+        FAIL() << "expected the deadlock watchdog to fire";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("recent trace events"), std::string::npos)
+            << msg;
+    }
+}
