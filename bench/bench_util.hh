@@ -13,6 +13,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -172,11 +174,58 @@ class TraceSession
 };
 
 /**
- * Collects benchmark results and writes them as `BENCH_<name>.json`
- * (an array of {name, cycles, flops_per_cycle, efficiency} records) so
- * the performance trajectory is machine-readable across PRs. A flop
- * here is an FP operation: one multiply-add counts as two, matching
- * peak 2P flops/cycle for a P-cell coprocessor.
+ * Current commit, abbreviated. The OPAC_GIT_SHA environment variable
+ * wins (CI sets it from the checkout), then `git rev-parse`, then
+ * "unknown" (e.g. a bench run from an installed tree).
+ */
+inline std::string
+gitSha()
+{
+    if (const char *env = std::getenv("OPAC_GIT_SHA"); env && *env)
+        return env;
+    std::string sha;
+    if (FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (std::fgets(buf, sizeof(buf), p))
+            sha = buf;
+        ::pclose(p);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+/** The current wall-clock time as ISO-8601 UTC ("...Z"). */
+inline std::string
+iso8601Now()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/** CMAKE_BUILD_TYPE baked in by bench/CMakeLists.txt. */
+inline std::string
+buildType()
+{
+#ifdef OPAC_BUILD_TYPE
+    return OPAC_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * Collects benchmark results and writes them as `BENCH_<name>.json`:
+ * an object {bench, git_sha, timestamp, build_type, config, results}
+ * whose "results" array holds {name, cycles, flops_per_cycle,
+ * efficiency, ...extra} records — the input format of tools/bench_diff
+ * and the committed baselines under bench/baselines/. A flop here is an
+ * FP operation: one multiply-add counts as two, matching peak 2P
+ * flops/cycle for a P-cell coprocessor.
  */
 class BenchJsonWriter
 {
@@ -190,15 +239,42 @@ class BenchJsonWriter
     BenchJsonWriter(const BenchJsonWriter &) = delete;
     BenchJsonWriter &operator=(const BenchJsonWriter &) = delete;
 
+    /** Record a simulator-configuration key (tau, cells, Tf, ...). */
+    void
+    config(const std::string &key, const std::string &value)
+    {
+        configs.push_back(strfmt("\"%s\": \"%s\"",
+                                 trace::json::escape(key).c_str(),
+                                 trace::json::escape(value).c_str()));
+    }
+
+    void config(const std::string &key, long value)
+    {
+        configs.push_back(strfmt("\"%s\": %ld",
+                                 trace::json::escape(key).c_str(),
+                                 value));
+    }
+
+    /**
+     * Record one case. @p extra holds additional named measurements
+     * (e.g. {"ma_per_cycle", 0.496}) appended to the record.
+     */
     void
     record(const std::string &name, Cycle cycles, double flops_per_cycle,
-           double efficiency)
+           double efficiency,
+           const std::vector<std::pair<std::string, double>> &extra = {})
     {
-        records.push_back(strfmt(
-            "  {\"name\": \"%s\", \"cycles\": %llu, "
-            "\"flops_per_cycle\": %.6f, \"efficiency\": %.6f}",
+        std::string rec = strfmt(
+            "    {\"name\": \"%s\", \"cycles\": %llu, "
+            "\"flops_per_cycle\": %.6f, \"efficiency\": %.6f",
             trace::json::escape(name).c_str(),
-            (unsigned long long)cycles, flops_per_cycle, efficiency));
+            (unsigned long long)cycles, flops_per_cycle, efficiency);
+        for (const auto &[k, v] : extra) {
+            rec += strfmt(", \"%s\": %.6f",
+                          trace::json::escape(k).c_str(), v);
+        }
+        rec += "}";
+        records.push_back(std::move(rec));
     }
 
     /** Write BENCH_<name>.json now (also runs at destruction). */
@@ -214,16 +290,87 @@ class BenchJsonWriter
             warn(strfmt("cannot write %s", path.c_str()));
             return;
         }
-        out << "[\n";
+        out << "{\n";
+        out << "  \"bench\": \""
+            << trace::json::escape(benchName) << "\",\n";
+        out << "  \"git_sha\": \""
+            << trace::json::escape(gitSha()) << "\",\n";
+        out << "  \"timestamp\": \"" << iso8601Now() << "\",\n";
+        out << "  \"build_type\": \""
+            << trace::json::escape(buildType()) << "\",\n";
+        out << "  \"config\": {";
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            out << (i ? ", " : "") << configs[i];
+        out << "},\n";
+        out << "  \"results\": [\n";
         for (std::size_t i = 0; i < records.size(); ++i)
             out << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
-        out << "]\n";
+        out << "  ]\n}\n";
     }
 
   private:
     std::string benchName;
+    std::vector<std::string> configs;
     std::vector<std::string> records;
     bool written = false;
+};
+
+/**
+ * One stats-instrumented run within a bench binary, driven by
+ * `--stats=<file>` and `--sample-interval=N` (default 1000 cycles).
+ * Ask for the interval when building the representative system's
+ * config, then claim that system; on finish() the full registry plus
+ * the sampled time series is written as JSON (Coprocessor::statsJson).
+ */
+class StatsSession
+{
+  public:
+    StatsSession(int argc, char **argv)
+        : path(argText(argc, argv, "--stats"))
+    {
+        std::string iv = argText(argc, argv, "--sample-interval");
+        interval = iv.empty() ? 1000 : Cycle(std::atol(iv.c_str()));
+        opac_assert(interval > 0, "bad --sample-interval value '%s'",
+                    iv.c_str());
+    }
+
+    /** True when the user asked for a stats dump. */
+    bool wanted() const { return !path.empty(); }
+
+    /** True once a system has been claimed as the instrumented run. */
+    bool attached() const { return sys != nullptr; }
+
+    /** Sampling interval for the instrumented system's config. */
+    Cycle sampleInterval() const { return wanted() ? interval : 0; }
+
+    /** Claim @p s as the instrumented run (first caller wins). */
+    void
+    attach(copro::Coprocessor &s)
+    {
+        opac_assert(wanted() && !attached(),
+                    "attach on an unwanted or already-claimed session");
+        sys = &s;
+    }
+
+    /** Write the stats JSON and print the human-readable registry. */
+    void
+    finish()
+    {
+        if (!attached())
+            return;
+        std::ofstream out(path, std::ios::out | std::ios::trunc);
+        if (!out) {
+            opac_fatal("cannot open stats file '%s'", path.c_str());
+        }
+        out << sys->statsJson() << "\n";
+        std::printf("\n=== stats -> %s ===\n\n%s",
+                    path.c_str(), sys->statsReport().c_str());
+    }
+
+  private:
+    std::string path;
+    Cycle interval;
+    copro::Coprocessor *sys = nullptr;
 };
 
 } // namespace opac::bench

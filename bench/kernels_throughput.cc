@@ -91,7 +91,8 @@ fftResidentTable(BenchJsonWriter &json)
 }
 
 void
-gemvTable(BenchJsonWriter &json, TraceSession &trace)
+gemvTable(BenchJsonWriter &json, TraceSession &trace,
+          StatsSession &stats)
 {
     TextTable t("gemv y += A x (NOT compute-bound: the section 4.1 "
                 "contrast case), one cell, 256x512");
@@ -99,7 +100,13 @@ gemvTable(BenchJsonWriter &json, TraceSession &trace)
     const std::size_t m = 256, n = 512;
     double predicted_ma = -1.0;
     for (unsigned tau : {1u, 2u, 4u}) {
-        copro::Coprocessor sys(timingConfig(1, 2048, tau));
+        auto cfg = timingConfig(1, 2048, tau);
+        bool sampled = stats.wanted() && !stats.attached() && tau == 2;
+        if (sampled)
+            cfg.statsSampleInterval = stats.sampleInterval();
+        copro::Coprocessor sys(cfg);
+        if (sampled)
+            stats.attach(sys);
         kernels::installStandardKernels(sys);
         SignalPlanner plan(sys);
         MatRef a = allocMat(sys.memory(), m, n);
@@ -120,11 +127,18 @@ gemvTable(BenchJsonWriter &json, TraceSession &trace)
         Cycle cycles = sys.run();
         if (traced)
             trace.finish(sys.engine().now(), predicted_ma);
+        if (sampled)
+            stats.finish();
         double ma_rate = double(m * n) / double(cycles);
+        double host_words = double(sys.host().wordsSent()
+                                   + sys.host().wordsReceived());
         t.row({strfmt("%u", tau), strfmt("%.3f", ma_rate),
                strfmt("%.3f", 1.0 / tau)});
         json.record(strfmt("gemv_256x512_tau%u", tau), cycles,
-                    2.0 * ma_rate, ma_rate);
+                    2.0 * ma_rate, ma_rate,
+                    {{"ma_per_cycle",
+                      sys.stats().scalarValue("maPerCycle")},
+                     {"host_words", host_words}});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Each matrix word is used once, so no number of cells "
@@ -170,12 +184,16 @@ int
 main(int argc, char **argv)
 {
     BenchJsonWriter json("kernels_throughput");
+    json.config("cells", 1);
+    json.config("tf", 2048);
+    json.config("fp", "token");
     TraceSession trace(argc, argv);
+    StatsSession stats(argc, argv);
     std::printf("Signal-kernel throughput (no paper table; section 2 "
                 "claims).\n\n");
     fftTable(json);
     fftResidentTable(json);
     correlationTable(json);
-    gemvTable(json, trace);
+    gemvTable(json, trace, stats);
     return 0;
 }

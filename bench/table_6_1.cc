@@ -35,9 +35,15 @@ namespace
 
 double
 runCase(unsigned p, std::size_t tf, unsigned tau, std::size_t n,
-        std::size_t k, BenchJsonWriter &json, TraceSession *trace)
+        std::size_t k, BenchJsonWriter &json, TraceSession *trace,
+        StatsSession *stats)
 {
-    copro::Coprocessor sys(timingConfig(p, tf, tau));
+    auto cfg = timingConfig(p, tf, tau);
+    if (stats)
+        cfg.statsSampleInterval = stats->sampleInterval();
+    copro::Coprocessor sys(cfg);
+    if (stats)
+        stats->attach(sys);
     kernels::installStandardKernels(sys);
     LinalgPlanner plan(sys);
     MatRef c = allocMat(sys.memory(), n, n);
@@ -55,8 +61,12 @@ runCase(unsigned p, std::size_t tf, unsigned tau, std::size_t n,
         // trace sees every issue event the datapath executes.
         trace->finish(sys.engine().now(), r);
     }
+    if (stats)
+        stats->finish();
     json.record(strfmt("matupdate_P%u_Tf%zu_tau%u_K%zu", p, tf, tau, k),
-                cycles, 2.0 * r, r / double(p));
+                cycles, 2.0 * r, r / double(p),
+                {{"ma_per_cycle",
+                  sys.stats().scalarValue("maPerCycle")}});
     return r;
 }
 
@@ -67,7 +77,10 @@ main(int argc, char **argv)
 {
     const bool quick = argFlag(argc, argv, "--quick");
     BenchJsonWriter json("table_6_1");
+    json.config("fp", "token");
+    json.config("quick", quick ? 1 : 0);
     TraceSession trace(argc, argv);
+    StatsSession stats(argc, argv);
     const unsigned cells[] = {1, 4, 16};
     const std::size_t tfs[] = {512, 2048};
     const unsigned taus[] = {2, 4};
@@ -94,8 +107,12 @@ main(int argc, char **argv)
                     bool traced = trace.wanted() && !trace.attached()
                                   && p == 1 && tf == 2048 && tau == 2
                                   && k == 300;
+                    bool sampled = stats.wanted() && !stats.attached()
+                                   && p == 1 && tf == 2048 && tau == 2
+                                   && k == 300;
                     double r = runCase(p, tf, tau, n, k, json,
-                                       traced ? &trace : nullptr);
+                                       traced ? &trace : nullptr,
+                                       sampled ? &stats : nullptr);
                     row.push_back(strfmt("%.3f", r));
                 }
                 row.push_back(strfmt(

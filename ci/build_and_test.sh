@@ -28,6 +28,22 @@ run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOPAC_SANITIZE=ON
 echo "=== trace smoke test ==="
 plain="$build_root/plain"
 (cd "$plain" && ./bench/kernels_throughput --trace=trace_smoke.json \
-    > /dev/null)
+    --stats=stats_smoke.json > /dev/null)
 "$plain/tools/trace_report" "$plain/trace_smoke.json" > /dev/null
 echo "trace smoke test OK"
+
+# Bench regression gate: rerun the gated benches and compare their
+# BENCH_*.json against the committed baselines. The simulator is
+# cycle-deterministic, so any delta is a real machine-model change; a
+# deliberate one updates bench/baselines/ in the same PR.
+echo "=== bench regression gate ==="
+OPAC_GIT_SHA=$(git -C "$root" rev-parse --short HEAD 2>/dev/null \
+    || echo ci)
+export OPAC_GIT_SHA
+(cd "$plain" && ./bench/table_6_1 --quick > /dev/null)
+for bench in kernels_throughput table_6_1; do
+    "$plain/tools/bench_diff" \
+        "$root/bench/baselines/BENCH_$bench.json" \
+        "$plain/BENCH_$bench.json"
+done
+echo "bench regression gate OK"

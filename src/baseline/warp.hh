@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "cell/cell.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "host/host.hh"
 #include "sim/engine.hh"
 

@@ -49,6 +49,55 @@ Cell::Cell(std::string name, const CellConfig &cfg,
     _sum.addStats(statGroup);
     _ret.addStats(statGroup);
     _reby.addStats(statGroup);
+    fpu->registerStats(statGroup);
+}
+
+std::uint64_t
+Cell::pmuRead(PmuReg reg) const
+{
+    switch (reg) {
+      case PmuReg::Issued:
+        return statIssued.value();
+      case PmuReg::Fma:
+        return statFma.value();
+      case PmuReg::MulOnly:
+        return statMulOnly.value();
+      case PmuReg::AddOnly:
+        return statAddOnly.value();
+      case PmuReg::Moves:
+        return statMoves.value();
+      case PmuReg::BusyCycles:
+        return statBusy.value();
+      case PmuReg::IdleCycles:
+        return statIdle.value();
+      case PmuReg::StallSrcEmpty:
+        return statStallSrc.value();
+      case PmuReg::StallDstFull:
+        return statStallDst.value();
+      case PmuReg::StallRegPending:
+        return statStallReg.value();
+      case PmuReg::Calls:
+        return statCalls.value();
+      case PmuReg::HighWaterTpx:
+        return _tpx.highWater();
+      case PmuReg::HighWaterTpy:
+        return _tpy.highWater();
+      case PmuReg::HighWaterTpo:
+        return _tpo.highWater();
+      case PmuReg::HighWaterTpi:
+        return _tpi.highWater();
+      case PmuReg::HighWaterSum:
+        return _sum.highWater();
+      case PmuReg::HighWaterRet:
+        return _ret.highWater();
+      case PmuReg::HighWaterReby:
+        return _reby.highWater();
+      case PmuReg::NumRegs:
+        break;
+    }
+    opac_warn_once("%s: PMU read of unknown register %u reads as zero",
+                   name().c_str(), unsigned(reg));
+    return 0;
 }
 
 void
@@ -78,6 +127,9 @@ Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
     opac_assert(nparams <= isa::numParams,
                 "kernel '%s': %u parameters exceed %u registers",
                 prog.name().c_str(), nparams, isa::numParams);
+    opac_assert(entry != pmuCallEntry,
+                "kernel '%s': entry id collides with the PMU call",
+                prog.name().c_str());
     microcode[entry] = Kernel{std::move(prog), nparams};
 }
 
@@ -352,8 +404,13 @@ Cell::drainWritebacks(Cycle now, sim::Engine &engine)
             continue;
         }
         auto push = [&](TimedFifo &q, int pi) {
-            if (pushed[pi])
+            if (pushed[pi]) {
                 ++statWritePortConflicts;
+                opac_warn_once("%s: two writebacks into '%s' in one "
+                               "cycle (single write port modelled as "
+                               "free)", name().c_str(),
+                               q.name().c_str());
+            }
             pushed[pi] = true;
             q.pushReserved(w.value, now);
         };
@@ -447,6 +504,17 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
       case SeqState::Idle:
         if (_tpi.canPop(now)) {
             Word entry = _tpi.pop(now);
+            if (entry == pmuCallEntry) {
+                // PMU status call: one parameter word selects the
+                // register; the readback is not a kernel call and
+                // leaves the kernel counters untouched.
+                pmuCall = true;
+                paramsToRead = 1;
+                paramIndex = 0;
+                state = SeqState::ReadParams;
+                engine.noteProgress();
+                break;
+            }
             auto it = microcode.find(entry);
             if (it == microcode.end()) {
                 opac_fatal("%s: call to unknown microcode entry %u",
@@ -482,10 +550,25 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
         if (_tpi.canPop(now)) {
             params[paramIndex++] = std::int32_t(_tpi.pop(now));
             if (--paramsToRead == 0)
-                state = SeqState::Decode;
+                state = pmuCall ? SeqState::PmuRespond : SeqState::Decode;
             engine.noteProgress();
         }
         break;
+
+      case SeqState::PmuRespond: {
+        ++statBusy;
+        if (_tpo.space() >= 2) {
+            std::uint64_t v = pmuRead(PmuReg(std::uint32_t(params[0])));
+            _tpo.push(Word(v), now);
+            _tpo.push(Word(v >> 32), now);
+            pmuCall = false;
+            state = SeqState::Idle;
+            engine.noteProgress();
+        } else {
+            ++statStallDst;
+        }
+        break;
+      }
 
       case SeqState::Decode:
         ++statBusy;
@@ -674,6 +757,7 @@ Cell::statusLine() const
       case SeqState::ReadParams: st = "read-params"; break;
       case SeqState::Decode: st = "decode"; break;
       case SeqState::Run: st = "run"; break;
+      case SeqState::PmuRespond: st = "pmu-respond"; break;
     }
     return strfmt("state=%s kernel=%s pc=%zu tpi=%zu tpx=%zu tpo=%zu "
                   "sum=%zu ret=%zu reby=%zu inflight=%zu",

@@ -40,7 +40,7 @@
 #include <vector>
 
 #include "cell/fp_unit.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "fifo/timed_fifo.hh"
 #include "isa/program.hh"
 #include "sim/engine.hh"
@@ -71,6 +71,41 @@ enum class StallCause
     DstFull,
     RegPending,
 };
+
+/**
+ * Architectural performance-monitor registers of one cell. The host
+ * reads them over the normal call interface: a call word with the
+ * reserved entry pmuCallEntry, one parameter word selecting the
+ * register, and the 64-bit value returned on tpo as two words (low
+ * half first). The registers mirror the harness-side stats registry,
+ * so observability is part of the simulated machine, not only of the
+ * harness.
+ */
+enum class PmuReg : std::uint32_t
+{
+    Issued = 0,        //!< micro-ops issued
+    Fma,               //!< chained multiply-adds issued
+    MulOnly,           //!< multiply-only issues
+    AddOnly,           //!< add-only issues
+    Moves,             //!< move-path transfers
+    BusyCycles,        //!< cycles not idle
+    IdleCycles,        //!< cycles waiting for calls
+    StallSrcEmpty,     //!< issue stalls: source queue empty
+    StallDstFull,      //!< issue stalls: destination queue full
+    StallRegPending,   //!< issue stalls: register write in flight
+    Calls,             //!< kernel calls executed
+    HighWaterTpx,      //!< deepest tpx occupancy
+    HighWaterTpy,      //!< deepest tpy occupancy
+    HighWaterTpo,      //!< deepest tpo occupancy
+    HighWaterTpi,      //!< deepest tpi occupancy
+    HighWaterSum,      //!< deepest sum occupancy
+    HighWaterRet,      //!< deepest ret occupancy
+    HighWaterReby,     //!< deepest reby occupancy
+    NumRegs,
+};
+
+/** Reserved tpi entry id dispatching a PMU read, never a kernel. */
+constexpr Word pmuCallEntry = 0xffffffffu;
 
 /** One OPAC cell, a sim::Component on the coprocessor clock. */
 class Cell : public sim::Component
@@ -105,6 +140,12 @@ class Cell : public sim::Component
     std::uint64_t fmaOps() const { return statFma.value(); }
     std::uint64_t busyCycles() const { return statBusy.value(); }
     std::uint8_t fpFlags() const { return fpu->flags(); }
+
+    /**
+     * Architectural PMU readback (the same value the tpi status call
+     * returns). Out-of-range registers read as zero.
+     */
+    std::uint64_t pmuRead(PmuReg reg) const;
 
     /** The cell's statistics subtree. */
     stats::StatGroup &stats() { return statGroup; }
@@ -151,6 +192,7 @@ class Cell : public sim::Component
         ReadParams, //!< popping parameter words
         Decode,     //!< fixed dispatch delay
         Run,        //!< executing microcode
+        PmuRespond, //!< pushing a PMU register value to tpo
     };
 
     // -- helpers -------------------------------------------------------
@@ -192,6 +234,7 @@ class Cell : public sim::Component
     unsigned paramsToRead = 0;
     unsigned paramIndex = 0;
     unsigned decodeLeft = 0;
+    bool pmuCall = false; //!< the current tpi call is a PMU read
     std::array<std::int32_t, isa::numParams> params{};
 
     struct LoopFrame

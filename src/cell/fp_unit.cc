@@ -12,13 +12,13 @@ class SoftFpUnit : public FpUnit
 {
   public:
     Word
-    mul(Word a, Word b) override
+    mulImpl(Word a, Word b) override
     {
         return sf::mul(a, b, ctx);
     }
 
     Word
-    add(Word a, Word b, isa::AddOp op) override
+    addImpl(Word a, Word b, isa::AddOp op) override
     {
         switch (op) {
           case isa::AddOp::Add:
@@ -41,13 +41,13 @@ class NativeFpUnit : public FpUnit
 {
   public:
     Word
-    mul(Word a, Word b) override
+    mulImpl(Word a, Word b) override
     {
         return floatToWord(wordToFloat(a) * wordToFloat(b));
     }
 
     Word
-    add(Word a, Word b, isa::AddOp op) override
+    addImpl(Word a, Word b, isa::AddOp op) override
     {
         float x = wordToFloat(a);
         float y = wordToFloat(b);
@@ -66,11 +66,19 @@ class NativeFpUnit : public FpUnit
 class TokenFpUnit : public FpUnit
 {
   public:
-    Word mul(Word, Word) override { return 0; }
-    Word add(Word, Word, isa::AddOp) override { return 0; }
+    Word mulImpl(Word, Word) override { return 0; }
+    Word addImpl(Word, Word, isa::AddOp) override { return 0; }
 };
 
 } // anonymous namespace
+
+void
+FpUnit::registerStats(stats::StatGroup &parent)
+{
+    statGroup = std::make_unique<stats::StatGroup>("fpu", &parent);
+    statGroup->addCounter("muls", &statMuls, "multiplier invocations");
+    statGroup->addCounter("adds", &statAdds, "adder invocations");
+}
 
 std::unique_ptr<FpUnit>
 makeFpUnit(FpKind kind)

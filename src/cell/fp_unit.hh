@@ -22,6 +22,7 @@
 #include "common/types.hh"
 #include "isa/operand.hh"
 #include "softfloat/float32.hh"
+#include "stats/stats.hh"
 
 namespace opac::cell
 {
@@ -41,13 +42,38 @@ class FpUnit
     virtual ~FpUnit() = default;
 
     /** Multiplier: a * b. */
-    virtual Word mul(Word a, Word b) = 0;
+    Word
+    mul(Word a, Word b)
+    {
+        ++statMuls;
+        return mulImpl(a, b);
+    }
 
     /** Adder: a op b. */
-    virtual Word add(Word a, Word b, isa::AddOp op) = 0;
+    Word
+    add(Word a, Word b, isa::AddOp op)
+    {
+        ++statAdds;
+        return addImpl(a, b, op);
+    }
 
     /** Accumulated IEEE exception flags (0 where not modelled). */
     virtual std::uint8_t flags() const { return 0; }
+
+    /**
+     * Register the operator-invocation counters as an "fpu" child of
+     * @p parent (typically the owning cell's group).
+     */
+    void registerStats(stats::StatGroup &parent);
+
+  protected:
+    virtual Word mulImpl(Word a, Word b) = 0;
+    virtual Word addImpl(Word a, Word b, isa::AddOp op) = 0;
+
+  private:
+    std::unique_ptr<stats::StatGroup> statGroup;
+    stats::Counter statMuls;
+    stats::Counter statAdds;
 };
 
 /** Factory for the configured back-end. */

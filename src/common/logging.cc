@@ -50,6 +50,16 @@ warn(const std::string &msg)
 }
 
 void
+warnOnceImpl(bool &printed, const std::string &msg)
+{
+    if (printed)
+        return;
+    printed = true;
+    std::fprintf(stderr, "warn: %s (repeats from this callsite "
+                         "suppressed)\n", msg.c_str());
+}
+
+void
 inform(const std::string &msg)
 {
     std::fprintf(stderr, "info: %s\n", msg.c_str());

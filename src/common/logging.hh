@@ -28,6 +28,9 @@ std::string strfmt(const char *fmt, ...)
 /** Print a warning to stderr; the simulation continues. */
 void warn(const std::string &msg);
 
+/** Implementation detail of opac_warn_once; use the macro. */
+void warnOnceImpl(bool &printed, const std::string &msg);
+
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);
 
@@ -40,6 +43,18 @@ void inform(const std::string &msg);
 /** Exit with an error: the user asked for something unsupported. */
 #define opac_fatal(...) \
     ::opac::fatalImpl(__FILE__, __LINE__, ::opac::strfmt(__VA_ARGS__))
+
+/**
+ * Like warn(), but prints at most once per callsite for the lifetime of
+ * the process — for diagnostics that would otherwise repeat every cycle
+ * (write-port conflicts, unknown PMU registers).
+ */
+#define opac_warn_once(...)                                           \
+    do {                                                              \
+        static bool opac_warn_once_printed_ = false;                  \
+        ::opac::warnOnceImpl(opac_warn_once_printed_,                 \
+                             ::opac::strfmt(__VA_ARGS__));            \
+    } while (0)
 
 /** panic() unless the given simulator invariant holds. */
 #define opac_assert(cond, ...)                                        \

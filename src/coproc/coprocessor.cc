@@ -7,7 +7,7 @@ namespace opac::copro
 
 Coprocessor::Coprocessor(const CoprocConfig &cfg)
     : cfg(cfg), statRoot("system"), mem(cfg.memoryWords),
-      eng(cfg.watchdogCycles)
+      eng(cfg.watchdogCycles, &statRoot)
 {
     opac_assert(cfg.cells >= 1 && cfg.cells <= 32,
                 "cell count %u out of range [1, 32]", cfg.cells);
@@ -19,13 +19,56 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
     }
     hostPtr = std::make_unique<host::Host>("host", cfg.host, mem, raw,
                                            &statRoot);
-    // The host ticks first each cycle: data it pushes at cycle t becomes
-    // visible to cells at t + fifoLatency either way, so order only
-    // affects nothing observable; registration order is fixed for
-    // determinism.
+    // The sampler ticks first so a sample labelled cycle k is the state
+    // after exactly k completed cycles; then the host: data it pushes
+    // at cycle t becomes visible to cells at t + fifoLatency either
+    // way, so order affects nothing observable; registration order is
+    // fixed for determinism.
+    if (cfg.statsSampleInterval > 0) {
+        samplerPtr = std::make_unique<stats::Sampler>(
+            "sampler", statRoot, cfg.statsSampleInterval);
+        eng.add(samplerPtr.get());
+    }
     eng.add(hostPtr.get());
     for (auto &c : cellPtrs)
         eng.add(c.get());
+
+    // Whole-system derived metrics, evaluated lazily so they are always
+    // consistent with the counters at the moment they are read.
+    auto fma = [this] {
+        std::uint64_t n = 0;
+        for (auto &c : cellPtrs)
+            n += c->fmaOps();
+        return n;
+    };
+    auto flops = [this, fma] {
+        std::uint64_t n = 2 * fma();
+        for (auto &c : cellPtrs) {
+            n += c->pmuRead(cell::PmuReg::MulOnly);
+            n += c->pmuRead(cell::PmuReg::AddOnly);
+        }
+        return n;
+    };
+    fMaPerCycle.define([this, fma]() -> double {
+        Cycle cy = eng.now();
+        return cy ? double(fma()) / double(cy) : 0.0;
+    });
+    fFlopsPerCycle.define([this, flops]() -> double {
+        Cycle cy = eng.now();
+        return cy ? double(flops()) / double(cy) : 0.0;
+    });
+    fBusWordsPerFlop.define([this, flops]() -> double {
+        std::uint64_t f = flops();
+        std::uint64_t words =
+            hostPtr->wordsSent() + hostPtr->wordsReceived();
+        return f ? double(words) / double(f) : 0.0;
+    });
+    statRoot.addFormula("maPerCycle", &fMaPerCycle,
+                        "multiply-adds per cycle, all cells");
+    statRoot.addFormula("flopsPerCycle", &fFlopsPerCycle,
+                        "floating-point operations per cycle");
+    statRoot.addFormula("busWordsPerFlop", &fBusWordsPerFlop,
+                        "host bus words moved per flop");
 }
 
 void
@@ -48,7 +91,12 @@ Coprocessor::attachTracer(trace::Tracer *t)
 Cycle
 Coprocessor::run(Cycle max_cycles)
 {
-    return eng.run(max_cycles);
+    Cycle cycles = eng.run(max_cycles);
+    // Close the time series with the final state (idempotent: skipped
+    // when the last interval tick already sampled this cycle).
+    if (samplerPtr)
+        samplerPtr->snapshot(eng.now());
+    return cycles;
 }
 
 std::string
@@ -56,6 +104,19 @@ Coprocessor::statsReport() const
 {
     std::string out;
     statRoot.dump(out);
+    return out;
+}
+
+std::string
+Coprocessor::statsJson() const
+{
+    std::string out = "{\"stats\": ";
+    out += statRoot.json();
+    if (samplerPtr) {
+        out += ", \"samples\": ";
+        out += samplerPtr->json();
+    }
+    out += "}";
     return out;
 }
 

@@ -16,7 +16,8 @@
 #include <vector>
 
 #include "cell/cell.hh"
-#include "common/stats.hh"
+#include "stats/sampler.hh"
+#include "stats/stats.hh"
 #include "host/host.hh"
 #include "sim/engine.hh"
 
@@ -31,6 +32,12 @@ struct CoprocConfig
     host::HostConfig host;         //!< host timing (tau, ...)
     std::size_t memoryWords = 1 << 22;
     Cycle watchdogCycles = 200000; //!< deadlock detector
+
+    /**
+     * Snapshot every scalar statistic each N cycles into an in-memory
+     * time series (0 = off). The series is part of statsJson().
+     */
+    Cycle statsSampleInterval = 0;
 };
 
 /** Mask addressing every cell of a P-cell coprocessor. */
@@ -76,6 +83,20 @@ class Coprocessor
     /** Render the full statistics tree. */
     std::string statsReport() const;
 
+    /**
+     * The full statistics tree plus the sampled time series (when
+     * statsSampleInterval > 0) as one JSON object:
+     * {"stats": {...}, "samples": {...}}.
+     */
+    std::string statsJson() const;
+
+    /** The root of the system's statistics tree. */
+    stats::StatGroup &stats() { return statRoot; }
+    const stats::StatGroup &stats() const { return statRoot; }
+
+    /** The interval sampler, or nullptr when sampling is off. */
+    const stats::Sampler *sampler() const { return samplerPtr.get(); }
+
   private:
     CoprocConfig cfg;
     stats::StatGroup statRoot;
@@ -83,6 +104,12 @@ class Coprocessor
     sim::Engine eng;
     std::vector<std::unique_ptr<cell::Cell>> cellPtrs;
     std::unique_ptr<host::Host> hostPtr;
+    std::unique_ptr<stats::Sampler> samplerPtr;
+
+    // Derived whole-system metrics (evaluated when read).
+    stats::Formula fMaPerCycle;
+    stats::Formula fFlopsPerCycle;
+    stats::Formula fBusWordsPerFlop;
 };
 
 } // namespace opac::copro

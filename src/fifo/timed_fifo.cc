@@ -33,6 +33,7 @@ TimedFifo::push(Word w, Cycle now)
                 _name.c_str(), _capacity);
     entries.push_back(Entry{w, now + latency});
     ++pushes;
+    highWaterMark.observe(entries.size());
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoPush, 0, traceComp,
                      traceTrack, std::uint32_t(entries.size()), w);
@@ -54,6 +55,7 @@ TimedFifo::pushReserved(Word w, Cycle now)
     --_reserved;
     entries.push_back(Entry{w, now + latency});
     ++pushes;
+    highWaterMark.observe(entries.size());
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoPush, 1, traceComp,
                      traceTrack, std::uint32_t(entries.size()), w);
@@ -129,6 +131,8 @@ TimedFifo::addStats(stats::StatGroup &parent)
     parent.addCounter(_name + ".pushes", &pushes, "words written");
     parent.addCounter(_name + ".pops", &pops, "words read");
     parent.addCounter(_name + ".resets", &resets, "reset operations");
+    parent.addWatermark(_name + ".highWater", &highWaterMark,
+                        "deepest occupancy reached");
     parent.addDistribution(_name + ".occupancy", &occupancy,
                            "sampled words held");
 }

@@ -25,7 +25,7 @@
 #include <deque>
 #include <string>
 
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
 
@@ -114,6 +114,9 @@ class TimedFifo
     std::uint64_t totalPushes() const { return pushes.value(); }
     std::uint64_t totalPops() const { return pops.value(); }
 
+    /** Deepest occupancy ever reached (exact, tracked at each push). */
+    std::uint64_t highWater() const { return highWaterMark.value(); }
+
   private:
     struct Entry
     {
@@ -134,6 +137,7 @@ class TimedFifo
     stats::Counter pushes;
     stats::Counter pops;
     stats::Counter resets;
+    stats::Watermark highWaterMark;
     stats::Distribution occupancy;
 };
 

@@ -65,6 +65,16 @@ sqrtRecipOp(std::size_t dst_sqrt, std::size_t dst_recip,
     return op;
 }
 
+std::vector<HostOp>
+pmuReadProgram(unsigned cell, cell::PmuReg reg, std::size_t dst)
+{
+    return {
+        callOp(1u << cell, cell::pmuCallEntry,
+               {std::int32_t(std::uint32_t(reg))}),
+        recvOp(cell, Region::vec(dst, 2)),
+    };
+}
+
 Host::Host(std::string name, const HostConfig &cfg, HostMemory &mem,
            std::vector<cell::Cell *> cells,
            stats::StatGroup *parent_stats)

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "cell/cell.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "host/memory.hh"
 #include "sim/engine.hh"
 
@@ -90,6 +90,14 @@ HostOp callOp(std::uint32_t cell_mask, Word entry,
 HostOp recipOp(std::size_t dst, std::size_t src);
 HostOp sqrtRecipOp(std::size_t dst_sqrt, std::size_t dst_recip,
                    std::size_t src);
+
+/**
+ * Transfer program reading one PMU register of one cell: a status call
+ * on tpi followed by a receive of the 64-bit value into host memory at
+ * @p dst (two words, low half first).
+ */
+std::vector<HostOp> pmuReadProgram(unsigned cell, cell::PmuReg reg,
+                                   std::size_t dst);
 
 /** The host processor, a component on the common clock. */
 class Host : public sim::Component

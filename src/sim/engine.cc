@@ -45,6 +45,9 @@ Engine::run(Cycle max_cycles)
         for (auto *c : components)
             c->tick(*this);
         ++cycle;
+        ++statCycles;
+        if (!progressed)
+            ++statIdleCycles;
         if (progressed) {
             idle_cycles = 0;
         } else if (watchdogCycles != 0 && ++idle_cycles >= watchdogCycles) {

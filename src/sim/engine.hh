@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "stats/stats.hh"
 
 namespace opac::trace
 {
@@ -66,10 +67,17 @@ class Engine
     /**
      * @param watchdog_cycles Abort after this many cycles without any
      *                        component reporting progress (0 = disabled).
+     * @param parent_stats    Registry to hold the "engine" stats group.
      */
-    explicit Engine(Cycle watchdog_cycles = 100000)
-        : watchdogCycles(watchdog_cycles)
-    {}
+    explicit Engine(Cycle watchdog_cycles = 100000,
+                    stats::StatGroup *parent_stats = nullptr)
+        : watchdogCycles(watchdog_cycles),
+          statGroup("engine", parent_stats)
+    {
+        statGroup.addCounter("cycles", &statCycles, "cycles simulated");
+        statGroup.addCounter("idleCycles", &statIdleCycles,
+                             "cycles in which no component progressed");
+    }
 
     /** Register a component; it must outlive the engine. */
     void add(Component *c) { components.push_back(c); }
@@ -104,12 +112,18 @@ class Engine
     void setTracer(trace::Tracer *t) { _tracer = t; }
     trace::Tracer *tracer() const { return _tracer; }
 
+    /** The engine's statistics subtree. */
+    stats::StatGroup &stats() { return statGroup; }
+
   private:
     std::vector<Component *> components;
     Cycle cycle = 0;
     Cycle watchdogCycles;
     bool progressed = false;
     trace::Tracer *_tracer = nullptr;
+    stats::StatGroup statGroup;
+    stats::Counter statCycles;
+    stats::Counter statIdleCycles;
 };
 
 } // namespace opac::sim

@@ -1,0 +1,201 @@
+#include "stats/benchcmp.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "trace/json.hh"
+
+namespace opac::stats
+{
+
+namespace
+{
+
+bool
+parseRecord(const trace::json::Value &v, BenchRecord &out,
+            std::string *err)
+{
+    if (!v.isObject()) {
+        if (err)
+            *err = "bench record is not an object";
+        return false;
+    }
+    const auto *name = v.find("name");
+    if (!name || !name->isString()) {
+        if (err)
+            *err = "bench record without a string 'name'";
+        return false;
+    }
+    out.name = name->str;
+    for (const auto &[key, val] : v.object) {
+        if (key == "name" || !val.isNumber())
+            continue;
+        if (key == "cycles")
+            out.cycles = val.number;
+        else if (key == "flops_per_cycle")
+            out.flopsPerCycle = val.number;
+        else if (key == "efficiency")
+            out.efficiency = val.number;
+        else
+            out.extra[key] = val.number;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseBenchJson(const std::string &text, BenchFile &out, std::string *err)
+{
+    trace::json::Value doc;
+    if (!trace::json::parse(text, doc, err))
+        return false;
+
+    const trace::json::Value *records = nullptr;
+    if (doc.isArray()) {
+        records = &doc; // legacy bare-array form
+    } else if (doc.isObject()) {
+        if (const auto *b = doc.find("bench"); b && b->isString())
+            out.bench = b->str;
+        if (const auto *s = doc.find("git_sha"); s && s->isString())
+            out.gitSha = s->str;
+        if (const auto *t = doc.find("timestamp"); t && t->isString())
+            out.timestamp = t->str;
+        if (const auto *bt = doc.find("build_type"); bt && bt->isString())
+            out.buildType = bt->str;
+        if (const auto *cfg = doc.find("config");
+            cfg && cfg->isObject()) {
+            for (const auto &[key, val] : cfg->object) {
+                if (val.isString())
+                    out.config[key] = val.str;
+                else if (val.isNumber())
+                    out.config[key] = strfmt("%.9g", val.number);
+            }
+        }
+        records = doc.find("results");
+        if (!records || !records->isArray()) {
+            if (err)
+                *err = "bench document has no 'results' array";
+            return false;
+        }
+    } else {
+        if (err)
+            *err = "bench document is neither an object nor an array";
+        return false;
+    }
+
+    for (const auto &r : records->array) {
+        BenchRecord rec;
+        if (!parseRecord(r, rec, err))
+            return false;
+        out.records.push_back(std::move(rec));
+    }
+    return true;
+}
+
+bool
+loadBenchFile(const std::string &path, BenchFile &out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = strfmt("cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!parseBenchJson(buf.str(), out, err)) {
+        if (err)
+            *err = strfmt("%s: %s", path.c_str(), err->c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+BenchDiff::anyRegression() const
+{
+    for (const auto &d : deltas) {
+        if (d.regressed)
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+double
+pctChange(double base, double cur)
+{
+    return base != 0.0 ? 100.0 * (cur - base) / base : 0.0;
+}
+
+} // anonymous namespace
+
+BenchDiff
+compareBench(const BenchFile &base, const BenchFile &cur,
+             double threshold_pct)
+{
+    std::map<std::string, const BenchRecord *> base_by_name, cur_by_name;
+    for (const auto &r : base.records)
+        base_by_name[r.name] = &r; // duplicates: last wins
+    for (const auto &r : cur.records)
+        cur_by_name[r.name] = &r;
+
+    BenchDiff diff;
+    diff.thresholdPct = threshold_pct;
+    for (const auto &[name, b] : base_by_name) {
+        auto it = cur_by_name.find(name);
+        if (it == cur_by_name.end()) {
+            diff.missing.push_back(name);
+            continue;
+        }
+        const BenchRecord *c = it->second;
+        BenchDelta d;
+        d.name = name;
+        d.baseCycles = b->cycles;
+        d.curCycles = c->cycles;
+        d.cyclesPct = pctChange(b->cycles, c->cycles);
+        d.baseFpc = b->flopsPerCycle;
+        d.curFpc = c->flopsPerCycle;
+        d.fpcPct = pctChange(b->flopsPerCycle, c->flopsPerCycle);
+        d.regressed = d.cyclesPct > threshold_pct
+                      || d.fpcPct < -threshold_pct;
+        diff.deltas.push_back(d);
+    }
+    for (const auto &[name, c] : cur_by_name) {
+        if (!base_by_name.count(name))
+            diff.added.push_back(name);
+    }
+    return diff;
+}
+
+std::string
+renderBenchDiff(const BenchDiff &diff)
+{
+    TextTable t(strfmt("bench deltas vs baseline (regression: cycles "
+                       "+%.1f%% or flops/cycle -%.1f%%)",
+                       diff.thresholdPct, diff.thresholdPct));
+    t.header({"case", "base cycles", "cycles", "d%", "base f/c", "f/c",
+              "d%", "verdict"});
+    for (const auto &d : diff.deltas) {
+        t.row({d.name, strfmt("%.0f", d.baseCycles),
+               strfmt("%.0f", d.curCycles), strfmt("%+.2f", d.cyclesPct),
+               strfmt("%.3f", d.baseFpc), strfmt("%.3f", d.curFpc),
+               strfmt("%+.2f", d.fpcPct),
+               d.regressed ? "REGRESSED" : "ok"});
+    }
+    std::string out = t.render();
+    for (const auto &n : diff.missing)
+        out += strfmt("MISSING: baseline case '%s' not in current run\n",
+                      n.c_str());
+    for (const auto &n : diff.added)
+        out += strfmt("new case '%s' (no baseline yet)\n", n.c_str());
+    return out;
+}
+
+} // namespace opac::stats

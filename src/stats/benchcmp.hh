@@ -1,0 +1,96 @@
+/**
+ * @file
+ * BENCH_*.json parsing and baseline comparison — the regression gate
+ * behind tools/bench_diff.
+ *
+ * Benches write one JSON document per binary (bench/bench_util.hh):
+ * run metadata (git SHA, timestamp, build type, simulator config) plus
+ * one record per measured configuration with cycles, flops/cycle,
+ * efficiency and any extra per-case stats. This module loads such a
+ * document (accepting the legacy bare-array form of early files),
+ * matches records by case name against a committed baseline, and
+ * classifies each delta: a case regresses when its cycle count grows
+ * or its flops/cycle drops by more than the threshold percentage.
+ */
+
+#ifndef OPAC_STATS_BENCHCMP_HH
+#define OPAC_STATS_BENCHCMP_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opac::stats
+{
+
+/** One measured configuration from a BENCH_*.json results array. */
+struct BenchRecord
+{
+    std::string name;
+    double cycles = 0.0;
+    double flopsPerCycle = 0.0;
+    double efficiency = 0.0;
+    std::map<std::string, double> extra; //!< any further numeric fields
+};
+
+/** One BENCH_*.json document: run metadata plus the results. */
+struct BenchFile
+{
+    std::string bench;
+    std::string gitSha;
+    std::string timestamp;
+    std::string buildType;
+    std::map<std::string, std::string> config;
+    std::vector<BenchRecord> records;
+};
+
+/**
+ * Parse a BENCH json document (the current object form or the legacy
+ * bare array of records). Returns false with a message in @p err on
+ * malformed input.
+ */
+bool parseBenchJson(const std::string &text, BenchFile &out,
+                    std::string *err = nullptr);
+
+/** Read and parse @p path. */
+bool loadBenchFile(const std::string &path, BenchFile &out,
+                   std::string *err = nullptr);
+
+/** Baseline-vs-current comparison of one case. */
+struct BenchDelta
+{
+    std::string name;
+    double baseCycles = 0.0;
+    double curCycles = 0.0;
+    double cyclesPct = 0.0;     //!< +x% = slower than baseline
+    double baseFpc = 0.0;
+    double curFpc = 0.0;
+    double fpcPct = 0.0;        //!< -x% = less throughput than baseline
+    bool regressed = false;
+};
+
+/** Full diff between a baseline file and a current file. */
+struct BenchDiff
+{
+    std::vector<BenchDelta> deltas;
+    std::vector<std::string> missing; //!< in baseline, not in current
+    std::vector<std::string> added;   //!< in current, not in baseline
+    double thresholdPct = 0.0;
+
+    bool anyRegression() const;
+};
+
+/**
+ * Compare records by name. A case regresses when cycles grow by more
+ * than @p threshold_pct percent or flops/cycle shrink by more than
+ * @p threshold_pct percent. Duplicate names keep the last record.
+ */
+BenchDiff compareBench(const BenchFile &base, const BenchFile &cur,
+                       double threshold_pct);
+
+/** Render the delta table plus missing/added notes as text. */
+std::string renderBenchDiff(const BenchDiff &diff);
+
+} // namespace opac::stats
+
+#endif // OPAC_STATS_BENCHCMP_HH

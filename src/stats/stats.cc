@@ -1,0 +1,374 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/json.hh"
+
+namespace opac::stats
+{
+
+void
+Average::sample(double v, std::uint64_t weight)
+{
+    _sum += v * double(weight);
+    _weight += weight;
+}
+
+void
+Average::reset()
+{
+    _sum = 0.0;
+    _weight = 0;
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v;
+    ++_count;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = _min = _max = 0.0;
+}
+
+namespace
+{
+
+unsigned
+pow2Bucket(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    unsigned b = 1;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+std::string
+pow2BucketLabel(unsigned i)
+{
+    if (i == 0)
+        return "0";
+    std::uint64_t lo = std::uint64_t(1) << (i - 1);
+    std::uint64_t hi = (std::uint64_t(1) << i) - 1;
+    return lo == hi
+        ? strfmt("%llu", (unsigned long long)lo)
+        : strfmt("%llu-%llu", (unsigned long long)lo,
+                 (unsigned long long)hi);
+}
+
+} // anonymous namespace
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    unsigned b = pow2Bucket(v);
+    if (_buckets.size() <= b)
+        _buckets.resize(b + 1, 0);
+    ++_buckets[b];
+    ++_count;
+    _max = std::max(_max, v);
+    _sum += double(v);
+}
+
+std::string
+Histogram::render() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += strfmt("%s:%llu", pow2BucketLabel(unsigned(i)).c_str(),
+                      (unsigned long long)_buckets[i]);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    _buckets.clear();
+    _count = 0;
+    _max = 0;
+    _sum = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->children.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    // Children may legally outlive the parent (member declaration
+    // order); orphan them so their destructors do not touch us.
+    for (auto *c : children)
+        c->parent = nullptr;
+    if (parent) {
+        auto &sib = parent->children;
+        sib.erase(std::remove(sib.begin(), sib.end(), this), sib.end());
+    }
+}
+
+void
+StatGroup::addCounter(const std::string &name, Counter *c,
+                      const std::string &desc)
+{
+    opac_assert(c != nullptr, "null counter '%s'", name.c_str());
+    counters[name] = CounterEntry{c, desc};
+}
+
+void
+StatGroup::addWatermark(const std::string &name, Watermark *w,
+                        const std::string &desc)
+{
+    opac_assert(w != nullptr, "null watermark '%s'", name.c_str());
+    watermarks[name] = WatermarkEntry{w, desc};
+}
+
+void
+StatGroup::addAverage(const std::string &name, Average *a,
+                      const std::string &desc)
+{
+    opac_assert(a != nullptr, "null average '%s'", name.c_str());
+    averages[name] = AverageEntry{a, desc};
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d,
+                           const std::string &desc)
+{
+    opac_assert(d != nullptr, "null distribution '%s'", name.c_str());
+    dists[name] = DistEntry{d, desc};
+}
+
+void
+StatGroup::addHistogram(const std::string &name, Histogram *h,
+                        const std::string &desc)
+{
+    opac_assert(h != nullptr, "null histogram '%s'", name.c_str());
+    hists[name] = HistEntry{h, desc};
+}
+
+void
+StatGroup::addFormula(const std::string &name, Formula *f,
+                      const std::string &desc)
+{
+    opac_assert(f != nullptr, "null formula '%s'", name.c_str());
+    formulas[name] = FormulaEntry{f, desc};
+}
+
+void
+StatGroup::dump(std::string &out, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    auto line = [&](const std::string &n, const std::string &value,
+                    const std::string &desc) {
+        out += strfmt("%-48s %12s", (base + "." + n).c_str(),
+                      value.c_str());
+        if (!desc.empty())
+            out += "  # " + desc;
+        out += "\n";
+    };
+    for (const auto &[n, e] : counters) {
+        line(n, strfmt("%llu",
+                       (unsigned long long)e.counter->value()), e.desc);
+    }
+    for (const auto &[n, e] : watermarks) {
+        line(n, strfmt("%llu", (unsigned long long)e.mark->value()),
+             e.desc);
+    }
+    for (const auto &[n, e] : averages)
+        line(n, strfmt("%.4f", e.avg->mean()), e.desc);
+    for (const auto &[n, e] : dists) {
+        out += strfmt("%-48s min=%.2f max=%.2f mean=%.2f n=%llu",
+                      (base + "." + n).c_str(), e.dist->min(),
+                      e.dist->max(), e.dist->mean(),
+                      static_cast<unsigned long long>(e.dist->count()));
+        if (!e.desc.empty())
+            out += "  # " + e.desc;
+        out += "\n";
+    }
+    for (const auto &[n, e] : hists) {
+        out += strfmt("%-48s %s", (base + "." + n).c_str(),
+                      e.hist->render().c_str());
+        if (!e.desc.empty())
+            out += "  # " + e.desc;
+        out += "\n";
+    }
+    for (const auto &[n, e] : formulas)
+        line(n, strfmt("%.6f", e.formula->value()), e.desc);
+    for (const auto *c : children)
+        c->dump(out, base);
+}
+
+void
+StatGroup::jsonMembers(std::string &out, const std::string &prefix,
+                       bool &first) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    auto member = [&](const std::string &n, const std::string &value) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += strfmt("  \"%s\": %s",
+                      trace::json::escape(base + "." + n).c_str(),
+                      value.c_str());
+    };
+    for (const auto &[n, e] : counters) {
+        member(n, strfmt("%llu",
+                         (unsigned long long)e.counter->value()));
+    }
+    for (const auto &[n, e] : watermarks)
+        member(n, strfmt("%llu", (unsigned long long)e.mark->value()));
+    for (const auto &[n, e] : averages)
+        member(n, strfmt("%.9g", e.avg->mean()));
+    for (const auto &[n, e] : dists) {
+        member(n, strfmt("{\"min\": %.9g, \"max\": %.9g, "
+                         "\"mean\": %.9g, \"count\": %llu}",
+                         e.dist->min(), e.dist->max(), e.dist->mean(),
+                         (unsigned long long)e.dist->count()));
+    }
+    for (const auto &[n, e] : hists) {
+        std::string buckets;
+        for (auto b : e.hist->buckets()) {
+            if (!buckets.empty())
+                buckets += ", ";
+            buckets += strfmt("%llu", (unsigned long long)b);
+        }
+        member(n, strfmt("{\"count\": %llu, \"max\": %llu, "
+                         "\"mean\": %.9g, \"buckets\": [%s]}",
+                         (unsigned long long)e.hist->count(),
+                         (unsigned long long)e.hist->max(),
+                         e.hist->mean(), buckets.c_str()));
+    }
+    for (const auto &[n, e] : formulas)
+        member(n, strfmt("%.9g", e.formula->value()));
+    for (const auto *c : children)
+        c->jsonMembers(out, base, first);
+}
+
+std::string
+StatGroup::json() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    jsonMembers(out, "", first);
+    out += "\n}";
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[n, e] : counters)
+        e.counter->reset();
+    for (auto &[n, e] : watermarks)
+        e.mark->reset();
+    for (auto &[n, e] : averages)
+        e.avg->reset();
+    for (auto &[n, e] : dists)
+        e.dist->reset();
+    for (auto &[n, e] : hists)
+        e.hist->reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &path) const
+{
+    // Counter names may themselves contain dots (e.g. "tpx.pushes"), so
+    // prefer an exact match in this group before descending.
+    if (auto it = counters.find(path); it != counters.end())
+        return it->second.counter->value();
+
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        opac_panic("no counter '%s' in group '%s'", path.c_str(),
+                   _name.c_str());
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto *c : children) {
+        if (c->name() == head)
+            return c->counterValue(rest);
+    }
+    opac_panic("no child group '%s' in group '%s'", head.c_str(),
+               _name.c_str());
+}
+
+double
+StatGroup::scalarValue(const std::string &path) const
+{
+    if (auto it = counters.find(path); it != counters.end())
+        return double(it->second.counter->value());
+    if (auto it = watermarks.find(path); it != watermarks.end())
+        return double(it->second.mark->value());
+    if (auto it = averages.find(path); it != averages.end())
+        return it->second.avg->mean();
+    if (auto it = formulas.find(path); it != formulas.end())
+        return it->second.formula->value();
+
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        opac_panic("no scalar stat '%s' in group '%s'", path.c_str(),
+                   _name.c_str());
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto *c : children) {
+        if (c->name() == head)
+            return c->scalarValue(rest);
+    }
+    opac_panic("no child group '%s' in group '%s'", head.c_str(),
+               _name.c_str());
+}
+
+const StatGroup *
+StatGroup::findChild(const std::string &name) const
+{
+    for (const auto *c : children) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::forEachScalar(
+    const std::function<void(const std::string &, double)> &fn,
+    const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[n, e] : counters)
+        fn(base + "." + n, double(e.counter->value()));
+    for (const auto &[n, e] : watermarks)
+        fn(base + "." + n, double(e.mark->value()));
+    for (const auto &[n, e] : averages)
+        fn(base + "." + n, e.avg->mean());
+    for (const auto &[n, e] : formulas)
+        fn(base + "." + n, e.formula->value());
+    for (const auto *c : children)
+        c->forEachScalar(fn, base);
+}
+
+} // namespace opac::stats

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Hierarchical statistics registry — the always-on counter layer of the
+ * observability stack (traces in src/trace are the opt-in event layer).
+ *
+ * Components register named stats in a StatGroup; groups nest to form a
+ * tree whose fully qualified names ("system.cell0.fifo.sum.highWater")
+ * address every stat. This follows the gem5 stats discipline:
+ * declaration-site registration, updates that cost an increment, and a
+ * formatted dump at the end of simulation. Beyond plain counters the
+ * registry holds:
+ *
+ *  - Watermark:    max-tracking gauge (FIFO high-water marks),
+ *  - Average:      weighted running average (cycle-weighted residency),
+ *  - Distribution: running min/max/mean over samples,
+ *  - Histogram:    power-of-two bucketed sample counts,
+ *  - Formula:      derived value computed on demand from other stats
+ *                  (MA/cycle, bus words per flop).
+ *
+ * The tree renders as text ("name value # desc" lines) or as a flat
+ * JSON object keyed by qualified name, and every scalar-valued stat can
+ * be visited for periodic snapshotting (stats/sampler.hh).
+ */
+
+#ifndef OPAC_STATS_STATS_HH
+#define OPAC_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opac::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A max-tracking gauge, e.g. a FIFO high-water mark. */
+class Watermark
+{
+  public:
+    void observe(std::uint64_t v) { if (v > _max) _max = v; }
+
+    std::uint64_t value() const { return _max; }
+    void reset() { _max = 0; }
+
+  private:
+    std::uint64_t _max = 0;
+};
+
+/** Weighted running average (weights typically in cycles). */
+class Average
+{
+  public:
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t weight() const { return _weight; }
+    double mean() const { return _weight ? _sum / double(_weight) : 0.0; }
+    void reset();
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _weight = 0;
+};
+
+/** Running min/max/mean over sampled values (e.g. FIFO occupancy). */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Power-of-two bucketed histogram over unsigned samples: bucket 0 holds
+ * value 0, bucket i >= 1 holds values in [2^(i-1), 2^i).
+ */
+class Histogram
+{
+  public:
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t max() const { return _max; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** "0:12 1:3 4-7:9"-style rendering of the non-empty buckets. */
+    std::string render() const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    std::uint64_t _max = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A derived stat: a callback over other stats, evaluated at read time.
+ * The callback must only read state that outlives the formula (counters
+ * registered in the same tree, the engine clock).
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : fn(std::move(fn)) {}
+
+    /** (Re)bind the computation; allows member formulas defined late. */
+    void define(std::function<double()> f) { fn = std::move(f); }
+
+    double value() const { return fn ? fn() : 0.0; }
+
+  private:
+    std::function<double()> fn;
+};
+
+/**
+ * A named collection of stats. Groups may nest; dumps and visitors walk
+ * the tree depth-first and use fully qualified stat names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under this group. The counter must outlive it. */
+    void addCounter(const std::string &name, Counter *c,
+                    const std::string &desc = "");
+    /** Register a high-water gauge. */
+    void addWatermark(const std::string &name, Watermark *w,
+                      const std::string &desc = "");
+    /** Register a weighted average. */
+    void addAverage(const std::string &name, Average *a,
+                    const std::string &desc = "");
+    /** Register a distribution. */
+    void addDistribution(const std::string &name, Distribution *d,
+                         const std::string &desc = "");
+    /** Register a histogram. */
+    void addHistogram(const std::string &name, Histogram *h,
+                      const std::string &desc = "");
+    /** Register a derived formula. */
+    void addFormula(const std::string &name, Formula *f,
+                    const std::string &desc = "");
+
+    const std::string &name() const { return _name; }
+
+    /** Append "fullname value # desc" lines for this subtree. */
+    void dump(std::string &out, const std::string &prefix = "") const;
+
+    /**
+     * Flat JSON object for this subtree: scalar stats (counters,
+     * watermarks, averages, formulas) as numbers keyed by qualified
+     * name, distributions as {min,max,mean,count} objects, histograms
+     * as {count,max,mean,buckets} objects.
+     */
+    std::string json() const;
+
+    /** Reset every registered stat in this subtree (formulas have no
+     *  state of their own). */
+    void resetAll();
+
+    /** Look up a counter value by path relative to this group. */
+    std::uint64_t counterValue(const std::string &path) const;
+
+    /**
+     * Look up any scalar-valued stat (counter, watermark, average or
+     * formula) by path relative to this group.
+     */
+    double scalarValue(const std::string &path) const;
+
+    /** Direct child group by name; null when absent. */
+    const StatGroup *findChild(const std::string &name) const;
+
+    /**
+     * Visit every scalar-valued stat in this subtree with its fully
+     * qualified name, in a deterministic order (names sorted within a
+     * group, children in registration order). Counters and watermarks
+     * visit as their integral value, averages as the mean, formulas as
+     * the evaluated result.
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &, double)> &fn,
+        const std::string &prefix = "") const;
+
+  private:
+    struct CounterEntry { Counter *counter; std::string desc; };
+    struct WatermarkEntry { Watermark *mark; std::string desc; };
+    struct AverageEntry { Average *avg; std::string desc; };
+    struct DistEntry { Distribution *dist; std::string desc; };
+    struct HistEntry { Histogram *hist; std::string desc; };
+    struct FormulaEntry { Formula *formula; std::string desc; };
+
+    void jsonMembers(std::string &out, const std::string &prefix,
+                     bool &first) const;
+
+    std::string _name;
+    StatGroup *parent;
+    std::vector<StatGroup *> children;
+    std::map<std::string, CounterEntry> counters;
+    std::map<std::string, WatermarkEntry> watermarks;
+    std::map<std::string, AverageEntry> averages;
+    std::map<std::string, DistEntry> dists;
+    std::map<std::string, HistEntry> hists;
+    std::map<std::string, FormulaEntry> formulas;
+};
+
+} // namespace opac::stats
+
+#endif // OPAC_STATS_STATS_HH

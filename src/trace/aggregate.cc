@@ -267,4 +267,43 @@ Aggregate::report() const
     return out;
 }
 
+std::vector<Aggregate::StallEntry>
+Aggregate::topStalls(std::size_t n) const
+{
+    std::vector<StallEntry> all;
+    for (const auto &[name, c] : comps) {
+        for (std::size_t w = 0; w < c.stallsByWhy.size(); ++w) {
+            if (c.stallsByWhy[w] > 0)
+                all.push_back({name, StallWhy(w), c.stallsByWhy[w]});
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const StallEntry &a, const StallEntry &b) {
+                         return a.cycles > b.cycles;
+                     });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+std::string
+Aggregate::topStallsReport(std::size_t n) const
+{
+    auto top = topStalls(n);
+    Cycle s = span();
+    TextTable t(strfmt("top %zu stall sources (of the whole run's %llu "
+                       "cycles)", n, (unsigned long long)s));
+    t.header({"rank", "component", "cause", "cycles", "% of run"});
+    std::size_t rank = 1;
+    for (const auto &e : top) {
+        t.row({strfmt("%zu", rank++), e.comp, stallWhyName(e.why),
+               strfmt("%llu", (unsigned long long)e.cycles),
+               strfmt("%.1f",
+                      s ? 100.0 * double(e.cycles) / double(s) : 0.0)});
+    }
+    if (top.empty())
+        t.row({"-", "-", "-", "0", "0.0"});
+    return t.render();
+}
+
 } // namespace opac::trace

@@ -94,6 +94,20 @@ class Aggregate : public Sink
     /** Render every table (utilization, FIFOs, bus, stalls) as text. */
     std::string report() const;
 
+    /** One (component, cause) stall total. */
+    struct StallEntry
+    {
+        std::string comp;
+        StallWhy why;
+        std::uint64_t cycles;
+    };
+
+    /** The @p n largest (component, cause) stall totals, descending. */
+    std::vector<StallEntry> topStalls(std::size_t n) const;
+
+    /** topStalls(n) rendered as a ranked text table. */
+    std::string topStallsReport(std::size_t n) const;
+
   private:
     std::map<std::string, CompStats> comps;
     std::map<std::string, FifoStats> fifoStats; //!< key "comp.fifo"

@@ -9,7 +9,7 @@
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/random.hh"
-#include "common/stats.hh"
+#include "stats/stats.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 

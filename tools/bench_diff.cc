@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compare a bench run against a committed baseline from the command
+ * line — the CI regression gate.
+ *
+ *   bench_diff [--threshold=PCT] [--allow-missing] \
+ *              <baseline.json> <current.json>
+ *
+ * Both inputs are BENCH_*.json documents (bench/bench_util.hh writes
+ * them; bench/baselines/ holds the committed ones). Prints the per-case
+ * delta table and exits
+ *
+ *   0 — every case within the threshold,
+ *   1 — at least one case regressed (cycles up or flops/cycle down by
+ *       more than the threshold), or a baseline case is missing from
+ *       the current run (unless --allow-missing),
+ *   2 — usage or unreadable/malformed input.
+ *
+ * The simulator is cycle-deterministic, so on an unchanged machine
+ * model every delta is exactly 0%; the default threshold only leaves
+ * room for intentional small timing changes that ride along a PR.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "stats/benchcmp.hh"
+
+using namespace opac;
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 5.0;
+    bool allow_missing = false;
+    const char *paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+            threshold = std::atof(argv[i] + 12);
+        } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
+            allow_missing = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            npaths = 0;
+            break;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "bench_diff: unknown option '%s'\n",
+                         argv[i]);
+            return 2;
+        } else if (npaths < 2) {
+            paths[npaths++] = argv[i];
+        } else {
+            npaths = 3; // too many positional arguments
+            break;
+        }
+    }
+    if (npaths != 2 || threshold < 0.0) {
+        std::fprintf(stderr,
+                     "usage: bench_diff [--threshold=PCT] "
+                     "[--allow-missing] <baseline.json> <current.json>\n"
+                     "  exit 0: all cases within PCT%% (default 5) of "
+                     "the baseline\n"
+                     "  exit 1: a regression, or a baseline case "
+                     "missing from the current run\n");
+        return 2;
+    }
+
+    stats::BenchFile base, cur;
+    std::string err;
+    if (!stats::loadBenchFile(paths[0], base, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", paths[0],
+                     err.c_str());
+        return 2;
+    }
+    if (!stats::loadBenchFile(paths[1], cur, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", paths[1],
+                     err.c_str());
+        return 2;
+    }
+
+    stats::BenchDiff diff = stats::compareBench(base, cur, threshold);
+    std::printf("baseline %s (%s) vs current %s (%s)\n\n",
+                paths[0], base.gitSha.c_str(), paths[1],
+                cur.gitSha.c_str());
+    std::printf("%s", stats::renderBenchDiff(diff).c_str());
+
+    if (diff.anyRegression()) {
+        std::fprintf(stderr, "bench_diff: FAIL — regression beyond "
+                             "%.1f%%\n", threshold);
+        return 1;
+    }
+    if (!diff.missing.empty() && !allow_missing) {
+        std::fprintf(stderr, "bench_diff: FAIL — %zu baseline case(s) "
+                             "missing from the current run\n",
+                     diff.missing.size());
+        return 1;
+    }
+    std::printf("bench_diff: OK — %zu case(s) within %.1f%% of the "
+                "baseline\n", diff.deltas.size(), threshold);
+    return 0;
+}

@@ -35,7 +35,7 @@ namespace
 {
 
 int
-reportCsv(std::ifstream &in)
+reportCsv(std::ifstream &in, long top_stalls)
 {
     trace::Tracer tracer;
     trace::Aggregate agg;
@@ -47,6 +47,11 @@ reportCsv(std::ifstream &in)
     }
     std::printf("%llu events\n\n",
                 (unsigned long long)tracer.eventCount());
+    if (top_stalls > 0) {
+        std::printf("%s",
+                    agg.topStallsReport(std::size_t(top_stalls)).c_str());
+        return 0;
+    }
     std::printf("%s", agg.report().c_str());
     return 0;
 }
@@ -137,25 +142,54 @@ reportChromeJson(const std::string &text)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    long top_stalls = 0;
+    const char *input = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--top-stalls=", 13) == 0) {
+            top_stalls = std::atol(argv[i] + 13);
+            if (top_stalls <= 0) {
+                std::fprintf(stderr,
+                             "trace_report: bad --top-stalls value\n");
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            input = nullptr;
+            break;
+        } else if (!input) {
+            input = argv[i];
+        } else {
+            input = nullptr; // two positional arguments: usage error
+            break;
+        }
+    }
+    if (!input) {
         std::fprintf(stderr,
-                     "usage: trace_report <trace.csv | trace.json>\n"
+                     "usage: trace_report [--top-stalls=N] "
+                     "<trace.csv | trace.json>\n"
                      "  .csv  -> full aggregate report (utilization, "
                      "FIFO depths, bus, stalls)\n"
+                     "           with --top-stalls=N: only the N "
+                     "largest stall sources, ranked\n"
                      "  other -> Chrome trace-event structural "
                      "summary\n");
         return 2;
     }
-    std::ifstream in(argv[1]);
+    std::ifstream in(input);
     if (!in) {
         std::fprintf(stderr, "trace_report: cannot open '%s'\n",
-                     argv[1]);
+                     input);
         return 1;
     }
-    std::string path = argv[1];
+    std::string path = input;
     if (path.size() >= 4
         && path.compare(path.size() - 4, 4, ".csv") == 0) {
-        return reportCsv(in);
+        return reportCsv(in, top_stalls);
+    }
+    if (top_stalls > 0) {
+        std::fprintf(stderr, "trace_report: --top-stalls needs a CSV "
+                             "trace (stall events are not recovered "
+                             "from Chrome JSON)\n");
+        return 2;
     }
     std::stringstream buf;
     buf << in.rdbuf();
