@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -62,10 +63,30 @@ main(int argc, char **argv)
 {
     const std::size_t lu_n = std::size_t(argValue(argc, argv, "--lun",
                                                   176));
+    const unsigned jobs = initSimFlags(argc, argv);
     const std::size_t sizes[] = {128, 256, 512, 1024, 2048, 4096};
+    const std::size_t depths[] = {64, 128, 256, 512, 1024, 2048};
 
     std::printf("FIFO-size ablation (Tf drives tile sizes everywhere; "
                 "the per-experiment tile follows the paper rule).\n\n");
+
+    // All three tables' cases run as one concurrent sweep; rendering
+    // below consumes the results in the same order they were queued.
+    std::vector<std::function<double()>> tasks;
+    for (std::size_t tf : sizes)
+        for (unsigned p : {1u, 4u, 16u})
+            tasks.push_back(
+                [p, tf] { return runMatUpdate(p, tf, 2, 300); });
+    for (std::size_t tf : sizes)
+        for (auto [p, tau] : {std::pair<unsigned, unsigned>{1, 2},
+                              {4, 2}, {16, 2}, {16, 4}})
+            tasks.push_back([p = p, tau = tau, tf, lu_n] {
+                return runLu(p, tf, tau, lu_n);
+            });
+    for (std::size_t d : depths)
+        tasks.push_back([d] { return runMatUpdate(4, 512, 4, 300, d); });
+    auto results = sweepValues(tasks, jobs);
+    std::size_t idx = 0;
 
     {
         TextTable t("matrix update, K = 300, tau = 2 "
@@ -73,9 +94,10 @@ main(int argc, char **argv)
         t.header({"Tf", "P=1", "P=4", "P=16"});
         for (std::size_t tf : sizes) {
             t.row({strfmt("%zu", tf),
-                   strfmt("%.3f", runMatUpdate(1, tf, 2, 300)),
-                   strfmt("%.3f", runMatUpdate(4, tf, 2, 300)),
-                   strfmt("%.3f", runMatUpdate(16, tf, 2, 300))});
+                   strfmt("%.3f", results[idx]),
+                   strfmt("%.3f", results[idx + 1]),
+                   strfmt("%.3f", results[idx + 2])});
+            idx += 3;
         }
         std::printf("%s\n", t.render().c_str());
     }
@@ -84,11 +106,13 @@ main(int argc, char **argv)
                            lu_n));
         t.header({"Tf", "P=1 t=2", "P=4 t=2", "P=16 t=2", "P=16 t=4"});
         for (std::size_t tf : sizes) {
+            (void)tf;
             t.row({strfmt("%zu", tf),
-                   strfmt("%.3f", runLu(1, tf, 2, lu_n)),
-                   strfmt("%.3f", runLu(4, tf, 2, lu_n)),
-                   strfmt("%.3f", runLu(16, tf, 2, lu_n)),
-                   strfmt("%.3f", runLu(16, tf, 4, lu_n))});
+                   strfmt("%.3f", results[idx]),
+                   strfmt("%.3f", results[idx + 1]),
+                   strfmt("%.3f", results[idx + 2]),
+                   strfmt("%.3f", results[idx + 3])});
+            idx += 4;
         }
         std::printf("%s\n", t.render().c_str());
     }
@@ -96,10 +120,8 @@ main(int argc, char **argv)
         TextTable t("interface-queue depth (decoupling slack), matrix "
                     "update P = 4, Tf = 512, K = 300, tau = 4");
         t.header({"depth", "MA/cycle"});
-        for (std::size_t d : {64, 128, 256, 512, 1024, 2048}) {
-            t.row({strfmt("%zu", d),
-                   strfmt("%.3f", runMatUpdate(4, 512, 4, 300, d))});
-        }
+        for (std::size_t d : depths)
+            t.row({strfmt("%zu", d), strfmt("%.3f", results[idx++])});
         std::printf("%s\n", t.render().c_str());
     }
     return 0;

@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "bench_util.hh"
 #include "kernels/entries.hh"
@@ -92,18 +93,35 @@ int
 main(int argc, char **argv)
 {
     const std::size_t k = std::size_t(argValue(argc, argv, "--k", 300));
+    const unsigned jobs = initSimFlags(argc, argv);
     std::printf("Fig. 5 separate-reload vs overlapped-reload matrix "
                 "update (Tf = 2048, K = %zu).\n\n", k);
     TextTable t("multiply-adds per cycle");
     t.header({"P", "N", "tau", "fig. 5", "overlapped"});
-    for (auto [p, n] : {std::pair<unsigned, std::size_t>{1, 45},
-                        {4, 88}, {16, 176}}) {
+    const std::pair<unsigned, std::size_t> shapes[] = {
+        {1, 45}, {4, 88}, {16, 176}};
+    std::vector<std::function<double()>> tasks;
+    for (auto [p, n] : shapes) {
         std::size_t n_cols = n - (n % p); // whole columns per cell
+        for (unsigned tau : {2u, 4u}) {
+            tasks.push_back([p = p, tau, n_cols, k] {
+                return runFig5(p, tau, n_cols, k);
+            });
+            tasks.push_back([p = p, tau, n_cols, k] {
+                return runOverlap(p, tau, n_cols, k);
+            });
+        }
+    }
+    auto results = sweepValues(tasks, jobs);
+    std::size_t idx = 0;
+    for (auto [p, n] : shapes) {
+        std::size_t n_cols = n - (n % p);
         for (unsigned tau : {2u, 4u}) {
             t.row({strfmt("%u", p), strfmt("%zu", n_cols),
                    strfmt("%u", tau),
-                   strfmt("%.3f", runFig5(p, tau, n_cols, k)),
-                   strfmt("%.3f", runOverlap(p, tau, n_cols, k))});
+                   strfmt("%.3f", results[idx]),
+                   strfmt("%.3f", results[idx + 1])});
+            idx += 2;
         }
     }
     std::printf("%s\n", t.render().c_str());

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -66,18 +67,29 @@ runLu(const copro::CoprocConfig &cfg, std::size_t n)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = initSimFlags(argc, argv);
+    const unsigned lats[] = {1u, 2u, 3u, 5u, 8u};
     std::printf("FP pipeline depth ablation (single cell, tau = 2, "
                 "Tf = 512 -> 22x22 blocks).\n\n");
     TextTable t("multiply-adds per cycle vs multiplier/adder latency");
     t.header({"Lm=La", "matupdate N=22 K=100", "LU N=44", "LU N=88"});
-    for (unsigned lat : {1u, 2u, 3u, 5u, 8u}) {
+    std::vector<std::function<double()>> tasks;
+    for (unsigned lat : lats) {
         auto cfg = configWithDepth(1, 512, 2, lat, lat);
+        tasks.push_back([cfg] { return runMatUpdate(cfg, 22, 100); });
+        tasks.push_back([cfg] { return runLu(cfg, 44); });
+        tasks.push_back([cfg] { return runLu(cfg, 88); });
+    }
+    auto results = sweepValues(tasks, jobs);
+    std::size_t idx = 0;
+    for (unsigned lat : lats) {
         t.row({strfmt("%u", lat),
-               strfmt("%.3f", runMatUpdate(cfg, 22, 100)),
-               strfmt("%.3f", runLu(cfg, 44)),
-               strfmt("%.3f", runLu(cfg, 88))});
+               strfmt("%.3f", results[idx]),
+               strfmt("%.3f", results[idx + 1]),
+               strfmt("%.3f", results[idx + 2])});
+        idx += 3;
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("The streaming matrix update is latency-tolerant "

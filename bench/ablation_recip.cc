@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -40,17 +41,28 @@ runLu(unsigned recip_cycles, unsigned p, std::size_t tf, std::size_t n)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = initSimFlags(argc, argv);
+    const unsigned rcs[] = {1u, 8u, 16u, 32u, 64u};
     std::printf("Pivot-reciprocal latency ablation: LU, tau = 2.\n\n");
     TextTable t("multiply-adds per cycle vs host 1/x latency");
     t.header({"recip cycles", "P=1 Tf=2048 N=44", "P=1 Tf=512 N=88",
               "P=16 Tf=512 N=176"});
-    for (unsigned rc : {1u, 8u, 16u, 32u, 64u}) {
+    std::vector<std::function<double()>> tasks;
+    for (unsigned rc : rcs) {
+        tasks.push_back([rc] { return runLu(rc, 1, 2048, 44); });
+        tasks.push_back([rc] { return runLu(rc, 1, 512, 88); });
+        tasks.push_back([rc] { return runLu(rc, 16, 512, 176); });
+    }
+    auto results = sweepValues(tasks, jobs);
+    std::size_t idx = 0;
+    for (unsigned rc : rcs) {
         t.row({strfmt("%u", rc),
-               strfmt("%.3f", runLu(rc, 1, 2048, 44)),
-               strfmt("%.3f", runLu(rc, 1, 512, 88)),
-               strfmt("%.3f", runLu(rc, 16, 512, 176))});
+               strfmt("%.3f", results[idx]),
+               strfmt("%.3f", results[idx + 1]),
+               strfmt("%.3f", results[idx + 2])});
+        idx += 3;
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Every pivot costs a tpo->host->tpx round trip plus "

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "baseline/warp.hh"
 #include "bench_util.hh"
@@ -76,18 +77,33 @@ main(int argc, char **argv)
     const std::size_t tiles = std::size_t(argValue(argc, argv,
                                                    "--tiles", 24));
 
+    const unsigned jobs = initSimFlags(argc, argv);
     std::printf("Horizontal vs linear (Warp) array: stream of %zu "
                 "independent %zux%zu tiles, K = %zu.\n"
                 "Values in multiply-adds per cycle.\n\n",
                 tiles, n, n, k);
 
+    const unsigned ps[] = {1u, 2u, 4u, 8u, 16u};
+    std::vector<std::function<double()>> tasks;
+    for (unsigned tau : {2u, 4u})
+        for (unsigned p : ps) {
+            tasks.push_back([p, tau, n, k, tiles] {
+                return runHorizontal(p, tau, n, k, tiles);
+            });
+            tasks.push_back([p, tau, n, k, tiles] {
+                return runWarp(p, tau, n, k, tiles);
+            });
+        }
+    auto results = sweepValues(tasks, jobs);
+    std::size_t idx = 0;
     for (unsigned tau : {2u, 4u}) {
         TextTable t(strfmt("tau = %u", tau));
         t.header({"P", "horizontal", "linear (warp)"});
-        for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+        for (unsigned p : ps) {
             t.row({strfmt("%u", p),
-                   strfmt("%.3f", runHorizontal(p, tau, n, k, tiles)),
-                   strfmt("%.3f", runWarp(p, tau, n, k, tiles))});
+                   strfmt("%.3f", results[idx]),
+                   strfmt("%.3f", results[idx + 1])});
+            idx += 2;
         }
         std::printf("%s\n", t.render().c_str());
     }

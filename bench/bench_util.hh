@@ -11,11 +11,13 @@
 #ifndef OPAC_BENCH_BENCH_UTIL_HH
 #define OPAC_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "common/table.hh"
 #include "coproc/coprocessor.hh"
 #include "kernels/kernel_set.hh"
+#include "sim/sweep.hh"
 #include "trace/aggregate.hh"
 #include "trace/json.hh"
 #include "trace/sinks.hh"
@@ -31,6 +34,30 @@
 
 namespace opac::bench
 {
+
+/**
+ * Process-wide default for CoprocConfig::skipIdleCycles, set by
+ * initSimFlags from --no-skip. A mutable global (rather than plumbing
+ * a flag through every table function) because it is a pure
+ * debugging aid: skipping is bit-identical to spinning.
+ */
+inline bool &
+skipDefault()
+{
+    static bool skip = true;
+    return skip;
+}
+
+/**
+ * Parse the simulation-wide bench flags:
+ *   --no-skip   run every idle cycle instead of fast-forwarding
+ *               (bit-identical; only slower — a debugging aid)
+ *   --jobs N    worker threads for the parameter sweep
+ *               (default: hardware concurrency)
+ * Returns the job count for sim::sweep.
+ */
+inline unsigned
+initSimFlags(int argc, char **argv);
 
 /** Build a P-cell coprocessor in timing-only mode. */
 inline copro::CoprocConfig
@@ -45,7 +72,29 @@ timingConfig(unsigned cells, std::size_t tf, unsigned tau,
     cfg.host.tau = tau;
     cfg.memoryWords = memory_words;
     cfg.watchdogCycles = 2000000;
+    cfg.skipIdleCycles = skipDefault();
     return cfg;
+}
+
+/** Monotonic wall-clock seconds since an arbitrary origin. */
+inline double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Simulated cycles per wall-clock second — the simulator-throughput
+ * metric recorded as "sim_rate" in BENCH_*.json (informational:
+ * bench_diff reports it but never gates on it).
+ */
+inline double
+simRate(Cycle cycles, double wall_seconds)
+{
+    return wall_seconds > 0.0 ? double(cycles) / wall_seconds : 0.0;
 }
 
 /** Format a multiply-adds-per-cycle value the way the paper prints. */
@@ -90,6 +139,29 @@ argText(int argc, char **argv, const std::string &flag)
             return argv[i + 1];
     }
     return "";
+}
+
+inline unsigned
+initSimFlags(int argc, char **argv)
+{
+    skipDefault() = !argFlag(argc, argv, "--no-skip");
+    long jobs = argValue(argc, argv, "--jobs",
+                         long(sim::defaultJobs()));
+    std::string eq = argText(argc, argv, "--jobs");
+    if (!eq.empty())
+        jobs = std::atol(eq.c_str());
+    return jobs > 0 ? unsigned(jobs) : 1;
+}
+
+/**
+ * Sweep a batch of double-valued cases (the ablation benches' common
+ * shape) across @p jobs workers, preserving order.
+ */
+inline std::vector<double>
+sweepValues(const std::vector<std::function<double()>> &tasks,
+            unsigned jobs)
+{
+    return sim::sweep<double>(tasks, jobs);
 }
 
 /**

@@ -18,9 +18,16 @@
  * The fig. 5 sequencing reloads the reby queue with B(:,k) before
  * computing (the paper's explicit sequencing); bench/ablation_overlap
  * measures the variant that hides the reload.
+ *
+ * The sweep cases are independent simulations and run concurrently
+ * (--jobs N, default hardware concurrency); tables, the JSON file and
+ * the traced/sampled representative run are identical at any job
+ * count.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -33,41 +40,57 @@ using namespace opac::planner;
 namespace
 {
 
-double
-runCase(unsigned p, std::size_t tf, unsigned tau, std::size_t n,
-        std::size_t k, BenchJsonWriter &json, TraceSession *trace,
-        StatsSession *stats)
+struct CaseSpec
 {
-    auto cfg = timingConfig(p, tf, tau);
-    if (stats)
-        cfg.statsSampleInterval = stats->sampleInterval();
+    unsigned p;
+    std::size_t tf;
+    unsigned tau;
+    std::size_t n;
+    std::size_t k;
+    bool traced;
+    bool sampled;
+};
+
+struct CaseResult
+{
+    Cycle cycles;
+    double r; //!< multiply-adds per cycle, whole coprocessor
+    double maPerCycle;
+    double wall;
+};
+
+CaseResult
+runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats)
+{
+    auto cfg = timingConfig(spec.p, spec.tf, spec.tau);
+    if (spec.sampled)
+        cfg.statsSampleInterval = stats.sampleInterval();
     copro::Coprocessor sys(cfg);
-    if (stats)
-        stats->attach(sys);
+    if (spec.sampled)
+        stats.attach(sys);
     kernels::installStandardKernels(sys);
     LinalgPlanner plan(sys);
-    MatRef c = allocMat(sys.memory(), n, n);
-    MatRef a = allocMat(sys.memory(), n, k);
-    MatRef b = allocMat(sys.memory(), k, n);
+    MatRef c = allocMat(sys.memory(), spec.n, spec.n);
+    MatRef a = allocMat(sys.memory(), spec.n, spec.k);
+    MatRef b = allocMat(sys.memory(), spec.k, spec.n);
     plan.matUpdate(c, a, b);
     plan.commit();
-    if (trace)
-        trace->attach(sys);
+    if (spec.traced)
+        trace.attach(sys);
+    double t0 = wallSeconds();
     Cycle cycles = sys.run();
-    double r = analytic::matUpdateMultiplyAdds(n, k) / double(cycles);
-    if (trace) {
+    double wall = wallSeconds() - t0;
+    double r = analytic::matUpdateMultiplyAdds(spec.n, spec.k)
+               / double(cycles);
+    if (spec.traced) {
         // The aggregator's measured MA occupancy must agree with the
         // occupancy computed from the analytic operation count — the
         // trace sees every issue event the datapath executes.
-        trace->finish(sys.engine().now(), r);
+        trace.finish(sys.engine().now(), r);
     }
-    if (stats)
-        stats->finish();
-    json.record(strfmt("matupdate_P%u_Tf%zu_tau%u_K%zu", p, tf, tau, k),
-                cycles, 2.0 * r, r / double(p),
-                {{"ma_per_cycle",
-                  sys.stats().scalarValue("maPerCycle")}});
-    return r;
+    if (spec.sampled)
+        stats.finish();
+    return {cycles, r, sys.stats().scalarValue("maPerCycle"), wall};
 }
 
 } // anonymous namespace
@@ -76,6 +99,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = argFlag(argc, argv, "--quick");
+    const unsigned jobs = initSimFlags(argc, argv);
     BenchJsonWriter json("table_6_1");
     json.config("fp", "token");
     json.config("quick", quick ? 1 : 0);
@@ -92,6 +116,45 @@ main(int argc, char **argv)
                 "All values in multiply-adds per cycle (whole "
                 "coprocessor; divide by P for per-cell).\n\n");
 
+    std::vector<CaseSpec> specs;
+    for (unsigned tau : taus) {
+        for (std::size_t tf : tfs) {
+            for (unsigned p : cells) {
+                std::size_t n = analytic::paperTileN(p, tf);
+                for (std::size_t k : ks) {
+                    // Trace/sample the first compute-bound
+                    // configuration (P=1, Tf=2048, tau=2, K=300)
+                    // when asked.
+                    bool rep = p == 1 && tf == 2048 && tau == 2
+                               && k == 300;
+                    bool traced = trace.wanted() && rep
+                                  && std::none_of(
+                                      specs.begin(), specs.end(),
+                                      [](const CaseSpec &s) {
+                                          return s.traced;
+                                      });
+                    bool sampled = stats.wanted() && rep
+                                   && std::none_of(
+                                       specs.begin(), specs.end(),
+                                       [](const CaseSpec &s) {
+                                           return s.sampled;
+                                       });
+                    specs.push_back(
+                        {p, tf, tau, n, k, traced, sampled});
+                }
+            }
+        }
+    }
+
+    std::vector<std::function<CaseResult()>> tasks;
+    for (const CaseSpec &spec : specs)
+        tasks.push_back(
+            [&spec, &trace, &stats] {
+                return runCase(spec, trace, stats);
+            });
+    auto results = sim::sweep<CaseResult>(tasks, jobs);
+
+    std::size_t idx = 0;
     for (unsigned tau : taus) {
         for (std::size_t tf : tfs) {
             TextTable t(strfmt("Tf = %zu, tau = %u", tf, tau));
@@ -102,18 +165,17 @@ main(int argc, char **argv)
                 std::vector<std::string> row = {strfmt("%u", p),
                                                 strfmt("%zu", n)};
                 for (std::size_t k : ks) {
-                    // Trace the first compute-bound configuration
-                    // (P=1, Tf=2048, tau=2, K=300) when asked.
-                    bool traced = trace.wanted() && !trace.attached()
-                                  && p == 1 && tf == 2048 && tau == 2
-                                  && k == 300;
-                    bool sampled = stats.wanted() && !stats.attached()
-                                   && p == 1 && tf == 2048 && tau == 2
-                                   && k == 300;
-                    double r = runCase(p, tf, tau, n, k, json,
-                                       traced ? &trace : nullptr,
-                                       sampled ? &stats : nullptr);
-                    row.push_back(strfmt("%.3f", r));
+                    const CaseSpec &spec = specs[idx];
+                    const CaseResult &res = results[idx];
+                    ++idx;
+                    json.record(
+                        strfmt("matupdate_P%u_Tf%zu_tau%u_K%zu",
+                               spec.p, spec.tf, spec.tau, spec.k),
+                        res.cycles, 2.0 * res.r,
+                        res.r / double(spec.p),
+                        {{"ma_per_cycle", res.maPerCycle},
+                         {"sim_rate", simRate(res.cycles, res.wall)}});
+                    row.push_back(strfmt("%.3f", res.r));
                 }
                 row.push_back(strfmt(
                     "%.2f",

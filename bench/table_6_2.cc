@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -71,18 +72,30 @@ main(int argc, char **argv)
                                                1024));
     const std::size_t m = std::size_t(argValue(argc, argv, "--cols",
                                                1024));
+    const unsigned jobs = initSimFlags(argc, argv);
     std::printf("Paper table 6.2: 5x5 convolution of a %zux%zu image, "
                 "useful multiply-adds per cycle.\n\n", n, m);
 
     const unsigned cells[] = {1, 4, 16};
+    const std::pair<std::size_t, unsigned> configs[] = {
+        {512, 4}, {512, 2}, {2048, 4}, {2048, 2}};
+
+    std::vector<std::function<ConvResult()>> tasks;
+    for (unsigned p : cells)
+        for (auto [tf, tau] : configs)
+            tasks.push_back([p, tf = tf, tau = tau, n, m] {
+                return runCase(p, tf, tau, n, m);
+            });
+    auto results = sim::sweep<ConvResult>(tasks, jobs);
+
+    std::size_t idx = 0;
     TextTable t("measured (bound) [block width]");
     t.header({"", "Tf=512,t=4", "Tf=512,t=2", "Tf=2048,t=4",
               "Tf=2048,t=2"});
     for (unsigned p : cells) {
         std::vector<std::string> row = {strfmt("P = %u", p)};
-        for (auto [tf, tau] : {std::pair<std::size_t, unsigned>{512, 4},
-                               {512, 2}, {2048, 4}, {2048, 2}}) {
-            ConvResult r = runCase(p, tf, tau, n, m);
+        for ([[maybe_unused]] auto &cfg : configs) {
+            ConvResult r = results[idx++];
             row.push_back(strfmt("%.3f (%.2f) [%zu]", r.ma_per_cycle,
                                  r.bound, r.wu));
         }

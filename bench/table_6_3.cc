@@ -30,6 +30,7 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "analytic/models.hh"
 #include "bench_util.hh"
@@ -65,16 +66,28 @@ int
 main(int argc, char **argv)
 {
     const bool quick = argFlag(argc, argv, "--quick");
+    const unsigned jobs = initSimFlags(argc, argv);
     std::vector<std::size_t> sizes = {44, 88, 176, 352, 704};
     if (quick)
         sizes = {44, 88, 176};
     const unsigned cells[] = {1, 4, 16};
+    const std::pair<std::size_t, unsigned> configs[] = {
+        {512, 2}, {512, 4}, {2048, 2}, {2048, 4}};
 
     std::printf("Paper table 6.3: LU factorization (fig. 7 recursion), "
                 "multiply-adds per cycle.\n\n");
 
-    for (auto [tf, tau] : {std::pair<std::size_t, unsigned>{512, 2},
-                           {512, 4}, {2048, 2}, {2048, 4}}) {
+    std::vector<std::function<double()>> tasks;
+    for (auto [tf, tau] : configs)
+        for (unsigned p : cells)
+            for (auto n : sizes)
+                tasks.push_back([p, tf = tf, tau = tau, n] {
+                    return runCase(p, tf, tau, n);
+                });
+    auto results = sim::sweep<double>(tasks, jobs);
+
+    std::size_t idx = 0;
+    for (auto [tf, tau] : configs) {
         TextTable t(strfmt("Tf = %zu, tau = %u", tf, tau));
         std::vector<std::string> head = {"N ="};
         for (auto n : sizes)
@@ -82,8 +95,8 @@ main(int argc, char **argv)
         t.header(head);
         for (unsigned p : cells) {
             std::vector<std::string> row = {strfmt("P=%u", p)};
-            for (auto n : sizes)
-                row.push_back(strfmt("%.2f", runCase(p, tf, tau, n)));
+            for ([[maybe_unused]] auto n : sizes)
+                row.push_back(strfmt("%.2f", results[idx++]));
             t.row(row);
         }
         std::printf("%s\n", t.render().c_str());

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI entry point: build the default configuration and the sanitized
-# configuration (OPAC_SANITIZE=ON: ASan + UBSan) and run the test suite
-# under both. Usage: ci/build_and_test.sh [build-root]
+# CI entry point: build the default configuration, an optimized Release
+# configuration (-O2 with assertions kept), and the sanitized
+# configurations (OPAC_SANITIZE=ON: ASan + UBSan; OPAC_SANITIZE=thread:
+# TSan, which exercises the parallel sweep runner) and run the test
+# suite under each. Usage: ci/build_and_test.sh [build-root]
 set -eu
 
 root=$(cd "$(dirname "$0")/.." && pwd)
@@ -21,7 +23,12 @@ run_config() {
 }
 
 run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# Release keeps assertions: the machine-model invariants they check are
+# exactly what an optimized build could silently break.
+run_config release -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2"
 run_config sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOPAC_SANITIZE=ON
+run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOPAC_SANITIZE=thread
 
 # Smoke-test the tracing pipeline end to end: a traced bench run must
 # produce a Chrome trace that trace_report accepts.

@@ -25,6 +25,8 @@ Cell::Cell(std::string name, const CellConfig &cfg,
       _reby("reby", cfg.tf, cfg.fifoLatency),
       statGroup(name, parent_stats)
 {
+    // Order matches isa::CellQueue (the decoded-operand queue ids).
+    queueTab = {&_sum, &_ret, &_reby, &_tpo, &_tpx, &_tpy};
     statGroup.addCounter("issued", &statIssued, "micro-ops issued");
     statGroup.addCounter("fma", &statFma, "chained multiply-adds");
     statGroup.addCounter("mulOnly", &statMulOnly, "multiplies");
@@ -124,6 +126,7 @@ void
 Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
 {
     prog.validate();
+    prog.decode();
     opac_assert(nparams <= isa::numParams,
                 "kernel '%s': %u parameters exceed %u registers",
                 prog.name().c_str(), nparams, isa::numParams);
@@ -166,88 +169,43 @@ isRecirc(Src s)
 
 } // anonymous namespace
 
-bool
-Cell::srcReady(const isa::Operand &op, Cycle now) const
-{
-    auto *self = const_cast<Cell *>(this);
-    if (TimedFifo *q = self->queueFor(op.kind))
-        return q->canPop(now);
-    return true;
-}
-
-bool
-Cell::regReady(const isa::Operand &op) const
-{
-    if (op.kind == Src::RegAy)
-        return !regAyPending;
-    if (op.kind == Src::Reg)
-        return !regPending[op.idx];
-    return true;
-}
-
 StallCause
-Cell::checkHazards(const isa::Instr &in, Cycle now) const
+Cell::checkHazards(const isa::DecodedInstr &d, Cycle now) const
 {
-    const isa::Operand *reads[] = {&in.mulA, &in.mulB, &in.addA, &in.addB,
-                                   &in.mvSrc};
-    for (const auto *op : reads) {
-        if (op->kind == Src::MulOut)
-            continue;
-        if (!srcReady(*op, now))
-            return StallCause::SrcEmpty;
-        if (!regReady(*op))
-            return StallCause::RegPending;
+    // The read list preserves operand order (mulA, mulB, addA, addB,
+    // mvSrc), so the first failing check — and with it the reported
+    // stall cause — is the same as the un-decoded per-operand scan.
+    for (unsigned i = 0; i < d.numReads; ++i) {
+        const isa::DecodedRead &r = d.reads[i];
+        switch (r.kind) {
+          case isa::DecodedRead::Kind::Queue:
+            if (!queueTab[r.queue]->canPop(now))
+                return StallCause::SrcEmpty;
+            break;
+          case isa::DecodedRead::Kind::RegAy:
+            if (regAyPending)
+                return StallCause::RegPending;
+            break;
+          case isa::DecodedRead::Kind::Reg:
+            if (regPending[r.reg])
+                return StallCause::RegPending;
+            break;
+        }
     }
 
     // WAW interlock: a register with an in-flight write cannot be
     // written again until it lands.
-    auto wawBlocked = [&](std::uint8_t mask, std::uint8_t dst_reg) {
-        if ((mask & isa::DstRegAy) && regAyPending)
-            return true;
-        if ((mask & isa::DstReg) && regPending[dst_reg])
-            return true;
-        return false;
-    };
-    if (wawBlocked(in.dstMask, in.dstReg)
-        || wawBlocked(in.mvDstMask, in.mvDstReg)) {
+    if (d.wawAy && regAyPending)
         return StallCause::RegPending;
+    for (unsigned i = 0; i < d.numWawRegs; ++i) {
+        if (regPending[d.wawRegs[i]])
+            return StallCause::RegPending;
     }
 
-    // Net space requirement per queue: pushes minus pops (each <= 1,
-    // enforced by Program::validate()).
-    auto *self = const_cast<Cell *>(this);
-    const TimedFifo *queues[] = {&_sum, &_ret, &_reby, &_tpo, &_tpx,
-                                 &_tpy};
-    int need[6] = {0, 0, 0, 0, 0, 0};
-    auto queueIndex = [&](const TimedFifo *q) -> int {
-        for (int i = 0; i < 6; ++i) {
-            if (queues[i] == q)
-                return i;
-        }
-        return -1;
-    };
-    auto notePush = [&](std::uint8_t mask) {
-        if (mask & isa::DstSum)
-            ++need[0];
-        if (mask & isa::DstRet)
-            ++need[1];
-        if (mask & isa::DstReby)
-            ++need[2];
-        if (mask & isa::DstTpO)
-            ++need[3];
-    };
-    notePush(in.dstMask);
-    notePush(in.mvDstMask);
-    for (const auto *op : reads) {
-        if (TimedFifo *q = self->queueFor(op->kind)) {
-            int qi = queueIndex(q);
-            --need[qi];              // the pop frees a slot at issue
-            if (isRecirc(op->kind))
-                ++need[qi];          // ... which the repush reclaims
-        }
-    }
-    for (int i = 0; i < 6; ++i) {
-        if (need[i] > 0 && queues[i]->space() < std::size_t(need[i]))
+    // Net space requirement per queue (pushes minus pops, precomputed).
+    for (unsigned i = 0; i < d.numNeeds; ++i) {
+        const auto &n = d.needs[i];
+        if (queueTab[n.queue]->space() < std::size_t(n.amount))
             return StallCause::DstFull;
     }
     return StallCause::None;
@@ -298,14 +256,16 @@ Cell::scheduleWrite(Cycle when, Word value, std::uint8_t mask,
     if (mask & isa::DstReg)
         regPending[dst_reg] = true;
     (void)now;
+    wbReadyAt = std::min(wbReadyAt, when);
     inflight.push_back(InFlight{when, value, mask, dst_reg});
 }
 
 void
-Cell::issueCompute(const isa::Instr &in, Cycle now)
+Cell::issueCompute(const isa::Instr &in, const isa::DecodedInstr &d,
+                   Cycle now)
 {
-    bool mul_active = in.mulA.used();
-    bool add_active = in.addA.used();
+    bool mul_active = d.mulActive;
+    bool add_active = d.addActive;
 
     Word mul_out = 0;
     unsigned fp_latency = 0;
@@ -317,17 +277,16 @@ Cell::issueCompute(const isa::Instr &in, Cycle now)
     }
     Word fp_result = mul_out;
     if (add_active) {
-        Word a = in.addA.kind == Src::MulOut
-            ? mul_out : readOperand(in.addA, now, 0);
+        Word a = d.addAFromMul ? mul_out : readOperand(in.addA, now, 0);
         Word b = readOperand(in.addB, now, 0);
         fp_result = fpu->add(a, b, in.addOp);
         fp_latency += cfg.addLatency;
     }
-    if (in.fpActive())
+    if (mul_active || add_active)
         scheduleWrite(now + fp_latency, fp_result, in.dstMask, in.dstReg,
                       now);
 
-    if (in.mvActive()) {
+    if (d.mvActive) {
         Word v = readOperand(in.mvSrc, now, mul_out);
         scheduleWrite(now + cfg.moveLatency, v, in.mvDstMask, in.mvDstReg,
                       now);
@@ -368,6 +327,8 @@ Cell::drainWritebacks(Cycle now, sim::Engine &engine)
     // the same queue (the queues have one in-order write port). An
     // entry that cannot commit blocks its destinations for every later
     // entry; entries commit atomically.
+    if (now < wbReadyAt)
+        return;
     bool pushed[4] = {false, false, false, false};
     bool blocked[4] = {false, false, false, false};
     bool reg_blocked = false;
@@ -436,6 +397,40 @@ Cell::drainWritebacks(Cycle now, sim::Engine &engine)
         }
         engine.noteProgress();
         inflight.erase(inflight.begin() + std::ptrdiff_t(i));
+    }
+    // Entries left blocked behind a later `when` retry next cycle at
+    // the earliest; otherwise nothing can land before the minimum
+    // remaining `when`.
+    Cycle m = sim::Component::noEvent;
+    for (const InFlight &w : inflight)
+        m = std::min(m, w.when);
+    wbReadyAt = std::max(m, now + 1);
+}
+
+/** Count one stalled issue cycle and emit its trace event. */
+void
+Cell::emitStall(StallCause cause, Cycle now)
+{
+    trace::StallWhy why = trace::StallWhy::SrcEmpty;
+    switch (cause) {
+      case StallCause::None:
+        opac_panic("emitStall without a stall");
+      case StallCause::SrcEmpty:
+        ++statStallSrc;
+        why = trace::StallWhy::SrcEmpty;
+        break;
+      case StallCause::DstFull:
+        ++statStallDst;
+        why = trace::StallWhy::DstFull;
+        break;
+      case StallCause::RegPending:
+        ++statStallReg;
+        why = trace::StallWhy::RegPending;
+        break;
+    }
+    if (tracer) {
+        tracer->emit(now, trace::EventKind::Stall, std::uint8_t(why),
+                     traceComp, 0, std::uint32_t(pc), 0);
     }
 }
 
@@ -571,14 +566,17 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
       }
 
       case SeqState::Decode:
+        // A pure countdown is not forward progress: it is fully
+        // predictable (see nextEventAt), so the engine may skip it.
+        // Completing the dispatch is.
         ++statBusy;
-        engine.noteProgress();
         if (decodeLeft > 1) {
             --decodeLeft;
         } else {
             pc = 0;
             loopStack.clear();
             state = SeqState::Run;
+            engine.noteProgress();
         }
         break;
 
@@ -591,10 +589,10 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
         const isa::Instr &in = current->prog.at(pc);
         switch (in.op) {
           case Opcode::Compute: {
-            StallCause stall = checkHazards(in, now);
-            switch (stall) {
-              case StallCause::None:
-                issueCompute(in, now);
+            StallCause stall =
+                checkHazards(current->prog.decodedAt(pc), now);
+            if (stall == StallCause::None) {
+                issueCompute(in, current->prog.decodedAt(pc), now);
                 if (traceHook) {
                     traceHook(strfmt("%llu [%zu] %s",
                                      (unsigned long long)now, pc,
@@ -602,32 +600,8 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
                 }
                 ++pc;
                 engine.noteProgress();
-                break;
-              case StallCause::SrcEmpty:
-                ++statStallSrc;
-                if (tracer) {
-                    tracer->emit(now, trace::EventKind::Stall,
-                                 std::uint8_t(trace::StallWhy::SrcEmpty),
-                                 traceComp, 0, std::uint32_t(pc), 0);
-                }
-                break;
-              case StallCause::DstFull:
-                ++statStallDst;
-                if (tracer) {
-                    tracer->emit(now, trace::EventKind::Stall,
-                                 std::uint8_t(trace::StallWhy::DstFull),
-                                 traceComp, 0, std::uint32_t(pc), 0);
-                }
-                break;
-              case StallCause::RegPending:
-                ++statStallReg;
-                if (tracer) {
-                    tracer->emit(now, trace::EventKind::Stall,
-                                 std::uint8_t(
-                                     trace::StallWhy::RegPending),
-                                 traceComp, 0, std::uint32_t(pc), 0);
-                }
-                break;
+            } else {
+                emitStall(stall, now);
             }
             break;
           }
@@ -681,12 +655,7 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
                 }
             }
             if (write_in_flight) {
-                ++statStallDst;
-                if (tracer) {
-                    tracer->emit(now, trace::EventKind::Stall,
-                                 std::uint8_t(trace::StallWhy::DstFull),
-                                 traceComp, 0, std::uint32_t(pc), 0);
-                }
+                emitStall(StallCause::DstFull, now);
                 break;
             }
             switch (in.fifo) {
@@ -740,6 +709,101 @@ Cell::tick(sim::Engine &engine)
     _sum.sampleOccupancy();
     _ret.sampleOccupancy();
     _reby.sampleOccupancy();
+}
+
+Cycle
+Cell::nextEventAt(Cycle now) const
+{
+    Cycle at = noEvent;
+    // Any queue front falling through can unblock the sequencer or
+    // the host (tpo feeds the host's Recv), so all seven count.
+    for (const TimedFifo *q : queueTab)
+        at = std::min(at, q->nextReadyAt(now));
+    at = std::min(at, _tpi.nextReadyAt(now));
+    // Pipeline results landing unblock RegPending/ResetFifo stalls and
+    // writeback-ordering blocks. when == now counts (it lands in the
+    // round at `now`); entries with when < now that did not commit
+    // are ordered behind one with when >= now, which covers them.
+    for (const auto &w : inflight) {
+        if (w.when >= now)
+            at = std::min(at, w.when);
+    }
+    if (state == SeqState::Decode)
+        at = std::min(at, now + decodeLeft - 1);
+    return at;
+}
+
+void
+Cell::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
+{
+    (void)engine;
+    if (cycles == 0)
+        return;
+    // Replay what tick() did in the quiescent round being replicated:
+    // the sequencer's per-state busy/stall accounting (no drainable
+    // writebacks and no state change by construction of the skip
+    // window), then the per-cycle occupancy samples.
+    switch (state) {
+      case SeqState::Idle:
+        statIdle += cycles;
+        break;
+      case SeqState::ReadParams:
+        statBusy += cycles;
+        break;
+      case SeqState::PmuRespond:
+        statBusy += cycles;
+        statStallDst += cycles;
+        break;
+      case SeqState::Decode:
+        // The skip window never reaches the dispatch cycle.
+        statBusy += cycles;
+        decodeLeft -= unsigned(cycles);
+        break;
+      case SeqState::Run: {
+        statBusy += cycles;
+        const isa::Instr &in = current->prog.at(pc);
+        StallCause stall;
+        if (in.op == Opcode::Compute) {
+            stall = checkHazards(current->prog.decodedAt(pc), from);
+        } else {
+            // Only a blocked ResetFifo can stall in Run state; every
+            // other non-Compute op always completes (= progress).
+            opac_assert(in.op == Opcode::ResetFifo,
+                        "%s: quiescent Run state at a non-stallable op",
+                        name().c_str());
+            stall = StallCause::DstFull;
+        }
+        trace::StallWhy why = trace::StallWhy::SrcEmpty;
+        switch (stall) {
+          case StallCause::None:
+            opac_panic("%s: quiescent Run state with no hazard",
+                       name().c_str());
+          case StallCause::SrcEmpty:
+            statStallSrc += cycles;
+            why = trace::StallWhy::SrcEmpty;
+            break;
+          case StallCause::DstFull:
+            statStallDst += cycles;
+            why = trace::StallWhy::DstFull;
+            break;
+          case StallCause::RegPending:
+            statStallReg += cycles;
+            why = trace::StallWhy::RegPending;
+            break;
+        }
+        if (tracer) {
+            for (Cycle k = 0; k < cycles; ++k) {
+                tracer->emit(from + k, trace::EventKind::Stall,
+                             std::uint8_t(why), traceComp, 0,
+                             std::uint32_t(pc), 0);
+            }
+        }
+        break;
+      }
+    }
+    _sum.sampleOccupancy(cycles);
+    _ret.sampleOccupancy(cycles);
+    _reby.sampleOccupancy(cycles);
 }
 
 bool

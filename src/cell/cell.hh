@@ -135,6 +135,16 @@ class Cell : public sim::Component
     bool done() const override;
     std::string statusLine() const override;
 
+    /**
+     * Idle-cycle skipping support: the cell's future events are FIFO
+     * fronts falling through (any of the seven queues — tpo matters
+     * to the host's Recv), FP/move pipeline results landing, and the
+     * fixed decode countdown.
+     */
+    Cycle nextEventAt(Cycle now) const override;
+    void fastForward(Cycle from, Cycle cycles,
+                     sim::Engine &engine) override;
+
     // Observability.
     std::uint64_t issuedOps() const { return statIssued.value(); }
     std::uint64_t fmaOps() const { return statFma.value(); }
@@ -197,11 +207,11 @@ class Cell : public sim::Component
 
     // -- helpers -------------------------------------------------------
     TimedFifo *queueFor(isa::Src s);
-    bool srcReady(const isa::Operand &op, Cycle now) const;
-    bool regReady(const isa::Operand &op) const;
     Word readOperand(const isa::Operand &op, Cycle now, Word mul_out);
-    StallCause checkHazards(const isa::Instr &in, Cycle now) const;
-    void issueCompute(const isa::Instr &in, Cycle now);
+    StallCause checkHazards(const isa::DecodedInstr &d, Cycle now) const;
+    void issueCompute(const isa::Instr &in, const isa::DecodedInstr &d,
+                      Cycle now);
+    void emitStall(StallCause cause, Cycle now);
     void scheduleWrite(Cycle when, Word value, std::uint8_t mask,
                        std::uint8_t dst_reg, Cycle now);
     void drainWritebacks(Cycle now, sim::Engine &engine);
@@ -219,6 +229,9 @@ class Cell : public sim::Component
     TimedFifo _sum;
     TimedFifo _ret;
     TimedFifo _reby;
+
+    /** Queue pointers indexed by isa::CellQueue (set in the ctor). */
+    std::array<TimedFifo *, isa::numCellQueues> queueTab{};
 
     std::array<Word, isa::numRegs> regs{};
     std::array<bool, isa::numRegs> regPending{};
@@ -245,6 +258,12 @@ class Cell : public sim::Component
     std::vector<LoopFrame> loopStack;
 
     std::vector<InFlight> inflight;
+    /**
+     * Lower bound on the cycle at which any inflight writeback can
+     * commit; drainWritebacks returns immediately before it. Updated
+     * on scheduleWrite and after every drain pass.
+     */
+    Cycle wbReadyAt = sim::Component::noEvent;
 
     std::function<void(const std::string &)> traceHook;
 

@@ -2,11 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 namespace opac
 {
+
+namespace
+{
+
+/** Serializes stderr emission so concurrent sweeps do not interleave. */
+std::mutex &
+logLock()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // anonymous namespace
 
 std::string
 strfmt(const char *fmt, ...)
@@ -46,15 +60,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> g(logLock());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
-warnOnceImpl(bool &printed, const std::string &msg)
+warnOnceImpl(std::atomic<bool> &printed, const std::string &msg)
 {
-    if (printed)
+    if (printed.exchange(true, std::memory_order_relaxed))
         return;
-    printed = true;
+    std::lock_guard<std::mutex> g(logLock());
     std::fprintf(stderr, "warn: %s (repeats from this callsite "
                          "suppressed)\n", msg.c_str());
 }
@@ -62,6 +77,7 @@ warnOnceImpl(bool &printed, const std::string &msg)
 void
 inform(const std::string &msg)
 {
+    std::lock_guard<std::mutex> g(logLock());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

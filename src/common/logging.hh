@@ -10,6 +10,7 @@
 #ifndef OPAC_COMMON_LOGGING_HH
 #define OPAC_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -29,7 +30,7 @@ std::string strfmt(const char *fmt, ...)
 void warn(const std::string &msg);
 
 /** Implementation detail of opac_warn_once; use the macro. */
-void warnOnceImpl(bool &printed, const std::string &msg);
+void warnOnceImpl(std::atomic<bool> &printed, const std::string &msg);
 
 /** Print an informational message to stderr. */
 void inform(const std::string &msg);
@@ -47,11 +48,13 @@ void inform(const std::string &msg);
 /**
  * Like warn(), but prints at most once per callsite for the lifetime of
  * the process — for diagnostics that would otherwise repeat every cycle
- * (write-port conflicts, unknown PMU registers).
+ * (write-port conflicts, unknown PMU registers). Thread-safe: the
+ * sweep runner executes simulations concurrently, and exactly one of
+ * any number of racing callers prints.
  */
 #define opac_warn_once(...)                                           \
     do {                                                              \
-        static bool opac_warn_once_printed_ = false;                  \
+        static std::atomic<bool> opac_warn_once_printed_{false};      \
         ::opac::warnOnceImpl(opac_warn_once_printed_,                 \
                              ::opac::strfmt(__VA_ARGS__));            \
     } while (0)

@@ -23,6 +23,9 @@ using Word = std::uint32_t;
 /** Simulated time, counted in cycles of the common coprocessor clock. */
 using Cycle = std::uint64_t;
 
+/** A Cycle value meaning "never": no event is scheduled. */
+constexpr Cycle cycleNever = ~Cycle(0);
+
 /** Reinterpret a word as the binary32 value it encodes. */
 inline float
 wordToFloat(Word w)

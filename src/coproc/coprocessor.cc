@@ -11,6 +11,7 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
 {
     opac_assert(cfg.cells >= 1 && cfg.cells <= 32,
                 "cell count %u out of range [1, 32]", cfg.cells);
+    eng.setSkipEnabled(cfg.skipIdleCycles);
     std::vector<cell::Cell *> raw;
     for (unsigned i = 0; i < cfg.cells; ++i) {
         cellPtrs.push_back(std::make_unique<cell::Cell>(

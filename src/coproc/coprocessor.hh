@@ -34,6 +34,14 @@ struct CoprocConfig
     Cycle watchdogCycles = 200000; //!< deadlock detector
 
     /**
+     * Fast-forward the clock over quiescent stretches (default on).
+     * Bit-identical to spinning — cycle counts, statistics and trace
+     * events all match — so turning it off is only a debugging aid
+     * (the benches' --no-skip flag).
+     */
+    bool skipIdleCycles = true;
+
+    /**
      * Snapshot every scalar statistic each N cycles into an in-memory
      * time series (0 = off). The series is part of statsJson().
      */

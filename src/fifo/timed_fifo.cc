@@ -1,5 +1,7 @@
 #include "fifo/timed_fifo.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace opac
@@ -11,19 +13,15 @@ TimedFifo::TimedFifo(std::string name, std::size_t capacity,
 {
     opac_assert(capacity > 0, "FIFO '%s' with zero capacity",
                 _name.c_str());
+    ring.resize(std::bit_ceil(capacity));
+    mask = ring.size() - 1;
 }
 
 std::size_t
 TimedFifo::space() const
 {
-    std::size_t used = entries.size() + _reserved;
+    std::size_t used = count + _reserved;
     return used >= _capacity ? 0 : _capacity - used;
-}
-
-bool
-TimedFifo::canPop(Cycle now) const
-{
-    return !entries.empty() && entries.front().ready <= now;
 }
 
 void
@@ -31,12 +29,13 @@ TimedFifo::push(Word w, Cycle now)
 {
     opac_assert(space() > 0, "push on full FIFO '%s' (cap %zu)",
                 _name.c_str(), _capacity);
-    entries.push_back(Entry{w, now + latency});
+    ring[(head + count) & mask] = Entry{w, now + latency};
+    ++count;
     ++pushes;
-    highWaterMark.observe(entries.size());
+    highWaterMark.observe(count);
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoPush, 0, traceComp,
-                     traceTrack, std::uint32_t(entries.size()), w);
+                     traceTrack, std::uint32_t(count), w);
     }
 }
 
@@ -53,12 +52,13 @@ TimedFifo::pushReserved(Word w, Cycle now)
     opac_assert(_reserved > 0, "pushReserved without reservation on '%s'",
                 _name.c_str());
     --_reserved;
-    entries.push_back(Entry{w, now + latency});
+    ring[(head + count) & mask] = Entry{w, now + latency};
+    ++count;
     ++pushes;
-    highWaterMark.observe(entries.size());
+    highWaterMark.observe(count);
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoPush, 1, traceComp,
-                     traceTrack, std::uint32_t(entries.size()), w);
+                     traceTrack, std::uint32_t(count), w);
     }
 }
 
@@ -67,12 +67,13 @@ TimedFifo::pop(Cycle now)
 {
     opac_assert(canPop(now), "pop on empty/not-ready FIFO '%s'",
                 _name.c_str());
-    Word w = entries.front().word;
-    entries.pop_front();
+    Word w = ring[head].word;
+    head = (head + 1) & mask;
+    --count;
     ++pops;
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoPop, 0, traceComp,
-                     traceTrack, std::uint32_t(entries.size()), w);
+                     traceTrack, std::uint32_t(count), w);
     }
     return w;
 }
@@ -82,16 +83,16 @@ TimedFifo::recirculate(Cycle now)
 {
     opac_assert(canPop(now), "recirculate on empty/not-ready FIFO '%s'",
                 _name.c_str());
-    Word w = entries.front().word;
-    entries.pop_front();
-    entries.push_back(Entry{w, now + latency});
+    Word w = ring[head].word;
+    head = (head + 1) & mask;
+    ring[(head + count - 1) & mask] = Entry{w, now + latency};
     // Counted as one pop plus one push so lifetime totals match the
     // word traffic the datapath actually performed.
     ++pops;
     ++pushes;
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoRecirc, 0, traceComp,
-                     traceTrack, std::uint32_t(entries.size()), w);
+                     traceTrack, std::uint32_t(count), w);
     }
     return w;
 }
@@ -101,14 +102,15 @@ TimedFifo::front(Cycle now) const
 {
     opac_assert(canPop(now), "front on empty/not-ready FIFO '%s'",
                 _name.c_str());
-    return entries.front().word;
+    return ring[head].word;
 }
 
 void
 TimedFifo::reset(Cycle now)
 {
-    std::size_t dropped = entries.size();
-    entries.clear();
+    std::size_t dropped = count;
+    head = 0;
+    count = 0;
     _reserved = 0;
     ++resets;
     if (tracer) {

@@ -22,8 +22,8 @@
 #define OPAC_FIFO_TIMED_FIFO_HH
 
 #include <cstddef>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "stats/stats.hh"
 #include "common/types.hh"
@@ -48,16 +48,36 @@ class TimedFifo
     std::size_t capacity() const { return _capacity; }
 
     /** Words currently stored (including not-yet-visible ones). */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return count; }
 
     /** True if no words are stored (reservations do not count). */
-    bool empty() const { return entries.empty(); }
+    bool empty() const { return count == 0; }
 
     /** Free slots, after stored words and outstanding reservations. */
     std::size_t space() const;
 
     /** True if a word can be popped at cycle @p now. */
-    bool canPop(Cycle now) const;
+    bool canPop(Cycle now) const
+    {
+        return count != 0 && ring[head].ready <= now;
+    }
+
+    /**
+     * The cycle at which the front word becomes poppable, for the
+     * engine's idle-cycle skipping. cycleNever when the queue is empty
+     * or the front became poppable strictly before @p now: a consumer
+     * that saw the ready front last round and still stalled will not
+     * be woken by it. ready == now counts — the front was not
+     * poppable in the round before @p now, so the round at @p now is
+     * the wake-up.
+     */
+    Cycle
+    nextReadyAt(Cycle now) const
+    {
+        if (count == 0 || ring[head].ready < now)
+            return cycleNever;
+        return ring[head].ready;
+    }
 
     /** True if a word can be pushed (space for one more). */
     bool canPush() const { return space() > 0; }
@@ -98,8 +118,12 @@ class TimedFifo
      */
     void reset(Cycle now = 0);
 
-    /** Record an occupancy sample (typically once per cycle). */
-    void sampleOccupancy() { occupancy.sample(double(entries.size())); }
+    /** Record @p n identical occupancy samples (typically 1/cycle). */
+    void
+    sampleOccupancy(std::uint64_t n = 1)
+    {
+        occupancy.sample(double(count), n);
+    }
 
     /** Register this FIFO's stats under @p parent. */
     void addStats(stats::StatGroup &parent);
@@ -128,7 +152,14 @@ class TimedFifo
     std::size_t _capacity;
     unsigned latency;
     std::size_t _reserved = 0;
-    std::deque<Entry> entries;
+
+    // Fixed-capacity ring buffer, sized (to a power of two) at
+    // construction: no per-push allocation on the simulator hot path.
+    // count <= _capacity is enforced by the push/reserve assertions.
+    std::vector<Entry> ring;
+    std::size_t mask = 0;  //!< ring.size() - 1
+    std::size_t head = 0;  //!< index of the front entry
+    std::size_t count = 0; //!< entries stored
 
     trace::Tracer *tracer = nullptr;
     std::uint16_t traceComp = 0;

@@ -275,8 +275,9 @@ Host::tick(sim::Engine &engine)
         return;
     ++statBusy;
     if (cooldown > 0) {
+        // A pure countdown is not forward progress: it is fully
+        // predictable (see nextEventAt), so the engine may skip it.
         --cooldown;
-        engine.noteProgress();
         return;
     }
     const HostOp &op = program.front();
@@ -300,7 +301,6 @@ Host::tick(sim::Engine &engine)
     }
     bool finished = false;
     std::size_t prev_pos = pos;
-    unsigned prev_compute = computeLeft;
     switch (op.kind) {
       case HostOp::Kind::Send:
         finished = tickSend(op, engine.now());
@@ -315,7 +315,10 @@ Host::tick(sim::Engine &engine)
         finished = tickCompute(op, engine.now());
         break;
     }
-    if (pos != prev_pos || computeLeft != prev_compute || finished)
+    // A Compute countdown cycle is not progress (it is predictable and
+    // skippable, like the cooldown above); moving a word or finishing
+    // a descriptor is.
+    if (pos != prev_pos || finished)
         engine.noteProgress();
     if (finished) {
         if (tracer) {
@@ -327,6 +330,99 @@ Host::tick(sim::Engine &engine)
         computeLeft = 0;
         opAnnounced = false;
         ++statOpsDone;
+    }
+}
+
+Cycle
+Host::nextEventAt(Cycle now) const
+{
+    if (program.empty())
+        return noEvent;
+    if (cooldown > 0)
+        return now + cooldown;
+    const HostOp &op = program.front();
+    switch (op.kind) {
+      case HostOp::Kind::Compute:
+        // tickCompute finishes in the cycle that decrements
+        // computeLeft to zero.
+        return computeLeft > 0 ? now + computeLeft - 1 : now;
+      case HostOp::Kind::Recv: {
+        // The cooldown expired during a quiescent round: if the word
+        // is already waiting we never stalled on it, so no FIFO hint
+        // will announce it — the wake-up is ours to report.
+        unsigned cell_idx = 0;
+        while (!(op.cellMask & (1u << cell_idx)))
+            ++cell_idx;
+        if (cells[cell_idx]->tpo().canPop(now))
+            return now;
+        break;
+      }
+      case HostOp::Kind::Send:
+      case HostOp::Kind::Call: {
+        bool room = true;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (!(op.cellMask & (1u << c)))
+                continue;
+            TimedFifo &q =
+                op.kind == HostOp::Kind::Call
+                    ? cells[c]->tpi()
+                    : (op.target == SendTarget::TpX ? cells[c]->tpx()
+                                                    : cells[c]->tpy());
+            if (!q.canPush()) {
+                room = false;
+                break;
+            }
+        }
+        if (room)
+            return now;
+        break;
+      }
+    }
+    // Genuinely blocked on a cell queue (full interface FIFO or empty
+    // tpo): only a cell action can unblock us, and the cells' hints
+    // cover the fall-through times of every interface queue.
+    return noEvent;
+}
+
+void
+Host::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
+{
+    (void)engine;
+    if (program.empty() || cycles == 0)
+        return;
+    statBusy += cycles;
+    if (cooldown > 0) {
+        // The skip window never extends past the cooldown expiry.
+        cooldown -= unsigned(cycles);
+        return;
+    }
+    const HostOp &op = program.front();
+    switch (op.kind) {
+      case HostOp::Kind::Send:
+      case HostOp::Kind::Call:
+        statStallFull += cycles;
+        if (tracer) {
+            for (Cycle k = 0; k < cycles; ++k) {
+                tracer->emit(from + k, trace::EventKind::Stall,
+                             std::uint8_t(trace::StallWhy::BusFull),
+                             traceComp, 0, std::uint32_t(pos), 0);
+            }
+        }
+        break;
+      case HostOp::Kind::Recv:
+        statStallEmpty += cycles;
+        if (tracer) {
+            for (Cycle k = 0; k < cycles; ++k) {
+                tracer->emit(from + k, trace::EventKind::Stall,
+                             std::uint8_t(trace::StallWhy::BusEmpty),
+                             traceComp, 0, std::uint32_t(pos), 0);
+            }
+        }
+        break;
+      case HostOp::Kind::Compute:
+        // The skip window never reaches the finishing cycle.
+        computeLeft -= unsigned(cycles);
+        break;
     }
 }
 

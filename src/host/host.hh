@@ -118,6 +118,17 @@ class Host : public sim::Component
     bool done() const override;
     std::string statusLine() const override;
 
+    /**
+     * Idle-cycle skipping support. The host's own future events are
+     * its countdowns: the inter-word cooldown and the scalar-compute
+     * latency. A blocked Send/Recv/Call only ever wakes when a cell
+     * frees space or delivers a word, which the cells' hints cover,
+     * so those states report noEvent.
+     */
+    Cycle nextEventAt(Cycle now) const override;
+    void fastForward(Cycle from, Cycle cycles,
+                     sim::Engine &engine) override;
+
     std::uint64_t wordsSent() const { return statWordsSent.value(); }
     std::uint64_t wordsReceived() const { return statWordsRecv.value(); }
     std::uint64_t callWordsSent() const { return statCallWords.value(); }

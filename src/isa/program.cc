@@ -226,4 +226,118 @@ Program::validate() const
         opac_fatal("%s: missing Halt", _name.c_str());
 }
 
+namespace
+{
+
+/** The queue an operand kind pops, or numCellQueues for none. */
+unsigned
+cellQueueOf(Src s)
+{
+    switch (s) {
+      case Src::TpX:
+        return unsigned(CellQueue::TpX);
+      case Src::TpY:
+        return unsigned(CellQueue::TpY);
+      case Src::Sum:
+      case Src::SumR:
+        return unsigned(CellQueue::Sum);
+      case Src::Ret:
+      case Src::RetR:
+        return unsigned(CellQueue::Ret);
+      case Src::Reby:
+      case Src::RebyR:
+        return unsigned(CellQueue::Reby);
+      default:
+        return numCellQueues;
+    }
+}
+
+bool
+isRecircSrc(Src s)
+{
+    return s == Src::SumR || s == Src::RetR || s == Src::RebyR;
+}
+
+DecodedInstr
+decodeCompute(const Instr &in)
+{
+    DecodedInstr d;
+    d.mulActive = in.mulA.used();
+    d.addActive = in.addA.used();
+    d.mvActive = in.mvSrc.used();
+    d.addAFromMul = in.addA.kind == Src::MulOut;
+
+    // Read checks in operand order, so the first failing check (and
+    // with it the reported stall cause) matches the un-decoded scan.
+    // MulOut and constant operands need no check at all.
+    const Operand *reads[] = {&in.mulA, &in.mulB, &in.addA, &in.addB,
+                              &in.mvSrc};
+    int need[numCellQueues] = {0, 0, 0, 0, 0, 0};
+    for (const Operand *op : reads) {
+        if (op->kind == Src::MulOut)
+            continue;
+        DecodedRead r;
+        if (unsigned q = cellQueueOf(op->kind); q < numCellQueues) {
+            r.kind = DecodedRead::Kind::Queue;
+            r.queue = std::uint8_t(q);
+            --need[q];               // the pop frees a slot at issue
+            if (isRecircSrc(op->kind))
+                ++need[q];           // ... which the repush reclaims
+        } else if (op->kind == Src::RegAy) {
+            r.kind = DecodedRead::Kind::RegAy;
+        } else if (op->kind == Src::Reg) {
+            r.kind = DecodedRead::Kind::Reg;
+            r.reg = op->idx;
+        } else {
+            continue; // None / Zero / One: nothing to check
+        }
+        d.reads[d.numReads++] = r;
+    }
+
+    // WAW interlock targets.
+    if ((in.dstMask | in.mvDstMask) & DstRegAy)
+        d.wawAy = true;
+    if (in.dstMask & DstReg)
+        d.wawRegs[d.numWawRegs++] = in.dstReg;
+    if (in.mvDstMask & DstReg)
+        d.wawRegs[d.numWawRegs++] = in.mvDstReg;
+
+    // Net space requirement per queue: pushes minus pops.
+    auto notePush = [&](std::uint8_t mask) {
+        if (mask & DstSum)
+            ++need[unsigned(CellQueue::Sum)];
+        if (mask & DstRet)
+            ++need[unsigned(CellQueue::Ret)];
+        if (mask & DstReby)
+            ++need[unsigned(CellQueue::Reby)];
+        if (mask & DstTpO)
+            ++need[unsigned(CellQueue::TpO)];
+    };
+    notePush(in.dstMask);
+    notePush(in.mvDstMask);
+    for (unsigned q = 0; q < numCellQueues; ++q) {
+        if (need[q] > 0) {
+            d.needs[d.numNeeds++] =
+                DecodedInstr::Need{std::uint8_t(q),
+                                   std::uint8_t(need[q])};
+        }
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+void
+Program::decode()
+{
+    if (decoded())
+        return;
+    _decoded.clear();
+    _decoded.reserve(_instrs.size());
+    for (const Instr &in : _instrs) {
+        _decoded.push_back(in.op == Opcode::Compute ? decodeCompute(in)
+                                                    : DecodedInstr{});
+    }
+}
+
 } // namespace opac::isa

@@ -24,6 +24,73 @@ constexpr unsigned numParams = 16;
 /** Number of entries in the multiport register file. */
 constexpr unsigned numRegs = 32;
 
+/**
+ * Cell FIFO queues addressable by microcode operands, in the fixed
+ * order the cell's hazard logic space-checks them (the cell keeps a
+ * pointer table in this order).
+ */
+enum class CellQueue : std::uint8_t
+{
+    Sum,
+    Ret,
+    Reby,
+    TpO,
+    TpX,
+    TpY,
+};
+
+/** Number of CellQueue values. */
+constexpr unsigned numCellQueues = 6;
+
+/** One pre-resolved operand read of the issue-time hazard scan. */
+struct DecodedRead
+{
+    enum class Kind : std::uint8_t
+    {
+        Queue, //!< pop (or recirculate) a FIFO queue
+        RegAy, //!< read regay
+        Reg,   //!< read register file entry [reg]
+    };
+
+    Kind kind = Kind::Queue;
+    std::uint8_t queue = 0; //!< CellQueue index when kind == Queue
+    std::uint8_t reg = 0;   //!< register index when kind == Reg
+};
+
+/**
+ * The pre-decoded form of one Compute instruction: the hazard checks
+ * the sequencer performs every cycle the instruction is at the issue
+ * stage, resolved once at microcode-load time so the per-cycle scan
+ * stops re-switching on operand kinds. The read list preserves the
+ * operand order (mulA, mulB, addA, addB, mvSrc) so the reported stall
+ * cause is identical to the un-decoded scan.
+ */
+struct DecodedInstr
+{
+    DecodedRead reads[5];
+    std::uint8_t numReads = 0;
+
+    /** Queues with a positive net space requirement at issue. */
+    struct Need
+    {
+        std::uint8_t queue;  //!< CellQueue index
+        std::uint8_t amount; //!< slots required
+    };
+    Need needs[4];
+    std::uint8_t numNeeds = 0;
+
+    /** WAW interlock: registers this instruction writes. */
+    bool wawAy = false;
+    std::uint8_t wawRegs[2] = {0, 0};
+    std::uint8_t numWawRegs = 0;
+
+    /** Datapath activation, precomputed from the operand kinds. */
+    bool mulActive = false;
+    bool addActive = false;
+    bool mvActive = false;
+    bool addAFromMul = false; //!< addA is Src::MulOut
+};
+
 /** A named, validated microinstruction sequence. */
 class Program
 {
@@ -38,10 +105,32 @@ class Program
     std::size_t size() const { return _instrs.size(); }
     const Instr &at(std::size_t pc) const { return _instrs[pc]; }
 
-    void append(const Instr &i) { _instrs.push_back(i); }
+    void
+    append(const Instr &i)
+    {
+        _instrs.push_back(i);
+        _decoded.clear();
+    }
 
     /** Mutable access to the most recently appended instruction. */
     Instr &lastInstr() { return _instrs.back(); }
+
+    /**
+     * Build the decoded-instruction cache (idempotent). Call after
+     * validate(); the cell's microcode loader does this once per
+     * kernel. append() invalidates the cache.
+     */
+    void decode();
+
+    /** True once decode() has run on the current instructions. */
+    bool decoded() const { return _decoded.size() == _instrs.size(); }
+
+    /** The decoded form of the instruction at @p pc; requires decode(). */
+    const DecodedInstr &
+    decodedAt(std::size_t pc) const
+    {
+        return _decoded[pc];
+    }
 
     /**
      * Check the structural rules of the micro-ISA; throws (fatal) with a
@@ -59,6 +148,7 @@ class Program
   private:
     std::string _name;
     std::vector<Instr> _instrs;
+    std::vector<DecodedInstr> _decoded;
 };
 
 } // namespace opac::isa

@@ -1,5 +1,7 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "trace/trace.hh"
 
@@ -35,10 +37,20 @@ Engine::run(Cycle max_cycles)
 {
     Cycle start = cycle;
     Cycle idle_cycles = 0;
+    auto watchdogExpired = [&] {
+        opac_fatal("deadlock: no progress for %llu cycles at cycle "
+                   "%llu (idle-cycle skipping %s)\n%s",
+                   static_cast<unsigned long long>(watchdogCycles),
+                   static_cast<unsigned long long>(cycle),
+                   _skipEnabled ? "on" : "off",
+                   statusDump().c_str());
+    };
     while (!allDone()) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {
-            opac_fatal("simulation exceeded %llu cycles\n%s",
+            opac_fatal("simulation exceeded max_cycles = %llu "
+                       "(%llu cycles simulated)\n%s",
                        static_cast<unsigned long long>(max_cycles),
+                       static_cast<unsigned long long>(cycle - start),
                        statusDump().c_str());
         }
         progressed = false;
@@ -46,17 +58,67 @@ Engine::run(Cycle max_cycles)
             c->tick(*this);
         ++cycle;
         ++statCycles;
-        if (!progressed)
-            ++statIdleCycles;
         if (progressed) {
             idle_cycles = 0;
-        } else if (watchdogCycles != 0 && ++idle_cycles >= watchdogCycles) {
-            opac_fatal("deadlock: no progress for %llu cycles at cycle "
-                       "%llu\n%s",
-                       static_cast<unsigned long long>(watchdogCycles),
-                       static_cast<unsigned long long>(cycle),
-                       statusDump().c_str());
+            continue;
         }
+        ++statIdleCycles;
+        ++idle_cycles;
+        if (watchdogCycles != 0 && idle_cycles >= watchdogCycles)
+            watchdogExpired();
+        // Attempt a jump only after two consecutive quiescent rounds:
+        // workloads that alternate progress and one-cycle stalls (a
+        // host feeding at tau = 2) would otherwise pay for hint
+        // computation every other cycle and never skip anything.
+        if (!_skipEnabled || idle_cycles < 2)
+            continue;
+
+        // Quiescent round: every cycle until the earliest next-event
+        // hint is an exact replica of the round just executed, so the
+        // clock can jump there directly. The jump is clamped to the
+        // watchdog and max_cycles deadlines so both fire at exactly
+        // the cycle the spin-mode run would reach them.
+        Cycle target = Component::noEvent;
+        for (const auto *c : components) {
+            Cycle at = c->nextEventAt(cycle);
+            if (at <= cycle) {
+                target = cycle;
+                break;
+            }
+            target = std::min(target, at);
+        }
+        if (watchdogCycles != 0) {
+            target = std::min(target,
+                              cycle + (watchdogCycles - idle_cycles));
+        }
+        if (max_cycles != 0)
+            target = std::min(target, start + max_cycles);
+        // A one-cycle jump costs more than the live round it replaces
+        // (fastForward visits every component too); live rounds are
+        // always correct, so just run one.
+        if (target == Component::noEvent || target < cycle + 2)
+            continue;
+
+        Cycle skip = target - cycle;
+        if (_tracer) {
+            // Cycle-major replay keeps trace event order identical to
+            // the spin-mode stream.
+            for (Cycle k = 0; k < skip; ++k) {
+                for (auto *c : components)
+                    c->fastForward(cycle + k, 1, *this);
+            }
+        } else {
+            for (auto *c : components)
+                c->fastForward(cycle, skip, *this);
+        }
+        cycle = target;
+        statCycles += skip;
+        statIdleCycles += skip;
+        idle_cycles += skip;
+        ++_fastForwards;
+        _skippedCycles += skip;
+        if (watchdogCycles != 0 && idle_cycles >= watchdogCycles)
+            watchdogExpired();
     }
     return cycle - start;
 }

@@ -13,6 +13,17 @@
  * protocol deadlocks (host and cell each waiting on the other) are the
  * characteristic failure mode of this architecture, and silent hangs are
  * useless.
+ *
+ * Idle-cycle skipping: after a tick round in which no component reported
+ * progress, the engine asks every component for the earliest future cycle
+ * at which it could act on its own (nextEventAt) and, instead of spinning
+ * one cycle at a time, jumps the clock to the minimum hint. Components
+ * replay the per-cycle side effects of the skipped quiescent rounds in
+ * fastForward (stall counters, occupancy samples, per-cycle stall trace
+ * events), so cycle counts, statistics, trace timestamps and the watchdog
+ * are bit-identical to the spin-mode run. A component that cannot predict
+ * its wake-up returns `now` (the default), which disables skipping while
+ * it is live; `noEvent` means it only ever reacts to other components.
  */
 
 #ifndef OPAC_SIM_ENGINE_HH
@@ -45,11 +56,45 @@ class Component
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;
 
+    /** The hint value meaning "I only ever react to other components". */
+    static constexpr Cycle noEvent = cycleNever;
+
     /** Advance one cycle. Call Engine::noteProgress() if work was done. */
     virtual void tick(Engine &engine) = 0;
 
     /** True once this component has nothing left to do. */
     virtual bool done() const = 0;
+
+    /**
+     * Earliest future cycle at which this component could act on its
+     * own, assuming no other component does anything before then:
+     * a FIFO front falling through, a countdown (decode, host
+     * cooldown, scalar compute) expiring, an FP pipeline result
+     * landing. Only consulted after a tick round with no progress.
+     * Return `now` when the wake-up cannot be predicted (disables
+     * skipping while this component is live — the safe default), or
+     * noEvent when this component only waits on others.
+     */
+    virtual Cycle nextEventAt(Cycle now) const { return now; }
+
+    /**
+     * Replay the per-cycle side effects of @p cycles quiescent tick
+     * rounds starting at cycle @p from: everything tick() would have
+     * done in each of those rounds given that none of them can make
+     * progress (stall/busy counters, occupancy samples, per-cycle
+     * stall trace events, countdown decrements). The engine
+     * guarantees from + cycles <= the minimum nextEventAt hint, so
+     * every replayed round is an exact replica of the quiescent round
+     * that preceded the jump. When a tracer is attached the engine
+     * calls this once per skipped cycle (cycles == 1, cycle-major
+     * across components) so trace event order is preserved exactly.
+     */
+    virtual void fastForward(Cycle from, Cycle cycles, Engine &engine)
+    {
+        (void)from;
+        (void)cycles;
+        (void)engine;
+    }
 
     /** One-line state description, used in deadlock reports. */
     virtual std::string statusLine() const { return "(no status)"; }
@@ -115,11 +160,30 @@ class Engine
     /** The engine's statistics subtree. */
     stats::StatGroup &stats() { return statGroup; }
 
+    /**
+     * Enable or disable idle-cycle skipping (default on). With
+     * skipping off the engine spins through quiescent cycles one at a
+     * time; results are bit-identical either way, so this is an
+     * escape hatch for debugging and for the golden-equivalence test.
+     */
+    void setSkipEnabled(bool on) { _skipEnabled = on; }
+    bool skipEnabled() const { return _skipEnabled; }
+
+    /**
+     * Skip diagnostics. Deliberately NOT registered as statistics:
+     * the stats JSON must be identical between spin and skip modes.
+     */
+    std::uint64_t fastForwards() const { return _fastForwards; }
+    std::uint64_t skippedCycles() const { return _skippedCycles; }
+
   private:
     std::vector<Component *> components;
     Cycle cycle = 0;
     Cycle watchdogCycles;
     bool progressed = false;
+    bool _skipEnabled = true;
+    std::uint64_t _fastForwards = 0;
+    std::uint64_t _skippedCycles = 0;
     trace::Tracer *_tracer = nullptr;
     stats::StatGroup statGroup;
     stats::Counter statCycles;

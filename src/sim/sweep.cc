@@ -1,0 +1,68 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace opac::sim
+{
+
+unsigned
+defaultJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+runIndexed(std::size_t count, unsigned jobs,
+           const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errLock;
+    std::size_t errIndex = count;
+    std::exception_ptr error;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                // Keep the lowest-index failure so reruns with
+                // different job counts report the same error.
+                if (i < errIndex) {
+                    errIndex = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::size_t nthreads = std::min<std::size_t>(jobs, count) - 1;
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    worker(); // the calling thread participates
+    for (auto &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace opac::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Parallel sweep runner: executes a batch of independent simulations
+ * (one Coprocessor per task, nothing shared) across a small thread
+ * pool, returning results in task order regardless of completion
+ * order. Used by the benchmark drivers to run a (kernel, n, P, tau)
+ * parameter sweep concurrently — every simulation is deterministic,
+ * so the only observable difference from a serial run is wall-clock
+ * time.
+ */
+
+#ifndef OPAC_SIM_SWEEP_HH
+#define OPAC_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace opac::sim
+{
+
+/**
+ * Number of worker threads to use by default: the hardware
+ * concurrency, or 1 if it cannot be determined.
+ */
+unsigned defaultJobs();
+
+/**
+ * Run fn(0), fn(1), ..., fn(count - 1) on up to @p jobs worker
+ * threads. Indices are dispatched dynamically (an atomic counter), so
+ * uneven task lengths balance automatically. With jobs <= 1 (or
+ * count <= 1) everything runs inline on the calling thread — the
+ * degenerate case behaves exactly like a plain loop.
+ *
+ * Exceptions thrown by tasks are captured; after all workers finish,
+ * the exception of the lowest-index failing task is rethrown on the
+ * calling thread.
+ */
+void runIndexed(std::size_t count, unsigned jobs,
+                const std::function<void(std::size_t)> &fn);
+
+/**
+ * Map @p tasks through a thread pool, preserving input order in the
+ * result vector. Each task is a callable returning R; tasks must be
+ * independent (no shared mutable state, or only thread-safe state).
+ */
+template <typename R, typename Task>
+std::vector<R>
+sweep(const std::vector<Task> &tasks, unsigned jobs)
+{
+    std::vector<R> results(tasks.size());
+    runIndexed(tasks.size(), jobs,
+               [&](std::size_t i) { results[i] = tasks[i](); });
+    return results;
+}
+
+} // namespace opac::sim
+
+#endif // OPAC_SIM_SWEEP_HH

@@ -55,6 +55,25 @@ struct Unpacked
     std::uint32_t sig;
 };
 
+/**
+ * True for a normal number: exponent field in [1, 254]. One compare
+ * covers zero, subnormal, infinity and NaN at once, so the arithmetic
+ * entry points can take a fast path on the overwhelmingly common case.
+ */
+inline bool
+isNormal(Word a)
+{
+    return packedExp(a) - 1u <= 253u;
+}
+
+/** Unpack a value already known to be normal (no subnormal loop). */
+inline Unpacked
+unpackNormal(Word a)
+{
+    return {(a & signMask) != 0, int(packedExp(a)) - expBias,
+            packedFrac(a) | 0x00800000u};
+}
+
 /** Unpack a finite nonzero encoding (normal or subnormal). */
 Unpacked
 unpack(Word a)
@@ -219,6 +238,44 @@ isqrt64(std::uint64_t v)
     return r;
 }
 
+/**
+ * Sum or difference of two unpacked finite nonzero values — the single
+ * rounding core shared by the fast and slow paths of add(), so both are
+ * bit-identical by construction.
+ */
+Word
+addCore(const Unpacked &ua, const Unpacked &ub, Context &ctx)
+{
+    // Align to the larger exponent, with three guard bits.
+    std::uint64_t sa = std::uint64_t(ua.sig) << 3;
+    std::uint64_t sb = std::uint64_t(ub.sig) << 3;
+    int exp;
+    if (ua.exp >= ub.exp) {
+        sb = shiftRightJam(sb, ua.exp - ub.exp);
+        exp = ua.exp;
+    } else {
+        sa = shiftRightJam(sa, ub.exp - ua.exp);
+        exp = ub.exp;
+    }
+
+    if (ua.sign == ub.sign)
+        return roundPack(ua.sign, exp, sa + sb, ctx);
+
+    // Effective subtraction.
+    bool rsign;
+    std::uint64_t diff;
+    if (sa > sb) {
+        rsign = ua.sign;
+        diff = sa - sb;
+    } else if (sb > sa) {
+        rsign = ub.sign;
+        diff = sb - sa;
+    } else {
+        return ctx.rounding == Round::Down ? negZero : posZero;
+    }
+    return roundPack(rsign, exp, diff, ctx);
+}
+
 } // anonymous namespace
 
 bool
@@ -272,6 +329,14 @@ abs(Word a)
 Word
 add(Word a, Word b, Context &ctx)
 {
+    // Fast path: both operands normal, the overwhelmingly common case
+    // in kernel inner loops. One range compare per operand replaces
+    // the NaN/inf/zero classification chain and the subnormal
+    // normalization loop; the rounding core is shared with the slow
+    // path, so results are bit-identical.
+    if (isNormal(a) && isNormal(b))
+        return addCore(unpackNormal(a), unpackNormal(b), ctx);
+
     if (isNaN(a) || isNaN(b))
         return propagateNaN(a, b, ctx);
 
@@ -295,37 +360,7 @@ add(Word a, Word b, Context &ctx)
     if (isZero(b))
         return a;
 
-    Unpacked ua = unpack(a);
-    Unpacked ub = unpack(b);
-
-    // Align to the larger exponent, with three guard bits.
-    std::uint64_t sa = std::uint64_t(ua.sig) << 3;
-    std::uint64_t sb = std::uint64_t(ub.sig) << 3;
-    int exp;
-    if (ua.exp >= ub.exp) {
-        sb = shiftRightJam(sb, ua.exp - ub.exp);
-        exp = ua.exp;
-    } else {
-        sa = shiftRightJam(sa, ub.exp - ua.exp);
-        exp = ub.exp;
-    }
-
-    if (ua.sign == ub.sign)
-        return roundPack(ua.sign, exp, sa + sb, ctx);
-
-    // Effective subtraction.
-    bool rsign;
-    std::uint64_t diff;
-    if (sa > sb) {
-        rsign = ua.sign;
-        diff = sa - sb;
-    } else if (sb > sa) {
-        rsign = ub.sign;
-        diff = sb - sa;
-    } else {
-        return ctx.rounding == Round::Down ? negZero : posZero;
-    }
-    return roundPack(rsign, exp, diff, ctx);
+    return addCore(unpack(a), unpack(b), ctx);
 }
 
 Word
@@ -339,6 +374,18 @@ sub(Word a, Word b, Context &ctx)
 Word
 mul(Word a, Word b, Context &ctx)
 {
+    // Fast path: both operands normal (see add()). The slow path for
+    // two normals performs exactly this computation, so results are
+    // bit-identical.
+    if (isNormal(a) && isNormal(b)) {
+        Unpacked ua = unpackNormal(a);
+        Unpacked ub = unpackNormal(b);
+        std::uint64_t prod =
+            std::uint64_t(ua.sig) * std::uint64_t(ub.sig);
+        return normRoundPack(ua.sign != ub.sign,
+                             ua.exp + ub.exp - 46 + 26, prod, ctx);
+    }
+
     if (isNaN(a) || isNaN(b))
         return propagateNaN(a, b, ctx);
 

@@ -165,6 +165,12 @@ compareBench(const BenchFile &base, const BenchFile &cur,
         d.fpcPct = pctChange(b->flopsPerCycle, c->flopsPerCycle);
         d.regressed = d.cyclesPct > threshold_pct
                       || d.fpcPct < -threshold_pct;
+        auto rate = [](const BenchRecord *r) {
+            auto e = r->extra.find("sim_rate");
+            return e == r->extra.end() ? 0.0 : e->second;
+        };
+        d.baseSimRate = rate(b);
+        d.curSimRate = rate(c);
         diff.deltas.push_back(d);
     }
     for (const auto &[name, c] : cur_by_name) {
@@ -180,14 +186,32 @@ renderBenchDiff(const BenchDiff &diff)
     TextTable t(strfmt("bench deltas vs baseline (regression: cycles "
                        "+%.1f%% or flops/cycle -%.1f%%)",
                        diff.thresholdPct, diff.thresholdPct));
-    t.header({"case", "base cycles", "cycles", "d%", "base f/c", "f/c",
-              "d%", "verdict"});
+    // Simulation rate is host-dependent, so it is shown but never
+    // gated on; the column appears only when some record carries it.
+    bool have_rate = false;
+    for (const auto &d : diff.deltas)
+        have_rate = have_rate || d.baseSimRate > 0.0
+                    || d.curSimRate > 0.0;
+    auto rate_cell = [](double r) {
+        return r > 0.0 ? strfmt("%.2fM", r / 1e6) : std::string("-");
+    };
+    std::vector<std::string> head = {"case", "base cycles", "cycles",
+                                     "d%", "base f/c", "f/c", "d%",
+                                     "verdict"};
+    if (have_rate)
+        head.push_back("Mcyc/s (info)");
+    t.header(head);
     for (const auto &d : diff.deltas) {
-        t.row({d.name, strfmt("%.0f", d.baseCycles),
-               strfmt("%.0f", d.curCycles), strfmt("%+.2f", d.cyclesPct),
-               strfmt("%.3f", d.baseFpc), strfmt("%.3f", d.curFpc),
-               strfmt("%+.2f", d.fpcPct),
-               d.regressed ? "REGRESSED" : "ok"});
+        std::vector<std::string> row = {
+            d.name, strfmt("%.0f", d.baseCycles),
+            strfmt("%.0f", d.curCycles), strfmt("%+.2f", d.cyclesPct),
+            strfmt("%.3f", d.baseFpc), strfmt("%.3f", d.curFpc),
+            strfmt("%+.2f", d.fpcPct),
+            d.regressed ? "REGRESSED" : "ok"};
+        if (have_rate)
+            row.push_back(rate_cell(d.baseSimRate) + " -> "
+                          + rate_cell(d.curSimRate));
+        t.row(row);
     }
     std::string out = t.render();
     for (const auto &n : diff.missing)

@@ -67,6 +67,14 @@ struct BenchDelta
     double curFpc = 0.0;
     double fpcPct = 0.0;        //!< -x% = less throughput than baseline
     bool regressed = false;
+    /**
+     * Host-side simulation rate (simulated cycles per wall second),
+     * from the records' optional "sim_rate" extra; 0 when absent.
+     * Informational only — wall-clock speed depends on the CI host, so
+     * it never participates in the regression verdict.
+     */
+    double baseSimRate = 0.0;
+    double curSimRate = 0.0;
 };
 
 /** Full diff between a baseline file and a current file. */

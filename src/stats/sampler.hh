@@ -54,6 +54,19 @@ class Sampler : public sim::Component
     std::string statusLine() const override;
 
     /**
+     * The next interval boundary: idle-cycle skipping never jumps
+     * over a periodic snapshot, so the sampled series has identical
+     * cycles and values in spin and skip modes. Skipped quiescent
+     * cycles need no replay here — they change no sampled stat.
+     */
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        Cycle rem = now % _interval;
+        return rem == 0 ? now : now + (_interval - rem);
+    }
+
+    /**
      * Record a snapshot at cycle @p now. Idempotent per cycle, so the
      * end-of-run snapshot cannot double-record a cycle the periodic
      * tick already captured.

@@ -36,6 +36,21 @@ Distribution::sample(double v)
 }
 
 void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v * double(n);
+    _count += n;
+}
+
+void
 Distribution::reset()
 {
     _count = 0;

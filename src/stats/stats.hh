@@ -84,6 +84,14 @@ class Distribution
   public:
     void sample(double v);
 
+    /**
+     * Record @p v as @p n identical samples in one call. Equivalent to
+     * n repeated sample(v) calls whenever v * n is exact in double
+     * (always true for the integer-valued occupancy samples this is
+     * used for); used to bulk-credit skipped quiescent cycles.
+     */
+    void sample(double v, std::uint64_t n);
+
     std::uint64_t count() const { return _count; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
