@@ -22,9 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "coproc/coprocessor.hh"
+#include "fault/fault.hh"
 #include "kernels/kernel_set.hh"
 #include "sim/sweep.hh"
 #include "trace/aggregate.hh"
@@ -49,11 +51,34 @@ skipDefault()
 }
 
 /**
+ * Process-wide fault-injection plan, set by initSimFlags from
+ * --faults=<spec> (docs/RESILIENCE.md). Empty by default, so benches
+ * run fault-free and byte-identical to a build without the subsystem.
+ */
+inline fault::FaultSpec &
+faultDefault()
+{
+    static fault::FaultSpec spec;
+    return spec;
+}
+
+/** Process-wide FIFO parity mode, set by initSimFlags from --parity=. */
+inline fault::ParityMode &
+parityDefault()
+{
+    static fault::ParityMode mode = fault::ParityMode::Off;
+    return mode;
+}
+
+/**
  * Parse the simulation-wide bench flags:
- *   --no-skip   run every idle cycle instead of fast-forwarding
- *               (bit-identical; only slower — a debugging aid)
- *   --jobs N    worker threads for the parameter sweep
- *               (default: hardware concurrency)
+ *   --no-skip        run every idle cycle instead of fast-forwarding
+ *                    (bit-identical; only slower — a debugging aid)
+ *   --jobs N         worker threads for the parameter sweep
+ *                    (default: hardware concurrency)
+ *   --faults=SPEC    fault-injection plan for every system the bench
+ *                    builds (grammar in docs/RESILIENCE.md)
+ *   --parity=MODE    off | detect | correct FIFO word protection
  * Returns the job count for sim::sweep.
  */
 inline unsigned
@@ -73,6 +98,8 @@ timingConfig(unsigned cells, std::size_t tf, unsigned tau,
     cfg.memoryWords = memory_words;
     cfg.watchdogCycles = 2000000;
     cfg.skipIdleCycles = skipDefault();
+    cfg.faults = faultDefault();
+    cfg.cell.parity = parityDefault();
     return cfg;
 }
 
@@ -145,6 +172,17 @@ inline unsigned
 initSimFlags(int argc, char **argv)
 {
     skipDefault() = !argFlag(argc, argv, "--no-skip");
+    try {
+        std::string faults = argText(argc, argv, "--faults");
+        if (!faults.empty())
+            faultDefault() = fault::parseFaultSpec(faults);
+        std::string parity = argText(argc, argv, "--parity");
+        if (!parity.empty())
+            parityDefault() = fault::parseParityMode(parity);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+    }
     long jobs = argValue(argc, argv, "--jobs",
                          long(sim::defaultJobs()));
     std::string eq = argText(argc, argv, "--jobs");

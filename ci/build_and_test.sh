@@ -39,6 +39,19 @@ plain="$build_root/plain"
 "$plain/tools/trace_report" "$plain/trace_smoke.json" > /dev/null
 echo "trace smoke test OK"
 
+# Fault matrix: soak the recovery stack under the sanitizers. A
+# flip/hang/mem fault plan over a full table run must complete (parity
+# corrects the flips, transient hangs resolve, memory spikes only
+# delay — no recovery transactions needed), and the fault-sweep smoke
+# exercises the whole timeout/retry/replay/dead-cell path.
+echo "=== fault matrix (sanitized) ==="
+sanitize="$build_root/sanitize"
+(cd "$sanitize" && ./bench/table_6_1 --quick \
+    --faults=seed=11,rate=60,horizon=400000,kinds=flip+hang+mem,bits=1 \
+    --parity=correct > /dev/null)
+(cd "$sanitize" && ./bench/fault_sweep --smoke > /dev/null)
+echo "fault matrix OK"
+
 # Bench regression gate: rerun the gated benches and compare their
 # BENCH_*.json against the committed baselines. The simulator is
 # cycle-deterministic, so any delta is a real machine-model change; a
@@ -48,7 +61,8 @@ OPAC_GIT_SHA=$(git -C "$root" rev-parse --short HEAD 2>/dev/null \
     || echo ci)
 export OPAC_GIT_SHA
 (cd "$plain" && ./bench/table_6_1 --quick > /dev/null)
-for bench in kernels_throughput table_6_1; do
+(cd "$plain" && ./bench/fault_sweep > /dev/null)
+for bench in kernels_throughput table_6_1 fault_sweep; do
     "$plain/tools/bench_diff" \
         "$root/bench/baselines/BENCH_$bench.json" \
         "$plain/BENCH_$bench.json"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
 
@@ -44,6 +45,12 @@ Cell::Cell(std::string name, const CellConfig &cfg,
     statGroup.addCounter("calls", &statCalls, "kernel calls executed");
     statGroup.addCounter("writePortConflicts", &statWritePortConflicts,
                          "same-cycle writebacks to one queue");
+    statGroup.addCounter("hangCycles", &statHangCycles,
+                         "cycles frozen by a hang or fault");
+    statGroup.addCounter("faults", &statFaults,
+                         "times the cell entered the faulted state");
+    statGroup.addCounter("hardResets", &statHardResets,
+                         "reset-line pulses received");
     _tpx.addStats(statGroup);
     _tpy.addStats(statGroup);
     _tpo.addStats(statGroup);
@@ -52,6 +59,16 @@ Cell::Cell(std::string name, const CellConfig &cfg,
     _ret.addStats(statGroup);
     _reby.addStats(statGroup);
     fpu->registerStats(statGroup);
+
+    // Word protection: an unrepairable error on any queue this cell
+    // consumes freezes it (the host notices via its call timeout).
+    // tpo is consumed by the host, which installs its own handler.
+    for (TimedFifo *q : {&_tpx, &_tpy, &_tpi, &_sum, &_ret, &_reby}) {
+        q->setParity(cfg.parity);
+        q->setProtectionHandler(
+            [this, q](Cycle now) { enterFaulted(q->name().c_str(), now); });
+    }
+    _tpo.setParity(cfg.parity);
 }
 
 std::uint64_t
@@ -127,12 +144,15 @@ Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
 {
     prog.validate();
     prog.decode();
-    opac_assert(nparams <= isa::numParams,
-                "kernel '%s': %u parameters exceed %u registers",
-                prog.name().c_str(), nparams, isa::numParams);
-    opac_assert(entry != pmuCallEntry,
-                "kernel '%s': entry id collides with the PMU call",
-                prog.name().c_str());
+    if (nparams > isa::numParams)
+        throw MicrocodeError(prog.name(),
+                             strfmt("%u parameters exceed %u registers",
+                                    nparams, isa::numParams));
+    if (entry == pmuCallEntry || entry == resetCallEntry)
+        throw MicrocodeError(prog.name(),
+                             strfmt("entry id %#x collides with a "
+                                    "reserved call",
+                                    entry));
     microcode[entry] = Kernel{std::move(prog), nparams};
 }
 
@@ -512,8 +532,15 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
             }
             auto it = microcode.find(entry);
             if (it == microcode.end()) {
-                opac_fatal("%s: call to unknown microcode entry %u",
-                           name().c_str(), entry);
+                // A corrupted or junk call word must not kill the
+                // simulation: the sequencer jams and the host-side
+                // timeout (or the watchdog) deals with it.
+                opac_warn_once("%s: call to unknown microcode entry %u"
+                               " (cell faulted)",
+                               name().c_str(), entry);
+                enterFaulted("unknown call entry", now);
+                engine.noteProgress(); // the pop was progress
+                break;
             }
             current = &it->second;
             paramsToRead = current->nparams;
@@ -703,7 +730,19 @@ Cell::tickSequencer(Cycle now, sim::Engine &engine)
 void
 Cell::tick(sim::Engine &engine)
 {
+    if (_dead)
+        return;
     Cycle now = engine.now();
+    if (_faulted || now < hangUntil) {
+        // Frozen: sequencer and writeback stand still, the queues keep
+        // accepting pushes from the host. Occupancy sampling continues
+        // so a faulted run's stats stay comparable.
+        ++statHangCycles;
+        _sum.sampleOccupancy();
+        _ret.sampleOccupancy();
+        _reby.sampleOccupancy();
+        return;
+    }
     drainWritebacks(now, engine);
     tickSequencer(now, engine);
     _sum.sampleOccupancy();
@@ -714,12 +753,22 @@ Cell::tick(sim::Engine &engine)
 Cycle
 Cell::nextEventAt(Cycle now) const
 {
+    if (_dead)
+        return noEvent;
     Cycle at = noEvent;
     // Any queue front falling through can unblock the sequencer or
     // the host (tpo feeds the host's Recv), so all seven count.
     for (const TimedFifo *q : queueTab)
         at = std::min(at, q->nextReadyAt(now));
     at = std::min(at, _tpi.nextReadyAt(now));
+    // A faulted cell acts on nothing itself; only its queue fronts
+    // matter (the host may still drain tpo). A hung cell additionally
+    // wakes when the hang expires; its internal countdowns stay
+    // frozen until then.
+    if (_faulted)
+        return at;
+    if (now < hangUntil)
+        return std::min(at, hangUntil);
     // Pipeline results landing unblock RegPending/ResetFifo stalls and
     // writeback-ordering blocks. when == now counts (it lands in the
     // round at `now`); entries with when < now that did not commit
@@ -739,6 +788,17 @@ Cell::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
     (void)engine;
     if (cycles == 0)
         return;
+    if (_dead)
+        return;
+    if (_faulted || from < hangUntil) {
+        // The skip window cannot cross hangUntil (nextEventAt reports
+        // it), so every replayed round is a frozen one.
+        statHangCycles += cycles;
+        _sum.sampleOccupancy(cycles);
+        _ret.sampleOccupancy(cycles);
+        _reby.sampleOccupancy(cycles);
+        return;
+    }
     // Replay what tick() did in the quiescent round being replicated:
     // the sequencer's per-state busy/stall accounting (no drainable
     // writebacks and no state change by construction of the skip
@@ -809,7 +869,99 @@ Cell::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
 bool
 Cell::done() const
 {
+    if (_dead)
+        return true;
+    if (_faulted)
+        return false; // stuck: recovery resets us or the watchdog fires
     return state == SeqState::Idle && _tpi.empty() && inflight.empty();
+}
+
+void
+Cell::hardReset(Cycle now)
+{
+    for (TimedFifo *q : queueTab)
+        q->reset(now);
+    _tpi.reset(now);
+    state = SeqState::Idle;
+    current = nullptr;
+    pc = 0;
+    paramsToRead = 0;
+    paramIndex = 0;
+    decodeLeft = 0;
+    pmuCall = false;
+    loopStack.clear();
+    inflight.clear();
+    wbReadyAt = noEvent;
+    regPending = {};
+    regAyPending = false;
+    _faulted = false;
+    hangUntil = 0;
+    faultWhy.clear();
+    if (_broken) {
+        // A hard (permanent) fault re-asserts itself the moment the
+        // reset line is released: only markDead() silences it.
+        _faulted = true;
+        faultWhy = "hard fault";
+    }
+    ++statHardResets;
+    if (traceHook)
+        traceHook(strfmt("%llu hard-reset", (unsigned long long)now));
+}
+
+void
+Cell::markDead(Cycle now)
+{
+    hardReset(now);
+    _dead = true;
+    opac_warn_once("%s: marked dead at cycle %llu", name().c_str(),
+                   (unsigned long long)now);
+}
+
+void
+Cell::injectHang(Cycle now, Cycle duration)
+{
+    if (_dead)
+        return;
+    if (duration == 0) {
+        _broken = true;
+        enterFaulted("injected permanent hang", now);
+        return;
+    }
+    hangUntil = std::max(hangUntil, now + duration);
+}
+
+void
+Cell::injectSpuriousHalt(Cycle now)
+{
+    if (_dead || _faulted || state == SeqState::Idle)
+        return;
+    // The sequencer drops everything mid-kernel. Unconsumed parameter
+    // or data words stay in the queues and will desynchronize the
+    // next call — exactly the cascade a real control-logic upset
+    // causes. In-flight pipeline results still land.
+    if (tracer && state == SeqState::Run)
+        tracer->emit(now, trace::EventKind::CallEnd, 0, traceComp,
+                     callTrack, 0, 0);
+    if (traceHook)
+        traceHook(strfmt("%llu spurious-halt", (unsigned long long)now));
+    state = SeqState::Idle;
+    current = nullptr;
+    paramsToRead = 0;
+    pmuCall = false;
+    loopStack.clear();
+}
+
+void
+Cell::enterFaulted(const char *why, Cycle now)
+{
+    if (_dead || _faulted)
+        return;
+    _faulted = true;
+    faultWhy = why;
+    ++statFaults;
+    if (traceHook)
+        traceHook(strfmt("%llu faulted (%s)", (unsigned long long)now,
+                         why));
 }
 
 std::string
@@ -823,9 +975,18 @@ Cell::statusLine() const
       case SeqState::Run: st = "run"; break;
       case SeqState::PmuRespond: st = "pmu-respond"; break;
     }
-    return strfmt("state=%s kernel=%s pc=%zu tpi=%zu tpx=%zu tpo=%zu "
+    std::string health;
+    if (_dead)
+        health = " DEAD";
+    else if (_faulted)
+        health = strfmt(" FAULTED(%s)", faultWhy.c_str());
+    else if (hangUntil != 0)
+        health = strfmt(" hung-until=%llu",
+                        (unsigned long long)hangUntil);
+    return strfmt("state=%s%s kernel=%s pc=%zu tpi=%zu tpx=%zu tpo=%zu "
                   "sum=%zu ret=%zu reby=%zu inflight=%zu",
-                  st, current ? current->prog.name().c_str() : "-", pc,
+                  st, health.c_str(),
+                  current ? current->prog.name().c_str() : "-", pc,
                   _tpi.size(), _tpx.size(), _tpo.size(), _sum.size(),
                   _ret.size(), _reby.size(), inflight.size());
 }

@@ -61,6 +61,8 @@ struct CellConfig
     unsigned callDecodeCycles = 4;  //!< fixed per-call dispatch cost
     unsigned controlOpsPerCycle = 8; //!< sequencer lookahead bound
     FpKind fp = FpKind::Soft;       //!< arithmetic back-end
+    /** Word protection on all seven FIFO queues (--parity=). */
+    fault::ParityMode parity = fault::ParityMode::Off;
 };
 
 /** Why the sequencer could not issue this cycle (for stall stats). */
@@ -106,6 +108,13 @@ enum class PmuReg : std::uint32_t
 
 /** Reserved tpi entry id dispatching a PMU read, never a kernel. */
 constexpr Word pmuCallEntry = 0xffffffffu;
+
+/**
+ * Reserved tpi entry id decoded at the write port as a hardware reset
+ * line: the recovery path's in-band cell reset (Host::resetOp). Never
+ * enters the call queue and never names a kernel.
+ */
+constexpr Word resetCallEntry = 0xfffffffeu;
 
 /** One OPAC cell, a sim::Component on the coprocessor clock. */
 class Cell : public sim::Component
@@ -179,6 +188,48 @@ class Cell : public sim::Component
     TimedFifo &sumQueue() { return _sum; }
     TimedFifo &retQueue() { return _ret; }
     TimedFifo &rebyQueue() { return _reby; }
+
+    // --- fault injection and recovery ------------------------------
+
+    /**
+     * The reset line (the reserved resetCallEntry call decoded at the
+     * tpi write port): drop every queue, reservation, in-flight
+     * result and sequencer state, clear a hang or fault flag, keep
+     * the microcode store, registers and statistics. A dead cell
+     * stays dead.
+     */
+    void hardReset(Cycle now);
+
+    /**
+     * Host gave up on this cell: reset it so nothing is left pending
+     * and take it out of the machine permanently (done() is true, it
+     * never ticks again).
+     */
+    void markDead(Cycle now);
+
+    /**
+     * Freeze sequencer and writeback for @p duration cycles
+     * (duration 0: permanently — the cell is faulted until a reset).
+     * Queue pushes from the host still land; the machine just stops
+     * consuming.
+     */
+    void injectHang(Cycle now, Cycle duration);
+
+    /** The sequencer spontaneously drops back to Idle mid-kernel. */
+    void injectSpuriousHalt(Cycle now);
+
+    /**
+     * Enter the faulted state: frozen until hardReset(). Raised by
+     * queue protection errors, unknown call entries and permanent
+     * hangs; without recovery the engine watchdog turns it into a
+     * DeadlockError.
+     */
+    void enterFaulted(const char *why, Cycle now);
+
+    bool faulted() const { return _faulted; }
+    bool dead() const { return _dead; }
+    std::uint64_t faultCount() const { return statFaults.value(); }
+    std::uint64_t hardResets() const { return statHardResets.value(); }
 
   private:
     struct Kernel
@@ -257,6 +308,13 @@ class Cell : public sim::Component
     };
     std::vector<LoopFrame> loopStack;
 
+    // -- fault state -----------------------------------------------------
+    bool _faulted = false; //!< frozen until hardReset()
+    bool _broken = false;  //!< hard fault: re-faults after every reset
+    bool _dead = false;    //!< permanently out of the machine
+    Cycle hangUntil = 0;   //!< frozen while now < hangUntil
+    std::string faultWhy;  //!< what flagged the fault (status line)
+
     std::vector<InFlight> inflight;
     /**
      * Lower bound on the cycle at which any inflight writeback can
@@ -285,6 +343,9 @@ class Cell : public sim::Component
     stats::Counter statStallReg;
     stats::Counter statCalls;
     stats::Counter statWritePortConflicts;
+    stats::Counter statHangCycles;
+    stats::Counter statFaults;
+    stats::Counter statHardResets;
 };
 
 } // namespace opac::cell

@@ -1,0 +1,32 @@
+#include "common/error.hh"
+
+#include "common/logging.hh"
+
+namespace opac
+{
+
+namespace
+{
+
+std::string
+formatError(const std::string &site, Cycle cycle, const std::string &what)
+{
+    if (cycle == cycleNever)
+        return strfmt("%s: %s", site.c_str(), what.c_str());
+    return strfmt("%s: cycle %llu: %s", site.c_str(),
+                  static_cast<unsigned long long>(cycle), what.c_str());
+}
+
+} // anonymous namespace
+
+Error::Error(std::string site, Cycle cycle, const std::string &what)
+    : std::runtime_error(formatError(site, cycle, what)),
+      _site(std::move(site)), _cycle(cycle)
+{}
+
+Error::Error(std::string site, const std::string &what)
+    : std::runtime_error(formatError(site, cycleNever, what)),
+      _site(std::move(site))
+{}
+
+} // namespace opac

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Structured exception hierarchy for recoverable simulator errors.
+ *
+ * Historically every invalid input or stuck machine state went through
+ * opac_fatal / opac_assert and killed the process (or threw a bare
+ * std::runtime_error / std::logic_error with no context). The fault
+ * subsystem needs errors a caller can catch, classify and recover
+ * from: every opac::Error carries the *site* that raised it (component
+ * name, program name, parser position, ...), optionally the simulated
+ * *cycle* at which it happened, and the human-readable description.
+ *
+ * All types derive from std::runtime_error so existing
+ * EXPECT_THROW(..., std::runtime_error) call sites keep working.
+ */
+
+#ifndef OPAC_COMMON_ERROR_HH
+#define OPAC_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace opac
+{
+
+/** Base class: a recoverable, classified simulator error. */
+class Error : public std::runtime_error
+{
+  public:
+    /** Error tied to a simulated cycle (machine-state errors). */
+    Error(std::string site, Cycle cycle, const std::string &what);
+
+    /** Error with no meaningful cycle (input validation, parsing). */
+    Error(std::string site, const std::string &what);
+
+    /** Component / program / parser location that raised the error. */
+    const std::string &site() const { return _site; }
+
+    /** Simulated cycle, or cycleNever when not tied to one. */
+    Cycle cycle() const { return _cycle; }
+
+    bool hasCycle() const { return _cycle != cycleNever; }
+
+  private:
+    std::string _site;
+    Cycle _cycle = cycleNever;
+};
+
+/** A microcode program failed Program::validate(). */
+class ValidationError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A firmware image or microcode load was malformed. */
+class MicrocodeError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** The engine watchdog expired and no recovery handler claimed it. */
+class DeadlockError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A --faults= / --parity= specification string failed to parse. */
+class FaultSpecError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** Recovery gave up: retry budgets exhausted with no cells left. */
+class RecoveryError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+} // namespace opac
+
+#endif // OPAC_COMMON_ERROR_HH

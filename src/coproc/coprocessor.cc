@@ -30,9 +30,29 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
             "sampler", statRoot, cfg.statsSampleInterval);
         eng.add(samplerPtr.get());
     }
+    // The injector ticks before the host and the cells so a fault
+    // scheduled for cycle t lands before any cycle-t queue activity —
+    // the same interleaving whether the engine spins or skips.
+    if (cfg.faults.any()) {
+        injectorPtr = std::make_unique<fault::Injector>(
+            "injector", fault::buildPlan(cfg.faults, cfg.cells),
+            &statRoot);
+        injectorPtr->setArmHandler(
+            [this](const fault::FaultEvent &e, Cycle now) {
+                applyFault(e, now);
+            });
+        eng.add(injectorPtr.get());
+    }
     eng.add(hostPtr.get());
     for (auto &c : cellPtrs)
         eng.add(c.get());
+    if (cfg.host.recovery.enabled) {
+        // A stalled transaction should retry, not kill the run: give
+        // the watchdog a chance to recover before declaring deadlock.
+        eng.setWatchdogHandler([this](sim::Engine &e) {
+            return hostPtr->forceRecovery(e);
+        });
+    }
 
     // Whole-system derived metrics, evaluated lazily so they are always
     // consistent with the counters at the moment they are read.
@@ -87,6 +107,61 @@ Coprocessor::attachTracer(trace::Tracer *t)
     hostPtr->attachTracer(t);
     for (auto &c : cellPtrs)
         c->attachTracer(t);
+    if (injectorPtr)
+        injectorPtr->attachTracer(t);
+}
+
+TimedFifo &
+Coprocessor::fifoAt(unsigned cell, fault::FifoSite site)
+{
+    cell::Cell &c = *cellPtrs[cell];
+    switch (site) {
+      case fault::FifoSite::TpX:
+        return c.tpx();
+      case fault::FifoSite::TpY:
+        return c.tpy();
+      case fault::FifoSite::TpO:
+        return c.tpo();
+      case fault::FifoSite::TpI:
+        return c.tpi();
+      case fault::FifoSite::Sum:
+        return c.sumQueue();
+      case fault::FifoSite::Ret:
+        return c.retQueue();
+      case fault::FifoSite::Reby:
+        return c.rebyQueue();
+      default:
+        opac_fatal("bad fifo site %u", unsigned(site));
+    }
+}
+
+void
+Coprocessor::applyFault(const fault::FaultEvent &e, Cycle now)
+{
+    unsigned cell = e.cell < cfg.cells ? e.cell : e.cell % cfg.cells;
+    switch (e.kind) {
+      case fault::FaultKind::FifoFlip:
+        fifoAt(cell, e.site).faultCorrupt(e.mask, now);
+        break;
+      case fault::FaultKind::BusReorder:
+        fifoAt(cell, e.site).faultReorder(now);
+        break;
+      case fault::FaultKind::BusDrop:
+      case fault::FaultKind::BusDup:
+        hostPtr->armBusFault(cell, e.kind);
+        break;
+      case fault::FaultKind::CellHang:
+        cellPtrs[cell]->injectHang(now, e.arg);
+        break;
+      case fault::FaultKind::SpuriousHalt:
+        cellPtrs[cell]->injectSpuriousHalt(now);
+        break;
+      case fault::FaultKind::MemLatency:
+        hostPtr->armMemLatency(unsigned(e.arg));
+        break;
+      default:
+        opac_fatal("bad fault kind %u", unsigned(e.kind));
+    }
 }
 
 Cycle

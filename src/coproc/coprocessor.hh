@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "cell/cell.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
 #include "stats/sampler.hh"
 #include "stats/stats.hh"
 #include "host/host.hh"
@@ -46,6 +48,15 @@ struct CoprocConfig
      * time series (0 = off). The series is part of statsJson().
      */
     Cycle statsSampleInterval = 0;
+
+    /**
+     * Fault-injection plan (docs/RESILIENCE.md). Empty (the default)
+     * builds no injector and leaves the whole fault path cold: runs
+     * are byte-identical to a build without the subsystem. Parity
+     * protection is selected via cell.parity and recovery policy via
+     * host.recovery.
+     */
+    fault::FaultSpec faults;
 };
 
 /** Mask addressing every cell of a P-cell coprocessor. */
@@ -105,7 +116,16 @@ class Coprocessor
     /** The interval sampler, or nullptr when sampling is off. */
     const stats::Sampler *sampler() const { return samplerPtr.get(); }
 
+    /** The fault injector, or nullptr when the fault plan is empty. */
+    const fault::Injector *injector() const { return injectorPtr.get(); }
+
   private:
+    /** Routes one armed fault event to the component it targets. */
+    void applyFault(const fault::FaultEvent &e, Cycle now);
+
+    /** The FIFO a flip/reorder fault addresses. */
+    TimedFifo &fifoAt(unsigned cell, fault::FifoSite site);
+
     CoprocConfig cfg;
     stats::StatGroup statRoot;
     host::HostMemory mem;
@@ -113,6 +133,7 @@ class Coprocessor
     std::vector<std::unique_ptr<cell::Cell>> cellPtrs;
     std::unique_ptr<host::Host> hostPtr;
     std::unique_ptr<stats::Sampler> samplerPtr;
+    std::unique_ptr<fault::Injector> injectorPtr;
 
     // Derived whole-system metrics (evaluated when read).
     stats::Formula fMaPerCycle;

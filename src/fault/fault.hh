@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fault model: deterministic, seed-reproducible fault plans plus the
+ * SECDED word protection used to detect and correct them.
+ *
+ * A FaultSpec describes *what could go wrong* — either a random plan
+ * (seed, rate, horizon, enabled kinds) or explicit events pinned to a
+ * cycle — and buildPlan() expands it into a sorted list of FaultEvent
+ * records. The expansion depends only on the spec and the cell count,
+ * never on parity or recovery settings, so the same spec injects the
+ * same faults whether or not the machine can survive them.
+ *
+ * Fault kinds (see docs/RESILIENCE.md for the full model):
+ *  - FifoFlip:     XOR a 1–2 bit mask into a stored FIFO word
+ *                  (tpx/tpy/tpo/tpi or the internal sum/ret/reby).
+ *  - BusDrop/Dup:  the next host bus word to a cell is lost or sent
+ *                  twice.
+ *  - BusReorder:   two adjacent words in a cell-side FIFO swap places.
+ *  - CellHang:     a cell's sequencer and writeback freeze for N
+ *                  cycles (N = 0: permanently, until reset).
+ *  - SpuriousHalt: a cell's sequencer drops dead back to Idle
+ *                  mid-kernel.
+ *  - MemLatency:   the next host memory access stalls N extra cycles.
+ *
+ * Protection is SECDED(39,32): six Hamming check bits plus an overall
+ * parity bit per 32-bit word. ParityMode::Detect flags any error;
+ * ParityMode::Correct repairs single-bit flips in place and flags
+ * double-bit flips. Random plans therefore cap flips at two bits —
+ * three or more can alias to a valid single-bit syndrome.
+ */
+
+#ifndef OPAC_FAULT_FAULT_HH
+#define OPAC_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace opac::fault
+{
+
+/** FIFO word protection level (the --parity= bench flag). */
+enum class ParityMode : std::uint8_t
+{
+    Off,     //!< words stored bare; faults land silently
+    Detect,  //!< SECDED syndrome checked at pop; errors flag the cell
+    Correct, //!< single-bit errors repaired, double-bit errors flagged
+};
+
+const char *parityModeName(ParityMode m);
+
+/** Parse "off" / "detect" / "correct"; throws opac::FaultSpecError. */
+ParityMode parseParityMode(const std::string &text);
+
+/** What goes wrong. */
+enum class FaultKind : std::uint8_t
+{
+    FifoFlip,     //!< XOR mask into a stored FIFO word
+    BusDrop,      //!< next host bus word to the cell is lost
+    BusDup,       //!< next host bus word to the cell arrives twice
+    BusReorder,   //!< two adjacent FIFO entries swap
+    CellHang,     //!< sequencer freeze for arg cycles (0 = permanent)
+    SpuriousHalt, //!< sequencer resets to Idle mid-kernel
+    MemLatency,   //!< next host memory access pays arg extra cycles
+    numKinds,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** Which FIFO a FifoFlip / BusReorder lands on. */
+enum class FifoSite : std::uint8_t
+{
+    TpX,
+    TpY,
+    TpO,
+    TpI,
+    Sum,
+    Ret,
+    Reby,
+    numSites,
+};
+
+const char *fifoSiteName(FifoSite s);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    Cycle at = 0;
+    FaultKind kind = FaultKind::FifoFlip;
+    unsigned cell = 0;
+    FifoSite site = FifoSite::TpX;
+    Word mask = 1; //!< FifoFlip: XOR mask applied to the stored word
+    Cycle arg = 0; //!< CellHang: duration (0 = permanent); MemLatency: cycles
+};
+
+/**
+ * A parsed --faults= specification. Random faults are drawn from the
+ * enabled kinds at the given rate over [1, horizon]; explicit events
+ * are injected verbatim on top.
+ */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    Cycle horizon = 100000;      //!< random faults land in [1, horizon]
+    double ratePerMcycle = 0.0;  //!< random faults per million cycles
+    unsigned count = 0;          //!< explicit random-fault count (wins)
+    std::uint32_t kindMask = 0;  //!< bit per FaultKind; 0 = all kinds
+    unsigned maxFlipBits = 2;    //!< 1 or 2 bits per FifoFlip
+    std::vector<FaultEvent> explicitEvents;
+
+    /** Number of random faults this spec asks for. */
+    unsigned randomCount() const;
+
+    /** True when the spec schedules anything at all. */
+    bool any() const;
+
+    bool kindEnabled(FaultKind k) const
+    {
+        return kindMask == 0 || (kindMask & (1u << unsigned(k)));
+    }
+};
+
+/**
+ * Parse a --faults= spec string. Comma-separated keys:
+ *
+ *   seed=N        RNG seed (default 1)
+ *   rate=R        random faults per million cycles
+ *   n=N           random fault count (overrides rate)
+ *   horizon=N     cycle window for random faults (default 100000)
+ *   kinds=a+b+c   flip, drop, dup, reorder, hang, halt, mem, or all
+ *   bits=N        max bits per random flip (1 or 2, default 2)
+ *   at=C/KIND[/CELL[/SITE][/ARG]]
+ *                 one explicit event at cycle C; SITE only for
+ *                 flip/reorder, ARG is the flip mask, hang duration
+ *                 or memory delay. Repeatable.
+ *
+ * An empty string parses to a spec with no faults. Unknown keys,
+ * malformed values or unknown kind/site names throw
+ * opac::FaultSpecError.
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/**
+ * Expand @p spec into a concrete schedule for a @p cells -cell system:
+ * the random events drawn from the spec's seed plus the explicit
+ * events, sorted by cycle. Deterministic: same spec and cell count,
+ * same plan.
+ */
+std::vector<FaultEvent> buildPlan(const FaultSpec &spec, unsigned cells);
+
+/** Render a plan entry for logs and traces. */
+std::string describeFault(const FaultEvent &e);
+
+/** Host-side recovery policy (timeout → retry → degrade). */
+struct RecoveryConfig
+{
+    bool enabled = false;
+    /** Transaction deadline: cycles without bus progress before the
+     *  host declares the transaction stuck and retries. */
+    Cycle timeoutCycles = 20000;
+    /** Retries per transaction before a cell is declared dead. */
+    unsigned retryBudget = 3;
+    /** Host bus cycles consumed per reset-line pulse to one cell. */
+    unsigned resetCostCycles = 8;
+};
+
+/**
+ * SECDED(39,32): returns the 7 check bits (six Hamming parities plus
+ * the overall parity in bit 6) protecting @p w.
+ */
+std::uint8_t secdedEncode(Word w);
+
+enum class SecdedResult : std::uint8_t
+{
+    Ok,            //!< word matches its check bits
+    Corrected,     //!< single-bit error located (and repaired in @p w)
+    Uncorrectable, //!< double-bit error detected
+};
+
+/**
+ * Check @p w against @p ecc; repairs @p w in place when a single-bit
+ * error is found. Only data-bit errors can occur in this simulator
+ * (check bits are stored out of band and never corrupted).
+ */
+SecdedResult secdedDecode(Word &w, std::uint8_t ecc);
+
+} // namespace opac::fault
+
+#endif // OPAC_FAULT_FAULT_HH

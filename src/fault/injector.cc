@@ -1,0 +1,63 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace opac::fault
+{
+
+Injector::Injector(std::string name, std::vector<FaultEvent> plan,
+                   stats::StatGroup *parent)
+    : sim::Component(std::move(name)), plan(std::move(plan)),
+      statGroup(this->name(), parent)
+{
+    statGroup.addCounter("injected", &statInjected,
+                         "faults armed into the machine");
+    for (unsigned k = 0; k < unsigned(FaultKind::numKinds); ++k)
+        statGroup.addCounter(faultKindName(FaultKind(k)), &statByKind[k],
+                             "faults of this kind armed");
+}
+
+void
+Injector::tick(sim::Engine &engine)
+{
+    Cycle now = engine.now();
+    while (next < plan.size() && plan[next].at <= now) {
+        const FaultEvent &e = plan[next];
+        ++statInjected;
+        ++statByKind[std::size_t(e.kind)];
+        if (tracer)
+            tracer->emit(now, trace::EventKind::Fault,
+                         std::uint8_t(e.kind), traceComp, 0, e.cell,
+                         e.kind == FaultKind::FifoFlip
+                             ? e.mask
+                             : std::uint32_t(e.arg));
+        if (arm)
+            arm(e, now);
+        ++next;
+        // Arming is not noteProgress(): a fault alone must not feed
+        // the watchdog — only the machine's reaction to it does.
+    }
+}
+
+Cycle
+Injector::nextEventAt(Cycle now) const
+{
+    if (next >= plan.size())
+        return noEvent;
+    // tick() at `now` consumed everything due, so this is in the
+    // future; clamp defensively anyway.
+    return std::max(plan[next].at, now + 1);
+}
+
+std::string
+Injector::statusLine() const
+{
+    if (next >= plan.size())
+        return strfmt("armed %zu/%zu faults", next, plan.size());
+    return strfmt("armed %zu/%zu faults, next %s", next, plan.size(),
+                  describeFault(plan[next]).c_str());
+}
+
+} // namespace opac::fault

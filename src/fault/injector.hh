@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The fault injector: a sim::Component that walks a FaultPlan and arms
+ * each fault at its scheduled cycle.
+ *
+ * The injector owns no machine state — it hands every due event to an
+ * arm callback installed by the Coprocessor, which routes it to the
+ * right hook (TimedFifo corruption, Host bus/memory faults, Cell
+ * hangs). Keeping the routing in the Coprocessor keeps this library
+ * free of fifo/cell/host dependencies.
+ *
+ * Fast-forward correctness: nextEventAt() reports the cycle of the
+ * next unarmed fault, so the engine's idle-cycle skipping can never
+ * jump over an injection — faulted runs are cycle-identical with and
+ * without --no-skip. Arming a fault is deliberately *not* engine
+ * progress: a fault landing in a quiescent window must not keep the
+ * watchdog alive by itself.
+ */
+
+#ifndef OPAC_FAULT_INJECTOR_HH
+#define OPAC_FAULT_INJECTOR_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/engine.hh"
+#include "stats/stats.hh"
+#include "trace/trace.hh"
+
+namespace opac::fault
+{
+
+class Injector : public sim::Component
+{
+  public:
+    /** Routes one due fault into the machine. */
+    using ArmFn = std::function<void(const FaultEvent &, Cycle now)>;
+
+    Injector(std::string name, std::vector<FaultEvent> plan,
+             stats::StatGroup *parent);
+
+    void setArmHandler(ArmFn fn) { arm = std::move(fn); }
+
+    void
+    attachTracer(trace::Tracer *t)
+    {
+        tracer = t;
+        traceComp = t ? t->internComponent(name()) : 0;
+    }
+
+    void tick(sim::Engine &engine) override;
+    bool done() const override { return true; }
+    Cycle nextEventAt(Cycle now) const override;
+    std::string statusLine() const override;
+
+    std::size_t armedCount() const { return next; }
+    std::size_t planSize() const { return plan.size(); }
+    std::uint64_t injected() const { return statInjected.value(); }
+
+  private:
+    std::vector<FaultEvent> plan;
+    std::size_t next = 0;
+    ArmFn arm;
+
+    trace::Tracer *tracer = nullptr;
+    std::uint16_t traceComp = 0;
+
+    stats::StatGroup statGroup;
+    stats::Counter statInjected;
+    std::array<stats::Counter, std::size_t(FaultKind::numKinds)> statByKind;
+};
+
+} // namespace opac::fault
+
+#endif // OPAC_FAULT_INJECTOR_HH

@@ -1,6 +1,7 @@
 #include "fifo/timed_fifo.hh"
 
 #include <bit>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -29,7 +30,7 @@ TimedFifo::push(Word w, Cycle now)
 {
     opac_assert(space() > 0, "push on full FIFO '%s' (cap %zu)",
                 _name.c_str(), _capacity);
-    ring[(head + count) & mask] = Entry{w, now + latency};
+    ring[(head + count) & mask] = Entry{w, now + latency, encodeWord(w)};
     ++count;
     ++pushes;
     highWaterMark.observe(count);
@@ -37,6 +38,8 @@ TimedFifo::push(Word w, Cycle now)
         tracer->emit(now, trace::EventKind::FifoPush, 0, traceComp,
                      traceTrack, std::uint32_t(count), w);
     }
+    if (pendingCorrupt != 0 || pendingReorder)
+        applyPendingFaults(now);
 }
 
 void
@@ -52,7 +55,7 @@ TimedFifo::pushReserved(Word w, Cycle now)
     opac_assert(_reserved > 0, "pushReserved without reservation on '%s'",
                 _name.c_str());
     --_reserved;
-    ring[(head + count) & mask] = Entry{w, now + latency};
+    ring[(head + count) & mask] = Entry{w, now + latency, encodeWord(w)};
     ++count;
     ++pushes;
     highWaterMark.observe(count);
@@ -60,6 +63,8 @@ TimedFifo::pushReserved(Word w, Cycle now)
         tracer->emit(now, trace::EventKind::FifoPush, 1, traceComp,
                      traceTrack, std::uint32_t(count), w);
     }
+    if (pendingCorrupt != 0 || pendingReorder)
+        applyPendingFaults(now);
 }
 
 Word
@@ -68,6 +73,8 @@ TimedFifo::pop(Cycle now)
     opac_assert(canPop(now), "pop on empty/not-ready FIFO '%s'",
                 _name.c_str());
     Word w = ring[head].word;
+    if (parityMode != fault::ParityMode::Off)
+        w = checkProtected(w, ring[head].ecc, now);
     head = (head + 1) & mask;
     --count;
     ++pops;
@@ -84,8 +91,11 @@ TimedFifo::recirculate(Cycle now)
     opac_assert(canPop(now), "recirculate on empty/not-ready FIFO '%s'",
                 _name.c_str());
     Word w = ring[head].word;
+    if (parityMode != fault::ParityMode::Off)
+        w = checkProtected(w, ring[head].ecc, now);
     head = (head + 1) & mask;
-    ring[(head + count - 1) & mask] = Entry{w, now + latency};
+    ring[(head + count - 1) & mask] = Entry{w, now + latency,
+                                            encodeWord(w)};
     // Counted as one pop plus one push so lifetime totals match the
     // word traffic the datapath actually performed.
     ++pops;
@@ -102,6 +112,14 @@ TimedFifo::front(Cycle now) const
 {
     opac_assert(canPop(now), "front on empty/not-ready FIFO '%s'",
                 _name.c_str());
+    // Peeks correct silently in Correct mode; counters and the
+    // protection handler only fire on the consuming pop.
+    if (parityMode == fault::ParityMode::Correct) {
+        Word fixed = ring[head].word;
+        if (fault::secdedDecode(fixed, ring[head].ecc)
+            != fault::SecdedResult::Uncorrectable)
+            return fixed;
+    }
     return ring[head].word;
 }
 
@@ -112,6 +130,8 @@ TimedFifo::reset(Cycle now)
     head = 0;
     count = 0;
     _reserved = 0;
+    pendingCorrupt = 0;
+    pendingReorder = false;
     ++resets;
     if (tracer) {
         tracer->emit(now, trace::EventKind::FifoReset, 0, traceComp,
@@ -133,10 +153,80 @@ TimedFifo::addStats(stats::StatGroup &parent)
     parent.addCounter(_name + ".pushes", &pushes, "words written");
     parent.addCounter(_name + ".pops", &pops, "words read");
     parent.addCounter(_name + ".resets", &resets, "reset operations");
+    parent.addCounter(_name + ".faultsInjected", &faultsInjected,
+                      "injected corrupt/reorder faults applied");
+    parent.addCounter(_name + ".parityCorrected", &parityCorrected,
+                      "single-bit errors repaired at read");
+    parent.addCounter(_name + ".parityDetected", &parityDetected,
+                      "errors detected but not repaired at read");
     parent.addWatermark(_name + ".highWater", &highWaterMark,
                         "deepest occupancy reached");
     parent.addDistribution(_name + ".occupancy", &occupancy,
                            "sampled words held");
+}
+
+Word
+TimedFifo::checkProtected(Word w, std::uint8_t ecc, Cycle now)
+{
+    Word fixed = w;
+    fault::SecdedResult r = fault::secdedDecode(fixed, ecc);
+    if (r == fault::SecdedResult::Ok)
+        return w;
+    if (r == fault::SecdedResult::Corrected
+        && parityMode == fault::ParityMode::Correct) {
+        ++parityCorrected;
+        return fixed;
+    }
+    // Detect mode (any error) or an uncorrectable double-bit error:
+    // flag the consumer and hand back the raw word.
+    ++parityDetected;
+    if (protHandler)
+        protHandler(now);
+    return w;
+}
+
+void
+TimedFifo::faultCorrupt(Word xor_mask, Cycle now)
+{
+    if (count == 0) {
+        pendingCorrupt ^= xor_mask;
+        return;
+    }
+    ring[head].word ^= xor_mask;
+    ++faultsInjected;
+    (void)now;
+}
+
+void
+TimedFifo::faultReorder(Cycle now)
+{
+    if (count < 2) {
+        pendingReorder = true;
+        return;
+    }
+    Entry &a = ring[(head + count - 2) & mask];
+    Entry &b = ring[(head + count - 1) & mask];
+    // Swap payloads but not ready times: the same slots fall through
+    // on schedule, carrying each other's word.
+    std::swap(a.word, b.word);
+    std::swap(a.ecc, b.ecc);
+    ++faultsInjected;
+    if (parityMode != fault::ParityMode::Off && protHandler)
+        protHandler(now);
+}
+
+void
+TimedFifo::applyPendingFaults(Cycle now)
+{
+    if (pendingCorrupt != 0) {
+        ring[(head + count - 1) & mask].word ^= pendingCorrupt;
+        pendingCorrupt = 0;
+        ++faultsInjected;
+    }
+    if (pendingReorder && count >= 2) {
+        pendingReorder = false;
+        faultReorder(now);
+    }
 }
 
 } // namespace opac

@@ -22,9 +22,11 @@
 #define OPAC_FIFO_TIMED_FIFO_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "stats/stats.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
@@ -141,12 +143,82 @@ class TimedFifo
     /** Deepest occupancy ever reached (exact, tracked at each push). */
     std::uint64_t highWater() const { return highWaterMark.value(); }
 
+    // --- word protection (fault detection / correction) ------------
+
+    /**
+     * Select the protection level for words stored here. Off stores
+     * bare words (the fast path); Detect/Correct compute SECDED check
+     * bits at push and verify them at pop/recirculate.
+     */
+    void setParity(fault::ParityMode m) { parityMode = m; }
+    fault::ParityMode parity() const { return parityMode; }
+
+    /**
+     * Called (with the current cycle) whenever protection notices an
+     * error it cannot silently repair: any error in Detect mode, a
+     * double-bit error in Correct mode, or an applied reorder fault
+     * (caught by the modeled link-layer sequence tags). The owner of
+     * the queue uses this to flag the attached cell as faulted.
+     */
+    using FaultHandler = std::function<void(Cycle)>;
+    void setProtectionHandler(FaultHandler fn)
+    {
+        protHandler = std::move(fn);
+    }
+
+    // --- fault-injection hooks (driven by fault::Injector) ---------
+
+    /**
+     * XOR @p xor_mask into the stored front word, or into the next
+     * word pushed when the queue is empty. Models a bit flip in the
+     * FIFO RAM: the check bits keep their original value, so
+     * protection sees a mismatch at pop.
+     */
+    void faultCorrupt(Word xor_mask, Cycle now);
+
+    /**
+     * Swap the two newest stored words (or the next two pushed when
+     * fewer than two are stored). With protection on, the link-layer
+     * sequence check reports the reorder through the protection
+     * handler at the cycle it happens.
+     */
+    void faultReorder(Cycle now);
+
+    std::uint64_t totalFaultsInjected() const
+    {
+        return faultsInjected.value();
+    }
+    std::uint64_t totalParityCorrected() const
+    {
+        return parityCorrected.value();
+    }
+    std::uint64_t totalParityDetected() const
+    {
+        return parityDetected.value();
+    }
+
   private:
     struct Entry
     {
         Word word;
         Cycle ready;
+        std::uint8_t ecc;
     };
+
+    /** Verify a stored word against its check bits at read time. */
+    Word checkProtected(Word w, std::uint8_t ecc, Cycle now);
+
+    /** Check bits for @p w under the current parity mode. */
+    std::uint8_t
+    encodeWord(Word w) const
+    {
+        return parityMode != fault::ParityMode::Off
+                   ? fault::secdedEncode(w)
+                   : std::uint8_t(0);
+    }
+
+    /** Apply armed corrupt/reorder faults to freshly pushed words. */
+    void applyPendingFaults(Cycle now);
 
     std::string _name;
     std::size_t _capacity;
@@ -165,9 +237,17 @@ class TimedFifo
     std::uint16_t traceComp = 0;
     std::uint16_t traceTrack = 0;
 
+    fault::ParityMode parityMode = fault::ParityMode::Off;
+    FaultHandler protHandler;
+    Word pendingCorrupt = 0;     //!< XOR mask armed for the next push
+    bool pendingReorder = false; //!< swap armed for the next two pushes
+
     stats::Counter pushes;
     stats::Counter pops;
     stats::Counter resets;
+    stats::Counter faultsInjected;
+    stats::Counter parityCorrected;
+    stats::Counter parityDetected;
     stats::Watermark highWaterMark;
     stats::Distribution occupancy;
 };

@@ -1,7 +1,10 @@
 #include "host/host.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace opac::host
@@ -65,6 +68,36 @@ sqrtRecipOp(std::size_t dst_sqrt, std::size_t dst_recip,
     return op;
 }
 
+HostOp
+txnBeginOp(std::uint32_t job_id, std::uint32_t cell_mask,
+           Cycle timeout_cycles)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::TxnBegin;
+    op.jobId = job_id;
+    op.cellMask = cell_mask;
+    op.timeoutCycles = timeout_cycles;
+    return op;
+}
+
+HostOp
+txnEndOp(std::uint32_t job_id)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::TxnEnd;
+    op.jobId = job_id;
+    return op;
+}
+
+HostOp
+resetOp(std::uint32_t cell_mask)
+{
+    HostOp op;
+    op.kind = HostOp::Kind::Reset;
+    op.cellMask = cell_mask;
+    return op;
+}
+
 std::vector<HostOp>
 pmuReadProgram(unsigned cell, cell::PmuReg reg, std::size_t dst)
 {
@@ -83,6 +116,8 @@ Host::Host(std::string name, const HostConfig &cfg, HostMemory &mem,
 {
     opac_assert(!this->cells.empty(), "host with no cells");
     opac_assert(this->cells.size() <= 32, "cell mask limited to 32 cells");
+    busDrops.assign(this->cells.size(), 0);
+    busDups.assign(this->cells.size(), 0);
     statGroup.addCounter("wordsSent", &statWordsSent,
                          "data words host -> cells");
     statGroup.addCounter("wordsReceived", &statWordsRecv,
@@ -97,6 +132,35 @@ Host::Host(std::string name, const HostConfig &cfg, HostMemory &mem,
                          "cycles blocked on an empty tpo");
     statGroup.addCounter("opsCompleted", &statOpsDone,
                          "transfer descriptors completed");
+    statGroup.addCounter("txnTimeouts", &statTimeouts,
+                         "transaction deadline misses");
+    statGroup.addCounter("txnRetries", &statRetries,
+                         "transaction replays after an abort");
+    statGroup.addCounter("cellResets", &statResets,
+                         "reset pulses sent to cells");
+    statGroup.addCounter("deadCells", &statDeadCells,
+                         "cells retired after exhausting retries");
+    statGroup.addCounter("txnsCommitted", &statTxnsDone,
+                         "transactions committed");
+    statGroup.addCounter("busDrops", &statBusDrops,
+                         "bus words dropped by injected faults");
+    statGroup.addCounter("busDups", &statBusDups,
+                         "bus words duplicated by injected faults");
+    statGroup.addCounter("memSpikes", &statMemSpikes,
+                         "memory latency spikes applied");
+    statGroup.addCounter("parityTrips", &statParityTrips,
+                         "uncorrectable tpo words seen by the host");
+    if (this->cfg.recovery.enabled) {
+        // The host is the consumer of every tpo: an uncorrectable word
+        // there means a result may be corrupt, which only a
+        // transaction abort can undo.
+        for (cell::Cell *c : this->cells) {
+            c->tpo().setProtectionHandler([this](Cycle) {
+                parityTripped = true;
+                ++statParityTrips;
+            });
+        }
+    }
 }
 
 void
@@ -111,7 +175,9 @@ Host::attachTracer(trace::Tracer *t)
 std::uint16_t
 Host::opTrack(const HostOp &op)
 {
-    static const char *names[] = {"send", "recv", "call", "compute"};
+    static const char *names[] = {"send",      "recv",    "call",
+                                  "compute",   "txn_begin", "txn_end",
+                                  "reset"};
     auto i = std::size_t(op.kind);
     if (kindTracks[i] == 0)
         kindTracks[i] = tracer->internTrack(traceComp, names[i]);
@@ -141,6 +207,79 @@ Host::enqueue(const std::vector<HostOp> &ops)
         enqueue(op);
 }
 
+Word
+Host::memLoad(std::size_t addr) const
+{
+    if (inTxn) {
+        auto it = staging.find(addr);
+        if (it != staging.end())
+            return it->second;
+    }
+    return mem.load(addr);
+}
+
+void
+Host::memStore(std::size_t addr, Word w)
+{
+    opac_assert(addr < mem.size(), "store out of range: %zu", addr);
+    if (inTxn)
+        staging[addr] = w;
+    else
+        mem.store(addr, w);
+}
+
+unsigned
+Host::takeMemSpike()
+{
+    unsigned s = memSpike;
+    memSpike = 0;
+    return s;
+}
+
+void
+Host::armBusFault(unsigned cell, fault::FaultKind kind)
+{
+    opac_assert(cell < cells.size(), "bus fault on cell %u of %zu", cell,
+                cells.size());
+    if (kind == fault::FaultKind::BusDrop)
+        ++busDrops[cell];
+    else
+        ++busDups[cell];
+}
+
+void
+Host::armMemLatency(unsigned cycles)
+{
+    memSpike += cycles;
+    ++statMemSpikes;
+}
+
+void
+Host::pushFaulty(TimedFifo &q, unsigned c, Word w, Cycle now)
+{
+    bool protection = q.parity() != fault::ParityMode::Off;
+    if (busDrops[c] > 0) {
+        --busDrops[c];
+        ++statBusDrops;
+        // The word goes missing on the link. The modeled sequence tags
+        // notice the gap at the receiver when protection is on;
+        // without it the loss is silent and only a timeout (or a
+        // desynchronized kernel) gives it away.
+        if (protection)
+            cells[c]->enterFaulted("bus drop", now);
+        return;
+    }
+    q.push(w, now);
+    if (busDups[c] > 0) {
+        --busDups[c];
+        ++statBusDups;
+        if (q.canPush())
+            q.push(w, now);
+        if (protection)
+            cells[c]->enterFaulted("bus duplicate", now);
+    }
+}
+
 bool
 Host::tickSend(const HostOp &op, Cycle now)
 {
@@ -162,19 +301,19 @@ Host::tickSend(const HostOp &op, Cycle now)
             return false;
         }
     }
-    Word w = mem.load(op.region.addr(pos));
+    Word w = memLoad(op.region.addr(pos));
     for (std::size_t c = 0; c < cells.size(); ++c) {
         if (!(op.cellMask & (1u << c)))
             continue;
         TimedFifo &q = op.target == SendTarget::TpX ? cells[c]->tpx()
                                                     : cells[c]->tpy();
-        q.push(w, now);
+        pushFaulty(q, unsigned(c), w, now);
     }
     ++statWordsSent;
     ++pos;
     if (tracer)
         traceWord(now, cfg.tau);
-    cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
+    cooldown = (cfg.tau > 0 ? cfg.tau - 1 : 0) + takeMemSpike();
     return pos >= op.region.count();
 }
 
@@ -196,12 +335,12 @@ Host::tickRecv(const HostOp &op, Cycle now)
         }
         return false;
     }
-    mem.store(op.region.addr(pos), q.pop(now));
+    memStore(op.region.addr(pos), q.pop(now));
     ++statWordsRecv;
     ++pos;
     if (tracer)
         traceWord(now, cfg.tau);
-    cooldown = cfg.tau > 0 ? cfg.tau - 1 : 0;
+    cooldown = (cfg.tau > 0 ? cfg.tau - 1 : 0) + takeMemSpike();
     return pos >= op.region.count();
 }
 
@@ -226,7 +365,7 @@ Host::tickCall(const HostOp &op, Cycle now)
     for (std::size_t c = 0; c < cells.size(); ++c) {
         if (!(op.cellMask & (1u << c)))
             continue;
-        cells[c]->tpi().push(op.callWords[pos], now);
+        pushFaulty(cells[c]->tpi(), unsigned(c), op.callWords[pos], now);
     }
     ++statCallWords;
     ++pos;
@@ -241,15 +380,15 @@ Host::applyScalar(const HostOp &op)
 {
     switch (op.scalarOp) {
       case HostScalarOp::Recip: {
-        float v = mem.loadF(op.scalarSrc);
-        mem.storeF(op.scalarDst, 1.0f / v);
+        float v = wordToFloat(memLoad(op.scalarSrc));
+        memStore(op.scalarDst, floatToWord(1.0f / v));
         break;
       }
       case HostScalarOp::SqrtRecip: {
-        float v = mem.loadF(op.scalarSrc);
+        float v = wordToFloat(memLoad(op.scalarSrc));
         float s = std::sqrt(v);
-        mem.storeF(op.scalarDst, s);
-        mem.storeF(op.scalarDst2, 1.0f / s);
+        memStore(op.scalarDst, floatToWord(s));
+        memStore(op.scalarDst2, floatToWord(1.0f / s));
         break;
       }
     }
@@ -268,12 +407,184 @@ Host::tickCompute(const HostOp &op, Cycle now)
     return false;
 }
 
+bool
+Host::tickTxnBegin(const HostOp &op, Cycle now)
+{
+    if (!cfg.recovery.enabled)
+        return true;
+    inTxn = true;
+    txnJob = op.jobId;
+    txnMask = op.cellMask;
+    txnTimeout = op.timeoutCycles != 0 ? op.timeoutCycles
+                                       : cfg.recovery.timeoutCycles;
+    txnDeadline = now + txnTimeout;
+    txnRetries = 0;
+    parityTripped = false;
+    journal.clear();
+    staging.clear();
+    return true;
+}
+
+bool
+Host::tickTxnEnd(const HostOp &op, Cycle now)
+{
+    (void)now;
+    if (!inTxn)
+        return true;
+    // Commit: the staged stores become visible all at once. Addresses
+    // are distinct map keys, so flush order cannot matter.
+    for (const auto &[addr, w] : staging)
+        mem.store(addr, w);
+    staging.clear();
+    journal.clear();
+    inTxn = false;
+    txnDeadline = cycleNever;
+    _completedJobs.push_back(op.jobId);
+    ++statTxnsDone;
+    return true;
+}
+
+bool
+Host::tickReset(const HostOp &op, Cycle now)
+{
+    while (pos < cells.size() && !(op.cellMask & (1u << pos)))
+        ++pos;
+    if (pos >= cells.size())
+        return true;
+    // The reserved resetCallEntry word is decoded at the tpi write
+    // port, so a reset needs no queue space — it works on a wedged
+    // cell whose tpi is full.
+    cells[pos]->hardReset(now);
+    ++statResets;
+    ++statCallWords;
+    if (tracer)
+        traceWord(now, cfg.callWordCost);
+    cooldown = cfg.callWordCost > 0 ? cfg.callWordCost - 1 : 0;
+    ++pos;
+    while (pos < cells.size() && !(op.cellMask & (1u << pos)))
+        ++pos;
+    return pos >= cells.size();
+}
+
+unsigned
+Host::blameCell() const
+{
+    // A cell that has visibly faulted inside the transaction's set is
+    // the obvious culprit.
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if ((txnMask & (1u << c)) && !cells[c]->dead()
+            && cells[c]->faulted())
+            return unsigned(c);
+    }
+    // Otherwise blame the cell the stalled front descriptor is waiting
+    // on (for a Recv that is exactly the producer that went quiet).
+    if (!program.empty()) {
+        const HostOp &op = program.front();
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if ((op.cellMask & (1u << c)) && !cells[c]->dead())
+                return unsigned(c);
+        }
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if ((txnMask & (1u << c)) && !cells[c]->dead())
+            return unsigned(c);
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!cells[c]->dead())
+            return unsigned(c);
+    }
+    return 0;
+}
+
+void
+Host::recoverTxn(Cycle now, sim::Engine &engine)
+{
+    parityTripped = false;
+    staging.clear();
+    if (txnRetries >= cfg.recovery.retryBudget) {
+        // Degrade: retire the culprit and hand the remaining work to
+        // the planner to rebuild on the survivors.
+        unsigned victim = blameCell();
+        cells[victim]->markDead(now);
+        _deadMask |= 1u << victim;
+        ++statDeadCells;
+        // The survivors' queues still hold words from the aborted
+        // attempt: reset them before the re-planned program arrives.
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (!(txnMask & (1u << c)) || cells[c]->dead())
+                continue;
+            cells[c]->hardReset(now);
+            ++statResets;
+            cooldown += unsigned(cfg.recovery.resetCostCycles);
+        }
+        journal.clear();
+        program.clear();
+        pos = 0;
+        computeLeft = 0;
+        opAnnounced = false;
+        inTxn = false;
+        txnDeadline = cycleNever;
+        txnRetries = 0;
+        if (aliveMask() == 0)
+            throw RecoveryError(name(), now, "all cells dead");
+        if (!replanFn)
+            throw RecoveryError(
+                name(), now,
+                strfmt("cell %u retired and no replan handler installed",
+                       victim));
+        replanFn(aliveMask());
+        engine.noteProgress();
+        return;
+    }
+    ++txnRetries;
+    ++statRetries;
+    // Reset every (surviving) cell the transaction touches: their
+    // queues may hold words from the aborted attempt.
+    unsigned nreset = 0;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(txnMask & (1u << c)) || cells[c]->dead())
+            continue;
+        cells[c]->hardReset(now);
+        ++statResets;
+        ++nreset;
+    }
+    cooldown += unsigned(cfg.recovery.resetCostCycles) * nreset;
+    // Replay: the journaled (completed) descriptors go back in front
+    // of the still-pending ones, and the partially-done front
+    // descriptor restarts from its first word.
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it)
+        program.push_front(*it);
+    journal.clear();
+    pos = 0;
+    computeLeft = 0;
+    opAnnounced = false;
+    txnDeadline = now + txnTimeout + cooldown;
+    engine.noteProgress();
+}
+
+bool
+Host::forceRecovery(sim::Engine &engine)
+{
+    if (!cfg.recovery.enabled || !inTxn)
+        return false;
+    ++statTimeouts;
+    recoverTxn(engine.now(), engine);
+    return true;
+}
+
 void
 Host::tick(sim::Engine &engine)
 {
     if (program.empty())
         return;
     ++statBusy;
+    Cycle now = engine.now();
+    if (inTxn && (parityTripped || now >= txnDeadline)) {
+        if (!parityTripped)
+            ++statTimeouts;
+        recoverTxn(now, engine);
+        return;
+    }
     if (cooldown > 0) {
         // A pure countdown is not forward progress: it is fully
         // predictable (see nextEventAt), so the engine may skip it.
@@ -293,7 +604,12 @@ Host::tick(sim::Engine &engine)
             total = std::uint32_t(op.callWords.size());
             break;
           case HostOp::Kind::Compute:
+          case HostOp::Kind::TxnBegin:
+          case HostOp::Kind::TxnEnd:
             total = 1;
+            break;
+          case HostOp::Kind::Reset:
+            total = std::uint32_t(std::popcount(op.cellMask));
             break;
         }
         tracer->emit(engine.now(), trace::EventKind::BusBegin, 0,
@@ -303,16 +619,25 @@ Host::tick(sim::Engine &engine)
     std::size_t prev_pos = pos;
     switch (op.kind) {
       case HostOp::Kind::Send:
-        finished = tickSend(op, engine.now());
+        finished = tickSend(op, now);
         break;
       case HostOp::Kind::Recv:
-        finished = tickRecv(op, engine.now());
+        finished = tickRecv(op, now);
         break;
       case HostOp::Kind::Call:
-        finished = tickCall(op, engine.now());
+        finished = tickCall(op, now);
         break;
       case HostOp::Kind::Compute:
-        finished = tickCompute(op, engine.now());
+        finished = tickCompute(op, now);
+        break;
+      case HostOp::Kind::TxnBegin:
+        finished = tickTxnBegin(op, now);
+        break;
+      case HostOp::Kind::TxnEnd:
+        finished = tickTxnEnd(op, now);
+        break;
+      case HostOp::Kind::Reset:
+        finished = tickReset(op, now);
         break;
     }
     // A Compute countdown cycle is not progress (it is predictable and
@@ -320,11 +645,21 @@ Host::tick(sim::Engine &engine)
     // a descriptor is.
     if (pos != prev_pos || finished)
         engine.noteProgress();
+    // Word movement proves the machine is alive: push the transaction
+    // deadline out rather than racing a stalled-from-the-start clock.
+    if (inTxn && (pos != prev_pos || finished))
+        txnDeadline = now + txnTimeout;
     if (finished) {
         if (tracer) {
             tracer->emit(engine.now(), trace::EventKind::BusEnd, 0,
                          traceComp, opTrack(op), std::uint32_t(pos), 0);
         }
+        // Inside a transaction every completed descriptor is journaled
+        // so an abort can replay the attempt from the top. TxnBegin is
+        // excluded: recoverTxn re-establishes its state itself.
+        if (inTxn && op.kind != HostOp::Kind::TxnBegin
+            && op.kind != HostOp::Kind::TxnEnd)
+            journal.push_back(program.front());
         program.pop_front();
         pos = 0;
         computeLeft = 0;
@@ -338,14 +673,25 @@ Host::nextEventAt(Cycle now) const
 {
     if (program.empty())
         return noEvent;
+    // Inside a transaction the deadline is a hard wake-up: skipping
+    // past it would delay recovery and change timing.
+    Cycle wake = noEvent;
+    if (inTxn)
+        wake = txnDeadline > now ? txnDeadline : now;
     if (cooldown > 0)
-        return now + cooldown;
+        return std::min(wake, now + cooldown);
     const HostOp &op = program.front();
     switch (op.kind) {
       case HostOp::Kind::Compute:
         // tickCompute finishes in the cycle that decrements
         // computeLeft to zero.
-        return computeLeft > 0 ? now + computeLeft - 1 : now;
+        return std::min(wake,
+                        computeLeft > 0 ? now + computeLeft - 1 : now);
+      case HostOp::Kind::TxnBegin:
+      case HostOp::Kind::TxnEnd:
+      case HostOp::Kind::Reset:
+        // Always able to make progress on the next tick.
+        return now;
       case HostOp::Kind::Recv: {
         // The cooldown expired during a quiescent round: if the word
         // is already waiting we never stalled on it, so no FIFO hint
@@ -379,9 +725,9 @@ Host::nextEventAt(Cycle now) const
       }
     }
     // Genuinely blocked on a cell queue (full interface FIFO or empty
-    // tpo): only a cell action can unblock us, and the cells' hints
-    // cover the fall-through times of every interface queue.
-    return noEvent;
+    // tpo): only a cell action can unblock us — or, inside a
+    // transaction, the recovery deadline.
+    return wake;
 }
 
 void
@@ -423,6 +769,12 @@ Host::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
         // The skip window never reaches the finishing cycle.
         computeLeft -= unsigned(cycles);
         break;
+      case HostOp::Kind::TxnBegin:
+      case HostOp::Kind::TxnEnd:
+      case HostOp::Kind::Reset:
+        // nextEventAt() reports `now` for these, so the engine never
+        // opens a skip window over them.
+        break;
     }
 }
 
@@ -457,9 +809,25 @@ Host::statusLine() const
         kind = "compute";
         total = 1;
         break;
+      case HostOp::Kind::TxnBegin:
+        kind = "txn-begin";
+        total = 1;
+        break;
+      case HostOp::Kind::TxnEnd:
+        kind = "txn-end";
+        total = 1;
+        break;
+      case HostOp::Kind::Reset:
+        kind = "reset";
+        total = std::size_t(std::popcount(op.cellMask));
+        break;
     }
-    return strfmt("%s mask=%#x %zu/%zu, %zu ops queued", kind,
-                  op.cellMask, pos, total, program.size());
+    std::string line = strfmt("%s mask=%#x %zu/%zu, %zu ops queued", kind,
+                              op.cellMask, pos, total, program.size());
+    if (inTxn)
+        line += strfmt(" [txn %u retry %u/%u]", txnJob, txnRetries,
+                       cfg.recovery.retryBudget);
+    return line;
 }
 
 } // namespace opac::host

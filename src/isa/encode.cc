@@ -1,5 +1,6 @@
 #include "isa/encode.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace opac::isa
@@ -55,7 +56,10 @@ getOperand(FieldReader &r)
 {
     Operand op;
     std::uint32_t kind = r.get(4);
-    opac_assert(kind <= maxSrcKind, "bad operand kind %u", kind);
+    if (kind > maxSrcKind) {
+        throw MicrocodeError("microcode",
+                             strfmt("bad operand kind %u", kind));
+    }
     op.kind = Src(kind);
     op.idx = std::uint8_t(r.get(5));
     return op;
@@ -108,8 +112,9 @@ Program
 decode(const std::vector<std::uint32_t> &image, const std::string &name)
 {
     if (image.size() % wordsPerInstr != 0) {
-        opac_fatal("truncated microcode image for '%s': %zu words",
-                   name.c_str(), image.size());
+        throw MicrocodeError(name,
+                             strfmt("truncated image: %zu words",
+                                    image.size()));
     }
     Program prog(name);
     for (std::size_t i = 0; i < image.size(); i += wordsPerInstr) {
@@ -121,17 +126,19 @@ decode(const std::vector<std::uint32_t> &image, const std::string &name)
         Instr in;
         std::uint32_t op = r0.get(3);
         if (op > std::uint8_t(Opcode::Halt))
-            opac_fatal("bad opcode %u in image for '%s'", op,
-                       name.c_str());
+            throw MicrocodeError(name, strfmt("bad opcode %u", op));
         in.op = Opcode(op);
         in.mulA = getOperand(r0);
         in.mulB = getOperand(r0);
         std::uint32_t add_a = r0.get(4);
-        opac_assert(add_a <= maxSrcKind, "bad addA kind %u", add_a);
+        if (add_a > maxSrcKind) {
+            throw MicrocodeError(name,
+                                 strfmt("bad addA kind %u", add_a));
+        }
         in.addA.kind = Src(add_a);
         std::uint32_t add_op = r0.get(2);
-        opac_assert(add_op <= std::uint8_t(AddOp::SubBA),
-                    "bad addOp %u", add_op);
+        if (add_op > std::uint8_t(AddOp::SubBA))
+            throw MicrocodeError(name, strfmt("bad addOp %u", add_op));
         in.addOp = AddOp(add_op);
         in.countIsParam = r0.get(1) != 0;
         in.fifo = LocalFifo(r0.get(2));
@@ -145,8 +152,10 @@ decode(const std::vector<std::uint32_t> &image, const std::string &name)
         in.mvDstReg = std::uint8_t(r2.get(5));
         in.countParam = std::uint8_t(r2.get(4));
         std::uint32_t param_op = r2.get(3);
-        opac_assert(param_op <= std::uint8_t(ParamOp::AddImm),
-                    "bad paramOp %u", param_op);
+        if (param_op > std::uint8_t(ParamOp::AddImm)) {
+            throw MicrocodeError(name,
+                                 strfmt("bad paramOp %u", param_op));
+        }
         in.paramOp = ParamOp(param_op);
         in.dstParam = std::uint8_t(r2.get(4));
         in.srcParam = std::uint8_t(r2.get(4));

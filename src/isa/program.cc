@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace opac::isa
@@ -9,6 +10,20 @@ namespace opac::isa
 
 namespace
 {
+
+
+/**
+ * Structured validation failure: site "<program>[<pc>]", no abort —
+ * callers (firmware install, the fuzzer) catch and report it.
+ */
+template <typename... Args>
+[[noreturn]] void
+vfail(const std::string &prog, std::size_t pc, const char *fmt,
+      Args... args)
+{
+    throw ValidationError(strfmt("%s[%zu]", prog.c_str(), pc),
+                          strfmt(fmt, args...));
+}
 
 /** Queue identifiers used for port-conflict accounting. */
 enum QueueId : unsigned
@@ -78,15 +93,11 @@ void
 checkOperandIdx(const Operand &op, const char *what, std::size_t pc,
                 const std::string &prog)
 {
-    if (op.kind == Src::Reg && op.idx >= numRegs) {
-        opac_fatal("%s[%zu]: %s register index %u out of range",
-                   prog.c_str(), pc, what, op.idx);
-    }
-    if (op.kind == Src::MulOut) {
-        opac_assert(std::string(what) == "addA",
-                    "%s[%zu]: MulOut only valid as adder input A",
-                    prog.c_str(), pc);
-    }
+    if (op.kind == Src::Reg && op.idx >= numRegs)
+        vfail(prog, pc, "%s register index %u out of range", what,
+              op.idx);
+    if (op.kind == Src::MulOut && std::string(what) != "addA")
+        vfail(prog, pc, "MulOut only valid as adder input A");
 }
 
 void
@@ -97,47 +108,32 @@ validateCompute(const Instr &in, std::size_t pc, const std::string &prog)
     bool mv_active = in.mvActive();
 
     if (!mul_active && !add_active && !mv_active)
-        opac_fatal("%s[%zu]: empty compute instruction", prog.c_str(), pc);
+        vfail(prog, pc, "empty compute instruction");
 
-    if (mul_active && (!in.mulA.used() || !in.mulB.used())) {
-        opac_fatal("%s[%zu]: multiplier needs both operands",
-                   prog.c_str(), pc);
-    }
-    if (add_active && (!in.addA.used() || !in.addB.used())) {
-        opac_fatal("%s[%zu]: adder needs both operands", prog.c_str(), pc);
-    }
+    if (mul_active && (!in.mulA.used() || !in.mulB.used()))
+        vfail(prog, pc, "multiplier needs both operands");
+    if (add_active && (!in.addA.used() || !in.addB.used()))
+        vfail(prog, pc, "adder needs both operands");
     if (in.mulA.kind == Src::MulOut || in.mulB.kind == Src::MulOut
-        || in.addB.kind == Src::MulOut || in.mvSrc.kind == Src::MulOut) {
-        opac_fatal("%s[%zu]: MulOut only valid as adder input A",
-                   prog.c_str(), pc);
-    }
-    if (in.addA.kind == Src::MulOut && !mul_active) {
-        opac_fatal("%s[%zu]: MulOut used with idle multiplier",
-                   prog.c_str(), pc);
-    }
-    if (mul_active && !add_active && in.dstMask == 0) {
-        opac_fatal("%s[%zu]: multiplier result dropped (no adder, no "
-                   "destination)", prog.c_str(), pc);
-    }
-    if ((in.dstMask & DstReg) && in.dstReg >= numRegs) {
-        opac_fatal("%s[%zu]: destination register %u out of range",
-                   prog.c_str(), pc, in.dstReg);
-    }
-    if ((in.mvDstMask & DstReg) && in.mvDstReg >= numRegs) {
-        opac_fatal("%s[%zu]: move destination register %u out of range",
-                   prog.c_str(), pc, in.mvDstReg);
-    }
-    if (add_active && in.dstMask == 0) {
-        opac_fatal("%s[%zu]: adder result dropped (no destination)",
-                   prog.c_str(), pc);
-    }
-    if (mv_active && in.mvDstMask == 0) {
-        opac_fatal("%s[%zu]: move with no destination", prog.c_str(), pc);
-    }
-    if (!in.fpActive() && in.dstMask != 0) {
-        opac_fatal("%s[%zu]: FP destinations with idle FP section",
-                   prog.c_str(), pc);
-    }
+        || in.addB.kind == Src::MulOut || in.mvSrc.kind == Src::MulOut)
+        vfail(prog, pc, "MulOut only valid as adder input A");
+    if (in.addA.kind == Src::MulOut && !mul_active)
+        vfail(prog, pc, "MulOut used with idle multiplier");
+    if (mul_active && !add_active && in.dstMask == 0)
+        vfail(prog, pc,
+              "multiplier result dropped (no adder, no destination)");
+    if ((in.dstMask & DstReg) && in.dstReg >= numRegs)
+        vfail(prog, pc, "destination register %u out of range",
+              in.dstReg);
+    if ((in.mvDstMask & DstReg) && in.mvDstReg >= numRegs)
+        vfail(prog, pc, "move destination register %u out of range",
+              in.mvDstReg);
+    if (add_active && in.dstMask == 0)
+        vfail(prog, pc, "adder result dropped (no destination)");
+    if (mv_active && in.mvDstMask == 0)
+        vfail(prog, pc, "move with no destination");
+    if (!in.fpActive() && in.dstMask != 0)
+        vfail(prog, pc, "FP destinations with idle FP section");
 
     checkOperandIdx(in.mulA, "mulA", pc, prog);
     checkOperandIdx(in.mulB, "mulB", pc, prog);
@@ -158,14 +154,14 @@ validateCompute(const Instr &in, std::size_t pc, const std::string &prog)
 
     for (unsigned q = 0; q < QCount; ++q) {
         if (use.pops[q] > 1) {
-            opac_fatal("%s[%zu]: %d pops from queue %s in one cycle "
-                       "(single read port)", prog.c_str(), pc,
-                       use.pops[q], queueNames[q]);
+            vfail(prog, pc,
+                  "%d pops from queue %s in one cycle (single read "
+                  "port)", use.pops[q], queueNames[q]);
         }
         if (use.pushes[q] > 1) {
-            opac_fatal("%s[%zu]: %d pushes to queue %s in one cycle "
-                       "(single write port)", prog.c_str(), pc,
-                       use.pushes[q], queueNames[q]);
+            vfail(prog, pc,
+                  "%d pushes to queue %s in one cycle (single write "
+                  "port)", use.pushes[q], queueNames[q]);
         }
     }
 }
@@ -175,43 +171,36 @@ validateCompute(const Instr &in, std::size_t pc, const std::string &prog)
 void
 Program::validate() const
 {
-    opac_assert(!_instrs.empty(), "empty program '%s'", _name.c_str());
+    if (_instrs.empty())
+        throw ValidationError(_name, "empty program");
 
     unsigned depth = 0;
     bool halted = false;
     for (std::size_t pc = 0; pc < _instrs.size(); ++pc) {
         const Instr &in = _instrs[pc];
-        if (halted) {
-            opac_fatal("%s[%zu]: instruction after Halt", _name.c_str(),
-                       pc);
-        }
+        if (halted)
+            vfail(_name, pc, "instruction after Halt");
         switch (in.op) {
           case Opcode::Compute:
             validateCompute(in, pc, _name);
             break;
           case Opcode::LoopBegin:
             ++depth;
-            if (depth > maxLoopDepth) {
-                opac_fatal("%s[%zu]: loop nesting exceeds %u",
-                           _name.c_str(), pc, maxLoopDepth);
-            }
+            if (depth > maxLoopDepth)
+                vfail(_name, pc, "loop nesting exceeds %u", maxLoopDepth);
             if (in.countIsParam && in.countParam >= numParams) {
-                opac_fatal("%s[%zu]: loop count parameter %u out of "
-                           "range", _name.c_str(), pc, in.countParam);
+                vfail(_name, pc, "loop count parameter %u out of range",
+                      in.countParam);
             }
             break;
           case Opcode::LoopEnd:
-            if (depth == 0) {
-                opac_fatal("%s[%zu]: LoopEnd without LoopBegin",
-                           _name.c_str(), pc);
-            }
+            if (depth == 0)
+                vfail(_name, pc, "LoopEnd without LoopBegin");
             --depth;
             break;
           case Opcode::SetParam:
-            if (in.dstParam >= numParams || in.srcParam >= numParams) {
-                opac_fatal("%s[%zu]: parameter index out of range",
-                           _name.c_str(), pc);
-            }
+            if (in.dstParam >= numParams || in.srcParam >= numParams)
+                vfail(_name, pc, "parameter index out of range");
             break;
           case Opcode::ResetFifo:
             break;
@@ -220,10 +209,12 @@ Program::validate() const
             break;
         }
     }
-    if (depth != 0)
-        opac_fatal("%s: %u unclosed loop(s)", _name.c_str(), depth);
+    if (depth != 0) {
+        throw ValidationError(_name,
+                              strfmt("%u unclosed loop(s)", depth));
+    }
     if (!halted)
-        opac_fatal("%s: missing Halt", _name.c_str());
+        throw ValidationError(_name, "missing Halt");
 }
 
 namespace

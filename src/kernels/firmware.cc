@@ -1,5 +1,6 @@
 #include "kernels/firmware.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/encode.hh"
 #include "kernels/cholesky_leaf.hh"
@@ -51,12 +52,14 @@ unpackFirmware(const std::vector<Word> &image)
 {
     std::size_t at = 0;
     auto next = [&]() -> Word {
-        opac_assert(at < image.size(), "truncated firmware image at "
-                    "word %zu", at);
+        if (at >= image.size()) {
+            throw MicrocodeError(
+                "firmware", strfmt("truncated image at word %zu", at));
+        }
         return image[at++];
     };
     if (next() != firmwareMagic)
-        opac_fatal("bad firmware magic");
+        throw MicrocodeError("firmware", "bad magic word");
     Word count = next();
     std::vector<FirmwareEntry> out;
     for (Word k = 0; k < count; ++k) {
@@ -64,7 +67,11 @@ unpackFirmware(const std::vector<Word> &image)
         fe.entry = next();
         fe.nparams = next();
         Word name_len = next();
-        opac_assert(name_len < 256, "implausible kernel name length");
+        if (name_len >= 256) {
+            throw MicrocodeError(
+                "firmware",
+                strfmt("implausible kernel name length %u", name_len));
+        }
         std::string name;
         for (Word i = 0; i < name_len; i += 4) {
             Word w = next();
@@ -72,14 +79,22 @@ unpackFirmware(const std::vector<Word> &image)
                 name.push_back(char((w >> (8 * b)) & 0xff));
         }
         Word instrs = next();
+        if (instrs > (1u << 20)) {
+            throw MicrocodeError(
+                "firmware",
+                strfmt("implausible kernel size %u", instrs));
+        }
         std::vector<Word> code;
         for (Word i = 0; i < instrs * 4; ++i)
             code.push_back(next());
         fe.prog = isa::decode(code, name);
         out.push_back(std::move(fe));
     }
-    opac_assert(at == image.size(), "%zu trailing words in firmware",
-                image.size() - at);
+    if (at != image.size()) {
+        throw MicrocodeError(
+            "firmware",
+            strfmt("%zu trailing words", image.size() - at));
+    }
     return out;
 }
 

@@ -1,0 +1,57 @@
+#include "planner/jobs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace opac::planner
+{
+
+JobRunner::JobRunner(copro::Coprocessor &sys) : sys(sys) {}
+
+std::uint32_t
+JobRunner::add(std::string name, Job::PlanFn plan)
+{
+    Job j;
+    j.id = std::uint32_t(jobs.size()) + 1;
+    j.name = std::move(name);
+    j.plan = std::move(plan);
+    jobs.push_back(std::move(j));
+    return jobs.back().id;
+}
+
+void
+JobRunner::dispatch()
+{
+    host::Host &h = sys.host();
+    const bool recover = sys.config().host.recovery.enabled;
+    if (recover)
+        h.setReplanHandler(
+            [this](std::uint32_t alive) { replan(alive); });
+    const std::uint32_t alive = h.aliveMask();
+    for (const Job &j : jobs) {
+        if (recover)
+            h.enqueue(host::txnBeginOp(j.id, alive));
+        h.enqueue(j.plan(alive));
+        if (recover)
+            h.enqueue(host::txnEndOp(j.id));
+    }
+}
+
+void
+JobRunner::replan(std::uint32_t alive_mask)
+{
+    opac_assert(alive_mask != 0, "replan with no surviving cells");
+    ++nreplans;
+    host::Host &h = sys.host();
+    const auto &done = h.completedJobs();
+    for (const Job &j : jobs) {
+        if (std::find(done.begin(), done.end(), j.id) != done.end())
+            continue;
+        h.enqueue(host::txnBeginOp(j.id, alive_mask));
+        h.enqueue(j.plan(alive_mask));
+        h.enqueue(host::txnEndOp(j.id));
+    }
+}
+
+} // namespace opac::planner

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Transactional job dispatch: the bridge between the planners and the
+ * host's recovery machinery (docs/RESILIENCE.md).
+ *
+ * A *job* is a named, re-plannable unit of work: a function that, given
+ * the mask of currently usable cells, emits the host transfer program
+ * executing that work on exactly those cells. The JobRunner wraps each
+ * job in a txn_begin/txn_end bracket so the host can journal it, time
+ * it out, retry it, and — when a cell exceeds its retry budget and is
+ * marked dead — ask the runner to re-plan every uncommitted job onto
+ * the survivors.
+ *
+ * With recovery disabled the runner degenerates to a plain enqueue of
+ * each job's descriptors, byte-identical to calling commit() on the
+ * planners directly, so fault-free baselines are unaffected.
+ */
+
+#ifndef OPAC_PLANNER_JOBS_HH
+#define OPAC_PLANNER_JOBS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coproc/coprocessor.hh"
+
+namespace opac::planner
+{
+
+/** One re-plannable unit of work. */
+struct Job
+{
+    /** Emit the transfer program for this job on the cells in @p
+     *  alive_mask (never empty; at least one cell survives). */
+    using PlanFn = std::function<std::vector<host::HostOp>(
+        std::uint32_t alive_mask)>;
+
+    std::uint32_t id = 0;
+    std::string name;
+    PlanFn plan;
+};
+
+/** Plans jobs, brackets them in transactions, re-plans around deaths. */
+class JobRunner
+{
+  public:
+    explicit JobRunner(copro::Coprocessor &sys);
+
+    /** Register a job; returns its id (1-based, dense). */
+    std::uint32_t add(std::string name, Job::PlanFn plan);
+
+    /**
+     * Plan every registered job against the current alive mask and
+     * enqueue the resulting program into the host. With recovery
+     * enabled each job is wrapped in txn_begin/txn_end and a replan
+     * handler is installed on the host; without it the descriptors are
+     * enqueued bare (byte-identical to Planner::commit()).
+     */
+    void dispatch();
+
+    /** Times the host asked for a re-plan (0 in a fault-free run). */
+    unsigned replans() const { return nreplans; }
+
+  private:
+    void replan(std::uint32_t alive_mask);
+
+    copro::Coprocessor &sys;
+    std::vector<Job> jobs;
+    unsigned nreplans = 0;
+};
+
+} // namespace opac::planner
+
+#endif // OPAC_PLANNER_JOBS_HH

@@ -16,8 +16,19 @@ namespace opac::planner
 using host::HostOp;
 using host::Region;
 
-LinalgPlanner::LinalgPlanner(copro::Coprocessor &sys) : sys(sys)
+LinalgPlanner::LinalgPlanner(copro::Coprocessor &sys)
+    : LinalgPlanner(sys, copro::allCellsMask(sys.numCells()))
+{}
+
+LinalgPlanner::LinalgPlanner(copro::Coprocessor &sys,
+                             std::uint32_t cell_mask)
+    : sys(sys)
 {
+    for (unsigned c = 0; c < sys.numCells(); ++c) {
+        if (cell_mask & (1u << c))
+            cellIds.push_back(c);
+    }
+    opac_assert(!cellIds.empty(), "planner with no usable cells");
     oneAddr = sys.memory().alloc(1);
     sys.memory().storeF(oneAddr, 1.0f);
 }
@@ -47,7 +58,7 @@ LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
     const std::size_t mb = c.rows;
     const std::size_t nb = c.cols;
     const std::size_t k = a_transposed ? a.rows : a.cols;
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
     const Word entry = negate ? kernels::entries::matUpdateSub
                               : kernels::entries::matUpdateAdd;
 
@@ -66,7 +77,7 @@ LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
             continue;
         const Segments &s = segs[cc];
         ops.push_back(host::callOp(
-            1u << cc, entry,
+            cellBit(cc), entry,
             {std::int32_t(k), std::int32_t(mb), std::int32_t(s.rot),
              s.head > 0 ? 1 : 0, std::int32_t(s.head),
              std::int32_t(s.full), s.tail > 0 ? 1 : 0,
@@ -90,14 +101,14 @@ LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
         if (chunks[cc].words() == 0)
             continue;
         for (const Region &r : chunkRegions(segs[cc]))
-            ops.push_back(host::sendOp(1u << cc, r));
+            ops.push_back(host::sendOp(cellBit(cc), r));
     }
 
     // K iterations: broadcast A(:,kk), then per-cell B-row slices.
     std::uint32_t active = 0;
     for (unsigned cc = 0; cc < p; ++cc) {
         if (chunks[cc].words() > 0)
-            active |= 1u << cc;
+            active |= cellBit(cc);
     }
     for (std::size_t kk = 0; kk < k; ++kk) {
         // A(:,kk): contiguous in normal storage, a strided row of the
@@ -117,7 +128,7 @@ LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
                 ? Region::vec(b.addrOf(s.col0, kk), s.colCount)
                 : Region::strided(b.addrOf(kk, s.col0), s.colCount,
                                   b.ld);
-            ops.push_back(host::sendOp(1u << cc, slice));
+            ops.push_back(host::sendOp(cellBit(cc), slice));
         }
     }
 
@@ -126,7 +137,7 @@ LinalgPlanner::matUpdateTile(const MatRef &c, const MatRef &a,
         if (chunks[cc].words() == 0)
             continue;
         for (const Region &r : chunkRegions(segs[cc]))
-            ops.push_back(host::recvOp(cc, r));
+            ops.push_back(host::recvOp(cellId(cc), r));
     }
     ++planStats.tiles;
 }
@@ -146,7 +157,7 @@ LinalgPlanner::matUpdate(const MatRef &c, const MatRef &a,
         return;
 
     const std::size_t tf = sys.config().cell.tf;
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
 
     // Tile shape: square-ish, capped so a B column fits reby (mb <= tf)
     // and each cell's chunk fits sum (ceil(mb*nb/p) <= tf).
@@ -193,7 +204,7 @@ LinalgPlanner::trmmLeftUpper(const MatRef &out, const MatRef &u,
     const std::size_t tf = sys.config().cell.tf;
     std::size_t rb = std::max<std::size_t>(
         1, std::min<std::size_t>(n, std::size_t(isqrt(
-            std::int64_t(tf) * sys.numCells()))));
+            std::int64_t(tf) * numCells()))));
     for (std::size_t i = 0; i < n; i += rb) {
         std::size_t nr = std::min(rb, n - i);
         matUpdate(out.sub(i, 0, nr, out.cols),
@@ -212,7 +223,7 @@ LinalgPlanner::syrkLower(const MatRef &c, const MatRef &a, bool negate)
     const std::size_t tf = sys.config().cell.tf;
     std::size_t cb = std::max<std::size_t>(
         1, std::min<std::size_t>(n, std::size_t(isqrt(
-            std::int64_t(tf) * sys.numCells()))));
+            std::int64_t(tf) * numCells()))));
     for (std::size_t j = 0; j < n; j += cb) {
         std::size_t nc = std::min(cb, n - j);
         // Block column j..j+nc of the lower triangle, rows j..n; the
@@ -233,7 +244,7 @@ LinalgPlanner::trsmRightUpperLeaf(const MatRef &a, const MatRef &u,
 {
     const std::size_t n = u.rows;
     const std::size_t m = a.rows;
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
 
     // Partition the m rows across cells.
     std::vector<std::size_t> row0(p + 1, 0);
@@ -245,14 +256,14 @@ LinalgPlanner::trsmRightUpperLeaf(const MatRef &a, const MatRef &u,
         std::size_t mc = row0[cc + 1] - row0[cc];
         if (mc == 0)
             continue;
-        active |= 1u << cc;
+        active |= cellBit(cc);
         opac_assert(mc * n <= sys.config().cell.tf,
                     "trsm leaf block %zu words exceeds Tf", mc * n);
         ops.push_back(host::callOp(
-            1u << cc, kernels::entries::trSolve,
+            cellBit(cc), kernels::entries::trSolve,
             {std::int32_t(n), std::int32_t(mc), std::int32_t(mc * n)}));
         ops.push_back(host::sendOp(
-            1u << cc,
+            cellBit(cc),
             Region::mat(a.addrOf(row0[cc], 0), mc, n, a.ld)));
         ++planStats.leafCalls;
         ++planStats.trsmLeaves;
@@ -277,7 +288,7 @@ LinalgPlanner::trsmRightUpperLeaf(const MatRef &a, const MatRef &u,
         if (mc == 0)
             continue;
         ops.push_back(host::recvOp(
-            cc, Region::mat(a.addrOf(row0[cc], 0), mc, n, a.ld)));
+            cellId(cc), Region::mat(a.addrOf(row0[cc], 0), mc, n, a.ld)));
     }
 }
 
@@ -292,7 +303,7 @@ LinalgPlanner::trsmRightUpper(const MatRef &a, const MatRef &u,
     // Leaf condition: one row block per cell must fit sum. Rows can be
     // split arbitrarily, so only n forces recursion: need n <= tf and a
     // sensible aspect (at least one row per cell block).
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
     std::size_t max_rows_per_cell = tf / std::max<std::size_t>(1, n);
     if (max_rows_per_cell >= 1 && n * n <= tf * p) {
         // Process in row blocks of p * max_rows_per_cell.
@@ -327,7 +338,7 @@ LinalgPlanner::trsmLeftUnitLowerLeaf(const MatRef &l, const MatRef &a)
     // triangular with unit diagonal (reciprocals are 1.0).
     const std::size_t n = l.rows;
     const std::size_t m = a.cols; // rows of the transposed problem
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
 
     std::vector<std::size_t> col0(p + 1, 0);
     for (unsigned cc = 0; cc < p; ++cc)
@@ -338,16 +349,16 @@ LinalgPlanner::trsmLeftUnitLowerLeaf(const MatRef &l, const MatRef &a)
         std::size_t mc = col0[cc + 1] - col0[cc];
         if (mc == 0)
             continue;
-        active |= 1u << cc;
+        active |= cellBit(cc);
         opac_assert(mc * n <= sys.config().cell.tf,
                     "trsm leaf block %zu words exceeds Tf", mc * n);
         ops.push_back(host::callOp(
-            1u << cc, kernels::entries::trSolve,
+            cellBit(cc), kernels::entries::trSolve,
             {std::int32_t(n), std::int32_t(mc), std::int32_t(mc * n)}));
         // A^T block: "column j" of the transposed problem is row j of
         // A restricted to this cell's columns.
         ops.push_back(host::sendOp(
-            1u << cc, Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n,
+            cellBit(cc), Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n,
                                    1)));
         ++planStats.leafCalls;
         ++planStats.trsmLeaves;
@@ -367,7 +378,7 @@ LinalgPlanner::trsmLeftUnitLowerLeaf(const MatRef &l, const MatRef &a)
         if (mc == 0)
             continue;
         ops.push_back(host::recvOp(
-            cc, Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n, 1)));
+            cellId(cc), Region::grid(a.addrOf(0, col0[cc]), mc, a.ld, n, 1)));
     }
 }
 
@@ -378,7 +389,7 @@ LinalgPlanner::trsmLeftUnitLower(const MatRef &l, const MatRef &a)
     if (n == 0 || a.cols == 0)
         return;
     const std::size_t tf = sys.config().cell.tf;
-    const unsigned p = sys.numCells();
+    const unsigned p = numCells();
     std::size_t max_cols_per_cell = tf / std::max<std::size_t>(1, n);
     if (max_cols_per_cell >= 1 && n * n <= tf * p) {
         std::size_t cb = std::max<std::size_t>(1,
@@ -407,22 +418,22 @@ LinalgPlanner::luLeaf(const MatRef &a, std::size_t recips)
 {
     const std::size_t n = a.rows;
     ops.push_back(host::callOp(
-        1u, kernels::entries::luLeaf,
+        cellBit(0), kernels::entries::luLeaf,
         {std::int32_t(n), std::int32_t(n * n)}));
-    ops.push_back(host::sendOp(1u, Region::mat(a.base, n, n, a.ld)));
+    ops.push_back(host::sendOp(cellBit(0), Region::mat(a.base, n, n, a.ld)));
     for (std::size_t k = 0; k < n; ++k) {
         const std::size_t s = n - k;
         // Pivot comes home, its reciprocal goes back (and is kept for
         // the later TRSM leaves).
-        ops.push_back(host::recvOp(0, Region::vec(a.addrOf(k, k), 1)));
+        ops.push_back(host::recvOp(cellId(0), Region::vec(a.addrOf(k, k), 1)));
         ops.push_back(host::recipOp(recips + k, a.addrOf(k, k)));
-        ops.push_back(host::sendOp(1u, Region::vec(recips + k, 1)));
+        ops.push_back(host::sendOp(cellBit(0), Region::vec(recips + k, 1)));
         ++planStats.recipOps;
         if (s > 1) {
             ops.push_back(host::recvOp(
-                0, Region::vec(a.addrOf(k + 1, k), s - 1)));
+                cellId(0), Region::vec(a.addrOf(k + 1, k), s - 1)));
             ops.push_back(host::recvOp(
-                0, Region::strided(a.addrOf(k, k + 1), s - 1, a.ld)));
+                cellId(0), Region::strided(a.addrOf(k, k + 1), s - 1, a.ld)));
         }
     }
     ++planStats.leafCalls;
@@ -485,25 +496,25 @@ LinalgPlanner::cholLeaf(const MatRef &a, std::size_t recips)
 {
     const std::size_t n = a.rows;
     ops.push_back(host::callOp(
-        1u, kernels::entries::choleskyLeaf,
+        cellBit(0), kernels::entries::choleskyLeaf,
         {std::int32_t(n), std::int32_t(n * (n + 1) / 2)}));
     // Packed lower triangle, column by column.
     for (std::size_t j = 0; j < n; ++j) {
-        ops.push_back(host::sendOp(1u,
+        ops.push_back(host::sendOp(cellBit(0),
                                    Region::vec(a.addrOf(j, j), n - j)));
     }
     for (std::size_t k = 0; k < n; ++k) {
         const std::size_t s = n - k;
         // Raw pivot home; L(k,k) = sqrt stays in place, 1/L(k,k) is
         // kept for the TRSM leaves; reciprocal back to the cell.
-        ops.push_back(host::recvOp(0, Region::vec(a.addrOf(k, k), 1)));
+        ops.push_back(host::recvOp(cellId(0), Region::vec(a.addrOf(k, k), 1)));
         ops.push_back(host::sqrtRecipOp(a.addrOf(k, k), recips + k,
                                         a.addrOf(k, k)));
-        ops.push_back(host::sendOp(1u, Region::vec(recips + k, 1)));
+        ops.push_back(host::sendOp(cellBit(0), Region::vec(recips + k, 1)));
         ++planStats.recipOps;
         if (s > 1) {
             ops.push_back(host::recvOp(
-                0, Region::vec(a.addrOf(k + 1, k), s - 1)));
+                cellId(0), Region::vec(a.addrOf(k + 1, k), s - 1)));
         }
     }
     ++planStats.leafCalls;

@@ -37,7 +37,16 @@ struct PlanStats
 class LinalgPlanner
 {
   public:
+    /** Plan onto every cell of @p sys. */
     explicit LinalgPlanner(copro::Coprocessor &sys);
+
+    /**
+     * Plan onto the subset of cells in @p cell_mask only: logical cell
+     * 0..popcount-1 maps onto the set physical cells in ascending
+     * order. This is how work is re-planned around dead cells — the
+     * emitted program never addresses a cell outside the mask.
+     */
+    LinalgPlanner(copro::Coprocessor &sys, std::uint32_t cell_mask);
 
     /**
      * C += A * B (negate: C -= A * B). Tiles C so each cell's chunk of a
@@ -112,12 +121,30 @@ class LinalgPlanner
     /** Ops emitted and not yet committed. */
     const std::vector<host::HostOp> &pending() const { return ops; }
 
+    /** Move the pending descriptors out instead of committing them. */
+    std::vector<host::HostOp>
+    takeOps()
+    {
+        std::vector<host::HostOp> out = std::move(ops);
+        ops.clear();
+        return out;
+    }
+
     const PlanStats &stats() const { return planStats; }
 
     /** Largest n with n*n <= Tf: the LU leaf bound. */
     std::size_t luLeafMax() const;
 
+    /** Cells this planner distributes work across. */
+    unsigned numCells() const { return unsigned(cellIds.size()); }
+
   private:
+    /** Physical cell id of logical cell @p cc. */
+    unsigned cellId(unsigned cc) const { return cellIds[cc]; }
+
+    /** Host-bus mask bit of logical cell @p cc. */
+    std::uint32_t cellBit(unsigned cc) const { return 1u << cellIds[cc]; }
+
     void luRecurse(const MatRef &a, std::size_t recips);
     void luLeaf(const MatRef &a, std::size_t recips);
     void cholRecurse(const MatRef &a, std::size_t recips);
@@ -130,6 +157,7 @@ class LinalgPlanner
                        bool a_transposed);
 
     copro::Coprocessor &sys;
+    std::vector<unsigned> cellIds; //!< logical -> physical cell map
     std::vector<host::HostOp> ops;
     PlanStats planStats;
     std::size_t oneAddr;  //!< host scratch holding the constant 1.0f

@@ -15,8 +15,19 @@ using host::HostOp;
 using host::Region;
 
 SignalPlanner::SignalPlanner(copro::Coprocessor &sys)
-    : sys(sys), nextConvEntry(kernels::entries::conv2dBase)
+    : SignalPlanner(sys, copro::allCellsMask(sys.numCells()))
 {}
+
+SignalPlanner::SignalPlanner(copro::Coprocessor &sys,
+                             std::uint32_t cell_mask)
+    : sys(sys), nextConvEntry(kernels::entries::conv2dBase)
+{
+    for (unsigned c = 0; c < sys.numCells(); ++c) {
+        if (cell_mask & (1u << c))
+            cellIds.push_back(c);
+    }
+    opac_assert(!cellIds.empty(), "planner with no usable cells");
+}
 
 void
 SignalPlanner::commit()
@@ -33,7 +44,7 @@ SignalPlanner::conv2d(const MatRef &image_t, const MatRef &weights,
     const unsigned p = unsigned(weights.rows);
     const unsigned q = unsigned(weights.cols);
     const std::size_t tf = sys.config().cell.tf;
-    const unsigned cells = sys.numCells();
+    const unsigned cells = numCells();
 
     opac_assert(image_t.rows >= m_cols + q - 1
                 && image_t.cols >= n_rows + p,
@@ -74,17 +85,17 @@ SignalPlanner::conv2d(const MatRef &image_t, const MatRef &weights,
             std::size_t blk = wave * cells + cc;
             if (blk >= geom.blocks)
                 continue;
-            active |= 1u << cc;
+            active |= cellBit(cc);
             c0[cc] = blk * geom.wu;
             bw[cc] = std::min(geom.wu, m_cols - c0[cc]);
         }
 
         for (unsigned cc = 0; cc < cells; ++cc) {
-            if (!(active & (1u << cc)))
+            if (!(active & (cellBit(cc))))
                 continue;
             std::size_t wi_c = bw[cc] + q - 1;
             ops.push_back(host::callOp(
-                1u << cc, entry,
+                cellBit(cc), entry,
                 {std::int32_t(iters), std::int32_t(wi_c),
                  std::int32_t(bw[cc])}));
         }
@@ -97,31 +108,31 @@ SignalPlanner::conv2d(const MatRef &image_t, const MatRef &weights,
         }
         // First row slice per cell.
         for (unsigned cc = 0; cc < cells; ++cc) {
-            if (active & (1u << cc)) {
+            if (active & (cellBit(cc))) {
                 ops.push_back(host::sendOp(
-                    1u << cc, Region::vec(image_t.addrOf(c0[cc], 0),
+                    cellBit(cc), Region::vec(image_t.addrOf(c0[cc], 0),
                                           bw[cc] + q - 1)));
             }
         }
         // Pipelined row streaming and result collection.
         for (std::size_t r = 0; r < iters; ++r) {
             for (unsigned cc = 0; cc < cells; ++cc) {
-                if (active & (1u << cc)) {
+                if (active & (cellBit(cc))) {
                     ops.push_back(host::sendOp(
-                        1u << cc,
+                        cellBit(cc),
                         Region::vec(image_t.addrOf(c0[cc], r + 1),
                                     bw[cc] + q - 1)));
                 }
             }
             for (unsigned cc = 0; cc < cells; ++cc) {
-                if (!(active & (1u << cc)))
+                if (!(active & (cellBit(cc))))
                     continue;
                 if (r < std::size_t(p) - 1) {
                     ops.push_back(host::recvOp(
-                        cc, Region::vec(scratch, bw[cc])));
+                        cellId(cc), Region::vec(scratch, bw[cc])));
                 } else {
                     ops.push_back(host::recvOp(
-                        cc, Region::vec(out_t.addrOf(c0[cc],
+                        cellId(cc), Region::vec(out_t.addrOf(c0[cc],
                                                      r - (p - 1)),
                                         bw[cc])));
                 }
@@ -136,7 +147,7 @@ SignalPlanner::correlation(std::size_t x_base, std::size_t nx,
                            std::size_t y_base, std::size_t lags,
                            std::size_t out_base)
 {
-    const unsigned cells = sys.numCells();
+    const unsigned cells = numCells();
     host::HostMemory &mem = sys.memory();
 
     // Partition the lags across cells; each cell receives its own
@@ -169,11 +180,11 @@ SignalPlanner::correlation(std::size_t x_base, std::size_t nx,
                                        : floatToWord(0.0f));
         }
         ops.push_back(host::callOp(
-            1u << cc, kernels::entries::correlation,
+            cellBit(cc), kernels::entries::correlation,
             {std::int32_t(dc), std::int32_t(nx), std::int32_t(dc - 1),
              std::int32_t(g)}));
-        ops.push_back(host::sendOp(1u << cc, Region::vec(s, len)));
-        ops.push_back(host::recvOp(cc,
+        ops.push_back(host::sendOp(cellBit(cc), Region::vec(s, len)));
+        ops.push_back(host::recvOp(cellId(cc),
                                    Region::vec(out_base + d0, dc)));
         d0 += dc;
     }
@@ -191,7 +202,7 @@ SignalPlanner::fft(std::size_t in_base, std::size_t out_base,
                 "fft size %zu exceeds 2*Tf/3", n);
     const unsigned m = unsigned(floorLog2(std::int64_t(n)));
     host::HostMemory &mem = sys.memory();
-    const unsigned cells = sys.numCells();
+    const unsigned cells = numCells();
 
     // Twiddle table, stage-major, butterfly order (shared by batches).
     std::size_t twiddles = mem.alloc(m * n);
@@ -225,24 +236,24 @@ SignalPlanner::fft(std::size_t in_base, std::size_t out_base,
             }
             if (pipelined) {
                 ops.push_back(host::callOp(
-                    1u << cc, kernels::entries::fftFast,
+                    cellBit(cc), kernels::entries::fftFast,
                     {std::int32_t(m), std::int32_t(n / 8),
                      std::int32_t(n)}));
             } else {
                 ops.push_back(host::callOp(
-                    1u << cc, kernels::entries::fft,
+                    cellBit(cc), kernels::entries::fft,
                     {std::int32_t(m), std::int32_t(n / 4),
                      std::int32_t(n)}));
             }
-            ops.push_back(host::sendOp(1u << cc,
+            ops.push_back(host::sendOp(cellBit(cc),
                                        Region::vec(rev, 2 * n)));
-            ops.push_back(host::sendOp(1u << cc,
+            ops.push_back(host::sendOp(cellBit(cc),
                                        Region::vec(twiddles, m * n)));
         }
         for (std::size_t k = 0; k < in_wave; ++k) {
             std::size_t bb = w0 + k;
             ops.push_back(host::recvOp(
-                unsigned(k), Region::vec(out_base + bb * 2 * n,
+                cellId(unsigned(k)), Region::vec(out_base + bb * 2 * n,
                                          2 * n)));
         }
     }
@@ -258,7 +269,7 @@ SignalPlanner::fftResident(std::size_t in_base, std::size_t out_base,
     opac_assert(m * n <= sys.config().cell.tf,
                 "twiddle table %zu words exceeds Tf", std::size_t(m) * n);
     host::HostMemory &mem = sys.memory();
-    const unsigned cells = sys.numCells();
+    const unsigned cells = numCells();
 
     std::size_t twiddles = mem.alloc(m * n);
     std::size_t at = twiddles;
@@ -281,9 +292,9 @@ SignalPlanner::fftResident(std::size_t in_base, std::size_t out_base,
     for (unsigned cc = 0; cc < cells; ++cc) {
         if (count[cc] == 0)
             continue;
-        active |= 1u << cc;
+        active |= cellBit(cc);
         ops.push_back(host::callOp(
-            1u << cc, kernels::entries::fftBatch,
+            cellBit(cc), kernels::entries::fftBatch,
             {std::int32_t(m), std::int32_t(n / 4), std::int32_t(n),
              std::int32_t(count[cc]), std::int32_t(m * n)}));
     }
@@ -302,13 +313,13 @@ SignalPlanner::fftResident(std::size_t in_base, std::size_t out_base,
                 mem.store(rev + 2 * i + 1,
                           mem.load(in_base + bb * 2 * n + 2 * r + 1));
             }
-            ops.push_back(host::sendOp(1u << unsigned(k),
+            ops.push_back(host::sendOp(cellBit(unsigned(k)),
                                        Region::vec(rev, 2 * n)));
         }
         for (std::size_t k = 0; k < in_wave; ++k) {
             std::size_t bb = w0 + k;
             ops.push_back(host::recvOp(
-                unsigned(k), Region::vec(out_base + bb * 2 * n,
+                cellId(unsigned(k)), Region::vec(out_base + bb * 2 * n,
                                          2 * n)));
         }
     }
@@ -321,14 +332,14 @@ SignalPlanner::gemv(const MatRef &a, std::size_t x_base,
     const std::size_t m = a.rows;
     const std::size_t n = a.cols;
     opac_assert(m <= sys.config().cell.tf, "gemv rows exceed Tf");
-    ops.push_back(host::callOp(1u, kernels::entries::gemv,
+    ops.push_back(host::callOp(cellBit(0), kernels::entries::gemv,
                                {std::int32_t(m), std::int32_t(n)}));
-    ops.push_back(host::sendOp(1u, Region::vec(y_base, m)));
+    ops.push_back(host::sendOp(cellBit(0), Region::vec(y_base, m)));
     for (std::size_t j = 0; j < n; ++j) {
-        ops.push_back(host::sendOp(1u, Region::vec(x_base + j, 1)));
-        ops.push_back(host::sendOp(1u, Region::vec(a.addrOf(0, j), m)));
+        ops.push_back(host::sendOp(cellBit(0), Region::vec(x_base + j, 1)));
+        ops.push_back(host::sendOp(cellBit(0), Region::vec(a.addrOf(0, j), m)));
     }
-    ops.push_back(host::recvOp(0, Region::vec(y_base, m)));
+    ops.push_back(host::recvOp(cellId(0), Region::vec(y_base, m)));
 }
 
 } // namespace opac::planner

@@ -30,7 +30,14 @@ struct ConvGeometry
 class SignalPlanner
 {
   public:
+    /** Plan onto every cell of @p sys. */
     explicit SignalPlanner(copro::Coprocessor &sys);
+
+    /**
+     * Plan onto the subset of cells in @p cell_mask only (logical ->
+     * physical mapping in ascending order; see LinalgPlanner).
+     */
+    SignalPlanner(copro::Coprocessor &sys, std::uint32_t cell_mask);
 
     /**
      * 2-D p x q correlation of an N x M image.
@@ -90,8 +97,24 @@ class SignalPlanner
 
     const std::vector<host::HostOp> &pending() const { return ops; }
 
+    /** Move the pending descriptors out instead of committing them. */
+    std::vector<host::HostOp>
+    takeOps()
+    {
+        std::vector<host::HostOp> out = std::move(ops);
+        ops.clear();
+        return out;
+    }
+
+    /** Cells this planner distributes work across. */
+    unsigned numCells() const { return unsigned(cellIds.size()); }
+
   private:
+    unsigned cellId(unsigned cc) const { return cellIds[cc]; }
+    std::uint32_t cellBit(unsigned cc) const { return 1u << cellIds[cc]; }
+
     copro::Coprocessor &sys;
+    std::vector<unsigned> cellIds; //!< logical -> physical cell map
     std::vector<host::HostOp> ops;
     Word nextConvEntry;
 };

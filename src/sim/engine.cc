@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "trace/trace.hh"
 
@@ -38,12 +39,18 @@ Engine::run(Cycle max_cycles)
     Cycle start = cycle;
     Cycle idle_cycles = 0;
     auto watchdogExpired = [&] {
-        opac_fatal("deadlock: no progress for %llu cycles at cycle "
-                   "%llu (idle-cycle skipping %s)\n%s",
+        if (watchdogHandler && watchdogHandler(*this)) {
+            // A recovery handler claimed the expiry; restart the count
+            // and give the machine another watchdog period to react.
+            idle_cycles = 0;
+            return;
+        }
+        throw DeadlockError(
+            "engine", cycle,
+            strfmt("deadlock: no progress for %llu cycles "
+                   "(idle-cycle skipping %s)\n%s",
                    static_cast<unsigned long long>(watchdogCycles),
-                   static_cast<unsigned long long>(cycle),
-                   _skipEnabled ? "on" : "off",
-                   statusDump().c_str());
+                   _skipEnabled ? "on" : "off", statusDump().c_str()));
     };
     while (!allDone()) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {

@@ -161,6 +161,20 @@ class Engine
     stats::StatGroup &stats() { return statGroup; }
 
     /**
+     * Install a non-fatal watchdog callback. When the watchdog
+     * expires the handler runs first: returning true claims the
+     * expiry (the idle counter restarts and the run continues —
+     * the recovery path uses this to force a host-side transaction
+     * retry), returning false falls through to the fatal
+     * DeadlockError. Pass nullptr to restore fatal-only behavior.
+     */
+    using WatchdogHandler = std::function<bool(Engine &)>;
+    void setWatchdogHandler(WatchdogHandler h)
+    {
+        watchdogHandler = std::move(h);
+    }
+
+    /**
      * Enable or disable idle-cycle skipping (default on). With
      * skipping off the engine spins through quiescent cycles one at a
      * time; results are bit-identical either way, so this is an
@@ -180,6 +194,7 @@ class Engine
     std::vector<Component *> components;
     Cycle cycle = 0;
     Cycle watchdogCycles;
+    WatchdogHandler watchdogHandler;
     bool progressed = false;
     bool _skipEnabled = true;
     std::uint64_t _fastForwards = 0;

@@ -171,6 +171,21 @@ compareBench(const BenchFile &base, const BenchFile &cur,
         };
         d.baseSimRate = rate(b);
         d.curSimRate = rate(c);
+        auto extra = [](const BenchRecord *r, const char *key) {
+            auto e = r->extra.find(key);
+            return e == r->extra.end() ? -1.0 : e->second;
+        };
+        d.baseCompletion = extra(b, "completion_rate");
+        d.curCompletion = extra(c, "completion_rate");
+        d.baseCorrect = extra(b, "correct");
+        d.curCorrect = extra(c, "correct");
+        // Completion and correctness gate hard: any drop below the
+        // baseline fails, independent of the cycle threshold.
+        if (d.baseCompletion >= 0.0
+            && d.curCompletion < d.baseCompletion - 1e-9)
+            d.regressed = true;
+        if (d.baseCorrect >= 0.0 && d.curCorrect < d.baseCorrect - 1e-9)
+            d.regressed = true;
         diff.deltas.push_back(d);
     }
     for (const auto &[name, c] : cur_by_name) {
@@ -188,16 +203,28 @@ renderBenchDiff(const BenchDiff &diff)
                        diff.thresholdPct, diff.thresholdPct));
     // Simulation rate is host-dependent, so it is shown but never
     // gated on; the column appears only when some record carries it.
-    bool have_rate = false;
-    for (const auto &d : diff.deltas)
+    bool have_rate = false, have_resilience = false;
+    for (const auto &d : diff.deltas) {
         have_rate = have_rate || d.baseSimRate > 0.0
                     || d.curSimRate > 0.0;
+        have_resilience = have_resilience || d.baseCompletion >= 0.0
+                          || d.baseCorrect >= 0.0;
+    }
     auto rate_cell = [](double r) {
         return r > 0.0 ? strfmt("%.2fM", r / 1e6) : std::string("-");
+    };
+    auto res_cell = [](double base, double cur) {
+        if (base < 0.0 && cur < 0.0)
+            return std::string("-");
+        return strfmt("%.2f -> %.2f", base, cur);
     };
     std::vector<std::string> head = {"case", "base cycles", "cycles",
                                      "d%", "base f/c", "f/c", "d%",
                                      "verdict"};
+    if (have_resilience) {
+        head.push_back("complete");
+        head.push_back("correct");
+    }
     if (have_rate)
         head.push_back("Mcyc/s (info)");
     t.header(head);
@@ -208,6 +235,10 @@ renderBenchDiff(const BenchDiff &diff)
             strfmt("%.3f", d.baseFpc), strfmt("%.3f", d.curFpc),
             strfmt("%+.2f", d.fpcPct),
             d.regressed ? "REGRESSED" : "ok"};
+        if (have_resilience) {
+            row.push_back(res_cell(d.baseCompletion, d.curCompletion));
+            row.push_back(res_cell(d.baseCorrect, d.curCorrect));
+        }
         if (have_rate)
             row.push_back(rate_cell(d.baseSimRate) + " -> "
                           + rate_cell(d.curSimRate));

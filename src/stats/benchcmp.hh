@@ -75,6 +75,17 @@ struct BenchDelta
      */
     double baseSimRate = 0.0;
     double curSimRate = 0.0;
+    /**
+     * Resilience fields from the records' optional "completion_rate"
+     * and "correct" extras (the fault_sweep bench): any decrease vs
+     * the baseline is a regression regardless of the percentage
+     * threshold — a run that stops completing or stops being correct
+     * is broken, not merely slower. -1 when the extra is absent.
+     */
+    double baseCompletion = -1.0;
+    double curCompletion = -1.0;
+    double baseCorrect = -1.0;
+    double curCorrect = -1.0;
 };
 
 /** Full diff between a baseline file and a current file. */

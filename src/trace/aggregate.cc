@@ -103,6 +103,9 @@ Aggregate::event(const Tracer &tracer, const Event &e)
       case EventKind::CallBegin:
         ++comps[comp].calls;
         break;
+      case EventKind::Fault:
+        ++comps[comp].faults;
+        break;
       case EventKind::BusBegin:
       case EventKind::BusEnd:
       case EventKind::CallEnd:

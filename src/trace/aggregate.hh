@@ -39,6 +39,7 @@ class Aggregate : public Sink
         std::uint64_t calls = 0;
         std::uint64_t busWordsMoved = 0;
         std::uint64_t busBusyCycles = 0;
+        std::uint64_t faults = 0; //!< injected faults armed here
 
         std::uint64_t totalIssued() const;
         std::uint64_t totalStalls() const;

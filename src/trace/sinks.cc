@@ -128,6 +128,14 @@ ChromeTraceSink::event(const Tracer &tracer, const Event &e)
             e.comp, ts, static_cast<unsigned long long>(total)));
         break;
       }
+      case EventKind::Fault:
+        ensureThreadMeta(tracer, e.comp, tidStall, "stall");
+        emitRecord(strfmt(
+            "{\"name\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%u,"
+            "\"tid\":%u,\"ts\":%llu,"
+            "\"args\":{\"kind\":%u,\"cell\":%u,\"payload\":%u}}",
+            e.comp, tidStall, ts, e.arg, e.a, e.b));
+        break;
     }
 }
 
@@ -183,6 +191,7 @@ readCsv(std::istream &in, Tracer &tracer, std::string *err)
         EventKind::FifoReset, EventKind::Issue, EventKind::Retire,
         EventKind::Stall, EventKind::BusBegin, EventKind::BusWord,
         EventKind::BusEnd, EventKind::CallBegin, EventKind::CallEnd,
+        EventKind::Fault,
     };
 
     std::string line;

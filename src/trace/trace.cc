@@ -35,6 +35,8 @@ eventKindName(EventKind k)
         return "call_begin";
       case EventKind::CallEnd:
         return "call_end";
+      case EventKind::Fault:
+        return "fault";
     }
     return "?";
 }
@@ -157,6 +159,9 @@ Tracer::formatEvent(const Event &e) const
         detail = strfmt("entry=%u", e.a);
         break;
       case EventKind::CallEnd:
+        break;
+      case EventKind::Fault:
+        detail = strfmt("kind=%u cell=%u payload=%#x", e.arg, e.a, e.b);
         break;
     }
     return strfmt("%llu %s %s%s%s %s",

@@ -51,6 +51,7 @@ enum class EventKind : std::uint8_t
     BusEnd,      //!< descriptor complete; a: words moved
     CallBegin,   //!< kernel call dispatched; a: entry id
     CallEnd,     //!< kernel ran to Halt
+    Fault,       //!< injected fault armed; arg: FaultKind; a: cell; b: payload
 };
 
 /** Issue-event classification (EventKind::Issue, Event::arg). */

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "blasref/blas3.hh"
+#include "common/error.hh"
 #include "isa/disasm.hh"
 #include "kernels/firmware.hh"
 #include "kernels/lu_leaf.hh"
@@ -42,15 +43,15 @@ TEST(Firmware, RejectsCorruption)
     // Bad magic.
     auto bad = image;
     bad[0] ^= 1;
-    EXPECT_THROW(unpackFirmware(bad), std::runtime_error);
+    EXPECT_THROW(unpackFirmware(bad), MicrocodeError);
     // Truncation.
     auto trunc = image;
     trunc.resize(trunc.size() - 3);
-    EXPECT_THROW(unpackFirmware(trunc), std::logic_error);
+    EXPECT_THROW(unpackFirmware(trunc), MicrocodeError);
     // Trailing garbage.
     auto extra = image;
     extra.push_back(0);
-    EXPECT_THROW(unpackFirmware(extra), std::logic_error);
+    EXPECT_THROW(unpackFirmware(extra), MicrocodeError);
 }
 
 TEST(Firmware, BootedCoprocessorMatchesDirectLoad)

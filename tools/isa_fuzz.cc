@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Bounded fuzz smoke for the decode/validate surfaces that face
+ * untrusted bytes: the microcode decoder, the program validator, the
+ * firmware unpacker and the --faults= spec parser. Malformed input
+ * must yield a structured opac::Error — never a crash, an abort, or
+ * (under ASan/UBSan, the CI configuration that runs this) undefined
+ * behavior.
+ *
+ *   isa_fuzz [--iters N] [--seed S]
+ *
+ * Deterministic for a given seed; the default 4000 iterations run in
+ * well under a second, so the tool doubles as a ctest case.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/random.hh"
+#include "fault/fault.hh"
+#include "isa/encode.hh"
+#include "isa/program.hh"
+#include "kernels/firmware.hh"
+
+using namespace opac;
+
+namespace
+{
+
+struct Tally
+{
+    unsigned long accepted = 0; //!< parsed and validated cleanly
+    unsigned long rejected = 0; //!< threw a structured opac::Error
+    unsigned long escaped = 0;  //!< threw anything else (a bug)
+};
+
+/** Run @p fn, classifying the outcome. */
+template <typename Fn>
+void
+probe(Tally &t, const char *what, Fn &&fn)
+{
+    try {
+        fn();
+        ++t.accepted;
+    } catch (const Error &) {
+        ++t.rejected; // structured rejection: the contract
+    } catch (const std::exception &e) {
+        ++t.escaped;
+        std::fprintf(stderr, "FUZZ ESCAPE (%s): unstructured %s\n",
+                     what, e.what());
+    } catch (...) {
+        ++t.escaped;
+        std::fprintf(stderr, "FUZZ ESCAPE (%s): non-std exception\n",
+                     what);
+    }
+}
+
+std::vector<std::uint32_t>
+randomImage(Rng &rng)
+{
+    std::vector<std::uint32_t> image(rng.range(0, 48));
+    for (auto &w : image)
+        w = std::uint32_t(rng.next());
+    return image;
+}
+
+/** A printable-ish random spec string, biased toward the grammar. */
+std::string
+randomSpec(Rng &rng)
+{
+    static const char *const frags[] = {
+        "seed=",   "rate=",  "n=",     "horizon=", "kinds=", "bits=",
+        "at=",     "flip",   "hang",   "mem",      "all",    "/",
+        "+",       ",",      "=",      "tpx",      "sum",    "0",
+        "1",       "17",     "9999999999999999999", "-3",    "x",
+        "zz",      "",       "flip+drop",           "100/flip/0/tpx/1",
+    };
+    std::string s;
+    unsigned parts = unsigned(rng.range(0, 8));
+    for (unsigned i = 0; i < parts; ++i)
+        s += frags[rng.range(0, long(std::size(frags)) - 1)];
+    return s;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned long iters = 4000;
+    std::uint64_t seed = 1;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--iters"))
+            iters = std::strtoul(argv[i + 1], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--seed"))
+            seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+
+    Rng rng(seed);
+    Tally decode, firmware, spec;
+
+    // A pristine firmware image to mutate: single bit flips and short
+    // truncations explore the interesting neighborhood of valid input
+    // far better than uniform noise.
+    const std::vector<Word> pristine = kernels::standardFirmware();
+
+    for (unsigned long i = 0; i < iters; ++i) {
+        probe(decode, "isa::decode+validate", [&rng] {
+            isa::Program p = isa::decode(randomImage(rng), "fuzz");
+            p.validate();
+        });
+
+        probe(firmware, "unpackFirmware", [&rng, &pristine] {
+            std::vector<Word> image = pristine;
+            switch (rng.range(0, 2)) {
+              case 0: { // bit flips
+                unsigned flips = unsigned(rng.range(1, 8));
+                for (unsigned f = 0; f < flips; ++f)
+                    image[std::size_t(rng.next() % image.size())] ^=
+                        1u << (rng.next() % 32);
+                break;
+              }
+              case 1: // truncation
+                image.resize(std::size_t(rng.next() % image.size()));
+                break;
+              default: // trailing garbage
+                image.push_back(Word(rng.next()));
+                break;
+            }
+            kernels::unpackFirmware(image);
+        });
+
+        probe(spec, "parseFaultSpec", [&rng] {
+            fault::parseFaultSpec(randomSpec(rng));
+        });
+    }
+
+    std::printf("isa_fuzz: %lu iterations, seed %llu\n", iters,
+                (unsigned long long)seed);
+    std::printf("  decode/validate: %lu ok, %lu rejected, %lu escaped\n",
+                decode.accepted, decode.rejected, decode.escaped);
+    std::printf("  firmware:        %lu ok, %lu rejected, %lu escaped\n",
+                firmware.accepted, firmware.rejected, firmware.escaped);
+    std::printf("  fault spec:      %lu ok, %lu rejected, %lu escaped\n",
+                spec.accepted, spec.rejected, spec.escaped);
+    unsigned long escaped =
+        decode.escaped + firmware.escaped + spec.escaped;
+    if (escaped) {
+        std::fprintf(stderr,
+                     "isa_fuzz: FAIL: %lu unstructured escapes\n",
+                     escaped);
+        return 1;
+    }
+    std::printf("isa_fuzz: PASS (no crashes, no unstructured "
+                "exceptions)\n");
+    return 0;
+}
