@@ -71,6 +71,30 @@ parityDefault()
 }
 
 /**
+ * Process-wide engine mode, set by initSimFlags from --engine=. All
+ * four modes are bit-identical in simulated cycles, statistics and
+ * trace output (docs/PERFORMANCE.md), so this only selects how fast
+ * the host machine gets there.
+ */
+inline sim::EngineMode &
+engineDefault()
+{
+    static sim::EngineMode mode = sim::EngineMode::Skip;
+    return mode;
+}
+
+/**
+ * Process-wide worker count for --engine=parallel, set by initSimFlags
+ * from --sim-threads= (0 = one per hardware thread).
+ */
+inline unsigned &
+simThreadsDefault()
+{
+    static unsigned threads = 0;
+    return threads;
+}
+
+/**
  * Parse the simulation-wide bench flags:
  *   --no-skip        run every idle cycle instead of fast-forwarding
  *                    (bit-identical; only slower — a debugging aid)
@@ -79,6 +103,10 @@ parityDefault()
  *   --faults=SPEC    fault-injection plan for every system the bench
  *                    builds (grammar in docs/RESILIENCE.md)
  *   --parity=MODE    off | detect | correct FIFO word protection
+ *   --engine=MODE    spin | skip | event | parallel scheduler
+ *                    (bit-identical; see docs/PERFORMANCE.md)
+ *   --sim-threads=N  workers for --engine=parallel (0 = one per
+ *                    hardware thread)
  * Returns the job count for sim::sweep.
  */
 inline unsigned
@@ -98,6 +126,8 @@ timingConfig(unsigned cells, std::size_t tf, unsigned tau,
     cfg.memoryWords = memory_words;
     cfg.watchdogCycles = 2000000;
     cfg.skipIdleCycles = skipDefault();
+    cfg.engineMode = engineDefault();
+    cfg.simThreads = simThreadsDefault();
     cfg.faults = faultDefault();
     cfg.cell.parity = parityDefault();
     return cfg;
@@ -183,6 +213,17 @@ initSimFlags(int argc, char **argv)
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         std::exit(2);
     }
+    std::string engine = argText(argc, argv, "--engine");
+    if (!engine.empty()
+        && !sim::parseEngineMode(engine, engineDefault())) {
+        std::fprintf(stderr,
+                     "%s: bad --engine value '%s' (want spin, skip, "
+                     "event or parallel)\n", argv[0], engine.c_str());
+        std::exit(2);
+    }
+    std::string threads = argText(argc, argv, "--sim-threads");
+    if (!threads.empty())
+        simThreadsDefault() = unsigned(std::atol(threads.c_str()));
     long jobs = argValue(argc, argv, "--jobs",
                          long(sim::defaultJobs()));
     std::string eq = argText(argc, argv, "--jobs");

@@ -35,6 +35,8 @@ struct ConvResult
     double ma_per_cycle;
     double bound;
     std::size_t wu;
+    Cycle cycles;
+    double wall; //!< wall-clock seconds of the sys.run() call
 };
 
 ConvResult
@@ -53,13 +55,17 @@ runCase(unsigned p_cells, std::size_t tf, unsigned tau, std::size_t n,
     MatRef out_t = allocMat(mem, m, n);
     auto geom = plan.conv2d(image_t, weights, out_t, n, m);
     plan.commit();
+    double t0 = wallSeconds();
     Cycle cycles = sys.run();
+    double t1 = wallSeconds();
     ConvResult r;
     r.ma_per_cycle = double(geom.usefulMas) / double(cycles);
     // Bandwidth bound uses the actual block width chosen.
     r.bound = analytic::convBandwidthBound(p_cells, tau, m, geom.wu, p,
                                            q);
     r.wu = geom.wu;
+    r.cycles = cycles;
+    r.wall = t1 - t0;
     return r;
 }
 
@@ -88,16 +94,27 @@ main(int argc, char **argv)
             });
     auto results = sim::sweep<ConvResult>(tasks, jobs);
 
+    BenchJsonWriter json("table_6_2");
+    json.config("rows", long(n));
+    json.config("cols", long(m));
+    json.config("engine", sim::engineModeName(engineDefault()));
+    json.config("sim_threads", long(simThreadsDefault()));
+
     std::size_t idx = 0;
     TextTable t("measured (bound) [block width]");
     t.header({"", "Tf=512,t=4", "Tf=512,t=2", "Tf=2048,t=4",
               "Tf=2048,t=2"});
     for (unsigned p : cells) {
         std::vector<std::string> row = {strfmt("P = %u", p)};
-        for ([[maybe_unused]] auto &cfg : configs) {
+        for (auto [tf, tau] : configs) {
             ConvResult r = results[idx++];
             row.push_back(strfmt("%.3f (%.2f) [%zu]", r.ma_per_cycle,
                                  r.bound, r.wu));
+            double fpc = 2.0 * r.ma_per_cycle;
+            json.record(strfmt("P%u_Tf%zu_tau%u", p, tf, tau), r.cycles,
+                        fpc, fpc / (2.0 * p),
+                        {{"ma_per_cycle", r.ma_per_cycle},
+                         {"sim_rate", simRate(r.cycles, r.wall)}});
         }
         t.row(row);
     }

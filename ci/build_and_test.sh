@@ -39,6 +39,19 @@ plain="$build_root/plain"
 "$plain/tools/trace_report" "$plain/trace_smoke.json" > /dev/null
 echo "trace smoke test OK"
 
+# Parallel-engine determinism under TSan: the sharded cell execution
+# is the simulator's only intra-run concurrency; rerun its golden
+# suite and a bench smoke with a real worker pool under the race
+# detector. (The tsan ctest pass above already ran the suite once;
+# this leg pins the intent so a test-regex change cannot silently
+# drop it.)
+echo "=== parallel engine (TSan) ==="
+tsan="$build_root/tsan"
+(cd "$tsan" && ctest -R test_engine_parallel --output-on-failure)
+(cd "$tsan" && ./bench/table_6_2 --rows 32 --cols 32 --jobs 1 \
+    --engine=parallel --sim-threads=4 > /dev/null)
+echo "parallel engine TSan OK"
+
 # Fault matrix: soak the recovery stack under the sanitizers. A
 # flip/hang/mem fault plan over a full table run must complete (parity
 # corrects the flips, transient hangs resolve, memory spikes only
@@ -61,10 +74,22 @@ OPAC_GIT_SHA=$(git -C "$root" rev-parse --short HEAD 2>/dev/null \
     || echo ci)
 export OPAC_GIT_SHA
 (cd "$plain" && ./bench/table_6_1 --quick > /dev/null)
+(cd "$plain" && ./bench/table_6_2 --rows 256 --cols 256 > /dev/null)
 (cd "$plain" && ./bench/fault_sweep > /dev/null)
-for bench in kernels_throughput table_6_1 fault_sweep; do
+for bench in kernels_throughput table_6_1 table_6_2 fault_sweep; do
     "$plain/tools/bench_diff" \
         "$root/bench/baselines/BENCH_$bench.json" \
         "$plain/BENCH_$bench.json"
 done
 echo "bench regression gate OK"
+
+# Perf smoke (Release): record sim_rate (simulated cycles per wall
+# second) for the streaming benches so the uploaded artifacts carry a
+# cycles-per-wall-second trend next to the cycle counts. Never gated
+# here — shared runners are too noisy; a dedicated perf host can gate
+# with bench_diff --gate-sim-rate against its own baselines.
+echo "=== perf smoke (Release) ==="
+release="$build_root/release"
+(cd "$release" && ./bench/table_6_2 --rows 256 --cols 256 > /dev/null)
+(cd "$release" && ./bench/kernels_throughput > /dev/null)
+echo "perf smoke OK"

@@ -5,6 +5,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
+#include "sim/replay.hh"
 
 namespace opac::cell
 {
@@ -69,6 +70,14 @@ Cell::Cell(std::string name, const CellConfig &cfg,
             [this, q](Cycle now) { enterFaulted(q->name().c_str(), now); });
     }
     _tpo.setParity(cfg.parity);
+
+    // Every queue mutation must wake this cell before it happens so
+    // the event engine can replay slept-through rounds against the
+    // pre-mutation state. setBusWakeNeighbor() later adds the host on
+    // the four interface queues.
+    for (TimedFifo *q : queueTab)
+        q->setWakeTargets(this, nullptr);
+    _tpi.setWakeTargets(this, nullptr);
 }
 
 std::uint64_t
@@ -137,6 +146,14 @@ Cell::attachTracer(trace::Tracer *t)
     _sum.attachTracer(t, traceComp);
     _ret.attachTracer(t, traceComp);
     _reby.attachTracer(t, traceComp);
+    // Pre-intern every kernel's name track so dispatch-time lookups
+    // never append to the track table: track ids stay independent of
+    // runtime call order (identical across engine modes) and the scan
+    // is read-only under the parallel engine.
+    if (t) {
+        for (const auto &[entry, k] : microcode)
+            t->internTrack(traceComp, k.prog.name());
+    }
 }
 
 void
@@ -153,7 +170,10 @@ Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
                              strfmt("entry id %#x collides with a "
                                     "reserved call",
                                     entry));
-    microcode[entry] = Kernel{std::move(prog), nparams};
+    Kernel &k = microcode[entry];
+    k = Kernel{std::move(prog), nparams};
+    if (tracer)
+        tracer->internTrack(traceComp, k.prog.name());
 }
 
 TimedFifo *
@@ -755,31 +775,39 @@ Cell::nextEventAt(Cycle now) const
 {
     if (_dead)
         return noEvent;
-    Cycle at = noEvent;
+    sim::HintMin at;
     // Any queue front falling through can unblock the sequencer or
     // the host (tpo feeds the host's Recv), so all seven count.
     for (const TimedFifo *q : queueTab)
-        at = std::min(at, q->nextReadyAt(now));
-    at = std::min(at, _tpi.nextReadyAt(now));
+        at.note(q->nextReadyAt(now));
+    at.note(_tpi.nextReadyAt(now));
     // A faulted cell acts on nothing itself; only its queue fronts
     // matter (the host may still drain tpo). A hung cell additionally
     // wakes when the hang expires; its internal countdowns stay
     // frozen until then.
     if (_faulted)
-        return at;
-    if (now < hangUntil)
-        return std::min(at, hangUntil);
+        return at.value();
+    if (now < hangUntil) {
+        at.note(hangUntil);
+        return at.value();
+    }
+    // At exact hang expiry the freeze lifts this very cycle: the
+    // sequencer resumes whatever it was doing (a control op, a stale
+    // but still poppable queue front, a landable writeback) with no
+    // queue event to announce it. Report `now`; an early wake is
+    // always safe — a genuinely stalled cell re-sleeps on a fresh
+    // hint computed past the hang.
+    if (hangUntil != 0 && now == hangUntil)
+        return now;
     // Pipeline results landing unblock RegPending/ResetFifo stalls and
     // writeback-ordering blocks. when == now counts (it lands in the
     // round at `now`); entries with when < now that did not commit
     // are ordered behind one with when >= now, which covers them.
-    for (const auto &w : inflight) {
-        if (w.when >= now)
-            at = std::min(at, w.when);
-    }
+    for (const auto &w : inflight)
+        at.noteFuture(w.when, now);
     if (state == SeqState::Decode)
-        at = std::min(at, now + decodeLeft - 1);
-    return at;
+        at.note(now + decodeLeft - 1);
+    return at.value();
 }
 
 void
@@ -829,8 +857,14 @@ Cell::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
             // Only a blocked ResetFifo can stall in Run state; every
             // other non-Compute op always completes (= progress).
             opac_assert(in.op == Opcode::ResetFifo,
-                        "%s: quiescent Run state at a non-stallable op",
-                        name().c_str());
+                        "%s: quiescent Run state at a non-stallable op "
+                        "(op=%u pc=%zu from=%llu cycles=%llu hang=%llu "
+                        "faulted=%d inflight=%zu tpi=%zu)",
+                        name().c_str(), unsigned(in.op), pc,
+                        (unsigned long long)from,
+                        (unsigned long long)cycles,
+                        (unsigned long long)hangUntil, int(_faulted),
+                        inflight.size(), _tpi.size());
             stall = StallCause::DstFull;
         }
         trace::StallWhy why = trace::StallWhy::SrcEmpty;
@@ -851,13 +885,8 @@ Cell::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
             why = trace::StallWhy::RegPending;
             break;
         }
-        if (tracer) {
-            for (Cycle k = 0; k < cycles; ++k) {
-                tracer->emit(from + k, trace::EventKind::Stall,
-                             std::uint8_t(why), traceComp, 0,
-                             std::uint32_t(pc), 0);
-            }
-        }
+        sim::replayStalls(tracer, from, cycles, why, traceComp,
+                          std::uint32_t(pc));
         break;
       }
     }
@@ -879,6 +908,10 @@ Cell::done() const
 void
 Cell::hardReset(Cycle now)
 {
+    // External mutation entry point (the host's recovery path pulls
+    // the reset line): wake before touching anything so a sleeping
+    // cell replays against its pre-reset state.
+    wakeForMutation();
     for (TimedFifo *q : queueTab)
         q->reset(now);
     _tpi.reset(now);
@@ -911,6 +944,7 @@ Cell::hardReset(Cycle now)
 void
 Cell::markDead(Cycle now)
 {
+    wakeForMutation();
     hardReset(now);
     _dead = true;
     opac_warn_once("%s: marked dead at cycle %llu", name().c_str(),
@@ -920,6 +954,7 @@ Cell::markDead(Cycle now)
 void
 Cell::injectHang(Cycle now, Cycle duration)
 {
+    wakeForMutation();
     if (_dead)
         return;
     if (duration == 0) {
@@ -933,6 +968,7 @@ Cell::injectHang(Cycle now, Cycle duration)
 void
 Cell::injectSpuriousHalt(Cycle now)
 {
+    wakeForMutation();
     if (_dead || _faulted || state == SeqState::Idle)
         return;
     // The sequencer drops everything mid-kernel. Unconsumed parameter
@@ -954,6 +990,7 @@ Cell::injectSpuriousHalt(Cycle now)
 void
 Cell::enterFaulted(const char *why, Cycle now)
 {
+    wakeForMutation();
     if (_dead || _faulted)
         return;
     _faulted = true;

@@ -11,7 +11,11 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
 {
     opac_assert(cfg.cells >= 1 && cfg.cells <= 32,
                 "cell count %u out of range [1, 32]", cfg.cells);
-    eng.setSkipEnabled(cfg.skipIdleCycles);
+    sim::EngineMode mode = cfg.engineMode;
+    if (mode == sim::EngineMode::Skip && !cfg.skipIdleCycles)
+        mode = sim::EngineMode::Spin;
+    eng.setMode(mode);
+    eng.setThreads(cfg.simThreads);
     std::vector<cell::Cell *> raw;
     for (unsigned i = 0; i < cfg.cells; ++i) {
         cellPtrs.push_back(std::make_unique<cell::Cell>(
@@ -20,6 +24,11 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
     }
     hostPtr = std::make_unique<host::Host>("host", cfg.host, mem, raw,
                                            &statRoot);
+    // A cell-side mutation of an interface queue (result pushed on
+    // tpo, operand drained from tpx/tpy) must wake a sleeping host,
+    // and vice versa.
+    for (auto &c : cellPtrs)
+        c->setBusWakeNeighbor(hostPtr.get());
     // The sampler ticks first so a sample labelled cycle k is the state
     // after exactly k completed cycles; then the host: data it pushes
     // at cycle t becomes visible to cells at t + fifoLatency either

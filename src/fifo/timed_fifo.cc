@@ -30,6 +30,7 @@ TimedFifo::push(Word w, Cycle now)
 {
     opac_assert(space() > 0, "push on full FIFO '%s' (cap %zu)",
                 _name.c_str(), _capacity);
+    notifyMutation();
     ring[(head + count) & mask] = Entry{w, now + latency, encodeWord(w)};
     ++count;
     ++pushes;
@@ -46,6 +47,7 @@ void
 TimedFifo::reserve()
 {
     opac_assert(space() > 0, "reserve on full FIFO '%s'", _name.c_str());
+    notifyMutation();
     ++_reserved;
 }
 
@@ -54,6 +56,7 @@ TimedFifo::pushReserved(Word w, Cycle now)
 {
     opac_assert(_reserved > 0, "pushReserved without reservation on '%s'",
                 _name.c_str());
+    notifyMutation();
     --_reserved;
     ring[(head + count) & mask] = Entry{w, now + latency, encodeWord(w)};
     ++count;
@@ -72,6 +75,7 @@ TimedFifo::pop(Cycle now)
 {
     opac_assert(canPop(now), "pop on empty/not-ready FIFO '%s'",
                 _name.c_str());
+    notifyMutation();
     Word w = ring[head].word;
     if (parityMode != fault::ParityMode::Off)
         w = checkProtected(w, ring[head].ecc, now);
@@ -90,6 +94,7 @@ TimedFifo::recirculate(Cycle now)
 {
     opac_assert(canPop(now), "recirculate on empty/not-ready FIFO '%s'",
                 _name.c_str());
+    notifyMutation();
     Word w = ring[head].word;
     if (parityMode != fault::ParityMode::Off)
         w = checkProtected(w, ring[head].ecc, now);
@@ -126,6 +131,7 @@ TimedFifo::front(Cycle now) const
 void
 TimedFifo::reset(Cycle now)
 {
+    notifyMutation();
     std::size_t dropped = count;
     head = 0;
     count = 0;
@@ -188,6 +194,7 @@ TimedFifo::checkProtected(Word w, std::uint8_t ecc, Cycle now)
 void
 TimedFifo::faultCorrupt(Word xor_mask, Cycle now)
 {
+    notifyMutation();
     if (count == 0) {
         pendingCorrupt ^= xor_mask;
         return;
@@ -200,6 +207,7 @@ TimedFifo::faultCorrupt(Word xor_mask, Cycle now)
 void
 TimedFifo::faultReorder(Cycle now)
 {
+    notifyMutation();
     if (count < 2) {
         pendingReorder = true;
         return;

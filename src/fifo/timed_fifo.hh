@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "sim/engine.hh"
+#include "sim/replay.hh"
 #include "stats/stats.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
@@ -67,18 +69,18 @@ class TimedFifo
     /**
      * The cycle at which the front word becomes poppable, for the
      * engine's idle-cycle skipping. cycleNever when the queue is empty
-     * or the front became poppable strictly before @p now: a consumer
-     * that saw the ready front last round and still stalled will not
-     * be woken by it. ready == now counts — the front was not
-     * poppable in the round before @p now, so the round at @p now is
-     * the wake-up.
+     * or the front became poppable strictly before @p now (the shared
+     * front-ready wake rule, sim::frontReadyHint): a consumer that saw
+     * the ready front last round and still stalled will not be woken
+     * by it. ready == now counts — the front was not poppable in the
+     * round before @p now, so the round at @p now is the wake-up.
      */
     Cycle
     nextReadyAt(Cycle now) const
     {
-        if (count == 0 || ring[head].ready < now)
+        if (count == 0)
             return cycleNever;
-        return ring[head].ready;
+        return sim::frontReadyHint(ring[head].ready, now);
     }
 
     /** True if a word can be pushed (space for one more). */
@@ -135,6 +137,24 @@ class TimedFifo
      * track of component @p comp. Pass nullptr to stop tracing.
      */
     void attachTracer(trace::Tracer *t, std::uint16_t comp);
+
+    /**
+     * Register the engine components to wake ahead of every mutation
+     * of this queue: the component whose state this queue is part of
+     * (@p owner) and the component on the other end of the link
+     * (@p neighbor, null for cell-internal queues). Either may be
+     * sleeping under the event engine with a wake hint computed from
+     * this queue's current state; notifying them *before* the
+     * mutation lets the engine replay their slept-through cycles
+     * against exactly that state. Near-free when the event scheduler
+     * is not active.
+     */
+    void
+    setWakeTargets(sim::Component *owner, sim::Component *neighbor)
+    {
+        wakeOwner = owner;
+        wakeNeighbor = neighbor;
+    }
 
     /** Lifetime totals, usable without a StatGroup. */
     std::uint64_t totalPushes() const { return pushes.value(); }
@@ -219,6 +239,19 @@ class TimedFifo
 
     /** Apply armed corrupt/reorder faults to freshly pushed words. */
     void applyPendingFaults(Cycle now);
+
+    /** Wake both endpoints; called at the top of every mutator. */
+    void
+    notifyMutation()
+    {
+        if (wakeOwner)
+            wakeOwner->wakeForMutation();
+        if (wakeNeighbor)
+            wakeNeighbor->wakeForMutation();
+    }
+
+    sim::Component *wakeOwner = nullptr;
+    sim::Component *wakeNeighbor = nullptr;
 
     std::string _name;
     std::size_t _capacity;

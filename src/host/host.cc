@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iterator>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "sim/replay.hh"
 
 namespace opac::host
 {
@@ -168,20 +170,21 @@ Host::attachTracer(trace::Tracer *t)
 {
     tracer = t;
     traceComp = t ? t->internComponent(name()) : 0;
-    for (auto &track : kindTracks)
-        track = 0;
+    // Pre-intern one track per descriptor kind so opTrack() is a pure
+    // lookup: track ids never depend on which descriptors a program
+    // happens to run (identical across engine modes) and nothing
+    // appends to the track table mid-run.
+    static const char *names[] = {"send",      "recv",      "call",
+                                  "compute",   "txn_begin", "txn_end",
+                                  "reset"};
+    for (std::size_t i = 0; i < std::size(names); ++i)
+        kindTracks[i] = t ? t->internTrack(traceComp, names[i]) : 0;
 }
 
 std::uint16_t
 Host::opTrack(const HostOp &op)
 {
-    static const char *names[] = {"send",      "recv",    "call",
-                                  "compute",   "txn_begin", "txn_end",
-                                  "reset"};
-    auto i = std::size_t(op.kind);
-    if (kindTracks[i] == 0)
-        kindTracks[i] = tracer->internTrack(traceComp, names[i]);
-    return kindTracks[i];
+    return kindTracks[std::size_t(op.kind)];
 }
 
 void
@@ -194,6 +197,9 @@ Host::traceWord(Cycle now, unsigned cost)
 void
 Host::enqueue(HostOp op)
 {
+    // A host that ran out of program sleeps with no wake-up hint; new
+    // work must wake it (the replan path enqueues mid-run).
+    wakeForMutation();
     if (op.kind == HostOp::Kind::Compute)
         opac_assert(op.scalarDst < mem.size() && op.scalarSrc < mem.size(),
                     "compute op out of memory range");
@@ -239,6 +245,9 @@ Host::takeMemSpike()
 void
 Host::armBusFault(unsigned cell, fault::FaultKind kind)
 {
+    // External mutation (the injector's tick): wake a sleeping host
+    // before its state changes.
+    wakeForMutation();
     opac_assert(cell < cells.size(), "bus fault on cell %u of %zu", cell,
                 cells.size());
     if (kind == fault::FaultKind::BusDrop)
@@ -250,6 +259,7 @@ Host::armBusFault(unsigned cell, fault::FaultKind kind)
 void
 Host::armMemLatency(unsigned cycles)
 {
+    wakeForMutation();
     memSpike += cycles;
     ++statMemSpikes;
 }
@@ -565,6 +575,7 @@ Host::recoverTxn(Cycle now, sim::Engine &engine)
 bool
 Host::forceRecovery(sim::Engine &engine)
 {
+    wakeForMutation();
     if (!cfg.recovery.enabled || !inTxn)
         return false;
     ++statTimeouts;
@@ -747,23 +758,14 @@ Host::fastForward(Cycle from, Cycle cycles, sim::Engine &engine)
       case HostOp::Kind::Send:
       case HostOp::Kind::Call:
         statStallFull += cycles;
-        if (tracer) {
-            for (Cycle k = 0; k < cycles; ++k) {
-                tracer->emit(from + k, trace::EventKind::Stall,
-                             std::uint8_t(trace::StallWhy::BusFull),
-                             traceComp, 0, std::uint32_t(pos), 0);
-            }
-        }
+        sim::replayStalls(tracer, from, cycles, trace::StallWhy::BusFull,
+                          traceComp, std::uint32_t(pos));
         break;
       case HostOp::Kind::Recv:
         statStallEmpty += cycles;
-        if (tracer) {
-            for (Cycle k = 0; k < cycles; ++k) {
-                tracer->emit(from + k, trace::EventKind::Stall,
-                             std::uint8_t(trace::StallWhy::BusEmpty),
-                             traceComp, 0, std::uint32_t(pos), 0);
-            }
-        }
+        sim::replayStalls(tracer, from, cycles,
+                          trace::StallWhy::BusEmpty, traceComp,
+                          std::uint32_t(pos));
         break;
       case HostOp::Kind::Compute:
         // The skip window never reaches the finishing cycle.

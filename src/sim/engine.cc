@@ -9,6 +9,35 @@
 namespace opac::sim
 {
 
+const char *
+engineModeName(EngineMode m)
+{
+    switch (m) {
+      case EngineMode::Spin:
+        return "spin";
+      case EngineMode::Skip:
+        return "skip";
+      case EngineMode::Event:
+        return "event";
+      case EngineMode::Parallel:
+        return "parallel";
+    }
+    return "?";
+}
+
+bool
+parseEngineMode(const std::string &text, EngineMode &out)
+{
+    for (EngineMode m : {EngineMode::Spin, EngineMode::Skip,
+                         EngineMode::Event, EngineMode::Parallel}) {
+        if (text == engineModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 Engine::allDone() const
 {
@@ -36,13 +65,33 @@ Engine::statusDump() const
 Cycle
 Engine::run(Cycle max_cycles)
 {
+    switch (_mode) {
+      case EngineMode::Spin:
+        return runSerial(max_cycles, false);
+      case EngineMode::Skip:
+        return runSerial(max_cycles, true);
+      case EngineMode::Event:
+        return runEvent(max_cycles);
+      case EngineMode::Parallel:
+        return runParallel(max_cycles);
+    }
+    return 0;
+}
+
+Cycle
+Engine::runSerial(Cycle max_cycles, bool skip)
+{
     Cycle start = cycle;
-    Cycle idle_cycles = 0;
+    // The watchdog and the skip hysteresis both derive from engine
+    // time (cycles since the last round that made progress), not from
+    // tick-loop iterations, so every run mode counts idleness the
+    // same way no matter how its loop is shaped.
+    lastProgress = cycle;
     auto watchdogExpired = [&] {
         if (watchdogHandler && watchdogHandler(*this)) {
             // A recovery handler claimed the expiry; restart the count
             // and give the machine another watchdog period to react.
-            idle_cycles = 0;
+            lastProgress = cycle;
             return;
         }
         throw DeadlockError(
@@ -50,7 +99,7 @@ Engine::run(Cycle max_cycles)
             strfmt("deadlock: no progress for %llu cycles "
                    "(idle-cycle skipping %s)\n%s",
                    static_cast<unsigned long long>(watchdogCycles),
-                   _skipEnabled ? "on" : "off", statusDump().c_str()));
+                   skip ? "on" : "off", statusDump().c_str()));
     };
     while (!allDone()) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {
@@ -60,24 +109,23 @@ Engine::run(Cycle max_cycles)
                        static_cast<unsigned long long>(cycle - start),
                        statusDump().c_str());
         }
-        progressed = false;
+        progressed.store(false, std::memory_order_relaxed);
         for (auto *c : components)
             c->tick(*this);
         ++cycle;
         ++statCycles;
-        if (progressed) {
-            idle_cycles = 0;
+        if (progressed.load(std::memory_order_relaxed)) {
+            lastProgress = cycle;
             continue;
         }
         ++statIdleCycles;
-        ++idle_cycles;
-        if (watchdogCycles != 0 && idle_cycles >= watchdogCycles)
+        if (watchdogCycles != 0 && cycle - lastProgress >= watchdogCycles)
             watchdogExpired();
         // Attempt a jump only after two consecutive quiescent rounds:
         // workloads that alternate progress and one-cycle stalls (a
         // host feeding at tau = 2) would otherwise pay for hint
         // computation every other cycle and never skip anything.
-        if (!_skipEnabled || idle_cycles < 2)
+        if (!skip || cycle - lastProgress < 2)
             continue;
 
         // Quiescent round: every cycle until the earliest next-event
@@ -94,10 +142,8 @@ Engine::run(Cycle max_cycles)
             }
             target = std::min(target, at);
         }
-        if (watchdogCycles != 0) {
-            target = std::min(target,
-                              cycle + (watchdogCycles - idle_cycles));
-        }
+        if (watchdogCycles != 0)
+            target = std::min(target, lastProgress + watchdogCycles);
         if (max_cycles != 0)
             target = std::min(target, start + max_cycles);
         // A one-cycle jump costs more than the live round it replaces
@@ -106,25 +152,24 @@ Engine::run(Cycle max_cycles)
         if (target == Component::noEvent || target < cycle + 2)
             continue;
 
-        Cycle skip = target - cycle;
+        Cycle skip_n = target - cycle;
         if (_tracer) {
             // Cycle-major replay keeps trace event order identical to
             // the spin-mode stream.
-            for (Cycle k = 0; k < skip; ++k) {
+            for (Cycle k = 0; k < skip_n; ++k) {
                 for (auto *c : components)
                     c->fastForward(cycle + k, 1, *this);
             }
         } else {
             for (auto *c : components)
-                c->fastForward(cycle, skip, *this);
+                c->fastForward(cycle, skip_n, *this);
         }
         cycle = target;
-        statCycles += skip;
-        statIdleCycles += skip;
-        idle_cycles += skip;
+        statCycles += skip_n;
+        statIdleCycles += skip_n;
         ++_fastForwards;
-        _skippedCycles += skip;
-        if (watchdogCycles != 0 && idle_cycles >= watchdogCycles)
+        _skippedCycles += skip_n;
+        if (watchdogCycles != 0 && cycle - lastProgress >= watchdogCycles)
             watchdogExpired();
     }
     return cycle - start;

@@ -14,21 +14,47 @@
  * characteristic failure mode of this architecture, and silent hangs are
  * useless.
  *
- * Idle-cycle skipping: after a tick round in which no component reported
- * progress, the engine asks every component for the earliest future cycle
- * at which it could act on its own (nextEventAt) and, instead of spinning
- * one cycle at a time, jumps the clock to the minimum hint. Components
- * replay the per-cycle side effects of the skipped quiescent rounds in
- * fastForward (stall counters, occupancy samples, per-cycle stall trace
- * events), so cycle counts, statistics, trace timestamps and the watchdog
- * are bit-identical to the spin-mode run. A component that cannot predict
- * its wake-up returns `now` (the default), which disables skipping while
- * it is live; `noEvent` means it only ever reacts to other components.
+ * The engine has four run modes, all bit-identical in simulated cycles,
+ * statistics and trace output (EngineMode):
+ *
+ *  - Spin:     tick every component every cycle. The reference model.
+ *  - Skip:     whole-system idle-cycle skipping (the default). After a
+ *              tick round in which no component reported progress, the
+ *              engine asks every component for the earliest future cycle
+ *              at which it could act on its own (nextEventAt) and jumps
+ *              the clock to the minimum hint; components replay the
+ *              per-cycle side effects of the skipped quiescent rounds in
+ *              fastForward (stall counters, occupancy samples, per-cycle
+ *              stall trace events). A component that cannot predict its
+ *              wake-up returns `now` (the default), which disables
+ *              skipping while it is live; `noEvent` means it only ever
+ *              reacts to other components.
+ *  - Event:    per-component scheduling. A component that reports no
+ *              progress for two consecutive rounds is put to sleep until
+ *              its own nextEventAt hint — individually, even while the
+ *              rest of the machine streams. Slept-through rounds are
+ *              replayed lazily (fastForward) when the component wakes:
+ *              at its hint, or early when a neighbor is about to mutate
+ *              one of its FIFOs (Component::wakeForMutation, called
+ *              before the mutation so the replay still sees the state
+ *              the sleep hint was computed against).
+ *  - Parallel: every cycle, the serial components (sampler, injector,
+ *              host) tick in registration order on the main thread, then
+ *              the independent() components (the cells — they never
+ *              touch each other's state) are sharded across a worker
+ *              pool and ticked concurrently, with a barrier per cycle.
+ *              Quiescent stretches are skipped exactly as in Skip mode.
+ *
+ * In Event and Parallel mode trace events are staged per component slot
+ * and merged back into exact (cycle, slot) serial order before reaching
+ * the sinks (trace::Tracer ordered mode), so trace output stays byte-
+ * identical to a Spin run.
  */
 
 #ifndef OPAC_SIM_ENGINE_HH
 #define OPAC_SIM_ENGINE_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -45,6 +71,21 @@ namespace opac::sim
 {
 
 class Engine;
+
+/** How Engine::run() advances the clock. All modes are bit-identical. */
+enum class EngineMode
+{
+    Spin,     //!< tick everything every cycle (reference model)
+    Skip,     //!< whole-system idle-cycle skipping (default)
+    Event,    //!< per-component sleep/wake scheduling
+    Parallel, //!< per-cycle parallel ticking of independent components
+};
+
+/** Lower-case mode name as used on --engine= command lines. */
+const char *engineModeName(EngineMode m);
+
+/** Parse an --engine= value; returns false on an unknown name. */
+bool parseEngineMode(const std::string &text, EngineMode &out);
 
 /** Anything that advances once per clock cycle. */
 class Component
@@ -99,10 +140,50 @@ class Component
     /** One-line state description, used in deadlock reports. */
     virtual std::string statusLine() const { return "(no status)"; }
 
+    /**
+     * True when tick() only ever touches this component's own state
+     * and its own FIFOs, never another component's: the parallel
+     * engine may then tick it concurrently with other independent
+     * components. Independent components must be registered after
+     * every serial one (the engine asserts this).
+     */
+    virtual bool independent() const { return false; }
+
+    /**
+     * Next cycle >= now at which this component's tick reads OTHER
+     * components' externally visible state (the stats sampler
+     * snapshotting every counter in the tree is the one such case).
+     * The event engine catches every sleeping component up before
+     * such a tick so the observation matches the serial run. noEvent
+     * (the default) means the tick only touches its own state.
+     */
+    virtual Cycle observesSystemAt(Cycle now) const
+    {
+        (void)now;
+        return noEvent;
+    }
+
+    /**
+     * Notify the engine that some other agent is about to mutate this
+     * component's externally visible state: a neighbor pushing into or
+     * popping from one of its FIFOs, a fault arming, a forced reset.
+     * Must be called BEFORE the mutation — the event engine replays
+     * the slept-through cycles first, while the pre-mutation state
+     * the sleep hint was computed against still holds. No-op unless
+     * the event scheduler is active and this component is asleep.
+     */
+    void wakeForMutation();
+
+    /** Engine slot index, assigned by Engine::add(). */
+    unsigned slot() const { return _slot; }
+
     const std::string &name() const { return _name; }
 
   private:
+    friend class Engine;
     std::string _name;
+    Engine *_engine = nullptr;
+    unsigned _slot = 0;
 };
 
 /** The clock and run loop. */
@@ -125,12 +206,23 @@ class Engine
     }
 
     /** Register a component; it must outlive the engine. */
-    void add(Component *c) { components.push_back(c); }
+    void
+    add(Component *c)
+    {
+        c->_engine = this;
+        c->_slot = static_cast<unsigned>(components.size());
+        components.push_back(c);
+    }
 
     Cycle now() const { return cycle; }
 
-    /** Components call this from tick() when they made forward progress. */
-    void noteProgress() { progressed = true; }
+    /**
+     * Components call this from tick() when they made forward
+     * progress. Relaxed ordering suffices: the parallel engine's
+     * per-cycle barrier orders the store against the main thread's
+     * end-of-round load.
+     */
+    void noteProgress() { progressed.store(true, std::memory_order_relaxed); }
 
     /**
      * Run until every component reports done(), or max_cycles elapse
@@ -175,13 +267,31 @@ class Engine
     }
 
     /**
-     * Enable or disable idle-cycle skipping (default on). With
-     * skipping off the engine spins through quiescent cycles one at a
-     * time; results are bit-identical either way, so this is an
-     * escape hatch for debugging and for the golden-equivalence test.
+     * Select the run mode (default Skip). Results are bit-identical
+     * in every mode; Spin is the debugging escape hatch and the
+     * reference the golden-equivalence suite compares against.
      */
-    void setSkipEnabled(bool on) { _skipEnabled = on; }
-    bool skipEnabled() const { return _skipEnabled; }
+    void setMode(EngineMode m) { _mode = m; }
+    EngineMode mode() const { return _mode; }
+
+    /**
+     * Worker count for Parallel mode (0 = one worker per hardware
+     * thread). Effective parallelism is additionally capped by the
+     * number of independent components; with one worker the parallel
+     * engine degrades to the serial Skip loop.
+     */
+    void setThreads(unsigned n) { _threads = n; }
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Back-compat shim for the pre-mode API: maps onto Skip / Spin.
+     */
+    void
+    setSkipEnabled(bool on)
+    {
+        _mode = on ? EngineMode::Skip : EngineMode::Spin;
+    }
+    bool skipEnabled() const { return _mode != EngineMode::Spin; }
 
     /**
      * Skip diagnostics. Deliberately NOT registered as statistics:
@@ -191,12 +301,53 @@ class Engine
     std::uint64_t skippedCycles() const { return _skippedCycles; }
 
   private:
+    friend class Component;
+
+    /** The serial run loop: Spin (skip == false) and Skip modes. */
+    Cycle runSerial(Cycle max_cycles, bool skip);
+    /** The per-component sleep/wake scheduler (Event mode). */
+    Cycle runEvent(Cycle max_cycles);
+    /** The per-cycle worker-pool scheduler (Parallel mode). */
+    Cycle runParallel(Cycle max_cycles);
+
+    /**
+     * Event-mode wake entry point (from Component::wakeForMutation).
+     * Hot-path guard inline; the replay lives in the scheduler TU.
+     */
+    void
+    wakeComponent(unsigned slot)
+    {
+        if (!eventActive_ || !sleep_[slot].asleep)
+            return;
+        wakeComponentSlow(slot);
+    }
+    void wakeComponentSlow(unsigned slot);
+
+    /** Replay a sleeping slot's rounds [sleptFrom, upTo). */
+    void replaySlot(unsigned slot, Cycle upTo);
+    /** Replay every sleeping slot through round upTo - 1. */
+    void catchUpAll(Cycle upTo);
+
+    /** Per-slot scheduling state (Event mode). */
+    struct SleepState
+    {
+        Cycle wakeAt = 0;            //!< scheduled wake-up cycle
+        Cycle sleptFrom = 0;         //!< first round not yet replayed
+        std::uint32_t idleTicks = 0; //!< consecutive no-progress ticks
+        bool asleep = false;
+    };
+
     std::vector<Component *> components;
     Cycle cycle = 0;
     Cycle watchdogCycles;
     WatchdogHandler watchdogHandler;
-    bool progressed = false;
-    bool _skipEnabled = true;
+    std::atomic<bool> progressed{false};
+    EngineMode _mode = EngineMode::Skip;
+    unsigned _threads = 0;
+    std::vector<SleepState> sleep_;
+    bool eventActive_ = false;
+    unsigned currentSlot_ = 0;
+    Cycle lastProgress = 0;
     std::uint64_t _fastForwards = 0;
     std::uint64_t _skippedCycles = 0;
     trace::Tracer *_tracer = nullptr;
@@ -204,6 +355,13 @@ class Engine
     stats::Counter statCycles;
     stats::Counter statIdleCycles;
 };
+
+inline void
+Component::wakeForMutation()
+{
+    if (_engine)
+        _engine->wakeComponent(_slot);
+}
 
 } // namespace opac::sim
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared pieces of the nextEventAt / fastForward protocol.
+ *
+ * Every component that supports idle-cycle skipping answers the same
+ * two questions — "when could I act next?" (a minimum over queue
+ * fronts, countdowns and pipeline landings) and "what would my
+ * quiescent rounds have looked like?" (per-cycle stall events while
+ * traced). The accumulator, the FIFO front-ready wake rule and the
+ * stall replay loop used to be copy-pasted across timed_fifo, cell
+ * and host; they live here once.
+ */
+
+#ifndef OPAC_SIM_REPLAY_HH
+#define OPAC_SIM_REPLAY_HH
+
+#include "common/types.hh"
+#include "sim/engine.hh"
+#include "trace/trace.hh"
+
+namespace opac::sim
+{
+
+/** Accumulates the minimum over "earliest event" hints. */
+class HintMin
+{
+  public:
+    /** Fold in a hint (noEvent is the identity). */
+    void
+    note(Cycle at)
+    {
+        if (at < _at)
+            _at = at;
+    }
+
+    /**
+     * Fold in a hint that only counts when it is not already in the
+     * past — pipeline landings with when < now are ordered behind a
+     * later entry and must not produce a stale wake-up.
+     */
+    void
+    noteFuture(Cycle at, Cycle now)
+    {
+        if (at >= now)
+            note(at);
+    }
+
+    Cycle value() const { return _at; }
+
+  private:
+    Cycle _at = Component::noEvent;
+};
+
+/**
+ * The FIFO front-ready wake rule shared by every queue-backed hint: a
+ * front that became poppable strictly before @p now was already seen
+ * by its stalled consumer and cannot wake it; a front becoming ready
+ * at or after @p now wakes the consumer at exactly its ready cycle.
+ */
+inline Cycle
+frontReadyHint(Cycle ready, Cycle now)
+{
+    return ready < now ? Component::noEvent : ready;
+}
+
+/**
+ * Emit the per-cycle Stall trace events a quiescent component would
+ * have produced in rounds [from, from + cycles), one per round — the
+ * traced half of every fastForward implementation. No-op without a
+ * tracer.
+ */
+inline void
+replayStalls(trace::Tracer *t, Cycle from, Cycle cycles,
+             trace::StallWhy why, std::uint16_t comp, std::uint32_t a)
+{
+    if (!t)
+        return;
+    for (Cycle k = 0; k < cycles; ++k) {
+        t->emit(from + k, trace::EventKind::Stall, std::uint8_t(why),
+                comp, 0, a, 0);
+    }
+}
+
+} // namespace opac::sim
+
+#endif // OPAC_SIM_REPLAY_HH

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * The event and parallel run loops of sim::Engine (see engine.hh for
+ * the mode overview), plus the lazy-replay machinery they share.
+ *
+ * Event mode invariants:
+ *  - A component sleeps only on its own nextEventAt hint, which is
+ *    valid "assuming no other component does anything before then".
+ *    Every externally visible mutation of a component's state funnels
+ *    through Component::wakeForMutation() *before* the mutation, so a
+ *    sleeping component is always replayed (fastForward) against
+ *    exactly the state its hint was computed from.
+ *  - Replay horizons follow round order: a mutation from a slot that
+ *    ticks *after* the sleeper in the current round means the sleeper
+ *    would have ticked this round before seeing it (replay through the
+ *    current round, next live tick next round); a mutation from an
+ *    earlier slot wakes it in time to tick live this round.
+ *  - Observers (Component::observesSystemAt, i.e. the stats sampler)
+ *    force a full catch-up before they tick, so counters they
+ *    snapshot match the serial run.
+ *
+ * Parallel mode ticks the serial components in registration order on
+ * the main thread every cycle, then shards the independent() tail (the
+ * cells) across a spin-barrier worker pool; quiescent stretches are
+ * skipped exactly as in Skip mode, serially. Determinism needs no
+ * cleverness: cells never touch each other's state, the host never
+ * runs concurrently with them, and trace events are staged per slot
+ * and merged in (cycle, slot) order.
+ */
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "sim/engine.hh"
+#include "trace/trace.hh"
+
+namespace opac::sim
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Spin up to `spin_budget` pause iterations, then yield. Cell rounds
+ * are typically sub-µs, so on a machine with a core per shard a large
+ * budget keeps the handshake in user space; when shards outnumber
+ * cores the waited-for thread cannot run until we yield, so the
+ * caller passes a tiny budget and we donate the core almost at once.
+ */
+template <typename Pred>
+void
+spinUntil(Pred &&pred, unsigned spin_budget = 1u << 12)
+{
+    for (unsigned spins = 0; !pred(); ++spins) {
+        if (spins < spin_budget)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+}
+
+} // anonymous namespace
+
+void
+Engine::replaySlot(unsigned slot, Cycle upTo)
+{
+    SleepState &ss = sleep_[slot];
+    if (upTo <= ss.sleptFrom)
+        return;
+    Component *c = components[slot];
+    Cycle count = upTo - ss.sleptFrom;
+    if (_tracer) {
+        // Cycle-major within the component; the ordered merge
+        // restores cycle-major order across components.
+        trace::Tracer::setEmitSlot(slot);
+        for (Cycle k = 0; k < count; ++k)
+            c->fastForward(ss.sleptFrom + k, 1, *this);
+        trace::Tracer::setEmitSlot(currentSlot_);
+    } else {
+        c->fastForward(ss.sleptFrom, count, *this);
+    }
+    ss.sleptFrom = upTo;
+    ++_fastForwards;
+    _skippedCycles += count;
+}
+
+void
+Engine::wakeComponentSlow(unsigned slot)
+{
+    // Sleeper slot before the mutating slot in round order: its turn
+    // in the current round is already past (it would have seen the
+    // pre-mutation state), so the current round is replayed too and
+    // the next live tick lands on the next round. Sleeper at or after
+    // the mutating slot: it wakes in time to tick live this round.
+    SleepState &ss = sleep_[slot];
+    replaySlot(slot, slot < currentSlot_ ? cycle + 1 : cycle);
+    ss.asleep = false;
+    ss.idleTicks = 0;
+}
+
+void
+Engine::catchUpAll(Cycle upTo)
+{
+    for (unsigned s = 0; s < sleep_.size(); ++s) {
+        if (!sleep_[s].asleep)
+            continue;
+        // Same round-order horizon rule as wakeComponentSlow, but the
+        // component stays asleep: its wake hint is still valid.
+        replaySlot(s, s < currentSlot_ ? upTo + 1 : upTo);
+    }
+}
+
+Cycle
+Engine::runEvent(Cycle max_cycles)
+{
+    Cycle start = cycle;
+    lastProgress = cycle;
+    const unsigned n = static_cast<unsigned>(components.size());
+    sleep_.assign(n, SleepState{});
+    currentSlot_ = 0;
+    const bool ordered = _tracer != nullptr;
+    if (ordered)
+        _tracer->beginOrdered(n);
+    eventActive_ = true;
+    struct Guard
+    {
+        Engine &e;
+        bool ordered;
+        ~Guard()
+        {
+            e.eventActive_ = false;
+            if (ordered && e._tracer)
+                e._tracer->endOrdered();
+        }
+    } guard{*this, ordered};
+
+    // Bring counters and the staged trace up to date so an abort
+    // report (or the final stats) reads exactly like the serial run.
+    auto settle = [&] {
+        catchUpAll(cycle);
+        if (ordered)
+            _tracer->flushOrdered(Component::noEvent);
+    };
+    auto watchdogExpired = [&] {
+        if (watchdogHandler && watchdogHandler(*this)) {
+            lastProgress = cycle;
+            return;
+        }
+        settle();
+        throw DeadlockError(
+            "engine", cycle,
+            strfmt("deadlock: no progress for %llu cycles "
+                   "(engine mode event)\n%s",
+                   static_cast<unsigned long long>(watchdogCycles),
+                   statusDump().c_str()));
+    };
+
+    while (!allDone()) {
+        if (max_cycles != 0 && cycle - start >= max_cycles) {
+            settle();
+            opac_fatal("simulation exceeded max_cycles = %llu "
+                       "(%llu cycles simulated)\n%s",
+                       static_cast<unsigned long long>(max_cycles),
+                       static_cast<unsigned long long>(cycle - start),
+                       statusDump().c_str());
+        }
+        bool roundProgress = false;
+        for (unsigned s = 0; s < n; ++s) {
+            SleepState &ss = sleep_[s];
+            if (ss.asleep) {
+                if (ss.wakeAt > cycle)
+                    continue;
+                // Scheduled wake: replay the slept rounds, then tick
+                // live this round.
+                replaySlot(s, cycle);
+                ss.asleep = false;
+                ss.idleTicks = 0;
+            }
+            currentSlot_ = s;
+            Component *c = components[s];
+            if (c->observesSystemAt(cycle) == cycle)
+                catchUpAll(cycle);
+            if (ordered)
+                trace::Tracer::setEmitSlot(s);
+            progressed.store(false, std::memory_order_relaxed);
+            c->tick(*this);
+            if (progressed.load(std::memory_order_relaxed)) {
+                roundProgress = true;
+                ss.idleTicks = 0;
+                continue;
+            }
+            // Same two-quiescent-rounds hysteresis as the serial skip
+            // loop, applied per component.
+            if (++ss.idleTicks < 2)
+                continue;
+            Cycle at = c->nextEventAt(cycle + 1);
+            if (at == Component::noEvent || at >= cycle + 2) {
+                ss.asleep = true;
+                ss.wakeAt = at;
+                ss.sleptFrom = cycle + 1;
+            }
+        }
+        ++cycle;
+        ++statCycles;
+        // Between rounds every slot's next tick is at `cycle`, so
+        // replay horizons behave as if the mutator ran before slot 0.
+        currentSlot_ = 0;
+        if (roundProgress) {
+            lastProgress = cycle;
+        } else {
+            ++statIdleCycles;
+            if (watchdogCycles != 0
+                && cycle - lastProgress >= watchdogCycles)
+                watchdogExpired();
+        }
+        if (ordered) {
+            // Events below every sleeper's replay resumption point and
+            // the current cycle are final; release them in order.
+            Cycle watermark = cycle;
+            for (const SleepState &ss : sleep_) {
+                if (ss.asleep && ss.sleptFrom < watermark)
+                    watermark = ss.sleptFrom;
+            }
+            _tracer->flushOrdered(watermark);
+        }
+        bool allAsleep = true;
+        for (const SleepState &ss : sleep_) {
+            if (!ss.asleep) {
+                allAsleep = false;
+                break;
+            }
+        }
+        if (!allAsleep)
+            continue;
+        // Every component is asleep: all rounds up to the earliest
+        // wake-up are idle replicas, so jump there in one step (the
+        // sleepers replay lazily on wake as usual). Clamped to the
+        // watchdog and max_cycles deadlines, like the serial jump.
+        Cycle target = Component::noEvent;
+        for (const SleepState &ss : sleep_)
+            target = std::min(target, ss.wakeAt);
+        if (watchdogCycles != 0)
+            target = std::min(target, lastProgress + watchdogCycles);
+        if (max_cycles != 0)
+            target = std::min(target, start + max_cycles);
+        if (target == Component::noEvent) {
+            // No wake-up and no deadline armed: the spin engine would
+            // hang here forever, which helps nobody.
+            settle();
+            throw DeadlockError(
+                "engine", cycle,
+                strfmt("deadlock: every component asleep with no "
+                       "wake-up (engine mode event)\n%s",
+                       statusDump().c_str()));
+        }
+        if (target > cycle) {
+            Cycle skip_n = target - cycle;
+            cycle = target;
+            statCycles += skip_n;
+            statIdleCycles += skip_n;
+        }
+        if (watchdogCycles != 0 && cycle - lastProgress >= watchdogCycles)
+            watchdogExpired();
+    }
+    catchUpAll(cycle);
+    return cycle - start;
+}
+
+Cycle
+Engine::runParallel(Cycle max_cycles)
+{
+    const unsigned n = static_cast<unsigned>(components.size());
+    unsigned firstIndep = 0;
+    while (firstIndep < n && !components[firstIndep]->independent())
+        ++firstIndep;
+    for (unsigned i = firstIndep; i < n; ++i) {
+        opac_assert(components[i]->independent(),
+                    "independent components must be registered after "
+                    "every serial one");
+    }
+    const unsigned ncells = n - firstIndep;
+    unsigned nshards =
+        _threads != 0 ? _threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+    nshards = std::min(nshards, ncells);
+    if (nshards <= 1)
+        return runSerial(max_cycles, true);
+
+    const bool ordered = _tracer != nullptr;
+    if (ordered)
+        _tracer->beginOrdered(n);
+
+    // Even contiguous shards; the assignment has no effect on output
+    // (the trace merge is by slot, stats are per-component).
+    auto shardBegin = [&](unsigned s) {
+        return firstIndep + s * ncells / nshards;
+    };
+    auto tickRange = [&](unsigned lo, unsigned hi) {
+        for (unsigned i = lo; i < hi; ++i) {
+            if (ordered)
+                trace::Tracer::setEmitSlot(i);
+            components[i]->tick(*this);
+        }
+    };
+
+    // Spin-barrier pool: the main thread release-bumps `epoch` to
+    // start a round (after writing the new cycle state), each worker
+    // ticks its shard and release-bumps `doneCount`, and the main
+    // thread acquire-spins until all shards are in. The two atomic
+    // handshakes carry all cross-thread visibility.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<unsigned> doneCount{0};
+    std::atomic<bool> stop{false};
+    std::mutex errLock;
+    std::exception_ptr errPtr;
+    unsigned errShard = 0;
+
+    // Oversubscribed (more shards than cores, e.g. a 1-CPU CI box):
+    // spinning only delays the thread we are waiting for, so yield
+    // almost immediately instead of burning the shared core.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned spinBudget = nshards > hw ? 16u : 1u << 12;
+
+    auto workerFn = [&](unsigned shard) {
+        const unsigned lo = shardBegin(shard), hi = shardBegin(shard + 1);
+        std::uint64_t seen = 0;
+        for (;;) {
+            spinUntil([&] {
+                return epoch.load(std::memory_order_acquire) != seen;
+            }, spinBudget);
+            ++seen;
+            if (stop.load(std::memory_order_acquire))
+                break;
+            try {
+                tickRange(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                if (!errPtr || shard < errShard) {
+                    errPtr = std::current_exception();
+                    errShard = shard;
+                }
+            }
+            doneCount.fetch_add(1, std::memory_order_release);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    struct PoolGuard
+    {
+        Engine &e;
+        std::vector<std::thread> &pool;
+        std::atomic<bool> &stop;
+        std::atomic<std::uint64_t> &epoch;
+        bool ordered;
+        ~PoolGuard()
+        {
+            stop.store(true, std::memory_order_release);
+            epoch.fetch_add(1, std::memory_order_release);
+            for (auto &t : pool)
+                t.join();
+            if (ordered && e._tracer)
+                e._tracer->endOrdered();
+        }
+    } guard{*this, pool, stop, epoch, ordered};
+    pool.reserve(nshards - 1);
+    for (unsigned w = 0; w + 1 < nshards; ++w)
+        pool.emplace_back(workerFn, w);
+
+    Cycle start = cycle;
+    lastProgress = cycle;
+    auto watchdogExpired = [&] {
+        if (watchdogHandler && watchdogHandler(*this)) {
+            lastProgress = cycle;
+            return;
+        }
+        if (ordered)
+            _tracer->flushOrdered(Component::noEvent);
+        throw DeadlockError(
+            "engine", cycle,
+            strfmt("deadlock: no progress for %llu cycles "
+                   "(engine mode parallel)\n%s",
+                   static_cast<unsigned long long>(watchdogCycles),
+                   statusDump().c_str()));
+    };
+    while (!allDone()) {
+        if (max_cycles != 0 && cycle - start >= max_cycles) {
+            if (ordered)
+                _tracer->flushOrdered(Component::noEvent);
+            opac_fatal("simulation exceeded max_cycles = %llu "
+                       "(%llu cycles simulated)\n%s",
+                       static_cast<unsigned long long>(max_cycles),
+                       static_cast<unsigned long long>(cycle - start),
+                       statusDump().c_str());
+        }
+        progressed.store(false, std::memory_order_relaxed);
+        // Serial phase: sampler, injector, host — anything that may
+        // touch cell state runs alone.
+        for (unsigned i = 0; i < firstIndep; ++i) {
+            if (ordered)
+                trace::Tracer::setEmitSlot(i);
+            components[i]->tick(*this);
+        }
+        // Parallel phase: fan the cell shards out, tick the last one
+        // here, and wait for the rest.
+        doneCount.store(0, std::memory_order_relaxed);
+        epoch.fetch_add(1, std::memory_order_release);
+        tickRange(shardBegin(nshards - 1), shardBegin(nshards));
+        spinUntil([&] {
+            return doneCount.load(std::memory_order_acquire)
+                   == nshards - 1;
+        }, spinBudget);
+        if (errPtr)
+            std::rethrow_exception(errPtr);
+        ++cycle;
+        ++statCycles;
+        if (progressed.load(std::memory_order_relaxed)) {
+            lastProgress = cycle;
+            if (ordered)
+                _tracer->flushOrdered(cycle);
+            continue;
+        }
+        ++statIdleCycles;
+        if (watchdogCycles != 0 && cycle - lastProgress >= watchdogCycles)
+            watchdogExpired();
+        if (ordered)
+            _tracer->flushOrdered(cycle);
+        if (cycle - lastProgress < 2)
+            continue;
+
+        // Quiescent: identical jump logic to the serial skip loop,
+        // executed on the main thread while the workers wait.
+        Cycle target = Component::noEvent;
+        for (const auto *c : components) {
+            Cycle at = c->nextEventAt(cycle);
+            if (at <= cycle) {
+                target = cycle;
+                break;
+            }
+            target = std::min(target, at);
+        }
+        if (watchdogCycles != 0)
+            target = std::min(target, lastProgress + watchdogCycles);
+        if (max_cycles != 0)
+            target = std::min(target, start + max_cycles);
+        if (target == Component::noEvent || target < cycle + 2)
+            continue;
+
+        Cycle skip_n = target - cycle;
+        if (_tracer) {
+            for (Cycle k = 0; k < skip_n; ++k) {
+                for (unsigned i = 0; i < n; ++i) {
+                    trace::Tracer::setEmitSlot(i);
+                    components[i]->fastForward(cycle + k, 1, *this);
+                }
+            }
+        } else {
+            for (auto *c : components)
+                c->fastForward(cycle, skip_n, *this);
+        }
+        cycle = target;
+        statCycles += skip_n;
+        statIdleCycles += skip_n;
+        ++_fastForwards;
+        _skippedCycles += skip_n;
+        if (ordered)
+            _tracer->flushOrdered(cycle);
+        if (watchdogCycles != 0 && cycle - lastProgress >= watchdogCycles)
+            watchdogExpired();
+    }
+    return cycle - start;
+}
+
+} // namespace opac::sim

@@ -171,6 +171,8 @@ compareBench(const BenchFile &base, const BenchFile &cur,
         };
         d.baseSimRate = rate(b);
         d.curSimRate = rate(c);
+        if (d.baseSimRate > 0.0 && d.curSimRate > 0.0)
+            d.simRatePct = pctChange(d.baseSimRate, d.curSimRate);
         auto extra = [](const BenchRecord *r, const char *key) {
             auto e = r->extra.find(key);
             return e == r->extra.end() ? -1.0 : e->second;
@@ -239,9 +241,14 @@ renderBenchDiff(const BenchDiff &diff)
             row.push_back(res_cell(d.baseCompletion, d.curCompletion));
             row.push_back(res_cell(d.baseCorrect, d.curCorrect));
         }
-        if (have_rate)
+        if (have_rate) {
+            std::string trend =
+                d.baseSimRate > 0.0 && d.curSimRate > 0.0
+                    ? strfmt(" (%+.0f%%)", d.simRatePct)
+                    : std::string();
             row.push_back(rate_cell(d.baseSimRate) + " -> "
-                          + rate_cell(d.curSimRate));
+                          + rate_cell(d.curSimRate) + trend);
+        }
         t.row(row);
     }
     std::string out = t.render();

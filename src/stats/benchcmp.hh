@@ -70,11 +70,15 @@ struct BenchDelta
     /**
      * Host-side simulation rate (simulated cycles per wall second),
      * from the records' optional "sim_rate" extra; 0 when absent.
-     * Informational only — wall-clock speed depends on the CI host, so
-     * it never participates in the regression verdict.
+     * Informational by default — wall-clock speed depends on the CI
+     * host, so it never participates in the regression verdict unless
+     * the caller opts in (bench_diff --gate-sim-rate=PCT).
      */
     double baseSimRate = 0.0;
     double curSimRate = 0.0;
+    /** Rate trend vs baseline in percent; 0 unless both sides have a
+     *  sim_rate (+x% = the simulator got faster). */
+    double simRatePct = 0.0;
     /**
      * Resilience fields from the records' optional "completion_rate"
      * and "correct" extras (the fault_sweep bench): any decrease vs

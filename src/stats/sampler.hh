@@ -54,16 +54,29 @@ class Sampler : public sim::Component
     std::string statusLine() const override;
 
     /**
-     * The next interval boundary: idle-cycle skipping never jumps
-     * over a periodic snapshot, so the sampled series has identical
-     * cycles and values in spin and skip modes. Skipped quiescent
-     * cycles need no replay here — they change no sampled stat.
+     * The next interval boundary, in engine time: idle-cycle skipping
+     * never jumps over a periodic snapshot, so the sampled series has
+     * identical cycles and values in every engine mode. Skipped
+     * quiescent cycles need no replay here — they change no sampled
+     * stat.
      */
     Cycle
     nextEventAt(Cycle now) const override
     {
         Cycle rem = now % _interval;
         return rem == 0 ? now : now + (_interval - rem);
+    }
+
+    /**
+     * On a boundary cycle the sampler reads every counter in the
+     * system: the event engine must replay all sleeping components up
+     * to that cycle first, so the snapshot sees the same values a
+     * tick-everything engine would have accumulated.
+     */
+    Cycle
+    observesSystemAt(Cycle now) const override
+    {
+        return now % _interval == 0 ? now : noEvent;
     }
 
     /**

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Golden-equivalence suite for the two-level scheduler: every engine
+ * mode (spin, skip, event, parallel) must produce bit-identical
+ * results — same cycle count, same statistics JSON (including the
+ * sampled time series), same trace event stream — on every workload,
+ * with and without active fault injection. Parallel-mode runs at
+ * P >= 4 with a real worker pool are the TSan target for the sharded
+ * cell execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "kernels/kernel_set.hh"
+#include "planner/linalg_plan.hh"
+#include "trace/trace.hh"
+
+using namespace opac;
+using namespace opac::planner;
+using copro::CoprocConfig;
+using copro::Coprocessor;
+using sim::EngineMode;
+
+namespace
+{
+
+enum class Workload
+{
+    MatUpdate,
+    Lu,
+    Trmm,
+    Syrk,
+};
+
+const char *
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::MatUpdate:
+        return "matupdate";
+      case Workload::Lu:
+        return "lu";
+      case Workload::Trmm:
+        return "trmm";
+      case Workload::Syrk:
+        return "syrk";
+    }
+    return "?";
+}
+
+struct RunOut
+{
+    Cycle cycles = 0;
+    std::string statsJson;
+    std::vector<trace::Event> events;
+    std::uint64_t fastForwards = 0;
+    std::uint64_t skippedCycles = 0;
+};
+
+/**
+ * Active faults shared by every faulted run: correctable FIFO flips,
+ * transient hangs and memory-latency spikes, dense enough (rate is
+ * per Mcycle over the horizon) that several land inside even the
+ * smallest workload here.
+ */
+const char *kFaultSpec =
+    "seed=7,rate=500,horizon=20000,kinds=flip+hang+mem,bits=1";
+
+RunOut
+runWorkload(Workload w, unsigned p, EngineMode mode, unsigned threads,
+            bool traced, bool faulted)
+{
+    CoprocConfig cfg;
+    cfg.cells = p;
+    cfg.cell.tf = 256;
+    cfg.host.tau = 2;
+    cfg.watchdogCycles = 500000;
+    cfg.skipIdleCycles = true;
+    cfg.statsSampleInterval = 64;
+    cfg.engineMode = mode;
+    cfg.simThreads = threads;
+    if (faulted) {
+        cfg.faults = fault::parseFaultSpec(kFaultSpec);
+        cfg.cell.parity = fault::ParityMode::Correct;
+    }
+    Coprocessor sys(cfg);
+    kernels::installStandardKernels(sys);
+
+    trace::Tracer tracer;
+    trace::VectorSink sink;
+    if (traced) {
+        tracer.addSink(&sink);
+        sys.attachTracer(&tracer);
+    }
+
+    LinalgPlanner plan(sys);
+    const std::size_t n = 24, k = 40;
+    switch (w) {
+      case Workload::MatUpdate: {
+        MatRef c = allocMat(sys.memory(), n, n);
+        MatRef a = allocMat(sys.memory(), n, k);
+        MatRef b = allocMat(sys.memory(), k, n);
+        plan.matUpdate(c, a, b);
+        break;
+      }
+      case Workload::Lu: {
+        MatRef a = allocMat(sys.memory(), n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            sys.memory().storeF(a.addrOf(i, i), 2.0f);
+        plan.lu(a);
+        break;
+      }
+      case Workload::Trmm: {
+        MatRef u = allocMat(sys.memory(), n, n);
+        MatRef b = allocMat(sys.memory(), n, 16);
+        MatRef out = allocMat(sys.memory(), n, 16);
+        plan.trmmLeftUpper(out, u, b);
+        break;
+      }
+      case Workload::Syrk: {
+        MatRef c = allocMat(sys.memory(), n, n);
+        MatRef a = allocMat(sys.memory(), n, 16);
+        plan.syrkLower(c, a);
+        break;
+      }
+    }
+    plan.commit();
+
+    RunOut out;
+    out.cycles = sys.run();
+    out.statsJson = sys.statsJson();
+    out.events = std::move(sink.events);
+    out.fastForwards = sys.engine().fastForwards();
+    out.skippedCycles = sys.engine().skippedCycles();
+    return out;
+}
+
+void
+expectSameEvents(const std::vector<trace::Event> &ref,
+                 const std::vector<trace::Event> &got, const char *what)
+{
+    ASSERT_EQ(ref.size(), got.size()) << what;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        const trace::Event &a = ref[i];
+        const trace::Event &b = got[i];
+        ASSERT_TRUE(a.cycle == b.cycle && a.kind == b.kind &&
+                    a.arg == b.arg && a.comp == b.comp &&
+                    a.track == b.track && a.a == b.a && a.b == b.b)
+            << what << ": event " << i << " differs (cycle "
+            << a.cycle << " vs " << b.cycle << ")";
+    }
+}
+
+const EngineMode kFastModes[] = {EngineMode::Skip, EngineMode::Event,
+                                 EngineMode::Parallel};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Four-mode golden equivalence
+// ---------------------------------------------------------------------
+
+TEST(EngineModes, EveryWorkloadMatchesSpinInEveryMode)
+{
+    const Workload loads[] = {Workload::MatUpdate, Workload::Lu,
+                              Workload::Trmm, Workload::Syrk};
+    for (Workload w : loads) {
+        RunOut spin = runWorkload(w, 4, EngineMode::Spin, 0, false,
+                                  false);
+        for (EngineMode m : kFastModes) {
+            RunOut got = runWorkload(w, 4, m, 4, false, false);
+            EXPECT_EQ(spin.cycles, got.cycles)
+                << workloadName(w) << " mode=" << sim::engineModeName(m);
+            EXPECT_EQ(spin.statsJson, got.statsJson)
+                << workloadName(w) << " mode=" << sim::engineModeName(m);
+        }
+    }
+}
+
+TEST(EngineModes, TraceStreamIsIdenticalInEveryMode)
+{
+    // The staged per-slot trace merge must reproduce the serial event
+    // ORDER, not just the same multiset of events.
+    const Workload loads[] = {Workload::MatUpdate, Workload::Lu};
+    for (Workload w : loads) {
+        RunOut spin = runWorkload(w, 4, EngineMode::Spin, 0, true,
+                                  false);
+        for (EngineMode m : kFastModes) {
+            RunOut got = runWorkload(w, 4, m, 4, true, false);
+            EXPECT_EQ(spin.cycles, got.cycles) << workloadName(w);
+            std::string what = std::string(workloadName(w)) + " mode="
+                               + sim::engineModeName(m);
+            expectSameEvents(spin.events, got.events, what.c_str());
+        }
+    }
+}
+
+TEST(EngineModes, FaultedRunsMatchInEveryMode)
+{
+    // Injected flips, hangs and memory-latency spikes exercise every
+    // wake-before-mutation hook; the stats JSON (fault counters,
+    // recovery actions, sampled series) must not depend on the mode.
+    RunOut spin = runWorkload(Workload::MatUpdate, 4, EngineMode::Spin,
+                              0, true, true);
+    for (EngineMode m : kFastModes) {
+        RunOut got = runWorkload(Workload::MatUpdate, 4, m, 4, true,
+                                 true);
+        EXPECT_EQ(spin.cycles, got.cycles)
+            << "mode=" << sim::engineModeName(m);
+        EXPECT_EQ(spin.statsJson, got.statsJson)
+            << "mode=" << sim::engineModeName(m);
+        std::string what =
+            std::string("faulted mode=") + sim::engineModeName(m);
+        expectSameEvents(spin.events, got.events, what.c_str());
+    }
+}
+
+TEST(EngineModes, SamplerSeriesIsPresentAndModeIndependent)
+{
+    // The periodic sampler must fire on the same engine cycles in
+    // every mode (observesSystemAt forces a full catch-up first), so
+    // the sampled series is part of the byte-identical contract.
+    RunOut spin = runWorkload(Workload::Lu, 2, EngineMode::Spin, 0,
+                              false, false);
+    ASSERT_NE(spin.statsJson.find("\"samples\""), std::string::npos);
+    for (EngineMode m : kFastModes) {
+        RunOut got = runWorkload(Workload::Lu, 2, m, 4, false, false);
+        EXPECT_EQ(spin.statsJson, got.statsJson)
+            << "mode=" << sim::engineModeName(m);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mode-specific behaviour
+// ---------------------------------------------------------------------
+
+TEST(EngineModes, EventModeSleepsOnStallHeavyRuns)
+{
+    // LU quiesces the whole system at every pivot step; per-component
+    // sleeping must engage there or event mode is dead code.
+    RunOut ev = runWorkload(Workload::Lu, 1, EngineMode::Event, 0,
+                            false, false);
+    EXPECT_GT(ev.fastForwards, 0u);
+    EXPECT_GT(ev.skippedCycles, 0u);
+}
+
+TEST(EngineModes, ParallelFallsBackToSerialWithOneShard)
+{
+    // One cell cannot be sharded: the parallel runner must degrade to
+    // the serial skip loop and still match spin exactly.
+    RunOut spin = runWorkload(Workload::MatUpdate, 1, EngineMode::Spin,
+                              0, false, false);
+    RunOut par = runWorkload(Workload::MatUpdate, 1,
+                             EngineMode::Parallel, 4, false, false);
+    EXPECT_EQ(spin.cycles, par.cycles);
+    EXPECT_EQ(spin.statsJson, par.statsJson);
+}
+
+TEST(EngineModes, ParseAndNameRoundTrip)
+{
+    const EngineMode modes[] = {EngineMode::Spin, EngineMode::Skip,
+                                EngineMode::Event,
+                                EngineMode::Parallel};
+    for (EngineMode m : modes) {
+        EngineMode back;
+        ASSERT_TRUE(sim::parseEngineMode(sim::engineModeName(m), back));
+        EXPECT_EQ(m, back);
+    }
+    EngineMode out;
+    EXPECT_FALSE(sim::parseEngineMode("warp", out));
+    EXPECT_FALSE(sim::parseEngineMode("", out));
+}

@@ -4,7 +4,7 @@
  * line — the CI regression gate.
  *
  *   bench_diff [--threshold=PCT] [--allow-missing] \
- *              <baseline.json> <current.json>
+ *              [--gate-sim-rate=PCT] <baseline.json> <current.json>
  *
  * Both inputs are BENCH_*.json documents (bench/bench_util.hh writes
  * them; bench/baselines/ holds the committed ones). Prints the per-case
@@ -19,6 +19,14 @@
  * The simulator is cycle-deterministic, so on an unchanged machine
  * model every delta is exactly 0%; the default threshold only leaves
  * room for intentional small timing changes that ride along a PR.
+ *
+ * The sim_rate trend (simulated cycles per wall second) is shown but
+ * never gated on by default — it measures the machine running the
+ * bench, not the machine being simulated. --gate-sim-rate=PCT opts
+ * into a soft gate: a case whose sim_rate drops by more than PCT
+ * percent against the baseline fails the run. Use it only where
+ * baseline and current ran on comparable hosts (e.g. a dedicated perf
+ * leg), never on shared CI runners.
  */
 
 #include <cstdio>
@@ -34,6 +42,7 @@ int
 main(int argc, char **argv)
 {
     double threshold = 5.0;
+    double rate_gate = -1.0; //!< <0: sim_rate is informational only
     bool allow_missing = false;
     const char *paths[2] = {nullptr, nullptr};
     int npaths = 0;
@@ -41,6 +50,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
             threshold = std::atof(argv[i] + 12);
+        } else if (std::strncmp(argv[i], "--gate-sim-rate=", 16) == 0) {
+            rate_gate = std::atof(argv[i] + 16);
         } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
             allow_missing = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -60,11 +71,16 @@ main(int argc, char **argv)
     if (npaths != 2 || threshold < 0.0) {
         std::fprintf(stderr,
                      "usage: bench_diff [--threshold=PCT] "
-                     "[--allow-missing] <baseline.json> <current.json>\n"
+                     "[--allow-missing] [--gate-sim-rate=PCT] "
+                     "<baseline.json> <current.json>\n"
                      "  exit 0: all cases within PCT%% (default 5) of "
                      "the baseline\n"
                      "  exit 1: a regression, or a baseline case "
-                     "missing from the current run\n");
+                     "missing from the current run\n"
+                     "  --gate-sim-rate=PCT additionally fails when a "
+                     "case simulates more than PCT%% slower\n"
+                     "  (cycles/wall-second) than the baseline — "
+                     "opt-in, for same-host comparisons only\n");
         return 2;
     }
 
@@ -91,6 +107,26 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_diff: FAIL — regression beyond "
                              "%.1f%%\n", threshold);
         return 1;
+    }
+    if (rate_gate >= 0.0) {
+        int slow = 0;
+        for (const auto &d : diff.deltas) {
+            if (d.baseSimRate > 0.0 && d.curSimRate > 0.0
+                && d.simRatePct < -rate_gate) {
+                std::fprintf(stderr,
+                             "bench_diff: sim_rate gate: '%s' "
+                             "simulates %.0f%% slower than the "
+                             "baseline\n", d.name.c_str(),
+                             -d.simRatePct);
+                ++slow;
+            }
+        }
+        if (slow > 0) {
+            std::fprintf(stderr, "bench_diff: FAIL — %d case(s) beyond "
+                                 "the --gate-sim-rate=%.1f%% budget\n",
+                         slow, rate_gate);
+            return 1;
+        }
     }
     if (!diff.missing.empty() && !allow_missing) {
         std::fprintf(stderr, "bench_diff: FAIL — %zu baseline case(s) "
