@@ -74,6 +74,7 @@ runChol(unsigned p, std::size_t tf, unsigned tau, std::size_t n)
 int
 main(int argc, char **argv)
 {
+    initSimFlags(argc, argv);
     const bool quick = argFlag(argc, argv, "--quick");
     std::vector<std::size_t> sizes = {44, 88, 176, 352};
     if (quick)

@@ -50,6 +50,11 @@ tsan="$build_root/tsan"
 (cd "$tsan" && ctest -R test_engine_parallel --output-on-failure)
 (cd "$tsan" && ./bench/table_6_2 --rows 32 --cols 32 --jobs 1 \
     --engine=parallel --sim-threads=4 > /dev/null)
+# The job server is the other concurrency surface: one engine per
+# shard on real worker threads, plus the submit/deliver locking.
+(cd "$tsan" && ctest -R test_serve --output-on-failure)
+(cd "$tsan" && ./bench/serve_load --smoke --engine=parallel \
+    --sim-threads=2 > /dev/null)
 echo "parallel engine TSan OK"
 
 # Fault matrix: soak the recovery stack under the sanitizers. A
@@ -63,6 +68,9 @@ sanitize="$build_root/sanitize"
     --faults=seed=11,rate=60,horizon=400000,kinds=flip+hang+mem,bits=1 \
     --parity=correct > /dev/null)
 (cd "$sanitize" && ./bench/fault_sweep --smoke > /dev/null)
+# The serve_load smoke grid keeps a faulted case and a shard-kill
+# case, so the shard worker/failover path soaks under ASan/UBSan too.
+(cd "$sanitize" && ./bench/serve_load --smoke > /dev/null)
 echo "fault matrix OK"
 
 # Bench regression gate: rerun the gated benches and compare their
@@ -76,7 +84,9 @@ export OPAC_GIT_SHA
 (cd "$plain" && ./bench/table_6_1 --quick > /dev/null)
 (cd "$plain" && ./bench/table_6_2 --rows 256 --cols 256 > /dev/null)
 (cd "$plain" && ./bench/fault_sweep > /dev/null)
-for bench in kernels_throughput table_6_1 table_6_2 fault_sweep; do
+(cd "$plain" && ./bench/serve_load > /dev/null)
+for bench in kernels_throughput table_6_1 table_6_2 fault_sweep \
+    serve_load; do
     "$plain/tools/bench_diff" \
         "$root/bench/baselines/BENCH_$bench.json" \
         "$plain/BENCH_$bench.json"

@@ -11,6 +11,7 @@
 #ifndef OPAC_HOST_MEMORY_HH
 #define OPAC_HOST_MEMORY_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -36,6 +37,25 @@ class HostMemory
         std::size_t base = brk;
         brk += n;
         return base;
+    }
+
+    /**
+     * Current allocation frontier, for arena-style reuse: remember the
+     * mark, allocate freely, then rewind() to release everything
+     * allocated since. The job server uses this to recycle each
+     * shard's memory between batches.
+     */
+    std::size_t mark() const { return brk; }
+
+    /** Release (and zero) every word allocated since @p m. */
+    void
+    rewind(std::size_t m)
+    {
+        opac_assert(m <= brk, "rewind past the allocation frontier "
+                    "(%zu > %zu)", m, brk);
+        std::fill(mem.begin() + std::ptrdiff_t(m),
+                  mem.begin() + std::ptrdiff_t(brk), 0);
+        brk = m;
     }
 
     Word

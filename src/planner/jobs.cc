@@ -7,13 +7,17 @@
 namespace opac::planner
 {
 
-JobRunner::JobRunner(copro::Coprocessor &sys) : sys(sys) {}
+JobRunner::JobRunner(copro::Coprocessor &sys, std::uint32_t first_id)
+    : sys(sys), firstId(first_id)
+{
+    opac_assert(first_id >= 1, "job ids are 1-based");
+}
 
 std::uint32_t
 JobRunner::add(std::string name, Job::PlanFn plan)
 {
     Job j;
-    j.id = std::uint32_t(jobs.size()) + 1;
+    j.id = firstId + std::uint32_t(jobs.size());
     j.name = std::move(name);
     j.plan = std::move(plan);
     jobs.push_back(std::move(j));

@@ -46,9 +46,18 @@ struct Job
 class JobRunner
 {
   public:
-    explicit JobRunner(copro::Coprocessor &sys);
+    /**
+     * @param first_id Id of the first registered job (ids stay dense
+     *        from there). Callers that reuse one host across several
+     *        runner generations — the serve shards dispatch a fresh
+     *        runner per batch — must pass a base past every id already
+     *        in Host::completedJobs(), or replan() would mistake a
+     *        previous generation's committed job for one of its own.
+     */
+    explicit JobRunner(copro::Coprocessor &sys,
+                       std::uint32_t first_id = 1);
 
-    /** Register a job; returns its id (1-based, dense). */
+    /** Register a job; returns its id (dense from first_id). */
     std::uint32_t add(std::string name, Job::PlanFn plan);
 
     /**
@@ -67,6 +76,7 @@ class JobRunner
     void replan(std::uint32_t alive_mask);
 
     copro::Coprocessor &sys;
+    std::uint32_t firstId;
     std::vector<Job> jobs;
     unsigned nreplans = 0;
 };

@@ -1,0 +1,82 @@
+#include "serve/request.hh"
+
+#include "common/logging.hh"
+
+namespace opac::serve
+{
+
+const char *
+kernelKindName(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Gemm:
+        return "gemm";
+      case KernelKind::Conv2d:
+        return "conv2d";
+      case KernelKind::Lu:
+        return "lu";
+      case KernelKind::Fft:
+        return "fft";
+    }
+    return "?";
+}
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Rejected:
+        return "rejected";
+      case JobStatus::Completed:
+        return "completed";
+      case JobStatus::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+double
+estimatedFlops(const JobRequest &req)
+{
+    switch (req.kind) {
+      case KernelKind::Gemm:
+        return 2.0 * double(req.m) * double(req.k) * double(req.n);
+      case KernelKind::Conv2d:
+        return 2.0 * double(req.n) * double(req.m) * double(req.p)
+               * double(req.q);
+      case KernelKind::Lu:
+        // ~2/3 n^3 multiply-adds, two flops each.
+        return 4.0 / 3.0 * double(req.n) * double(req.n)
+               * double(req.n);
+      case KernelKind::Fft: {
+        double lg = 0.0;
+        for (std::size_t v = req.n; v > 1; v >>= 1)
+            lg += 1.0;
+        // 5 n log2(n) real flops per transform, the classic count.
+        return 5.0 * double(req.n) * lg * double(req.batch);
+      }
+    }
+    return 0.0;
+}
+
+Cycle
+estimatedServiceCycles(const JobRequest &req, unsigned cells)
+{
+    opac_assert(cells >= 1, "estimate for a cell-less shard");
+    // Peak is 2 flops/cycle/cell; real kernels run below peak and pay
+    // per-call transfer overhead, folded into one conservative factor
+    // plus a fixed setup cost. Only relative magnitude and determinism
+    // matter (docs/SERVING.md).
+    double cy = 2.0 * estimatedFlops(req) / (2.0 * double(cells));
+    return Cycle(cy) + 2000;
+}
+
+std::uint64_t
+compatKey(const JobRequest &req)
+{
+    if (req.kind != KernelKind::Conv2d)
+        return 0; // wildcard: packs with anything
+    return (std::uint64_t(req.p) << 32) | std::uint64_t(req.q) | 1u;
+}
+
+} // namespace opac::serve

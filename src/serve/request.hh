@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The request/result vocabulary of the coprocessor job server
+ * (docs/SERVING.md).
+ *
+ * A JobRequest names a kernel (GEMM / 2-D convolution / LU / batched
+ * FFT), its problem shape, the tenant submitting it, a priority, an
+ * optional latency deadline and an input seed. The server materializes
+ * the inputs deterministically from the seed (xorshift, the same
+ * generator the benches use), so a request is a few dozen bytes no
+ * matter how large the problem — and two runs of the same request are
+ * guaranteed to see bit-identical inputs, which is what makes the
+ * whole service layer replayable.
+ *
+ * All service-level times (arrival, queue wait, latency) are virtual
+ * and measured in coprocessor cycles: every shard runs the same clock,
+ * so "cycles" is the one time base that is identical across host
+ * machines, engine modes and worker-thread interleavings.
+ */
+
+#ifndef OPAC_SERVE_REQUEST_HH
+#define OPAC_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace opac::serve
+{
+
+/** Which kernel family a request runs. */
+enum class KernelKind : std::uint8_t
+{
+    Gemm,   //!< C += A * B        (m x k x n)
+    Conv2d, //!< p x q correlation of an n x m image
+    Lu,     //!< in-place blocked LU of an n x n matrix
+    Fft,    //!< batched radix-2 FFTs of size n
+};
+
+const char *kernelKindName(KernelKind k);
+
+/** One kernel request as submitted by a tenant. */
+struct JobRequest
+{
+    KernelKind kind = KernelKind::Gemm;
+
+    // Shape. Gemm uses m/k/n; Lu uses n; Conv2d uses n (image rows),
+    // m (image cols) and p/q (weight shape); Fft uses n (transform
+    // size, power of two) and batch.
+    std::size_t m = 8;
+    std::size_t k = 8;
+    std::size_t n = 8;
+    std::size_t p = 3;
+    std::size_t q = 3;
+    std::size_t batch = 1;
+
+    std::uint32_t tenant = 0; //!< accounting and fairness bucket
+    unsigned priority = 0;    //!< higher dispatches first
+    Cycle deadline = 0;       //!< max acceptable latency (0 = none)
+    std::uint64_t seed = 1;   //!< input materialization seed
+    Cycle arrival = 0;        //!< virtual submission time (cycles)
+};
+
+/** Why a job left the system. */
+enum class JobStatus : std::uint8_t
+{
+    Rejected,  //!< refused at admission (queue full / deadline)
+    Completed, //!< committed; result validated against the oracle
+    Failed,    //!< its shard died with the job uncommitted
+};
+
+const char *jobStatusName(JobStatus s);
+
+/** Completion record delivered through the future / callback. */
+struct JobResult
+{
+    JobStatus status = JobStatus::Failed;
+    std::uint32_t ticket = 0;  //!< server-assigned submission id
+    unsigned shard = 0;        //!< shard that (last) ran the job
+
+    Cycle arrival = 0;   //!< virtual cycle the job was submitted
+    Cycle started = 0;   //!< virtual cycle its batch began service
+    Cycle finished = 0;  //!< virtual cycle its batch completed
+
+    /**
+     * FNV-1a hash over the output words in storage order: the
+     * bit-exact signature of the result. Identical across engine
+     * modes, worker counts and — because recovery replays exactly —
+     * across fault plans the machine survives.
+     */
+    std::uint64_t checksum = 0;
+    bool correct = false; //!< output matches the blasref oracle
+    unsigned failovers = 0; //!< times re-queued off a dying shard
+    std::string note;     //!< rejection / failure reason
+
+    Cycle queueWait() const { return started - arrival; }
+    Cycle latency() const { return finished - arrival; }
+};
+
+/**
+ * Floating-point operations the request performs (a multiply-add
+ * counts as two) — the admission/placement cost model and the basis
+ * of proportional per-tenant attribution of batch costs.
+ */
+double estimatedFlops(const JobRequest &req);
+
+/**
+ * Rough service-time estimate on a @p cells -cell shard, used for
+ * deadline admission and least-loaded placement. Deliberately simple
+ * (peak-rate flops plus a fixed per-job overhead): placement only
+ * needs relative magnitudes, and determinism matters more than
+ * accuracy here.
+ */
+Cycle estimatedServiceCycles(const JobRequest &req, unsigned cells);
+
+/**
+ * Batch-compatibility key. Jobs may share one engine run whenever
+ * their keys are equal or either key is 0 (wildcard): only 2-D
+ * convolutions constrain packing, because each distinct weight shape
+ * installs its own generated microcode under the shared conv2d entry
+ * ids (kernels/entries.hh) and two different geometries in one batch
+ * would overwrite each other.
+ */
+std::uint64_t compatKey(const JobRequest &req);
+
+} // namespace opac::serve
+
+#endif // OPAC_SERVE_REQUEST_HH

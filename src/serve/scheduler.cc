@@ -1,0 +1,316 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace opac::serve
+{
+
+namespace
+{
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+} // anonymous namespace
+
+Scheduler::Scheduler(std::vector<std::unique_ptr<Shard>> &shards,
+                     const SchedulerConfig &cfg, CompletionFn sink)
+    : shards_(shards), cfg_(cfg), sink_(std::move(sink))
+{
+    opac_assert(!shards_.empty(), "scheduler with no shards");
+    opac_assert(cfg_.batchMax >= 1, "batchMax must be >= 1");
+    opac_assert(cfg_.queueLimit >= 1, "queueLimit must be >= 1");
+    state_.resize(shards_.size());
+}
+
+void
+Scheduler::drain(std::vector<ShardJob> subs)
+{
+    for (std::size_t i = 1; i < subs.size(); ++i)
+        opac_assert(subs[i - 1].req.arrival <= subs[i].req.arrival,
+                    "submissions must be sorted by arrival");
+    subs_ = std::move(subs);
+    nextSub_ = 0;
+
+    for (;;) {
+        dispatchIdle();
+        bool any_busy = false;
+        for (const ShardState &st : state_)
+            any_busy |= st.busy;
+        if (!any_busy) {
+            if (!ready_.empty() || nextSub_ < subs_.size())
+                failEverythingLeft();
+            break;
+        }
+        harvestAll();
+    }
+    subs_.clear();
+    nextSub_ = 0;
+}
+
+void
+Scheduler::admitUpTo(Cycle t)
+{
+    while (nextSub_ < subs_.size()
+           && subs_[nextSub_].req.arrival <= t) {
+        Pending p;
+        p.ticket = subs_[nextSub_].ticket;
+        p.seq = nextSub_;
+        p.req = subs_[nextSub_].req;
+        p.avail = p.req.arrival;
+        ++nextSub_;
+
+        // Structural checks first — a request that can never run is
+        // "rejected: why" regardless of how busy the service is.
+        std::string err = admissionError(p.req, shards_[0]->config());
+        if (!err.empty()) {
+            reject(p, err);
+            continue;
+        }
+        if (cfg_.deadlineAdmission && p.req.deadline != 0) {
+            unsigned cells = biggestAliveShard();
+            if (cells == 0
+                || estimatedServiceCycles(p.req, cells)
+                       > p.req.deadline) {
+                reject(p, "deadline unmeetable");
+                continue;
+            }
+        }
+        if (ready_.size() >= cfg_.queueLimit) {
+            reject(p, "queue full");
+            continue;
+        }
+        if (cfg_.tenantQueueLimit != 0) {
+            std::size_t mine = 0;
+            for (const Pending &q : ready_)
+                mine += q.req.tenant == p.req.tenant;
+            if (mine >= cfg_.tenantQueueLimit) {
+                reject(p, "tenant queue full");
+                continue;
+            }
+        }
+        ready_.push_back(std::move(p));
+    }
+}
+
+void
+Scheduler::reject(const Pending &p, const std::string &why)
+{
+    JobResult r;
+    r.status = JobStatus::Rejected;
+    r.ticket = p.ticket;
+    r.arrival = r.started = r.finished = p.req.arrival;
+    r.failovers = p.failovers;
+    r.note = why;
+    sink_(p.req, std::move(r), 0, 0);
+}
+
+void
+Scheduler::fail(const Pending &p, const std::string &why)
+{
+    JobResult r;
+    r.status = JobStatus::Failed;
+    r.ticket = p.ticket;
+    r.arrival = p.req.arrival;
+    r.started = r.finished = p.avail;
+    r.failovers = p.failovers;
+    r.note = why;
+    sink_(p.req, std::move(r), 0, 0);
+}
+
+unsigned
+Scheduler::biggestAliveShard() const
+{
+    unsigned cells = 0;
+    for (const auto &s : shards_)
+        if (s->alive())
+            cells = std::max(cells, s->aliveCells());
+    return cells;
+}
+
+bool
+Scheduler::dispatchIdle()
+{
+    // Dispatch priority within the ready queue: priority first, then
+    // submission order — the rule the tests pin down.
+    auto before = [this](std::size_t a, std::size_t b) {
+        const Pending &pa = ready_[a], &pb = ready_[b];
+        if (pa.req.priority != pb.req.priority)
+            return pa.req.priority > pb.req.priority;
+        return pa.seq < pb.seq;
+    };
+
+    auto tryAssign = [&](unsigned si) -> bool {
+        ShardState &st = state_[si];
+        Cycle t = st.freeAt;
+        auto anyEligible = [&](Cycle tt) {
+            for (const Pending &p : ready_)
+                if (p.avail <= tt)
+                    return true;
+            return false;
+        };
+        // Advance t to the first instant work is available, admitting
+        // arrivals as the clock passes them. Each pass consumes every
+        // arrival up to t, so this terminates.
+        for (;;) {
+            if (anyEligible(t)) {
+                admitUpTo(t);
+                break;
+            }
+            Cycle tn = kNever;
+            for (const Pending &p : ready_)
+                tn = std::min(tn, p.avail);
+            if (nextSub_ < subs_.size())
+                tn = std::min(tn, subs_[nextSub_].req.arrival);
+            if (tn == kNever)
+                return false;
+            t = std::max(t, tn);
+            admitUpTo(t);
+            if (anyEligible(t))
+                break;
+        }
+
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < ready_.size(); ++i)
+            if (ready_[i].avail <= t)
+                idx.push_back(i);
+        std::sort(idx.begin(), idx.end(), before);
+
+        // Fill the batch with compatible jobs: keys must match the
+        // first non-wildcard key taken (serve/request.hh).
+        std::vector<std::size_t> take;
+        std::uint64_t batch_key = 0;
+        for (std::size_t i : idx) {
+            std::uint64_t key = compatKey(ready_[i].req);
+            if (batch_key != 0 && key != 0 && key != batch_key)
+                continue;
+            if (batch_key == 0)
+                batch_key = key;
+            take.push_back(i);
+            if (take.size() == cfg_.batchMax)
+                break;
+        }
+
+        std::vector<ShardJob> batch;
+        batch.reserve(take.size());
+        st.inflight.clear();
+        for (std::size_t i : take) {
+            batch.push_back(ShardJob{ready_[i].ticket, ready_[i].req});
+            st.inflight.push_back(ready_[i]);
+        }
+        std::sort(take.begin(), take.end(),
+                  std::greater<std::size_t>());
+        for (std::size_t i : take)
+            ready_.erase(ready_.begin() + std::ptrdiff_t(i));
+
+        st.busy = true;
+        st.started = t;
+        ++batches_;
+        shards_[si]->launch(std::move(batch));
+        return true;
+    };
+
+    bool any = false;
+    for (;;) {
+        // Next idle alive shard in (freeAt, id) order.
+        int pick = -1;
+        for (unsigned i = 0; i < unsigned(shards_.size()); ++i) {
+            if (state_[i].busy || !shards_[i]->alive())
+                continue;
+            if (pick < 0
+                || state_[i].freeAt < state_[unsigned(pick)].freeAt)
+                pick = int(i);
+        }
+        if (pick < 0)
+            return any;
+        if (!tryAssign(unsigned(pick)))
+            return any;
+        any = true;
+    }
+}
+
+void
+Scheduler::harvestAll()
+{
+    bool any_alive = false;
+    for (unsigned i = 0; i < unsigned(shards_.size()); ++i) {
+        if (!state_[i].busy)
+            continue;
+        BatchOutcome out = shards_[i]->harvest();
+        ShardState &st = state_[i];
+        st.busy = false;
+        const Cycle fin = st.started + out.cycles;
+        st.freeAt = fin;
+        makespan_ = std::max(makespan_, fin);
+
+        opac_assert(out.jobs.size() == st.inflight.size(),
+                    "batch outcome size mismatch on shard %u", i);
+
+        double total_flops = 0.0;
+        for (const Pending &p : st.inflight)
+            total_flops += estimatedFlops(p.req);
+
+        // Is anyone left to fail over to? Shard i's own alive() is
+        // already updated by harvest(); later shards still busy are
+        // alive by definition of having been launched.
+        bool survivors = false;
+        for (const auto &s : shards_)
+            survivors |= s->alive();
+
+        for (std::size_t j = 0; j < st.inflight.size(); ++j) {
+            const JobOutcome &jo = out.jobs[j];
+            Pending &p = st.inflight[j];
+            opac_assert(jo.ticket == p.ticket,
+                        "outcome/inflight ticket mismatch");
+            if (jo.committed) {
+                double frac = total_flops > 0.0
+                                  ? estimatedFlops(p.req) / total_flops
+                                  : 1.0 / double(st.inflight.size());
+                JobResult r;
+                r.status = JobStatus::Completed;
+                r.ticket = p.ticket;
+                r.shard = i;
+                r.arrival = p.req.arrival;
+                r.started = st.started;
+                r.finished = fin;
+                r.checksum = jo.checksum;
+                r.correct = jo.correct;
+                r.failovers = p.failovers;
+                sink_(p.req, std::move(r),
+                      Cycle(double(out.cycles) * frac),
+                      std::uint64_t(double(out.maOps) * frac));
+            } else if (!out.ran && survivors) {
+                ++p.failovers;
+                ++failovers_;
+                p.avail = fin;
+                ready_.push_back(std::move(p));
+            } else {
+                p.avail = fin;
+                fail(p, out.note.empty() ? "job did not commit"
+                                         : "shard died: " + out.note);
+            }
+        }
+        st.inflight.clear();
+        any_alive |= shards_[i]->alive();
+    }
+    (void)any_alive;
+}
+
+void
+Scheduler::failEverythingLeft()
+{
+    for (const Pending &p : ready_)
+        fail(p, "no usable shards");
+    ready_.clear();
+    while (nextSub_ < subs_.size()) {
+        Pending p;
+        p.ticket = subs_[nextSub_].ticket;
+        p.seq = nextSub_;
+        p.req = subs_[nextSub_].req;
+        p.avail = p.req.arrival;
+        ++nextSub_;
+        reject(p, "no usable shards");
+    }
+}
+
+} // namespace opac::serve

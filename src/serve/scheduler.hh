@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Admission + batching scheduler: the deterministic heart of the job
+ * server (docs/SERVING.md).
+ *
+ * The scheduler is a discrete-event simulation over *virtual time*
+ * (coprocessor cycles). It alternates two phases:
+ *
+ *   dispatch — hand a batch to every idle, alive shard, visiting
+ *       shards in (freeAt, id) order. A shard's batch starts at
+ *       max(shard free time, work availability); arrivals up to that
+ *       instant are admitted first, then the batch is filled with up
+ *       to batchMax compatible jobs in (priority desc, submission
+ *       seq asc) order.
+ *
+ *   harvest — wait for *every* busy shard (in id order) and apply the
+ *       outcomes: advance the shard's free time by the batch's engine
+ *       cycles, deliver completions, and — when a shard died — fail
+ *       its uncommitted jobs over to the survivors (or fail them for
+ *       good when there are none).
+ *
+ * Every decision depends only on deterministic state (virtual clocks,
+ * submission order, the deterministic cost model), never on wall-clock
+ * or thread timing, so the whole service — placements, batch
+ * compositions, latencies, checksums — is byte-identical across
+ * engine modes, worker-thread counts and reruns, even though the
+ * shards genuinely execute in parallel between the two phases.
+ */
+
+#ifndef OPAC_SERVE_SCHEDULER_HH
+#define OPAC_SERVE_SCHEDULER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/shard.hh"
+
+namespace opac::serve
+{
+
+/** Admission and batching policy. */
+struct SchedulerConfig
+{
+    /** Max jobs packed into one engine run. */
+    std::size_t batchMax = 4;
+
+    /** Admission cap on jobs queued (not yet dispatched). */
+    std::size_t queueLimit = 256;
+
+    /** Per-tenant share of the queue (0 = no per-tenant cap). */
+    std::size_t tenantQueueLimit = 0;
+
+    /** Reject jobs whose deadline is provably unmeetable (service
+     *  estimate alone exceeds it, even on the biggest alive shard). */
+    bool deadlineAdmission = true;
+};
+
+/** Runs submitted jobs to completion over a pool of shards. */
+class Scheduler
+{
+  public:
+    /**
+     * Delivery of one finished (or rejected) job. @p cycle_share and
+     * @p ma_share are the job's proportional slice — by estimated
+     * flops — of its batch's engine cycles and multiply-adds, the
+     * basis of per-tenant accounting (zero for rejected/failed jobs).
+     */
+    using CompletionFn = std::function<void(
+        const JobRequest &req, JobResult result, Cycle cycle_share,
+        std::uint64_t ma_share)>;
+
+    Scheduler(std::vector<std::unique_ptr<Shard>> &shards,
+              const SchedulerConfig &cfg, CompletionFn sink);
+
+    /**
+     * Run the DES until every submission is delivered. @p subs must be
+     * sorted by (arrival, submission order); tickets must be unique.
+     * Blocks the calling thread; shard workers do the heavy lifting.
+     */
+    void drain(std::vector<ShardJob> subs);
+
+    /** Virtual cycle the last batch finished (0 if nothing ran). */
+    Cycle makespan() const { return makespan_; }
+
+    /** Batches dispatched across all shards. */
+    unsigned batches() const { return batches_; }
+
+    /** Jobs that were failed over off a dying shard. */
+    unsigned failovers() const { return failovers_; }
+
+  private:
+    /** A job admitted into the ready queue. */
+    struct Pending
+    {
+        std::uint32_t ticket = 0;
+        std::uint64_t seq = 0;  //!< submission order (FIFO tiebreak)
+        JobRequest req;
+        Cycle avail = 0;        //!< earliest virtual start time
+        unsigned failovers = 0;
+    };
+
+    /** Dispatch bookkeeping for one shard. */
+    struct ShardState
+    {
+        Cycle freeAt = 0;
+        bool busy = false;
+        Cycle started = 0;
+        std::vector<Pending> inflight;
+    };
+
+    void admitUpTo(Cycle t);
+    void reject(const Pending &p, const std::string &why);
+    void fail(const Pending &p, const std::string &why);
+    bool dispatchIdle();
+    void harvestAll();
+    void failEverythingLeft();
+    unsigned biggestAliveShard() const;
+
+    std::vector<std::unique_ptr<Shard>> &shards_;
+    SchedulerConfig cfg_;
+    CompletionFn sink_;
+
+    std::vector<ShardState> state_;
+    std::vector<Pending> ready_;
+    std::vector<ShardJob> subs_;
+    std::size_t nextSub_ = 0;
+
+    Cycle makespan_ = 0;
+    unsigned batches_ = 0;
+    unsigned failovers_ = 0;
+};
+
+} // namespace opac::serve
+
+#endif // OPAC_SERVE_SCHEDULER_HH

@@ -1,0 +1,254 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace opac::serve
+{
+
+/** Per-tenant accounting subtree ("serve.tenants.tenantN"). */
+struct Server::TenantStats
+{
+    TenantStats(std::uint32_t id, stats::StatGroup *parent)
+        : group("tenant" + std::to_string(id), parent)
+    {
+        group.addCounter("submitted", &submitted, "jobs submitted");
+        group.addCounter("completed", &completed, "jobs completed");
+        group.addCounter("rejected", &rejected,
+                         "jobs refused at admission");
+        group.addCounter("failed", &failed, "jobs lost to shard deaths");
+        group.addCounter("cycles", &cycles,
+                         "engine cycles attributed (flops-proportional "
+                         "share of each batch)");
+        group.addCounter("ma_ops", &maOps,
+                         "multiply-adds attributed (same attribution)");
+        group.addDistribution("queue_wait", &queueWait,
+                              "virtual cycles from arrival to dispatch");
+        group.addDistribution("latency", &latency,
+                              "virtual cycles from arrival to completion");
+    }
+
+    stats::StatGroup group;
+    stats::Counter submitted, completed, rejected, failed;
+    stats::Counter cycles, maOps;
+    stats::Distribution queueWait, latency;
+};
+
+/** One submission awaiting delivery. */
+struct Server::PendingEntry
+{
+    JobRequest req;
+    std::promise<JobResult> prom;
+    Callback cb;
+    bool queued = false;    //!< handed to the scheduler already
+    bool delivered = false;
+};
+
+Server::Server(const ServeConfig &cfg) : cfg_(cfg)
+{
+    opac_assert(cfg.shards >= 1, "server needs at least one shard");
+
+    root_ = std::make_unique<stats::StatGroup>("serve");
+    root_->addCounter("submitted", &cSubmitted_, "jobs submitted");
+    root_->addCounter("completed", &cCompleted_, "jobs completed");
+    root_->addCounter("failed", &cFailed_,
+                      "jobs lost to shard deaths");
+    root_->addCounter("rejected", &cRejected_,
+                      "jobs refused at admission");
+    root_->addCounter("failovers", &cFailovers_,
+                      "times a delivered job was re-queued off a "
+                      "dying shard");
+    root_->addCounter("incorrect", &cIncorrect_,
+                      "completed jobs whose output missed the oracle "
+                      "(0 in a healthy service)");
+    root_->addDistribution("queue_wait", &dQueueWait_,
+                           "virtual cycles from arrival to dispatch");
+    root_->addDistribution("latency", &dLatency_,
+                           "virtual cycles from arrival to completion");
+    tenantsGroup_ =
+        std::make_unique<stats::StatGroup>("tenants", root_.get());
+    shardsGroup_ =
+        std::make_unique<stats::StatGroup>("shards", root_.get());
+
+    // Formulas hold raw pointers into this vector: size it for every
+    // registration up front so it never reallocates.
+    shardFormulas_.reserve(2 * cfg.shards + 4);
+
+    for (unsigned i = 0; i < cfg.shards; ++i) {
+        ShardConfig sc = cfg.shard;
+        bool overridden = false;
+        for (const auto &[id, spec] : cfg.shardFaults)
+            if (id == i) {
+                sc.faults = spec;
+                overridden = true;
+            }
+        if (!overridden && cfg.faults.any()) {
+            // Independent but replayable fault streams per shard.
+            sc.faults = cfg.faults;
+            sc.faults.seed = cfg.faults.seed + 1000003ull * i;
+        }
+        shards_.push_back(std::make_unique<Shard>(i, sc));
+
+        auto g = std::make_unique<stats::StatGroup>(
+            "shard" + std::to_string(i), shardsGroup_.get());
+        Shard *sp = shards_.back().get();
+        shardFormulas_.emplace_back(
+            [sp] { return double(sp->busyCycles()); });
+        g->addFormula("busy_cycles", &shardFormulas_.back(),
+                      "engine cycles spent serving batches");
+        shardFormulas_.emplace_back(
+            [sp] { return double(sp->aliveCells()); });
+        g->addFormula("alive_cells", &shardFormulas_.back(),
+                      "usable cells (0 once the shard died)");
+        shardGroups_.push_back(std::move(g));
+    }
+
+    sched_ = std::make_unique<Scheduler>(
+        shards_, cfg.sched,
+        [this](const JobRequest &req, JobResult r, Cycle cy,
+               std::uint64_t ma) { deliver(req, std::move(r), cy, ma); });
+
+    shardFormulas_.emplace_back(
+        [this] { return double(sched_->makespan()); });
+    root_->addFormula("makespan", &shardFormulas_.back(),
+                      "virtual cycle the last batch finished");
+    shardFormulas_.emplace_back(
+        [this] { return double(sched_->batches()); });
+    root_->addFormula("batches", &shardFormulas_.back(),
+                      "batches dispatched across all shards");
+    shardFormulas_.emplace_back(
+        [this] { return double(aliveShards()); });
+    root_->addFormula("alive_shards", &shardFormulas_.back(),
+                      "shards still able to serve");
+    shardFormulas_.emplace_back([this] { return utilization(); });
+    root_->addFormula("utilization", &shardFormulas_.back(),
+                      "mean fraction of the makespan each shard spent "
+                      "serving");
+}
+
+Server::~Server() = default;
+
+Server::TenantStats &
+Server::tenant(std::uint32_t id)
+{
+    auto it = tenants_.find(id);
+    if (it == tenants_.end())
+        it = tenants_
+                 .emplace(id, std::make_unique<TenantStats>(
+                                  id, tenantsGroup_.get()))
+                 .first;
+    return *it->second;
+}
+
+std::future<JobResult>
+Server::submit(JobRequest req, Callback cb)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto e = std::make_unique<PendingEntry>();
+    e->req = req;
+    e->cb = std::move(cb);
+    std::future<JobResult> fut = e->prom.get_future();
+    pending_.push_back(std::move(e));
+    ++lastTicket_;
+    opac_assert(pending_.size() == lastTicket_, "ticket drift");
+    ++cSubmitted_;
+    ++tenant(req.tenant).submitted;
+    return fut;
+}
+
+void
+Server::drain()
+{
+    std::vector<ShardJob> subs;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            PendingEntry &e = *pending_[i];
+            if (e.queued)
+                continue;
+            e.queued = true;
+            subs.push_back(ShardJob{std::uint32_t(i + 1), e.req});
+        }
+    }
+    std::stable_sort(subs.begin(), subs.end(),
+                     [](const ShardJob &a, const ShardJob &b) {
+                         return a.req.arrival < b.req.arrival;
+                     });
+    if (!subs.empty())
+        sched_->drain(std::move(subs));
+}
+
+void
+Server::deliver(const JobRequest &req, JobResult r, Cycle cycles,
+                std::uint64_t ma)
+{
+    Callback cb;
+    std::promise<JobResult> *prom = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        TenantStats &t = tenant(req.tenant);
+        switch (r.status) {
+          case JobStatus::Completed:
+            ++cCompleted_;
+            ++t.completed;
+            if (!r.correct)
+                ++cIncorrect_;
+            dQueueWait_.sample(double(r.queueWait()));
+            dLatency_.sample(double(r.latency()));
+            t.queueWait.sample(double(r.queueWait()));
+            t.latency.sample(double(r.latency()));
+            t.cycles += cycles;
+            t.maOps += ma;
+            break;
+          case JobStatus::Failed:
+            ++cFailed_;
+            ++t.failed;
+            break;
+          case JobStatus::Rejected:
+            ++cRejected_;
+            ++t.rejected;
+            break;
+        }
+        cFailovers_ += r.failovers;
+        results_.push_back(r);
+
+        opac_assert(r.ticket >= 1 && r.ticket <= pending_.size(),
+                    "delivery for unknown ticket %u", r.ticket);
+        PendingEntry &e = *pending_[r.ticket - 1];
+        opac_assert(!e.delivered, "double delivery for ticket %u",
+                    r.ticket);
+        e.delivered = true;
+        cb = std::move(e.cb);
+        prom = &e.prom;
+    }
+    // Fulfil outside the lock: a callback may submit() more work.
+    prom->set_value(r);
+    if (cb)
+        cb(r);
+}
+
+unsigned
+Server::aliveShards() const
+{
+    unsigned n = 0;
+    for (const auto &s : shards_)
+        n += s->alive();
+    return n;
+}
+
+double
+Server::utilization() const
+{
+    const Cycle ms = sched_->makespan();
+    if (ms == 0)
+        return 0.0;
+    double busy = 0.0;
+    for (const auto &s : shards_)
+        busy += double(s->busyCycles());
+    return busy / (double(ms) * double(shards_.size()));
+}
+
+} // namespace opac::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The coprocessor job server: submission front end, shard pool and
+ * accounting, tying the queue/scheduler/shard pieces together
+ * (docs/SERVING.md).
+ *
+ * Tenants submit() kernel requests and immediately receive a
+ * std::future<JobResult> (and may attach a callback); drain() runs the
+ * admission/batching scheduler until every submitted job is delivered.
+ * Completion order, placements, latencies and result checksums are
+ * deterministic — a replay of the same submissions is byte-identical,
+ * across engine modes and regardless of how the shard worker threads
+ * interleave in wall-clock time.
+ *
+ * Accounting rolls into a stats::StatGroup tree ("serve"): global
+ * counters and wait/latency distributions, a per-tenant subtree
+ * (jobs, cycles, multiply-adds — batch costs attributed
+ * proportionally by estimated flops) and a per-shard subtree (busy
+ * cycles, surviving cells).
+ */
+
+#ifndef OPAC_SERVE_SERVER_HH
+#define OPAC_SERVE_SERVER_HH
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/scheduler.hh"
+#include "serve/shard.hh"
+#include "stats/stats.hh"
+
+namespace opac::serve
+{
+
+/** Whole-service configuration. */
+struct ServeConfig
+{
+    unsigned shards = 2;    //!< simulated coprocessors in the pool
+    ShardConfig shard;      //!< machine configuration of every shard
+    SchedulerConfig sched;  //!< admission and batching policy
+
+    /**
+     * Base fault plan: each shard i runs it with a seed derived as
+     * seed + 1000003 * i, so shards draw independent (but replayable)
+     * fault streams. Leave empty for a fault-free pool.
+     */
+    fault::FaultSpec faults;
+
+    /** Per-shard overrides (shard id, spec) — targeted kill plans.
+     *  An override replaces the base plan verbatim (no seed mix). */
+    std::vector<std::pair<unsigned, fault::FaultSpec>> shardFaults;
+};
+
+/** Accepts kernel requests and serves them on a pool of shards. */
+class Server
+{
+  public:
+    using Callback = std::function<void(const JobResult &)>;
+
+    explicit Server(const ServeConfig &cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Enqueue a request. Thread-safe. The request's arrival field is
+     * its virtual submission time; the returned future (and the
+     * optional callback) deliver during drain().
+     */
+    std::future<JobResult> submit(JobRequest req,
+                                  Callback cb = nullptr);
+
+    /**
+     * Serve every pending submission to completion. Blocks the
+     * caller; the shard worker threads execute the batches. May be
+     * called repeatedly — virtual time carries across calls.
+     */
+    void drain();
+
+    /** The accounting tree (root group "serve"). */
+    stats::StatGroup &stats() { return *root_; }
+    const stats::StatGroup &stats() const { return *root_; }
+
+    /** Every delivered result, in (deterministic) delivery order. */
+    const std::vector<JobResult> &results() const { return results_; }
+
+    Cycle makespan() const { return sched_->makespan(); }
+    unsigned batches() const { return sched_->batches(); }
+    unsigned failovers() const { return sched_->failovers(); }
+
+    unsigned numShards() const { return unsigned(shards_.size()); }
+    const Shard &shard(unsigned i) const { return *shards_[i]; }
+    unsigned aliveShards() const;
+
+    /** Mean fraction of the makespan each shard spent serving. */
+    double utilization() const;
+
+  private:
+    struct TenantStats;
+    struct PendingEntry;
+
+    TenantStats &tenant(std::uint32_t id);
+    void deliver(const JobRequest &req, JobResult r, Cycle cycles,
+                 std::uint64_t ma);
+
+    ServeConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<Scheduler> sched_;
+
+    std::mutex mu_;
+    std::uint32_t lastTicket_ = 0;
+    std::vector<std::unique_ptr<PendingEntry>> pending_;
+    std::vector<JobResult> results_;
+
+    // Accounting.
+    std::unique_ptr<stats::StatGroup> root_;
+    std::unique_ptr<stats::StatGroup> tenantsGroup_;
+    std::unique_ptr<stats::StatGroup> shardsGroup_;
+    stats::Counter cSubmitted_, cCompleted_, cFailed_, cRejected_;
+    stats::Counter cFailovers_, cBatches_, cIncorrect_;
+    stats::Distribution dQueueWait_, dLatency_;
+    std::map<std::uint32_t, std::unique_ptr<TenantStats>> tenants_;
+    std::vector<std::unique_ptr<stats::StatGroup>> shardGroups_;
+    std::vector<stats::Formula> shardFormulas_;
+};
+
+} // namespace opac::serve
+
+#endif // OPAC_SERVE_SERVER_HH

@@ -182,12 +182,21 @@ compareBench(const BenchFile &base, const BenchFile &cur,
         d.baseCorrect = extra(b, "correct");
         d.curCorrect = extra(c, "correct");
         // Completion and correctness gate hard: any drop below the
-        // baseline fails, independent of the cycle threshold.
-        if (d.baseCompletion >= 0.0
+        // baseline fails, independent of the cycle threshold. A stat
+        // absent from the current record is not a drop — it lands in
+        // missingExtras below, a schema mismatch rather than a
+        // regression, so callers get the precise diagnosis.
+        if (d.baseCompletion >= 0.0 && d.curCompletion >= 0.0
             && d.curCompletion < d.baseCompletion - 1e-9)
             d.regressed = true;
-        if (d.baseCorrect >= 0.0 && d.curCorrect < d.baseCorrect - 1e-9)
+        if (d.baseCorrect >= 0.0 && d.curCorrect >= 0.0
+            && d.curCorrect < d.baseCorrect - 1e-9)
             d.regressed = true;
+        for (const auto &[key, val] : b->extra) {
+            (void)val;
+            if (!c->extra.count(key))
+                diff.missingExtras.push_back(name + "." + key);
+        }
         diff.deltas.push_back(d);
     }
     for (const auto &[name, c] : cur_by_name) {

@@ -98,6 +98,17 @@ struct BenchDiff
     std::vector<BenchDelta> deltas;
     std::vector<std::string> missing; //!< in baseline, not in current
     std::vector<std::string> added;   //!< in current, not in baseline
+
+    /**
+     * "case.key" for every extra stat a baseline record carries that
+     * the matching current record lacks. A gate the baseline names
+     * (completion_rate, correct, sim_rate under --gate-sim-rate)
+     * cannot be evaluated against a record that dropped the stat, so
+     * bench_diff refuses such comparisons (exit 3) instead of letting
+     * them pass as "no delta".
+     */
+    std::vector<std::string> missingExtras;
+
     double thresholdPct = 0.0;
 
     bool anyRegression() const;

@@ -600,6 +600,43 @@ TEST(BenchCmp, TracksMissingAndAddedCases)
     EXPECT_EQ(diff.added[0], "case_new");
 }
 
+TEST(BenchCmp, FlagsBaselineExtrasAbsentFromCurrent)
+{
+    const char *with_extras = R"({
+      "bench": "demo", "results": [
+        {"name": "case_a", "cycles": 1000, "flops_per_cycle": 1.5,
+         "efficiency": 0.75, "completion_rate": 1.0, "correct": 1.0}
+      ]
+    })";
+    const char *without_extras = R"({
+      "bench": "demo", "results": [
+        {"name": "case_a", "cycles": 1000, "flops_per_cycle": 1.5,
+         "efficiency": 0.75, "correct": 1.0}
+      ]
+    })";
+    stats::BenchFile base, cur;
+    std::string err;
+    ASSERT_TRUE(stats::parseBenchJson(with_extras, base, &err)) << err;
+    ASSERT_TRUE(stats::parseBenchJson(without_extras, cur, &err))
+        << err;
+
+    // The candidate dropped completion_rate: the baseline names a
+    // gate the current record cannot answer. That must surface as a
+    // schema mismatch, not slip through as "no delta".
+    stats::BenchDiff diff = stats::compareBench(base, cur, 5.0);
+    ASSERT_EQ(diff.missingExtras.size(), 1u);
+    EXPECT_EQ(diff.missingExtras[0], "case_a.completion_rate");
+
+    // The reverse direction (current carries more than the baseline)
+    // is fine — new stats appear before baselines are refreshed.
+    stats::BenchDiff rev = stats::compareBench(cur, base, 5.0);
+    EXPECT_TRUE(rev.missingExtras.empty());
+
+    // Identical extras: nothing to flag.
+    stats::BenchDiff same = stats::compareBench(base, base, 5.0);
+    EXPECT_TRUE(same.missingExtras.empty());
+}
+
 // ---------------------------------------------------------------------
 // warn-once
 // ---------------------------------------------------------------------

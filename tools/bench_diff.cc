@@ -14,7 +14,11 @@
  *   1 — at least one case regressed (cycles up or flops/cycle down by
  *       more than the threshold), or a baseline case is missing from
  *       the current run (unless --allow-missing),
- *   2 — usage or unreadable/malformed input.
+ *   2 — usage or unreadable/malformed input,
+ *   3 — a baseline record carries an extra stat (e.g. completion_rate,
+ *       correct, sim_rate) that the matching current record lacks: the
+ *       baseline names a gate the current run cannot answer, which is
+ *       a bench/baseline schema mismatch, not a pass.
  *
  * The simulator is cycle-deterministic, so on an unchanged machine
  * model every delta is exactly 0%; the default threshold only leaves
@@ -77,6 +81,8 @@ main(int argc, char **argv)
                      "the baseline\n"
                      "  exit 1: a regression, or a baseline case "
                      "missing from the current run\n"
+                     "  exit 3: a baseline extra stat absent from the "
+                     "matching current record\n"
                      "  --gate-sim-rate=PCT additionally fails when a "
                      "case simulates more than PCT%% slower\n"
                      "  (cycles/wall-second) than the baseline — "
@@ -107,6 +113,19 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_diff: FAIL — regression beyond "
                              "%.1f%%\n", threshold);
         return 1;
+    }
+    if (!diff.missingExtras.empty()) {
+        for (const auto &me : diff.missingExtras)
+            std::fprintf(stderr,
+                         "bench_diff: baseline stat '%s' is absent "
+                         "from the current run — its gate cannot be "
+                         "evaluated\n", me.c_str());
+        std::fprintf(stderr,
+                     "bench_diff: FAIL — %zu baseline stat(s) missing "
+                     "from the current records (schema mismatch: "
+                     "re-run the bench or refresh the baseline)\n",
+                     diff.missingExtras.size());
+        return 3;
     }
     if (rate_gate >= 0.0) {
         int slow = 0;
