@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -69,7 +70,35 @@ struct CaseOut
     unsigned deadCells = 0;
     unsigned batches = 0;
     double flopsDone = 0.0;
+    // Fairness / SLO extras (informational, never gated).
+    unsigned deadlineMiss = 0;
+    unsigned tenantAccepted[3] = {0, 0, 0};
+    unsigned tenantCompleted[3] = {0, 0, 0};
 };
+
+/** Observability artifact paths for one case ("" = don't write). */
+struct ObsOut
+{
+    std::string metrics;   //!< Server::metricsJson()
+    std::string spans;     //!< Server::spansJson()
+    std::string spanTrace; //!< chrome://tracing span rendering
+    std::string prom;      //!< Prometheus text exposition
+    std::string flightDir; //!< flight-recorder postmortems
+};
+
+void
+writeText(const std::string &path, const std::string &text,
+          const char *what)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "serve_load: cannot write %s to '%s'\n",
+                      what, path.c_str());
+        return;
+    }
+    out << text;
+    std::printf("serve_load: wrote %s to %s\n", what, path.c_str());
+}
 
 /** Draw the next request of the mixed-kind multi-tenant workload. */
 JobRequest
@@ -104,7 +133,7 @@ drawRequest(Rng &rng)
 }
 
 CaseOut
-runCase(const LoadCase &lc)
+runCase(const LoadCase &lc, const ObsOut &obs)
 {
     ServeConfig cfg;
     cfg.shards = lc.shards;
@@ -137,6 +166,12 @@ runCase(const LoadCase &lc)
         t += -std::log(1.0 - double(rng.uniform())) * 1e6 / lc.rate;
         JobRequest r = drawRequest(rng);
         r.arrival = Cycle(t);
+        // Every 4th job carries an SLO deadline. Index-based (no rng
+        // draw) and generous enough that deadline admission never
+        // rejects, so the committed baseline's scheduling is
+        // untouched; misses are observability-only.
+        if (i % 4 == 3)
+            r.deadline = 8000;
         reqs.push_back(r);
         futs.push_back(srv.submit(r));
     }
@@ -146,17 +181,23 @@ runCase(const LoadCase &lc)
     std::vector<double> lat;
     for (unsigned i = 0; i < lc.njobs; ++i) {
         JobResult r = futs[i].get();
+        const unsigned tenant = std::min(reqs[i].tenant, 2u);
         switch (r.status) {
         case JobStatus::Completed:
             ++out.accepted;
             ++out.completed;
+            ++out.tenantAccepted[tenant];
+            ++out.tenantCompleted[tenant];
             out.correct = out.correct && r.correct;
             out.flopsDone += estimatedFlops(reqs[i]);
             lat.push_back(double(r.latency()));
+            if (r.missedDeadline())
+                ++out.deadlineMiss;
             break;
         case JobStatus::Failed:
             ++out.accepted;
             ++out.failed;
+            ++out.tenantAccepted[tenant];
             break;
         case JobStatus::Rejected:
             ++out.rejected;
@@ -177,6 +218,39 @@ runCase(const LoadCase &lc)
     out.batches = srv.batches();
     for (unsigned s = 0; s < srv.numShards(); ++s)
         out.deadCells += cfg.shard.cells - srv.shard(s).aliveCells();
+
+    // Observability artifacts for this case, if requested. All of
+    // these are virtual-time deterministic (spansJson omits wall
+    // clocks), so CI can golden-compare them across engine modes.
+    if (!obs.metrics.empty())
+        writeText(obs.metrics, srv.metricsJson(), "metrics json");
+    if (!obs.spans.empty())
+        writeText(obs.spans, srv.spansJson(), "span json");
+    if (!obs.prom.empty())
+        writeText(obs.prom, srv.metricsProm(), "prometheus metrics");
+    if (!obs.spanTrace.empty()) {
+        std::ofstream tf(obs.spanTrace);
+        if (tf) {
+            srv.writeSpanChromeTrace(tf);
+            std::printf("serve_load: wrote span trace to %s\n",
+                        obs.spanTrace.c_str());
+        } else {
+            std::fprintf(stderr,
+                          "serve_load: cannot write span trace to "
+                          "'%s'\n", obs.spanTrace.c_str());
+        }
+    }
+    if (!obs.flightDir.empty()) {
+        const auto &dumps = srv.flightDumps();
+        for (std::size_t i = 0; i < dumps.size(); ++i)
+            writeText(obs.flightDir + "/flight_" + lc.name + "_"
+                          + std::to_string(i) + ".json",
+                      dumps[i].second, "flight dump");
+        std::printf("serve_load: %llu flight trigger(s), %zu dump(s) "
+                    "retained\n",
+                    (unsigned long long)srv.flightTriggers(),
+                    dumps.size());
+    }
     return out;
 }
 
@@ -187,6 +261,20 @@ main(int argc, char **argv)
 {
     initSimFlags(argc, argv);
     const bool smoke = argFlag(argc, argv, "--smoke");
+
+    // Observability artifacts: dump the selected case's spans,
+    // metrics, prometheus exposition, span trace, and flight-recorder
+    // postmortems. Defaults to s2_shardkill — the case where the
+    // flight recorder actually fires.
+    ObsOut obs;
+    obs.metrics = argText(argc, argv, "--metrics");
+    obs.spans = argText(argc, argv, "--spans");
+    obs.spanTrace = argText(argc, argv, "--span-trace");
+    obs.prom = argText(argc, argv, "--prom");
+    obs.flightDir = argText(argc, argv, "--flight-dir");
+    std::string obsCase = argText(argc, argv, "--obs-case");
+    if (obsCase.empty())
+        obsCase = "s2_shardkill";
 
     // Random flips everywhere vs a targeted mid-traffic shard kill.
     const std::string flips =
@@ -221,7 +309,7 @@ main(int argc, char **argv)
               "p50", "p99", "util", "fovr", "dead"});
 
     for (const LoadCase &lc : grid) {
-        CaseOut r = runCase(lc);
+        CaseOut r = runCase(lc, lc.name == obsCase ? obs : ObsOut());
         double mcyc = double(r.makespan) / 1e6;
         double served = mcyc > 0.0 ? double(r.completed) / mcyc : 0.0;
         double completion =
@@ -247,7 +335,23 @@ main(int argc, char **argv)
                      {"utilization", r.utilization},
                      {"failovers", double(r.failovers)},
                      {"dead_cells", double(r.deadCells)},
-                     {"batches", double(r.batches)}});
+                     {"batches", double(r.batches)},
+                     {"deadline_miss", double(r.deadlineMiss)},
+                     {"t0_completion_rate",
+                      r.tenantAccepted[0]
+                          ? double(r.tenantCompleted[0])
+                                / double(r.tenantAccepted[0])
+                          : 1.0},
+                     {"t1_completion_rate",
+                      r.tenantAccepted[1]
+                          ? double(r.tenantCompleted[1])
+                                / double(r.tenantAccepted[1])
+                          : 1.0},
+                     {"t2_completion_rate",
+                      r.tenantAccepted[2]
+                          ? double(r.tenantCompleted[2])
+                                / double(r.tenantAccepted[2])
+                          : 1.0}});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf(

@@ -84,7 +84,15 @@ export OPAC_GIT_SHA
 (cd "$plain" && ./bench/table_6_1 --quick > /dev/null)
 (cd "$plain" && ./bench/table_6_2 --rows 256 --cols 256 > /dev/null)
 (cd "$plain" && ./bench/fault_sweep > /dev/null)
-(cd "$plain" && ./bench/serve_load > /dev/null)
+# The gated serve_load run doubles as the observability artifact
+# source: dump the shard-kill case's metrics, spans, span trace,
+# prometheus exposition and flight-recorder postmortems.
+(cd "$plain" && mkdir -p obs/flight \
+    && ./bench/serve_load --metrics=obs/serve_metrics.json \
+        --spans=obs/serve_spans.json \
+        --span-trace=obs/serve_span_trace.json \
+        --prom=obs/serve_metrics.prom \
+        --flight-dir=obs/flight > /dev/null)
 for bench in kernels_throughput table_6_1 table_6_2 fault_sweep \
     serve_load; do
     "$plain/tools/bench_diff" \
@@ -92,6 +100,22 @@ for bench in kernels_throughput table_6_1 table_6_2 fault_sweep \
         "$plain/BENCH_$bench.json"
 done
 echo "bench regression gate OK"
+
+# Observability smoke: the artifacts the serve_load gate just dumped
+# must validate against the documented schemas
+# (docs/OBSERVABILITY.md) and render the full SLO report; the span
+# rendering must be a Chrome trace that trace_report accepts. The
+# shard-kill case dies mid-traffic, so a flight-recorder postmortem
+# must exist.
+echo "=== serve_report smoke test ==="
+"$plain/tools/serve_report" --check-schema \
+    "$plain/obs/serve_metrics.json" "$plain/obs/serve_spans.json"
+"$plain/tools/serve_report" "$plain/obs/serve_metrics.json" \
+    "$plain/obs/serve_spans.json" > /dev/null
+"$plain/tools/trace_report" "$plain/obs/serve_span_trace.json" \
+    > /dev/null
+ls "$plain"/obs/flight/flight_*.json > /dev/null
+echo "serve_report smoke test OK"
 
 # Perf smoke (Release): record sim_rate (simulated cycles per wall
 # second) for the streaming benches so the uploaded artifacts carry a

@@ -1,0 +1,96 @@
+#include "obs/flight.hh"
+
+#include "common/logging.hh"
+#include "trace/json.hh"
+
+namespace opac::obs
+{
+
+FlightRecorder::FlightRecorder(std::size_t depth)
+    : depth_(depth ? depth : 1)
+{
+    ring_.reserve(depth_);
+}
+
+void
+FlightRecorder::note(Cycle at, std::uint32_t ticket, Phase phase,
+                     std::uint32_t batch, std::string detail)
+{
+    FlightEvent e{at, ticket, phase, batch, std::move(detail)};
+    if (ring_.size() < depth_) {
+        ring_.push_back(std::move(e));
+    } else {
+        ring_[head_] = std::move(e);
+        head_ = (head_ + 1) % depth_;
+    }
+    ++total_;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::recent() const
+{
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+FlightRecorders::FlightRecorders(unsigned shards, std::size_t depth)
+{
+    rings_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        rings_.emplace_back(depth);
+}
+
+std::string
+FlightRecorders::dumpJson(
+    const std::string &reason, Cycle now, std::uint64_t seed,
+    const std::vector<std::vector<std::string>> &faultPlans) const
+{
+    std::string out;
+    out += "{\n";
+    out += " \"version\": 1,\n";
+    out += " \"schema\": \"opac.serve.flight.v1\",\n";
+    out += strfmt(" \"reason\": \"%s\",\n",
+                  trace::json::escape(reason).c_str());
+    out += strfmt(" \"cycle\": %llu,\n",
+                  static_cast<unsigned long long>(now));
+    out += strfmt(" \"seed\": %llu,\n",
+                  static_cast<unsigned long long>(seed));
+    out += " \"shards\": [\n";
+    for (unsigned i = 0; i < rings_.size(); ++i) {
+        const FlightRecorder &r = rings_[i];
+        out += strfmt("  {\"shard\": %u, \"depth\": %zu, \"total\": %llu,"
+                      " \"fault_plan\": [",
+                      i, r.capacity(),
+                      static_cast<unsigned long long>(r.total()));
+        if (i < faultPlans.size()) {
+            bool first = true;
+            for (const std::string &line : faultPlans[i]) {
+                if (!first)
+                    out += ", ";
+                first = false;
+                out += strfmt("\"%s\"",
+                              trace::json::escape(line).c_str());
+            }
+        }
+        out += "], \"events\": [";
+        bool first = true;
+        for (const FlightEvent &e : r.recent()) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += strfmt("   {\"at\": %llu, \"ticket\": %u, \"ph\": "
+                          "\"%s\", \"batch\": %u, \"detail\": \"%s\"}",
+                          static_cast<unsigned long long>(e.at), e.ticket,
+                          phaseName(e.phase), e.batch,
+                          trace::json::escape(e.detail).c_str());
+        }
+        out += first ? "]}" : "\n  ]}";
+        out += i + 1 < rings_.size() ? ",\n" : "\n";
+    }
+    out += " ]\n}\n";
+    return out;
+}
+
+} // namespace opac::obs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Flight recorder — bounded per-shard rings of recent span events,
+ * dumped as a one-file postmortem when something dies.
+ *
+ * Spans (obs/span.hh) record everything about every job, but a
+ * million-job run produces a span stream nobody wants to trawl when a
+ * single shard fell over at 3am. The flight recorder keeps only the
+ * last few dozen span events per shard — what was batched, dispatched,
+ * executing and resolving just before the failure — and the server
+ * dumps every ring, together with the active per-shard fault plans and
+ * the run seed, the moment a job fails, a shard dies, or the watchdog
+ * fires. One-in-a-billion fault interactions then arrive as one small
+ * JSON file that replays: the seed and fault plan reproduce the run
+ * (docs/RESILIENCE.md), and the ring shows where to look.
+ *
+ * Ring mutation happens on the scheduler thread only; cycles are
+ * virtual, so dumps are deterministic across engine modes.
+ */
+
+#ifndef OPAC_OBS_FLIGHT_HH
+#define OPAC_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/span.hh"
+
+namespace opac::obs
+{
+
+/** One retained span event: what one shard was doing with one job. */
+struct FlightEvent
+{
+    Cycle at;
+    std::uint32_t ticket; //!< 0 for shard-level events (ShardDead)
+    Phase phase;
+    std::uint32_t batch;
+    std::string detail;
+};
+
+/** Bounded ring of the most recent span events on one shard. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t depth = 64);
+
+    void note(Cycle at, std::uint32_t ticket, Phase phase,
+              std::uint32_t batch = 0, std::string detail = "");
+
+    std::size_t capacity() const { return depth_; }
+    /** Total events ever noted (>= retained count). */
+    std::uint64_t total() const { return total_; }
+    /** Retained events, oldest first. */
+    std::vector<FlightEvent> recent() const;
+
+  private:
+    std::vector<FlightEvent> ring_;
+    std::size_t head_ = 0; //!< next write position once full
+    std::uint64_t total_ = 0;
+    std::size_t depth_;
+};
+
+/**
+ * The per-shard ring set for one server, plus the dump renderer. The
+ * dump is versioned JSON ("opac.serve.flight.v1"): the trigger reason,
+ * the virtual cycle, the run seed, and per shard its active fault plan
+ * (pre-rendered describeFault() lines) and retained events.
+ */
+class FlightRecorders
+{
+  public:
+    FlightRecorders(unsigned shards, std::size_t depth);
+
+    FlightRecorder &shard(unsigned i) { return rings_[i]; }
+    const FlightRecorder &shard(unsigned i) const { return rings_[i]; }
+    unsigned shards() const { return unsigned(rings_.size()); }
+
+    std::string
+    dumpJson(const std::string &reason, Cycle now, std::uint64_t seed,
+             const std::vector<std::vector<std::string>> &faultPlans)
+        const;
+
+  private:
+    std::vector<FlightRecorder> rings_;
+};
+
+} // namespace opac::obs
+
+#endif // OPAC_OBS_FLIGHT_HH

@@ -1,0 +1,133 @@
+#include "obs/metrics.hh"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+
+namespace opac::obs
+{
+
+namespace
+{
+
+// Split "serve.tenant3.e2e" into a metric name ("serve_e2e") and
+// labels (tenant="3"). Structural segments become labels; everything
+// else is sanitized into the flat metric name.
+struct PromName
+{
+    std::string metric;
+    std::string labels; //!< rendered 'k="v",k="v"' body, may be empty
+};
+
+bool
+labelSegment(const std::string &seg, std::string &key, std::string &val)
+{
+    static const char *dims[] = {"tenant", "shard", "cell"};
+    for (const char *dim : dims) {
+        std::size_t n = std::string(dim).size();
+        if (seg.size() > n && seg.compare(0, n, dim) == 0) {
+            bool digits = true;
+            for (std::size_t i = n; i < seg.size(); ++i)
+                digits = digits && std::isdigit((unsigned char)seg[i]);
+            if (digits) {
+                key = dim;
+                val = seg.substr(n);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+PromName
+promName(const std::string &qualified, const std::string &prefix)
+{
+    PromName out;
+    out.metric = prefix;
+    std::size_t start = 0;
+    while (start <= qualified.size()) {
+        std::size_t dot = qualified.find('.', start);
+        std::string seg =
+            qualified.substr(start, dot == std::string::npos
+                                        ? std::string::npos
+                                        : dot - start);
+        std::string key, val;
+        if (labelSegment(seg, key, val)) {
+            if (!out.labels.empty())
+                out.labels += ",";
+            out.labels += key + "=\"" + val + "\"";
+        } else if (!seg.empty()) {
+            out.metric += "_";
+            for (char c : seg)
+                out.metric += std::isalnum((unsigned char)c) ? c : '_';
+        }
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return out;
+}
+
+std::string
+withLabels(const PromName &n, const std::string &extra = "")
+{
+    std::string body = n.labels;
+    if (!extra.empty())
+        body += body.empty() ? extra : "," + extra;
+    return body.empty() ? n.metric : n.metric + "{" + body + "}";
+}
+
+} // anonymous namespace
+
+std::string
+renderProm(const stats::StatGroup &root, const std::string &prefix)
+{
+    // family name -> (type, sample lines); map keeps families grouped
+    // and sorted, as the exposition format requires.
+    std::map<std::string, std::pair<const char *,
+                                    std::vector<std::string>>>
+        families;
+
+    root.forEachScalar([&](const std::string &name, double v) {
+        PromName n = promName(name, prefix);
+        auto &fam = families[n.metric];
+        fam.first = "gauge";
+        fam.second.push_back(
+            strfmt("%s %.9g\n", withLabels(n).c_str(), v));
+    });
+
+    root.forEachQuantile([&](const std::string &name,
+                             const stats::Quantile &q) {
+        PromName n = promName(name, prefix);
+        auto &fam = families[n.metric];
+        fam.first = "summary";
+        static const std::pair<double, const char *> tags[] = {
+            {50, "0.5"}, {95, "0.95"}, {99, "0.99"}};
+        for (auto [p, tag] : tags) {
+            fam.second.push_back(strfmt(
+                "%s %.9g\n",
+                withLabels(n, strfmt("quantile=\"%s\"", tag)).c_str(),
+                q.percentile(p)));
+        }
+        PromName sum{n.metric + "_sum", n.labels};
+        PromName cnt{n.metric + "_count", n.labels};
+        fam.second.push_back(strfmt("%s %.9g\n", withLabels(sum).c_str(),
+                                    q.mean() * double(q.count())));
+        fam.second.push_back(
+            strfmt("%s %llu\n", withLabels(cnt).c_str(),
+                   static_cast<unsigned long long>(q.count())));
+    });
+
+    std::string out;
+    for (const auto &[metric, fam] : families) {
+        out += strfmt("# TYPE %s %s\n", metric.c_str(), fam.first);
+        for (const std::string &line : fam.second)
+            out += line;
+    }
+    return out;
+}
+
+} // namespace opac::obs

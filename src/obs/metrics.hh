@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Metric export helpers — the scrape-facing face of the observability
+ * stack (docs/OBSERVABILITY.md).
+ *
+ * The stats tree (src/stats) already renders as flat JSON; serving
+ * adds the other lingua franca: Prometheus-style text exposition.
+ * renderProm() walks a StatGroup subtree and emits one sample line per
+ * scalar stat, turning structural name segments into labels — the
+ * qualified name "serve.tenant3.e2e" becomes
+ * `opac_serve_e2e{tenant="3",quantile="0.5"} ...` — so a per-tenant or
+ * per-shard family is one metric with label dimensions, the shape
+ * dashboards and alert rules expect, rather than hundreds of
+ * individually named series. Quantile stats render as summaries
+ * (quantile label + _count/_sum), everything else as gauges.
+ *
+ * The walk order is the deterministic stats-tree order and values are
+ * virtual-time derived, so the exposition is byte-identical across
+ * engine modes like every other export.
+ */
+
+#ifndef OPAC_OBS_METRICS_HH
+#define OPAC_OBS_METRICS_HH
+
+#include <string>
+
+namespace opac::stats
+{
+class StatGroup;
+}
+
+namespace opac::obs
+{
+
+/**
+ * Prometheus text exposition of @p root's subtree. Name segments
+ * matching tenant<N>/shard<N>/cell<N> become labels; the rest joins
+ * with '_' under @p prefix. Samples of one metric family are grouped
+ * under a single # TYPE line, families sorted by name.
+ */
+std::string renderProm(const stats::StatGroup &root,
+                       const std::string &prefix = "opac");
+
+} // namespace opac::obs
+
+#endif // OPAC_OBS_METRICS_HH

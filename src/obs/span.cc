@@ -1,0 +1,282 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "trace/json.hh"
+#include "trace/sinks.hh"
+#include "trace/trace.hh"
+
+namespace opac::obs
+{
+
+namespace
+{
+
+double
+wallNowNs()
+{
+    using namespace std::chrono;
+    return double(duration_cast<nanoseconds>(
+                      steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+} // anonymous namespace
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Submit: return "submit";
+      case Phase::Admit: return "admit";
+      case Phase::Reject: return "reject";
+      case Phase::Batch: return "batch";
+      case Phase::Dispatch: return "dispatch";
+      case Phase::Execute: return "execute";
+      case Phase::Verify: return "verify";
+      case Phase::Commit: return "commit";
+      case Phase::Fail: return "fail";
+      case Phase::Failover: return "failover";
+      case Phase::ShardDead: return "shard_dead";
+    }
+    return "?";
+}
+
+Cycle
+JobSpan::edgeAt(Phase p) const
+{
+    for (const SpanEdge &e : edges)
+        if (e.phase == p)
+            return e.at;
+    return noEdge;
+}
+
+bool
+JobSpan::terminal() const
+{
+    for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+        if (it->phase == Phase::Commit || it->phase == Phase::Fail ||
+            it->phase == Phase::Reject)
+            return true;
+    }
+    return false;
+}
+
+JobSpan &
+SpanLog::open(std::uint32_t ticket)
+{
+    assert(ticket >= 1);
+    if (spans_.size() < ticket)
+        spans_.resize(ticket);
+    JobSpan &s = spans_[ticket - 1];
+    s.ticket = ticket;
+    return s;
+}
+
+JobSpan &
+SpanLog::at(std::uint32_t ticket)
+{
+    assert(ticket >= 1 && ticket <= spans_.size());
+    return spans_[ticket - 1];
+}
+
+const JobSpan &
+SpanLog::at(std::uint32_t ticket) const
+{
+    assert(ticket >= 1 && ticket <= spans_.size());
+    return spans_[ticket - 1];
+}
+
+void
+SpanLog::edge(std::uint32_t ticket, Phase p, Cycle at, std::uint32_t arg)
+{
+    JobSpan &s = this->at(ticket);
+    s.edges.push_back(SpanEdge{p, at, arg, wallNowNs()});
+}
+
+std::string
+SpanLog::json(bool include_wall) const
+{
+    std::string out;
+    out += "{\n";
+    out += " \"version\": 1,\n";
+    out += " \"schema\": \"opac.serve.spans.v1\",\n";
+    out += strfmt(" \"spans\": [");
+    bool firstSpan = true;
+    for (const JobSpan &s : spans_) {
+        if (s.ticket == 0)
+            continue; // ticket allocated but never recorded
+        out += firstSpan ? "\n" : ",\n";
+        firstSpan = false;
+        out += strfmt(
+            "  {\"ticket\": %u, \"tenant\": %u, \"kind\": \"%s\", "
+            "\"compat\": %llu, \"deadline\": %llu, \"shard\": %d, "
+            "\"batch\": %u, \"failovers\": %u, \"retries\": %llu, "
+            "\"replans\": %u, \"note\": \"%s\", \"edges\": [",
+            s.ticket, s.tenant, trace::json::escape(s.kind).c_str(),
+            static_cast<unsigned long long>(s.compat),
+            static_cast<unsigned long long>(s.deadline), s.shard, s.batch,
+            s.failovers, static_cast<unsigned long long>(s.retries),
+            s.replans, trace::json::escape(s.note).c_str());
+        bool firstEdge = true;
+        for (const SpanEdge &e : s.edges) {
+            if (!firstEdge)
+                out += ", ";
+            firstEdge = false;
+            out += strfmt("{\"ph\": \"%s\", \"at\": %llu, \"arg\": %u",
+                          phaseName(e.phase),
+                          static_cast<unsigned long long>(e.at), e.arg);
+            if (include_wall)
+                out += strfmt(", \"wall_ns\": %.0f", e.wallNs);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "\n ]\n}\n";
+    return out;
+}
+
+void
+SpanLog::writeChromeTrace(std::ostream &out, unsigned shards,
+                          Cycle makespan) const
+{
+    trace::Tracer tracer;
+    trace::ChromeTraceSink sink(out);
+    tracer.addSink(&sink);
+
+    // Deterministic component order: shards first, then tenants sorted.
+    std::vector<std::uint16_t> shardComp(shards);
+    for (unsigned j = 0; j < shards; ++j)
+        shardComp[j] = tracer.internComponent(strfmt("shard%u", j));
+    std::set<std::uint32_t> tenants;
+    for (const JobSpan &s : spans_)
+        if (s.ticket)
+            tenants.insert(s.tenant);
+    std::map<std::uint32_t, std::uint16_t> tenantComp;
+    std::map<std::uint32_t, std::uint16_t> tenantTrack;
+    for (std::uint32_t t : tenants) {
+        std::uint16_t c = tracer.internComponent(strfmt("tenant%u", t));
+        tenantComp[t] = c;
+        tenantTrack[t] = tracer.internTrack(c, "inflight");
+    }
+
+    // Batch service windows: every job in a batch shares the same
+    // execute -> (verify | fail | failover) window on its shard, so
+    // dedup into one slice per (shard, window, batch) carrying the job
+    // count. The window end is the first resolution edge after the
+    // execute edge (harvest resolves a whole batch at one cycle).
+    std::map<std::tuple<std::uint32_t, Cycle, Cycle, std::uint32_t>,
+             unsigned>
+        windows;
+    for (const JobSpan &s : spans_) {
+        for (std::size_t i = 0; i < s.edges.size(); ++i) {
+            if (s.edges[i].phase != Phase::Execute)
+                continue;
+            std::uint32_t shard = s.edges[i].arg;
+            std::uint32_t batch = 0;
+            for (std::size_t k = i; k-- > 0;) {
+                if (s.edges[k].phase == Phase::Batch) {
+                    batch = s.edges[k].arg;
+                    break;
+                }
+            }
+            for (std::size_t k = i + 1; k < s.edges.size(); ++k) {
+                Phase p = s.edges[k].phase;
+                if (p == Phase::Verify || p == Phase::Fail ||
+                    p == Phase::Failover) {
+                    ++windows[{shard, s.edges[i].at, s.edges[k].at,
+                               batch}];
+                    break;
+                }
+            }
+        }
+    }
+
+    // One flat emission list, sorted by (cycle, category, keys) so the
+    // byte stream is deterministic and B/E slices nest per shard.
+    struct Emis
+    {
+        Cycle at;
+        int cat; // 0 slice end, 1 slice begin, 2 push, 3 pop, 4 fault
+        std::uint32_t k1, k2;
+        trace::EventKind kind;
+        std::uint8_t arg;
+        std::uint16_t comp, track;
+        std::uint32_t a, b;
+    };
+    std::vector<Emis> ems;
+
+    for (const auto &[key, jobs] : windows) {
+        auto [shard, start, end, batch] = key;
+        if (shard >= shards)
+            continue;
+        std::uint16_t comp = shardComp[shard];
+        std::uint16_t track = tracer.internTrack(
+            comp, strfmt("batch %u (%u job%s)", batch, jobs,
+                         jobs == 1 ? "" : "s"));
+        ems.push_back({start, 1, shard, batch, trace::EventKind::CallBegin,
+                       0, comp, track, jobs, 0});
+        ems.push_back({end, 0, shard, batch, trace::EventKind::CallEnd, 0,
+                       comp, track, jobs, 0});
+    }
+
+    // Per-tenant in-flight depth: +1 at submit, -1 at the terminal
+    // edge. Pushes sort before pops at a tie so a same-cycle
+    // submit+reject still shows its spike.
+    struct Delta
+    {
+        Cycle at;
+        int d;
+        std::uint32_t ticket;
+    };
+    std::map<std::uint32_t, std::vector<Delta>> deltas;
+    for (const JobSpan &s : spans_) {
+        if (!s.ticket)
+            continue;
+        for (const SpanEdge &e : s.edges) {
+            if (e.phase == Phase::Submit)
+                deltas[s.tenant].push_back({e.at, +1, s.ticket});
+            else if (e.phase == Phase::Commit || e.phase == Phase::Fail ||
+                     e.phase == Phase::Reject)
+                deltas[s.tenant].push_back({e.at, -1, s.ticket});
+            else if (e.phase == Phase::Failover)
+                ems.push_back({e.at, 4, s.tenant, s.ticket,
+                               trace::EventKind::Fault, 0,
+                               tenantComp[s.tenant], tenantTrack[s.tenant],
+                               e.arg, s.ticket});
+        }
+    }
+    for (auto &[tenant, dv] : deltas) {
+        std::sort(dv.begin(), dv.end(),
+                  [](const Delta &x, const Delta &y) {
+                      return std::tie(x.at, y.d, x.ticket) <
+                             std::tie(y.at, x.d, y.ticket);
+                  });
+        std::uint32_t depth = 0;
+        for (const Delta &d : dv) {
+            depth = std::uint32_t(int(depth) + d.d);
+            ems.push_back({d.at, d.d > 0 ? 2 : 3, tenant, d.ticket,
+                           d.d > 0 ? trace::EventKind::FifoPush
+                                   : trace::EventKind::FifoPop,
+                           0, tenantComp[tenant], tenantTrack[tenant],
+                           depth, d.ticket});
+        }
+    }
+
+    std::sort(ems.begin(), ems.end(), [](const Emis &x, const Emis &y) {
+        return std::tie(x.at, x.cat, x.k1, x.k2, x.track) <
+               std::tie(y.at, y.cat, y.k1, y.k2, y.track);
+    });
+    for (const Emis &e : ems)
+        tracer.emit(e.at, e.kind, e.arg, e.comp, e.track, e.a, e.b);
+    tracer.finish(makespan ? makespan : 1);
+}
+
+} // namespace opac::obs

@@ -82,6 +82,7 @@ struct JobResult
     Cycle arrival = 0;   //!< virtual cycle the job was submitted
     Cycle started = 0;   //!< virtual cycle its batch began service
     Cycle finished = 0;  //!< virtual cycle its batch completed
+    Cycle deadline = 0;  //!< the request's latency bound (0 = none)
 
     /**
      * FNV-1a hash over the output words in storage order: the
@@ -95,7 +96,16 @@ struct JobResult
     std::string note;     //!< rejection / failure reason
 
     Cycle queueWait() const { return started - arrival; }
+    Cycle serviceTime() const { return finished - started; }
     Cycle latency() const { return finished - arrival; }
+
+    /** Completed, but after the deadline it asked for. */
+    bool
+    missedDeadline() const
+    {
+        return deadline != 0 && status == JobStatus::Completed
+               && latency() > deadline;
+    }
 };
 
 /**

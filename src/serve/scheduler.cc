@@ -24,6 +24,24 @@ Scheduler::Scheduler(std::vector<std::unique_ptr<Shard>> &shards,
 }
 
 void
+Scheduler::attachObservers(
+    obs::SpanLog *spans, obs::FlightRecorders *flight,
+    std::function<void(const std::string &)> postmortem)
+{
+    spans_ = spans;
+    flight_ = flight;
+    postmortem_ = std::move(postmortem);
+}
+
+void
+Scheduler::spanEdge(std::uint32_t ticket, obs::Phase ph, Cycle at,
+                    std::uint32_t arg)
+{
+    if (spans_)
+        spans_->edge(ticket, ph, at, arg);
+}
+
+void
 Scheduler::drain(std::vector<ShardJob> subs)
 {
     for (std::size_t i = 1; i < subs.size(); ++i)
@@ -89,6 +107,7 @@ Scheduler::admitUpTo(Cycle t)
                 continue;
             }
         }
+        spanEdge(p.ticket, obs::Phase::Admit, p.req.arrival);
         ready_.push_back(std::move(p));
     }
 }
@@ -96,26 +115,44 @@ Scheduler::admitUpTo(Cycle t)
 void
 Scheduler::reject(const Pending &p, const std::string &why)
 {
+    if (spans_) {
+        spans_->at(p.ticket).note = why;
+        spanEdge(p.ticket, obs::Phase::Reject, p.req.arrival);
+    }
     JobResult r;
     r.status = JobStatus::Rejected;
     r.ticket = p.ticket;
     r.arrival = r.started = r.finished = p.req.arrival;
+    r.deadline = p.req.deadline;
     r.failovers = p.failovers;
     r.note = why;
     sink_(p.req, std::move(r), 0, 0);
 }
 
 void
-Scheduler::fail(const Pending &p, const std::string &why)
+Scheduler::fail(const Pending &p, const std::string &why, int shard)
 {
+    if (spans_) {
+        spans_->at(p.ticket).note = why;
+        spanEdge(p.ticket, obs::Phase::Fail, p.avail,
+                 shard >= 0 ? std::uint32_t(shard) : 0);
+    }
+    if (flight_ && shard >= 0)
+        flight_->shard(unsigned(shard))
+            .note(p.avail, p.ticket, obs::Phase::Fail, 0, why);
     JobResult r;
     r.status = JobStatus::Failed;
     r.ticket = p.ticket;
+    if (shard >= 0)
+        r.shard = unsigned(shard);
     r.arrival = p.req.arrival;
     r.started = r.finished = p.avail;
+    r.deadline = p.req.deadline;
     r.failovers = p.failovers;
     r.note = why;
     sink_(p.req, std::move(r), 0, 0);
+    if (postmortem_)
+        postmortem_(strfmt("job %u failed: %s", p.ticket, why.c_str()));
 }
 
 unsigned
@@ -194,9 +231,23 @@ Scheduler::dispatchIdle()
         std::vector<ShardJob> batch;
         batch.reserve(take.size());
         st.inflight.clear();
+        const unsigned batchId = batches_ + 1; // 1-based span/batch id
         for (std::size_t i : take) {
-            batch.push_back(ShardJob{ready_[i].ticket, ready_[i].req});
-            st.inflight.push_back(ready_[i]);
+            const Pending &p = ready_[i];
+            batch.push_back(ShardJob{p.ticket, p.req});
+            st.inflight.push_back(p);
+            if (spans_) {
+                obs::JobSpan &s = spans_->at(p.ticket);
+                s.shard = int(si);
+                s.batch = batchId;
+                spanEdge(p.ticket, obs::Phase::Batch, t, batchId);
+                spanEdge(p.ticket, obs::Phase::Dispatch, t, si);
+                spanEdge(p.ticket, obs::Phase::Execute, t, si);
+            }
+            if (flight_)
+                flight_->shard(si).note(t, p.ticket, obs::Phase::Execute,
+                                        batchId,
+                                        kernelKindName(p.req.kind));
         }
         std::sort(take.begin(), take.end(),
                   std::greater<std::size_t>());
@@ -257,15 +308,41 @@ Scheduler::harvestAll()
         for (const auto &s : shards_)
             survivors |= s->alive();
 
+        if (!out.ran) {
+            if (flight_)
+                flight_->shard(i).note(fin, 0, obs::Phase::ShardDead, 0,
+                                       out.note);
+            if (spans_)
+                for (const Pending &p : st.inflight)
+                    spans_->at(p.ticket).note = out.note;
+            if (postmortem_)
+                postmortem_(strfmt("shard %u died: %s", i,
+                                   out.note.c_str()));
+        }
+
         for (std::size_t j = 0; j < st.inflight.size(); ++j) {
             const JobOutcome &jo = out.jobs[j];
             Pending &p = st.inflight[j];
             opac_assert(jo.ticket == p.ticket,
                         "outcome/inflight ticket mismatch");
+            if (spans_) {
+                obs::JobSpan &s = spans_->at(p.ticket);
+                s.retries += out.retries;
+                s.replans += out.replans;
+            }
             if (jo.committed) {
                 double frac = total_flops > 0.0
                                   ? estimatedFlops(p.req) / total_flops
                                   : 1.0 / double(st.inflight.size());
+                spanEdge(p.ticket, obs::Phase::Verify, fin, i);
+                spanEdge(p.ticket, obs::Phase::Commit, fin, i);
+                if (flight_)
+                    flight_->shard(i).note(fin, p.ticket,
+                                           obs::Phase::Commit,
+                                           spans_ ? spans_->at(p.ticket)
+                                                        .batch
+                                                  : 0,
+                                           jo.correct ? "" : "incorrect");
                 JobResult r;
                 r.status = JobStatus::Completed;
                 r.ticket = p.ticket;
@@ -273,6 +350,7 @@ Scheduler::harvestAll()
                 r.arrival = p.req.arrival;
                 r.started = st.started;
                 r.finished = fin;
+                r.deadline = p.req.deadline;
                 r.checksum = jo.checksum;
                 r.correct = jo.correct;
                 r.failovers = p.failovers;
@@ -283,11 +361,20 @@ Scheduler::harvestAll()
                 ++p.failovers;
                 ++failovers_;
                 p.avail = fin;
+                if (spans_)
+                    spans_->at(p.ticket).failovers = p.failovers;
+                spanEdge(p.ticket, obs::Phase::Failover, fin, i);
+                if (flight_)
+                    flight_->shard(i).note(fin, p.ticket,
+                                           obs::Phase::Failover, 0,
+                                           out.note);
                 ready_.push_back(std::move(p));
             } else {
                 p.avail = fin;
-                fail(p, out.note.empty() ? "job did not commit"
-                                         : "shard died: " + out.note);
+                fail(p,
+                     out.note.empty() ? "job did not commit"
+                                      : "shard died: " + out.note,
+                     int(i));
             }
         }
         st.inflight.clear();

@@ -32,8 +32,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/flight.hh"
+#include "obs/span.hh"
 #include "serve/shard.hh"
 
 namespace opac::serve
@@ -74,6 +77,19 @@ class Scheduler
               const SchedulerConfig &cfg, CompletionFn sink);
 
     /**
+     * Wire up the observability side channels (obs/span.hh,
+     * obs/flight.hh): every scheduling decision then lands a span
+     * edge and a flight-recorder note, and @p postmortem fires (with
+     * a reason string) whenever a job fails or a shard dies — the
+     * server's cue to snapshot the flight rings. All three may be
+     * null; spans must already be open()ed for every ticket drained.
+     */
+    void attachObservers(obs::SpanLog *spans,
+                         obs::FlightRecorders *flight,
+                         std::function<void(const std::string &)>
+                             postmortem);
+
+    /**
      * Run the DES until every submission is delivered. @p subs must be
      * sorted by (arrival, submission order); tickets must be unique.
      * Blocks the calling thread; shard workers do the heavy lifting.
@@ -111,7 +127,9 @@ class Scheduler
 
     void admitUpTo(Cycle t);
     void reject(const Pending &p, const std::string &why);
-    void fail(const Pending &p, const std::string &why);
+    void fail(const Pending &p, const std::string &why, int shard = -1);
+    void spanEdge(std::uint32_t ticket, obs::Phase ph, Cycle at,
+                  std::uint32_t arg = 0);
     bool dispatchIdle();
     void harvestAll();
     void failEverythingLeft();
@@ -129,6 +147,11 @@ class Scheduler
     Cycle makespan_ = 0;
     unsigned batches_ = 0;
     unsigned failovers_ = 0;
+
+    // Observability side channels (may stay null).
+    obs::SpanLog *spans_ = nullptr;
+    obs::FlightRecorders *flight_ = nullptr;
+    std::function<void(const std::string &)> postmortem_;
 };
 
 } // namespace opac::serve

@@ -1,10 +1,13 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <ostream>
 #include <string>
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
 
 namespace opac::serve
 {
@@ -20,6 +23,8 @@ struct Server::TenantStats
         group.addCounter("rejected", &rejected,
                          "jobs refused at admission");
         group.addCounter("failed", &failed, "jobs lost to shard deaths");
+        group.addCounter("deadline_missed", &deadlineMissed,
+                         "completed jobs that blew their deadline");
         group.addCounter("cycles", &cycles,
                          "engine cycles attributed (flops-proportional "
                          "share of each batch)");
@@ -29,12 +34,41 @@ struct Server::TenantStats
                               "virtual cycles from arrival to dispatch");
         group.addDistribution("latency", &latency,
                               "virtual cycles from arrival to completion");
+        group.addQuantile("queue_wait_pct", &queueWaitQ,
+                          "queue-wait percentiles (SLO view)");
+        group.addQuantile("service_pct", &serviceQ,
+                          "service-time percentiles (SLO view)");
+        group.addQuantile("e2e_pct", &e2eQ,
+                          "end-to-end latency percentiles (SLO view)");
     }
 
     stats::StatGroup group;
     stats::Counter submitted, completed, rejected, failed;
+    stats::Counter deadlineMissed;
     stats::Counter cycles, maOps;
     stats::Distribution queueWait, latency;
+    stats::Quantile queueWaitQ, serviceQ, e2eQ;
+};
+
+/** Per-kernel-kind SLO subtree ("serve.kinds.gemm"): per-kernel
+ *  attribution, not just aggregate numbers. */
+struct Server::KindStats
+{
+    KindStats(const std::string &name, stats::StatGroup *parent)
+        : group(name, parent)
+    {
+        group.addCounter("completed", &completed, "jobs completed");
+        group.addQuantile("queue_wait_pct", &queueWaitQ,
+                          "queue-wait percentiles (SLO view)");
+        group.addQuantile("service_pct", &serviceQ,
+                          "service-time percentiles (SLO view)");
+        group.addQuantile("e2e_pct", &e2eQ,
+                          "end-to-end latency percentiles (SLO view)");
+    }
+
+    stats::StatGroup group;
+    stats::Counter completed;
+    stats::Quantile queueWaitQ, serviceQ, e2eQ;
 };
 
 /** One submission awaiting delivery. */
@@ -64,18 +98,31 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
     root_->addCounter("incorrect", &cIncorrect_,
                       "completed jobs whose output missed the oracle "
                       "(0 in a healthy service)");
+    root_->addCounter("deadline_missed", &cDeadlineMiss_,
+                      "completed jobs that blew their deadline");
     root_->addDistribution("queue_wait", &dQueueWait_,
                            "virtual cycles from arrival to dispatch");
     root_->addDistribution("latency", &dLatency_,
                            "virtual cycles from arrival to completion");
+    root_->addQuantile("queue_wait_pct", &qQueueWait_,
+                       "queue-wait percentiles (SLO view)");
+    root_->addQuantile("service_pct", &qService_,
+                       "service-time percentiles (SLO view)");
+    root_->addQuantile("e2e_pct", &qE2e_,
+                       "end-to-end latency percentiles (SLO view)");
     tenantsGroup_ =
         std::make_unique<stats::StatGroup>("tenants", root_.get());
     shardsGroup_ =
         std::make_unique<stats::StatGroup>("shards", root_.get());
+    kindsGroup_ =
+        std::make_unique<stats::StatGroup>("kinds", root_.get());
+
+    flight_ = std::make_unique<obs::FlightRecorders>(
+        cfg.shards, cfg.obs.flightDepth);
 
     // Formulas hold raw pointers into this vector: size it for every
     // registration up front so it never reallocates.
-    shardFormulas_.reserve(2 * cfg.shards + 4);
+    shardFormulas_.reserve(4 * cfg.shards + 4);
 
     for (unsigned i = 0; i < cfg.shards; ++i) {
         ShardConfig sc = cfg.shard;
@@ -91,6 +138,10 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
             sc.faults.seed = cfg.faults.seed + 1000003ull * i;
         }
         shards_.push_back(std::make_unique<Shard>(i, sc));
+        faultPlans_.push_back({});
+        for (const fault::FaultEvent &ev :
+             fault::buildPlan(sc.faults, sc.cells))
+            faultPlans_.back().push_back(fault::describeFault(ev));
 
         auto g = std::make_unique<stats::StatGroup>(
             "shard" + std::to_string(i), shardsGroup_.get());
@@ -103,6 +154,19 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
             [sp] { return double(sp->aliveCells()); });
         g->addFormula("alive_cells", &shardFormulas_.back(),
                       "usable cells (0 once the shard died)");
+        shardFormulas_.emplace_back([sp, this] {
+            const Cycle ms = sched_ ? sched_->makespan() : 0;
+            return ms ? double(sp->busyCycles()) / double(ms) : 0.0;
+        });
+        g->addFormula("occupancy", &shardFormulas_.back(),
+                      "fraction of the makespan spent serving");
+        shardFormulas_.emplace_back(
+            [sp] { return double(sp->peakBatchJobs()); });
+        g->addFormula("peak_batch_jobs", &shardFormulas_.back(),
+                      "largest batch served (jobs)");
+        shardJobs_.push_back(std::make_unique<stats::Counter>());
+        g->addCounter("jobs", shardJobs_.back().get(),
+                      "jobs committed on this shard");
         shardGroups_.push_back(std::move(g));
     }
 
@@ -110,6 +174,9 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
         shards_, cfg.sched,
         [this](const JobRequest &req, JobResult r, Cycle cy,
                std::uint64_t ma) { deliver(req, std::move(r), cy, ma); });
+    sched_->attachObservers(
+        &spans_, flight_.get(),
+        [this](const std::string &reason) { recordFlightDump(reason); });
 
     shardFormulas_.emplace_back(
         [this] { return double(sched_->makespan()); });
@@ -143,6 +210,19 @@ Server::tenant(std::uint32_t id)
     return *it->second;
 }
 
+Server::KindStats &
+Server::kindStats(KernelKind k)
+{
+    const std::string name = kernelKindName(k);
+    auto it = kinds_.find(name);
+    if (it == kinds_.end())
+        it = kinds_
+                 .emplace(name, std::make_unique<KindStats>(
+                                    name, kindsGroup_.get()))
+                 .first;
+    return *it->second;
+}
+
 std::future<JobResult>
 Server::submit(JobRequest req, Callback cb)
 {
@@ -156,6 +236,13 @@ Server::submit(JobRequest req, Callback cb)
     opac_assert(pending_.size() == lastTicket_, "ticket drift");
     ++cSubmitted_;
     ++tenant(req.tenant).submitted;
+
+    obs::JobSpan &span = spans_.open(lastTicket_);
+    span.tenant = req.tenant;
+    span.kind = kernelKindName(req.kind);
+    span.compat = compatKey(req);
+    span.deadline = req.deadline;
+    spans_.edge(lastTicket_, obs::Phase::Submit, req.arrival);
     return fut;
 }
 
@@ -191,18 +278,36 @@ Server::deliver(const JobRequest &req, JobResult r, Cycle cycles,
         std::lock_guard<std::mutex> lk(mu_);
         TenantStats &t = tenant(req.tenant);
         switch (r.status) {
-          case JobStatus::Completed:
+          case JobStatus::Completed: {
             ++cCompleted_;
             ++t.completed;
             if (!r.correct)
                 ++cIncorrect_;
+            if (r.missedDeadline()) {
+                ++cDeadlineMiss_;
+                ++t.deadlineMissed;
+            }
             dQueueWait_.sample(double(r.queueWait()));
             dLatency_.sample(double(r.latency()));
+            qQueueWait_.sample(double(r.queueWait()));
+            qService_.sample(double(r.serviceTime()));
+            qE2e_.sample(double(r.latency()));
             t.queueWait.sample(double(r.queueWait()));
             t.latency.sample(double(r.latency()));
+            t.queueWaitQ.sample(double(r.queueWait()));
+            t.serviceQ.sample(double(r.serviceTime()));
+            t.e2eQ.sample(double(r.latency()));
+            KindStats &k = kindStats(req.kind);
+            ++k.completed;
+            k.queueWaitQ.sample(double(r.queueWait()));
+            k.serviceQ.sample(double(r.serviceTime()));
+            k.e2eQ.sample(double(r.latency()));
+            if (r.shard < shardJobs_.size())
+                ++*shardJobs_[r.shard];
             t.cycles += cycles;
             t.maOps += ma;
             break;
+          }
           case JobStatus::Failed:
             ++cFailed_;
             ++t.failed;
@@ -249,6 +354,58 @@ Server::utilization() const
     for (const auto &s : shards_)
         busy += double(s->busyCycles());
     return busy / (double(ms) * double(shards_.size()));
+}
+
+std::string
+Server::metricsJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += " \"version\": 1,\n";
+    out += " \"schema\": \"opac.serve.metrics.v1\",\n";
+    out += strfmt(" \"shards\": %u,\n", numShards());
+    out += strfmt(" \"makespan\": %llu,\n",
+                  static_cast<unsigned long long>(sched_->makespan()));
+    out += " \"metrics\": ";
+    out += root_->json();
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+Server::metricsProm() const
+{
+    return obs::renderProm(*root_, "opac");
+}
+
+std::string
+Server::spansJson(bool include_wall) const
+{
+    return spans_.json(include_wall);
+}
+
+void
+Server::writeSpanChromeTrace(std::ostream &out) const
+{
+    spans_.writeChromeTrace(out, numShards(), sched_->makespan());
+}
+
+std::string
+Server::lastFlightDump() const
+{
+    return flightDumps_.empty() ? std::string()
+                                : flightDumps_.back().second;
+}
+
+void
+Server::recordFlightDump(const std::string &reason)
+{
+    ++flightTriggers_;
+    if (flightDumps_.size() >= cfg_.obs.maxFlightDumps)
+        return;
+    flightDumps_.emplace_back(
+        reason, flight_->dumpJson(reason, sched_->makespan(),
+                                  cfg_.faults.seed, faultPlans_));
 }
 
 } // namespace opac::serve

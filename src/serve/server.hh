@@ -24,11 +24,15 @@
 
 #include <functional>
 #include <future>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "obs/flight.hh"
+#include "obs/span.hh"
 #include "serve/scheduler.hh"
 #include "serve/shard.hh"
 #include "stats/stats.hh"
@@ -53,6 +57,18 @@ struct ServeConfig
     /** Per-shard overrides (shard id, spec) — targeted kill plans.
      *  An override replaces the base plan verbatim (no seed mix). */
     std::vector<std::pair<unsigned, fault::FaultSpec>> shardFaults;
+
+    /** Observability knobs (docs/OBSERVABILITY.md). */
+    struct ObsConfig
+    {
+        /** Span events retained per shard in the flight recorder. */
+        std::size_t flightDepth = 64;
+
+        /** Postmortem dumps retained per server; later triggers only
+         *  count (a mass failure must not balloon memory). */
+        std::size_t maxFlightDumps = 16;
+    };
+    ObsConfig obs;
 };
 
 /** Accepts kernel requests and serves them on a pool of shards. */
@@ -100,13 +116,56 @@ class Server
     /** Mean fraction of the makespan each shard spent serving. */
     double utilization() const;
 
+    // ---- Observability exports (docs/OBSERVABILITY.md) ----
+
+    /** The span log: one JobSpan per ticket, deterministic. */
+    const obs::SpanLog &spans() const { return spans_; }
+
+    /**
+     * Versioned SLO metrics snapshot ("opac.serve.metrics.v1"): the
+     * whole serve stats tree — counters, distributions, per-tenant /
+     * per-kind latency quantiles, per-shard gauges — as flat JSON
+     * under "metrics". Byte-identical across engine modes.
+     */
+    std::string metricsJson() const;
+
+    /** Prometheus text exposition of the same tree (obs/metrics.hh). */
+    std::string metricsProm() const;
+
+    /** Span records as versioned JSON ("opac.serve.spans.v1"). */
+    std::string spansJson(bool include_wall = false) const;
+
+    /** Chrome trace-event rendering of the spans: one track per shard
+     *  (batch slices) and per tenant (in-flight depth). */
+    void writeSpanChromeTrace(std::ostream &out) const;
+
+    /**
+     * Flight-recorder postmortems captured so far: (reason, dump
+     * JSON "opac.serve.flight.v1") in trigger order, capped at
+     * ObsConfig::maxFlightDumps.
+     */
+    const std::vector<std::pair<std::string, std::string>> &
+    flightDumps() const
+    {
+        return flightDumps_;
+    }
+
+    /** Dump JSON of the most recent postmortem ("" when none). */
+    std::string lastFlightDump() const;
+
+    /** Postmortem triggers observed (>= flightDumps().size()). */
+    std::uint64_t flightTriggers() const { return flightTriggers_; }
+
   private:
     struct TenantStats;
+    struct KindStats;
     struct PendingEntry;
 
     TenantStats &tenant(std::uint32_t id);
+    KindStats &kindStats(KernelKind k);
     void deliver(const JobRequest &req, JobResult r, Cycle cycles,
                  std::uint64_t ma);
+    void recordFlightDump(const std::string &reason);
 
     ServeConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -121,12 +180,24 @@ class Server
     std::unique_ptr<stats::StatGroup> root_;
     std::unique_ptr<stats::StatGroup> tenantsGroup_;
     std::unique_ptr<stats::StatGroup> shardsGroup_;
+    std::unique_ptr<stats::StatGroup> kindsGroup_;
     stats::Counter cSubmitted_, cCompleted_, cFailed_, cRejected_;
     stats::Counter cFailovers_, cBatches_, cIncorrect_;
+    stats::Counter cDeadlineMiss_;
     stats::Distribution dQueueWait_, dLatency_;
+    stats::Quantile qQueueWait_, qService_, qE2e_;
     std::map<std::uint32_t, std::unique_ptr<TenantStats>> tenants_;
+    std::map<std::string, std::unique_ptr<KindStats>> kinds_;
     std::vector<std::unique_ptr<stats::StatGroup>> shardGroups_;
+    std::vector<std::unique_ptr<stats::Counter>> shardJobs_;
     std::vector<stats::Formula> shardFormulas_;
+
+    // Observability.
+    obs::SpanLog spans_;
+    std::unique_ptr<obs::FlightRecorders> flight_;
+    std::vector<std::vector<std::string>> faultPlans_;
+    std::vector<std::pair<std::string, std::string>> flightDumps_;
+    std::uint64_t flightTriggers_ = 0;
 };
 
 } // namespace opac::serve

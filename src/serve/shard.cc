@@ -106,6 +106,7 @@ Shard::Shard(unsigned id, const ShardConfig &cfg)
     cc.skipIdleCycles = cfg.skipIdleCycles;
     cc.engineMode = cfg.engineMode;
     cc.simThreads = cfg.simThreads;
+    cc.statsSampleInterval = cfg.statsSampleInterval;
     cc.faults = cfg.faults;
     sys_ = std::make_unique<copro::Coprocessor>(cc);
     kernels::installStandardKernels(*sys_);
@@ -128,6 +129,7 @@ Shard::launch(std::vector<ShardJob> batch)
 {
     opac_assert(!failed_, "launch on a dead shard %u", id_);
     opac_assert(!batch.empty(), "launch with an empty batch");
+    peakBatch_.observe(batch.size());
     {
         std::lock_guard<std::mutex> lk(mu_);
         opac_assert(!haveWork_ && !haveResult_,

@@ -33,6 +33,7 @@
 
 #include "coproc/coprocessor.hh"
 #include "serve/request.hh"
+#include "stats/stats.hh"
 
 namespace opac::serve
 {
@@ -61,6 +62,11 @@ struct ShardConfig
     sim::EngineMode engineMode = sim::EngineMode::Skip;
     bool skipIdleCycles = true;
     unsigned simThreads = 0;
+
+    /** Device-stat sampling period in cycles (0 = off): forwards to
+     *  CoprocConfig::statsSampleInterval, so each shard's machine can
+     *  record the interval time series the benches use. */
+    Cycle statsSampleInterval = 0;
 
     /** Fault plan for this shard (seed typically derived per shard). */
     fault::FaultSpec faults;
@@ -133,6 +139,16 @@ class Shard
     /** Engine cycles this shard has spent serving batches. */
     std::uint64_t busyCycles() const { return busyCycles_; }
 
+    /** Largest batch (in jobs) this shard has served. */
+    std::uint64_t peakBatchJobs() const { return peakBatch_.value(); }
+
+    /**
+     * The shard's simulated machine — device-level stats and the
+     * interval sampler. Only safe to read between drain() calls (the
+     * worker thread mutates it while a batch is in flight).
+     */
+    const copro::Coprocessor &system() const { return *sys_; }
+
     /**
      * Hand a batch to the worker thread and return immediately. The
      * shard must be alive and not already running a batch.
@@ -158,6 +174,7 @@ class Shard
     bool failed_ = false;
     unsigned aliveCells_;
     std::uint64_t busyCycles_ = 0;
+    stats::Watermark peakBatch_;
 
     // Worker-thread rendezvous.
     std::mutex mu_;

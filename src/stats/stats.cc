@@ -124,6 +124,67 @@ Histogram::reset()
     _sum = 0.0;
 }
 
+void
+Quantile::sample(double v)
+{
+    _samples.push_back(v);
+    _sorted = _samples.size() <= 1;
+    _sum += v;
+}
+
+namespace
+{
+
+const std::vector<double> &
+sorted(std::vector<double> &samples, bool &flag)
+{
+    if (!flag) {
+        std::sort(samples.begin(), samples.end());
+        flag = true;
+    }
+    return samples;
+}
+
+} // anonymous namespace
+
+double
+Quantile::min() const
+{
+    return _samples.empty() ? 0.0 : sorted(_samples, _sorted).front();
+}
+
+double
+Quantile::max() const
+{
+    return _samples.empty() ? 0.0 : sorted(_samples, _sorted).back();
+}
+
+double
+Quantile::percentile(double p) const
+{
+    if (_samples.empty())
+        return 0.0;
+    const auto &s = sorted(_samples, _sorted);
+    // Nearest rank: ceil(p/100 * n), clamped to [1, n], 1-based.
+    double rank = p / 100.0 * double(s.size());
+    std::size_t i = std::size_t(rank);
+    if (double(i) < rank)
+        ++i;
+    if (i < 1)
+        i = 1;
+    if (i > s.size())
+        i = s.size();
+    return s[i - 1];
+}
+
+void
+Quantile::reset()
+{
+    _samples.clear();
+    _sorted = true;
+    _sum = 0.0;
+}
+
 StatGroup::StatGroup(std::string name, StatGroup *parent)
     : _name(std::move(name)), parent(parent)
 {
@@ -184,6 +245,14 @@ StatGroup::addHistogram(const std::string &name, Histogram *h,
 }
 
 void
+StatGroup::addQuantile(const std::string &name, Quantile *q,
+                       const std::string &desc)
+{
+    opac_assert(q != nullptr, "null quantile '%s'", name.c_str());
+    quants[name] = QuantileEntry{q, desc};
+}
+
+void
 StatGroup::addFormula(const std::string &name, Formula *f,
                       const std::string &desc)
 {
@@ -225,6 +294,15 @@ StatGroup::dump(std::string &out, const std::string &prefix) const
     for (const auto &[n, e] : hists) {
         out += strfmt("%-48s %s", (base + "." + n).c_str(),
                       e.hist->render().c_str());
+        if (!e.desc.empty())
+            out += "  # " + e.desc;
+        out += "\n";
+    }
+    for (const auto &[n, e] : quants) {
+        out += strfmt("%-48s p50=%.2f p95=%.2f p99=%.2f n=%llu",
+                      (base + "." + n).c_str(), e.quant->p50(),
+                      e.quant->p95(), e.quant->p99(),
+                      static_cast<unsigned long long>(e.quant->count()));
         if (!e.desc.empty())
             out += "  # " + e.desc;
         out += "\n";
@@ -275,6 +353,15 @@ StatGroup::jsonMembers(std::string &out, const std::string &prefix,
                          (unsigned long long)e.hist->max(),
                          e.hist->mean(), buckets.c_str()));
     }
+    for (const auto &[n, e] : quants) {
+        member(n, strfmt("{\"count\": %llu, \"min\": %.9g, "
+                         "\"max\": %.9g, \"mean\": %.9g, "
+                         "\"p50\": %.9g, \"p95\": %.9g, \"p99\": %.9g}",
+                         (unsigned long long)e.quant->count(),
+                         e.quant->min(), e.quant->max(),
+                         e.quant->mean(), e.quant->p50(),
+                         e.quant->p95(), e.quant->p99()));
+    }
     for (const auto &[n, e] : formulas)
         member(n, strfmt("%.9g", e.formula->value()));
     for (const auto *c : children)
@@ -304,6 +391,8 @@ StatGroup::resetAll()
         e.dist->reset();
     for (auto &[n, e] : hists)
         e.hist->reset();
+    for (auto &[n, e] : quants)
+        e.quant->reset();
     for (auto *c : children)
         c->resetAll();
 }
@@ -384,6 +473,18 @@ StatGroup::forEachScalar(
         fn(base + "." + n, e.formula->value());
     for (const auto *c : children)
         c->forEachScalar(fn, base);
+}
+
+void
+StatGroup::forEachQuantile(
+    const std::function<void(const std::string &, const Quantile &)> &fn,
+    const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[n, e] : quants)
+        fn(base + "." + n, *e.quant);
+    for (const auto *c : children)
+        c->forEachQuantile(fn, base);
 }
 
 } // namespace opac::stats

@@ -132,6 +132,49 @@ class Histogram
 };
 
 /**
+ * Exact percentile tracker over sampled values — the SLO stat kind
+ * (serve-layer latency / queue-wait quantiles, docs/OBSERVABILITY.md).
+ *
+ * Samples are retained and sorted lazily, so percentile reads are
+ * exact (nearest-rank) rather than bucket-interpolated: the numbers a
+ * tenant SLO table prints are the numbers the jobs actually saw, and
+ * they are bit-identical across engine modes because the sample
+ * stream is. Memory is one double per sample; intended for
+ * request-grain series (thousands of samples), not per-cycle ones —
+ * use Histogram for those.
+ */
+class Quantile
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _samples.size(); }
+    double min() const;
+    double max() const;
+    double mean() const { return _samples.empty()
+                                     ? 0.0
+                                     : _sum / double(_samples.size()); }
+
+    /**
+     * Nearest-rank percentile: the smallest sample with at least
+     * p percent of the samples at or below it. p in [0, 100];
+     * 0 with no samples yet.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    void reset();
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+    double _sum = 0.0;
+};
+
+/**
  * A derived stat: a callback over other stats, evaluated at read time.
  * The callback must only read state that outlives the formula (counters
  * registered in the same tree, the engine clock).
@@ -179,6 +222,9 @@ class StatGroup
     /** Register a histogram. */
     void addHistogram(const std::string &name, Histogram *h,
                       const std::string &desc = "");
+    /** Register an exact percentile tracker. */
+    void addQuantile(const std::string &name, Quantile *q,
+                     const std::string &desc = "");
     /** Register a derived formula. */
     void addFormula(const std::string &name, Formula *f,
                     const std::string &desc = "");
@@ -223,12 +269,25 @@ class StatGroup
         const std::function<void(const std::string &, double)> &fn,
         const std::string &prefix = "") const;
 
+    /**
+     * Visit every registered Quantile in this subtree with its fully
+     * qualified name (same order rules as forEachScalar). Quantiles
+     * are multi-valued, so they are not part of the scalar walk — the
+     * sampler's columnar series stays unchanged when SLO stats are
+     * added to a tree.
+     */
+    void forEachQuantile(
+        const std::function<void(const std::string &, const Quantile &)>
+            &fn,
+        const std::string &prefix = "") const;
+
   private:
     struct CounterEntry { Counter *counter; std::string desc; };
     struct WatermarkEntry { Watermark *mark; std::string desc; };
     struct AverageEntry { Average *avg; std::string desc; };
     struct DistEntry { Distribution *dist; std::string desc; };
     struct HistEntry { Histogram *hist; std::string desc; };
+    struct QuantileEntry { Quantile *quant; std::string desc; };
     struct FormulaEntry { Formula *formula; std::string desc; };
 
     void jsonMembers(std::string &out, const std::string &prefix,
@@ -242,6 +301,7 @@ class StatGroup
     std::map<std::string, AverageEntry> averages;
     std::map<std::string, DistEntry> dists;
     std::map<std::string, HistEntry> hists;
+    std::map<std::string, QuantileEntry> quants;
     std::map<std::string, FormulaEntry> formulas;
 };
 

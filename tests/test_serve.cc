@@ -14,6 +14,7 @@
 
 #include "fault/fault.hh"
 #include "serve/server.hh"
+#include "trace/json.hh"
 
 using namespace opac;
 using namespace opac::serve;
@@ -323,4 +324,66 @@ TEST(Serve, FailoverToSurvivingShard)
         << "shard 0 should die holding uncommitted work";
     EXPECT_EQ(srv.stats().counterValue("completed"), 12u);
     EXPECT_EQ(srv.stats().counterValue("failed"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Flight-recorder postmortem
+// ---------------------------------------------------------------------
+
+TEST(Serve, ShardDeathDumpsAFlightPostmortem)
+{
+    ServeConfig cfg;
+    cfg.shards = 2;
+    cfg.shard = smallShard(2);
+    cfg.shard.retryBudget = 1;
+    cfg.obs.flightDepth = 16;
+    // Kill shard 0 mid-traffic; the death must trigger a postmortem
+    // carrying shard 0's recent span events and its fault plan.
+    cfg.shardFaults.emplace_back(
+        0u, fault::parseFaultSpec("at=30000/hang/0/0,at=30100/hang/1/0"));
+    cfg.sched.batchMax = 2;
+    Server srv(cfg);
+
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 12; ++i)
+        futs.push_back(srv.submit(gemmReq(20, 80u + unsigned(i), 0)));
+    srv.drain();
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().status, JobStatus::Completed);
+
+    ASSERT_GE(srv.flightTriggers(), 1u)
+        << "a dying shard must trigger the flight recorder";
+    ASSERT_FALSE(srv.flightDumps().empty());
+    EXPECT_NE(srv.flightDumps().front().first.find("shard 0 died"),
+              std::string::npos)
+        << srv.flightDumps().front().first;
+
+    std::string err;
+    trace::json::Value doc;
+    ASSERT_TRUE(
+        trace::json::parse(srv.lastFlightDump(), doc, &err)) << err;
+    EXPECT_EQ(doc.find("schema")->str, "opac.serve.flight.v1");
+    const trace::json::Value *shards = doc.find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_EQ(shards->array.size(), 2u);
+
+    // The dead shard's ring holds its last span events — the work it
+    // was executing when it died — and the fault plan that killed it.
+    const trace::json::Value &dead = shards->array[0];
+    const trace::json::Value *events = dead.find("events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_FALSE(events->array.empty())
+        << "no span events retained for the dead shard";
+    bool executed = false, died = false;
+    for (const auto &ev : events->array) {
+        const std::string &ph = ev.find("ph")->str;
+        executed = executed || ph == "execute";
+        died = died || ph == "shard_dead";
+    }
+    EXPECT_TRUE(executed) << "ring lost the in-flight batch events";
+    EXPECT_TRUE(died) << "ring lost the death event itself";
+    const trace::json::Value *plan = dead.find("fault_plan");
+    ASSERT_NE(plan, nullptr);
+    ASSERT_EQ(plan->array.size(), 2u) << "two targeted hangs expected";
+    EXPECT_NE(plan->array[0].str.find("hang"), std::string::npos);
 }

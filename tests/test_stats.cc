@@ -651,3 +651,84 @@ TEST(WarnOnce, PrintsOncePerCallsite)
     EXPECT_EQ(err.find("warn-once test message 1"), std::string::npos);
     EXPECT_NE(err.find("suppressed"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------
+// Quantile — the exact-percentile SLO stat kind
+// ---------------------------------------------------------------------
+
+TEST(Quantile, NearestRankPercentilesAreExact)
+{
+    stats::Quantile q;
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.p50(), 0.0); // no samples yet
+
+    // Insert 1..100 in a scrambled order; nearest-rank percentiles
+    // over the retained samples must be the exact values, not bucket
+    // interpolations.
+    for (int i = 0; i < 100; ++i)
+        q.sample(double((i * 37) % 100 + 1));
+    EXPECT_EQ(q.count(), 100u);
+    EXPECT_EQ(q.min(), 1.0);
+    EXPECT_EQ(q.max(), 100.0);
+    EXPECT_DOUBLE_EQ(q.mean(), 50.5);
+    EXPECT_EQ(q.p50(), 50.0);
+    EXPECT_EQ(q.p95(), 95.0);
+    EXPECT_EQ(q.p99(), 99.0);
+    EXPECT_EQ(q.percentile(0.0), 1.0);
+    EXPECT_EQ(q.percentile(100.0), 100.0);
+
+    // Reads don't perturb later samples (lazy sort is transparent).
+    q.sample(1000.0);
+    EXPECT_EQ(q.max(), 1000.0);
+    EXPECT_EQ(q.count(), 101u);
+
+    q.reset();
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.p99(), 0.0);
+}
+
+TEST(Quantile, SingleSampleAnswersEveryPercentile)
+{
+    stats::Quantile q;
+    q.sample(42.0);
+    EXPECT_EQ(q.percentile(0.0), 42.0);
+    EXPECT_EQ(q.p50(), 42.0);
+    EXPECT_EQ(q.p99(), 42.0);
+    EXPECT_EQ(q.min(), 42.0);
+    EXPECT_EQ(q.max(), 42.0);
+}
+
+TEST(Quantile, RegistersInTheStatTreeWithoutJoiningScalars)
+{
+    stats::StatGroup root("svc");
+    stats::Quantile q;
+    root.addQuantile("lat_pct", &q, "request latency percentiles");
+    q.sample(10.0);
+    q.sample(20.0);
+    q.sample(30.0);
+
+    // json renders the quantile as an object...
+    std::string js = root.json();
+    EXPECT_NE(js.find("\"svc.lat_pct\""), std::string::npos);
+    EXPECT_NE(js.find("\"p50\""), std::string::npos);
+    EXPECT_NE(js.find("\"count\": 3"), std::string::npos);
+
+    // ...but forEachScalar never sees it: the sampler's columnar
+    // series (and every golden stream built on it) is unchanged by
+    // registering quantiles.
+    bool sawQuantile = false;
+    root.forEachScalar([&](const std::string &name, double) {
+        sawQuantile = sawQuantile
+                      || name.find("lat_pct") != std::string::npos;
+    });
+    EXPECT_FALSE(sawQuantile);
+
+    unsigned quants = 0;
+    root.forEachQuantile(
+        [&](const std::string &name, const stats::Quantile &qq) {
+            ++quants;
+            EXPECT_EQ(name, "svc.lat_pct");
+            EXPECT_EQ(qq.count(), 3u);
+        });
+    EXPECT_EQ(quants, 1u);
+}

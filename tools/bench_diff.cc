@@ -104,9 +104,18 @@ main(int argc, char **argv)
     }
 
     stats::BenchDiff diff = stats::compareBench(base, cur, threshold);
-    std::printf("baseline %s (%s) vs current %s (%s)\n\n",
-                paths[0], base.gitSha.c_str(), paths[1],
-                cur.gitSha.c_str());
+    // Identify both sides by their v2 metadata so a gate failure says
+    // exactly which baseline it was judged against.
+    auto meta = [](const stats::BenchFile &f) {
+        auto field = [](const std::string &s) {
+            return s.empty() ? "?" : s.c_str();
+        };
+        return std::string()
+               + "sha " + field(f.gitSha) + ", " + field(f.timestamp)
+               + ", " + field(f.buildType) + " build";
+    };
+    std::printf("baseline %s (%s)\n current %s (%s)\n\n", paths[0],
+                meta(base).c_str(), paths[1], meta(cur).c_str());
     std::printf("%s", stats::renderBenchDiff(diff).c_str());
 
     if (diff.anyRegression()) {

@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Render serve-layer observability output for humans — the companion
+ * CLI of docs/OBSERVABILITY.md's span/metrics layer.
+ *
+ *   serve_report [--top=K] [--width=N] [--check-schema] \
+ *                <metrics.json> [spans.json]
+ *
+ * Ingests a Server::metricsJson() snapshot (and optionally a
+ * Server::spansJson() stream) and prints:
+ *
+ *   - the service summary (jobs, failovers, deadline misses,
+ *     utilization),
+ *   - a per-tenant SLO table (queue-wait / end-to-end p50/p95/p99,
+ *     rejects, failures, deadline misses),
+ *   - a per-kernel-kind SLO table,
+ *   - a per-shard table plus an ASCII utilization timeline
+ *     reconstructed from the span batch windows,
+ *   - the top-K slowest jobs with their span breakdowns
+ *     (wait / service split, shard, batch, failovers).
+ *
+ * --check-schema validates both documents against the schema
+ * contract in docs/OBSERVABILITY.md (versioned names, required
+ * members) and exits nonzero on any mismatch — the CI smoke runs
+ * this against every serve_load artifact.
+ *
+ * Exit: 0 ok; 1 schema validation failed; 2 usage / unreadable input.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "trace/json.hh"
+
+using opac::trace::json::Value;
+
+namespace
+{
+
+bool
+readFile(const char *path, std::string &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+double
+num(const Value *v, double fallback = 0.0)
+{
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+/** Member of a quantile object ("p50", "count", ...). */
+double
+qmember(const Value *q, const char *name)
+{
+    return q ? num(q->find(name)) : 0.0;
+}
+
+/** One reconstructed span record. */
+struct SpanRec
+{
+    unsigned ticket = 0;
+    unsigned tenant = 0;
+    std::string kind;
+    int shard = -1;
+    unsigned batch = 0;
+    unsigned failovers = 0;
+    std::string note;
+    // Derived from the edge list.
+    double submit = -1, firstBatch = -1, lastExecute = -1, end = -1;
+    std::string endPh; //!< "commit", "fail" or "reject" ("": open)
+};
+
+std::vector<SpanRec>
+collectSpans(const Value &doc)
+{
+    std::vector<SpanRec> out;
+    const Value *arr = doc.find("spans");
+    if (!arr || !arr->isArray())
+        return out;
+    for (const Value &s : arr->array) {
+        SpanRec r;
+        r.ticket = unsigned(num(s.find("ticket")));
+        r.tenant = unsigned(num(s.find("tenant")));
+        if (const Value *k = s.find("kind"); k && k->isString())
+            r.kind = k->str;
+        r.shard = int(num(s.find("shard"), -1));
+        r.batch = unsigned(num(s.find("batch")));
+        r.failovers = unsigned(num(s.find("failovers")));
+        if (const Value *n = s.find("note"); n && n->isString())
+            r.note = n->str;
+        if (const Value *edges = s.find("edges"); edges
+                                                  && edges->isArray()) {
+            for (const Value &e : edges->array) {
+                const Value *ph = e.find("ph");
+                double at = num(e.find("at"));
+                if (!ph || !ph->isString())
+                    continue;
+                if (ph->str == "submit")
+                    r.submit = at;
+                else if (ph->str == "batch" && r.firstBatch < 0)
+                    r.firstBatch = at;
+                else if (ph->str == "execute")
+                    r.lastExecute = at;
+                else if (ph->str == "commit" || ph->str == "fail"
+                         || ph->str == "reject") {
+                    r.end = at;
+                    r.endPh = ph->str;
+                }
+            }
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+// ---- schema validation (--check-schema) ----
+
+struct SchemaCheck
+{
+    int errors = 0;
+
+    void
+    fail(const std::string &what)
+    {
+        std::fprintf(stderr, "serve_report: schema: %s\n", what.c_str());
+        ++errors;
+    }
+
+    void
+    requireNumber(const Value &doc, const char *key, double want = -1)
+    {
+        const Value *v = doc.find(key);
+        if (!v || !v->isNumber())
+            fail(std::string("missing number '") + key + "'");
+        else if (want >= 0 && v->number != want)
+            fail(std::string("'") + key + "' != expected value");
+    }
+
+    void
+    requireString(const Value &doc, const char *key, const char *want)
+    {
+        const Value *v = doc.find(key);
+        if (!v || !v->isString())
+            fail(std::string("missing string '") + key + "'");
+        else if (want && v->str != want)
+            fail(std::string("'") + key + "' is '" + v->str
+                 + "', expected '" + want + "'");
+    }
+};
+
+bool
+checkMetricsSchema(const Value &doc)
+{
+    SchemaCheck c;
+    if (!doc.isObject()) {
+        c.fail("metrics document is not an object");
+        return false;
+    }
+    c.requireNumber(doc, "version", 1);
+    c.requireString(doc, "schema", "opac.serve.metrics.v1");
+    c.requireNumber(doc, "shards");
+    c.requireNumber(doc, "makespan");
+    const Value *m = doc.find("metrics");
+    if (!m || !m->isObject()) {
+        c.fail("missing 'metrics' object");
+        return false;
+    }
+    for (const char *key :
+         {"serve.submitted", "serve.completed", "serve.failed",
+          "serve.rejected", "serve.failovers", "serve.incorrect",
+          "serve.deadline_missed", "serve.makespan",
+          "serve.utilization"}) {
+        if (!m->find(key) || !m->find(key)->isNumber())
+            c.fail(std::string("missing metric '") + key + "'");
+    }
+    for (const char *key : {"serve.queue_wait_pct", "serve.service_pct",
+                            "serve.e2e_pct"}) {
+        const Value *q = m->find(key);
+        if (!q || !q->isObject()) {
+            c.fail(std::string("missing quantile object '") + key + "'");
+            continue;
+        }
+        for (const char *member :
+             {"count", "min", "max", "mean", "p50", "p95", "p99"})
+            if (!q->find(member) || !q->find(member)->isNumber())
+                c.fail(std::string(key) + " lacks member '" + member
+                       + "'");
+    }
+    unsigned shards = unsigned(num(doc.find("shards")));
+    for (unsigned i = 0; i < shards; ++i) {
+        for (const char *leaf :
+             {"busy_cycles", "alive_cells", "occupancy", "jobs",
+              "peak_batch_jobs"}) {
+            std::string key = "serve.shards.shard" + std::to_string(i)
+                              + "." + leaf;
+            if (!m->find(key) || !m->find(key)->isNumber())
+                c.fail("missing metric '" + key + "'");
+        }
+    }
+    return c.errors == 0;
+}
+
+bool
+checkSpansSchema(const Value &doc)
+{
+    SchemaCheck c;
+    if (!doc.isObject()) {
+        c.fail("spans document is not an object");
+        return false;
+    }
+    c.requireNumber(doc, "version", 1);
+    c.requireString(doc, "schema", "opac.serve.spans.v1");
+    const Value *arr = doc.find("spans");
+    if (!arr || !arr->isArray()) {
+        c.fail("missing 'spans' array");
+        return false;
+    }
+    for (const Value &s : arr->array) {
+        if (!s.isObject()) {
+            c.fail("span record is not an object");
+            break;
+        }
+        for (const char *key : {"ticket", "tenant", "compat", "deadline",
+                                "shard", "batch", "failovers", "retries",
+                                "replans"})
+            if (!s.find(key) || !s.find(key)->isNumber()) {
+                c.fail(std::string("span lacks number '") + key + "'");
+                break;
+            }
+        const Value *edges = s.find("edges");
+        if (!edges || !edges->isArray() || edges->array.empty()) {
+            c.fail("span lacks a non-empty 'edges' array");
+            break;
+        }
+        const Value *ph0 = edges->array.front().find("ph");
+        if (!ph0 || !ph0->isString() || ph0->str != "submit")
+            c.fail("span's first edge is not 'submit'");
+        for (const Value &e : edges->array)
+            if (!e.find("ph") || !e.find("at")
+                || !e.find("at")->isNumber()) {
+                c.fail("span edge lacks ph/at");
+                break;
+            }
+        if (c.errors)
+            break;
+    }
+    return c.errors == 0;
+}
+
+// ---- rendering ----
+
+std::string
+pct3(const Value *q)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%9.0f %9.0f %9.0f",
+                  qmember(q, "p50"), qmember(q, "p95"),
+                  qmember(q, "p99"));
+    return buf;
+}
+
+/** Sorted child ids under "serve.<group>.<stem>N." in the flat map. */
+std::vector<unsigned>
+childIds(const Value &metrics, const std::string &group,
+         const std::string &stem)
+{
+    std::set<unsigned> ids;
+    const std::string prefix = "serve." + group + "." + stem;
+    for (const auto &[key, v] : metrics.object) {
+        (void)v;
+        if (key.rfind(prefix, 0) != 0)
+            continue;
+        std::size_t end = key.find('.', prefix.size());
+        if (end == std::string::npos)
+            continue;
+        ids.insert(
+            unsigned(std::atoi(key.substr(prefix.size()).c_str())));
+    }
+    return {ids.begin(), ids.end()};
+}
+
+void
+printTenantTable(const Value &m)
+{
+    std::printf("per-tenant SLOs (cycles)\n");
+    std::printf("  %-8s %9s %7s %6s %6s %6s | %29s | %29s\n", "tenant",
+                "complete", "submit", "reject", "fail", "miss",
+                "queue wait p50/p95/p99", "end-to-end p50/p95/p99");
+    for (unsigned id : childIds(m, "tenants", "tenant")) {
+        std::string base = "serve.tenants.tenant" + std::to_string(id);
+        std::printf("  %-8s %9.0f %7.0f %6.0f %6.0f %6.0f | %s | %s\n",
+                    ("tenant" + std::to_string(id)).c_str(),
+                    num(m.find(base + ".completed")),
+                    num(m.find(base + ".submitted")),
+                    num(m.find(base + ".rejected")),
+                    num(m.find(base + ".failed")),
+                    num(m.find(base + ".deadline_missed")),
+                    pct3(m.find(base + ".queue_wait_pct")).c_str(),
+                    pct3(m.find(base + ".e2e_pct")).c_str());
+    }
+    std::printf("\n");
+}
+
+void
+printKindTable(const Value &m)
+{
+    std::set<std::string> kinds;
+    for (const auto &[key, v] : m.object) {
+        (void)v;
+        if (key.rfind("serve.kinds.", 0) != 0)
+            continue;
+        std::size_t end = key.find('.', 12);
+        if (end != std::string::npos)
+            kinds.insert(key.substr(12, end - 12));
+    }
+    if (kinds.empty())
+        return;
+    std::printf("per-kind SLOs (cycles)\n");
+    std::printf("  %-8s %9s | %29s | %29s\n", "kind", "complete",
+                "service p50/p95/p99", "end-to-end p50/p95/p99");
+    for (const std::string &k : kinds) {
+        std::string base = "serve.kinds." + k;
+        std::printf("  %-8s %9.0f | %s | %s\n", k.c_str(),
+                    num(m.find(base + ".completed")),
+                    pct3(m.find(base + ".service_pct")).c_str(),
+                    pct3(m.find(base + ".e2e_pct")).c_str());
+    }
+    std::printf("\n");
+}
+
+void
+printShardTable(const Value &m, const std::vector<SpanRec> &spans,
+                double makespan, unsigned width)
+{
+    std::vector<unsigned> ids = childIds(m, "shards", "shard");
+    if (ids.empty())
+        return;
+    std::printf("shards\n");
+    std::printf("  %-8s %8s %11s %10s %6s %10s\n", "shard", "jobs",
+                "busy", "occupancy", "cells", "peak batch");
+    for (unsigned id : ids) {
+        std::string base = "serve.shards.shard" + std::to_string(id);
+        std::printf("  %-8s %8.0f %11.0f %9.1f%% %6.0f %10.0f\n",
+                    ("shard" + std::to_string(id)).c_str(),
+                    num(m.find(base + ".jobs")),
+                    num(m.find(base + ".busy_cycles")),
+                    100.0 * num(m.find(base + ".occupancy")),
+                    num(m.find(base + ".alive_cells")),
+                    num(m.find(base + ".peak_batch_jobs")));
+    }
+
+    // Timeline from the span batch windows: per shard, the fraction of
+    // each time bucket covered by batch service. Windows on one shard
+    // never overlap (a shard serves one batch at a time), so coverage
+    // is a plain sum of clipped window lengths.
+    if (spans.empty() || makespan <= 0)
+        { std::printf("\n"); return; }
+    std::set<std::tuple<int, double, double>> windows;
+    for (const SpanRec &r : spans)
+        if (r.shard >= 0 && r.lastExecute >= 0 && r.end > r.lastExecute)
+            windows.insert({r.shard, r.lastExecute, r.end});
+    std::printf("\n  utilization timeline (0..%.0f cycles, '.' <50%%"
+                " ':' <90%% '#' >=90%% of each bucket busy)\n",
+                makespan);
+    const double bucket = makespan / double(width);
+    for (unsigned id : ids) {
+        std::vector<double> covered(width, 0.0);
+        for (const auto &[sh, b, e] : windows) {
+            if (sh != int(id))
+                continue;
+            for (unsigned x = 0; x < width; ++x) {
+                double lo = double(x) * bucket, hi = lo + bucket;
+                covered[x] += std::max(
+                    0.0, std::min(hi, e) - std::max(lo, b));
+            }
+        }
+        std::string bar;
+        for (unsigned x = 0; x < width; ++x) {
+            double f = covered[x] / bucket;
+            bar += f >= 0.9 ? '#' : f >= 0.5 ? ':' : f > 0.0 ? '.' : ' ';
+        }
+        std::printf("  shard%-3u |%s|\n", id, bar.c_str());
+    }
+    std::printf("\n");
+}
+
+void
+printSlowest(const std::vector<SpanRec> &spans, unsigned top)
+{
+    std::vector<const SpanRec *> done;
+    for (const SpanRec &r : spans)
+        if (r.endPh == "commit" && r.submit >= 0)
+            done.push_back(&r);
+    if (done.empty())
+        return;
+    std::sort(done.begin(), done.end(),
+              [](const SpanRec *a, const SpanRec *b) {
+                  double la = a->end - a->submit, lb = b->end - b->submit;
+                  if (la != lb)
+                      return la > lb;
+                  return a->ticket < b->ticket;
+              });
+    if (done.size() > top)
+        done.resize(top);
+    std::printf("top %zu slowest completed jobs (cycles)\n",
+                done.size());
+    std::printf("  %7s %-8s %-7s %6s %6s %10s %10s %10s %5s\n",
+                "ticket", "tenant", "kind", "shard", "batch", "wait",
+                "service", "total", "fo");
+    for (const SpanRec *r : done) {
+        double wait = (r->firstBatch >= 0 ? r->firstBatch : r->end)
+                      - r->submit;
+        double service =
+            r->lastExecute >= 0 ? r->end - r->lastExecute : 0;
+        std::printf("  %7u %-8s %-7s %6d %6u %10.0f %10.0f %10.0f"
+                    " %5u\n",
+                    r->ticket,
+                    ("tenant" + std::to_string(r->tenant)).c_str(),
+                    r->kind.c_str(), r->shard, r->batch, wait, service,
+                    r->end - r->submit, r->failovers);
+    }
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned top = 10;
+    unsigned width = 64;
+    bool check_schema = false;
+    const char *paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--top=", 6) == 0) {
+            top = unsigned(std::atoi(argv[i] + 6));
+        } else if (std::strncmp(argv[i], "--width=", 8) == 0) {
+            width = unsigned(std::atoi(argv[i] + 8));
+        } else if (std::strcmp(argv[i], "--check-schema") == 0) {
+            check_schema = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            npaths = 0;
+            break;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "serve_report: unknown option '%s'\n",
+                         argv[i]);
+            return 2;
+        } else if (npaths < 2) {
+            paths[npaths++] = argv[i];
+        } else {
+            npaths = 3;
+            break;
+        }
+    }
+    if (npaths < 1 || npaths > 2 || width < 8) {
+        std::fprintf(
+            stderr,
+            "usage: serve_report [--top=K] [--width=N] "
+            "[--check-schema] <metrics.json> [spans.json]\n"
+            "  renders per-tenant/per-kind SLO tables, the shard "
+            "utilization timeline and the\n"
+            "  top-K slowest jobs from Server::metricsJson() / "
+            "spansJson() output files\n"
+            "  --check-schema validates the documents against "
+            "docs/OBSERVABILITY.md and exits\n");
+        return 2;
+    }
+
+    std::string text, err;
+    Value metricsDoc;
+    if (!readFile(paths[0], text, err)
+        || !opac::trace::json::parse(text, metricsDoc, &err)) {
+        std::fprintf(stderr, "serve_report: %s: %s\n", paths[0],
+                     err.c_str());
+        return 2;
+    }
+    Value spansDoc;
+    bool haveSpans = false;
+    if (npaths == 2) {
+        if (!readFile(paths[1], text, err)
+            || !opac::trace::json::parse(text, spansDoc, &err)) {
+            std::fprintf(stderr, "serve_report: %s: %s\n", paths[1],
+                         err.c_str());
+            return 2;
+        }
+        haveSpans = true;
+    }
+
+    if (check_schema) {
+        bool ok = checkMetricsSchema(metricsDoc);
+        if (haveSpans)
+            ok = checkSpansSchema(spansDoc) && ok;
+        if (!ok) {
+            std::fprintf(stderr,
+                         "serve_report: schema validation FAILED\n");
+            return 1;
+        }
+        std::printf("serve_report: schema OK (%s%s)\n",
+                    "opac.serve.metrics.v1",
+                    haveSpans ? " + opac.serve.spans.v1" : "");
+        return 0;
+    }
+
+    const Value *m = metricsDoc.find("metrics");
+    if (!m || !m->isObject()) {
+        std::fprintf(stderr,
+                     "serve_report: %s: no 'metrics' object (not a "
+                     "Server::metricsJson() file?)\n", paths[0]);
+        return 2;
+    }
+    double makespan = num(metricsDoc.find("makespan"));
+    std::vector<SpanRec> spans =
+        haveSpans ? collectSpans(spansDoc) : std::vector<SpanRec>();
+
+    std::printf("serve_report: %s (%.0f shard(s), makespan %.0f "
+                "cycles)\n\n",
+                paths[0], num(metricsDoc.find("shards")), makespan);
+    std::printf(
+        "summary: %0.f submitted, %.0f completed, %.0f failed, "
+        "%.0f rejected, %.0f failovers,\n"
+        "         %.0f incorrect, %.0f deadline misses, utilization "
+        "%.1f%%\n\n",
+        num(m->find("serve.submitted")), num(m->find("serve.completed")),
+        num(m->find("serve.failed")), num(m->find("serve.rejected")),
+        num(m->find("serve.failovers")), num(m->find("serve.incorrect")),
+        num(m->find("serve.deadline_missed")),
+        100.0 * num(m->find("serve.utilization")));
+
+    printTenantTable(*m);
+    printKindTable(*m);
+    printShardTable(*m, spans, makespan, width);
+    if (haveSpans)
+        printSlowest(spans, top);
+    return 0;
+}
