@@ -19,6 +19,7 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,19 @@ simThreadsDefault()
 }
 
 /**
+ * Process-wide default for CoprocConfig::fastTier, set by initSimFlags
+ * from --fast-tier=on|off. On by default: superop bursts are
+ * byte-identical to the per-cycle interpreter in every engine mode, so
+ * off is only a debugging / A-B measurement aid.
+ */
+inline bool &
+fastTierDefault()
+{
+    static bool on = true;
+    return on;
+}
+
+/**
  * Parse the simulation-wide bench flags:
  *   --no-skip        run every idle cycle instead of fast-forwarding
  *                    (bit-identical; only slower — a debugging aid)
@@ -107,6 +121,8 @@ simThreadsDefault()
  *                    (bit-identical; see docs/PERFORMANCE.md)
  *   --sim-threads=N  workers for --engine=parallel (0 = one per
  *                    hardware thread)
+ *   --fast-tier=X    on | off superop fast tier (bit-identical;
+ *                    off forces the per-cycle interpreter)
  * Returns the job count for sim::sweep.
  */
 inline unsigned
@@ -130,6 +146,7 @@ timingConfig(unsigned cells, std::size_t tf, unsigned tau,
     cfg.simThreads = simThreadsDefault();
     cfg.faults = faultDefault();
     cfg.cell.parity = parityDefault();
+    cfg.fastTier = fastTierDefault();
     return cfg;
 }
 
@@ -224,6 +241,19 @@ initSimFlags(int argc, char **argv)
     std::string threads = argText(argc, argv, "--sim-threads");
     if (!threads.empty())
         simThreadsDefault() = unsigned(std::atol(threads.c_str()));
+    std::string fast = argText(argc, argv, "--fast-tier");
+    if (!fast.empty()) {
+        if (fast == "on") {
+            fastTierDefault() = true;
+        } else if (fast == "off") {
+            fastTierDefault() = false;
+        } else {
+            std::fprintf(stderr,
+                         "%s: bad --fast-tier value '%s' (want on or "
+                         "off)\n", argv[0], fast.c_str());
+            std::exit(2);
+        }
+    }
     long jobs = argValue(argc, argv, "--jobs",
                          long(sim::defaultJobs()));
     std::string eq = argText(argc, argv, "--jobs");
@@ -242,6 +272,57 @@ sweepValues(const std::vector<std::function<double()>> &tasks,
 {
     return sim::sweep<double>(tasks, jobs);
 }
+
+/**
+ * Sidecar fast-tier diagnostics, driven by `--fast-tier-report=<file>`.
+ * Each case appends its Coprocessor::fastTierReport() under a named
+ * header before its system is torn down; finish() writes the collected
+ * text. A separate file — never part of BENCH_*.json, the stats tree
+ * or the trace stream — because burst engagement varies with engine
+ * mode and flags while those outputs are byte-identical by contract.
+ * tools/trace_report renders the file next to --top-stalls output via
+ * its own --fast-tier=<file> flag. Thread-safe: sweep cases run
+ * concurrently.
+ */
+class FastTierReportSession
+{
+  public:
+    FastTierReportSession(int argc, char **argv)
+        : path(argText(argc, argv, "--fast-tier-report"))
+    {}
+
+    bool wanted() const { return !path.empty(); }
+
+    /** Record one finished case's fast-tier counters. */
+    void
+    add(const std::string &case_name, const copro::Coprocessor &sys)
+    {
+        if (!wanted())
+            return;
+        std::lock_guard<std::mutex> lock(mtx);
+        text += "== " + case_name + "\n";
+        text += sys.fastTierReport();
+    }
+
+    void
+    finish()
+    {
+        if (!wanted())
+            return;
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            std::exit(1);
+        }
+        out << text;
+        std::printf("fast-tier report written to %s\n", path.c_str());
+    }
+
+  private:
+    std::string path;
+    std::mutex mtx;
+    std::string text;
+};
 
 /**
  * One traced run within a bench binary, driven by `--trace=<file>`.

@@ -70,6 +70,9 @@ struct CaseOut
     unsigned deadCells = 0;
     unsigned batches = 0;
     double flopsDone = 0.0;
+    /** Simulated cycles per wall second, aggregated over all shards
+     *  (each shard simulates its own machine on its own worker). */
+    double simRate = 0.0;
     // Fairness / SLO extras (informational, never gated).
     unsigned deadlineMiss = 0;
     unsigned tenantAccepted[3] = {0, 0, 0};
@@ -143,6 +146,7 @@ runCase(const LoadCase &lc, const ObsOut &obs)
     cfg.shard.skipIdleCycles = skipDefault();
     cfg.shard.engineMode = engineDefault();
     cfg.shard.simThreads = simThreadsDefault();
+    cfg.shard.fastTier = fastTierDefault();
     cfg.sched.batchMax = 2;
     if (!lc.faults.empty())
         cfg.faults = fault::parseFaultSpec(lc.faults);
@@ -159,6 +163,7 @@ runCase(const LoadCase &lc, const ObsOut &obs)
     // lc.rate jobs per megacycle, from a per-case deterministic
     // stream.
     Rng rng(17);
+    double wall0 = wallSeconds();
     double t = 0.0;
     std::vector<JobRequest> reqs;
     std::vector<std::future<JobResult>> futs;
@@ -176,6 +181,7 @@ runCase(const LoadCase &lc, const ObsOut &obs)
         futs.push_back(srv.submit(r));
     }
     srv.drain();
+    const double wall = wallSeconds() - wall0;
 
     CaseOut out;
     std::vector<double> lat;
@@ -218,6 +224,12 @@ runCase(const LoadCase &lc, const ObsOut &obs)
     out.batches = srv.batches();
     for (unsigned s = 0; s < srv.numShards(); ++s)
         out.deadCells += cfg.shard.cells - srv.shard(s).aliveCells();
+    // Simulator throughput: cycles actually simulated across the
+    // shard pool per wall second of this case (submit through drain).
+    std::uint64_t simCycles = 0;
+    for (unsigned s = 0; s < srv.numShards(); ++s)
+        simCycles += srv.shard(s).busyCycles();
+    out.simRate = wall > 0.0 ? double(simCycles) / wall : 0.0;
 
     // Observability artifacts for this case, if requested. All of
     // these are virtual-time deterministic (spansJson omits wall
@@ -301,6 +313,7 @@ main(int argc, char **argv)
     json.config("batch_max", 2);
     json.config("engine", sim::engineModeName(engineDefault()));
     json.config("sim_threads", long(simThreadsDefault()));
+    json.config("fast_tier", fastTierDefault() ? "on" : "off");
     json.config("smoke", smoke ? "yes" : "no");
 
     TextTable t("serve_load: open-loop Poisson load on the job server "
@@ -336,6 +349,7 @@ main(int argc, char **argv)
                      {"failovers", double(r.failovers)},
                      {"dead_cells", double(r.deadCells)},
                      {"batches", double(r.batches)},
+                     {"sim_rate", r.simRate},
                      {"deadline_miss", double(r.deadlineMiss)},
                      {"t0_completion_rate",
                       r.tenantAccepted[0]

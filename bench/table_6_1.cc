@@ -60,7 +60,8 @@ struct CaseResult
 };
 
 CaseResult
-runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats)
+runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats,
+        FastTierReportSession &ft)
 {
     auto cfg = timingConfig(spec.p, spec.tf, spec.tau);
     if (spec.sampled)
@@ -90,6 +91,9 @@ runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats)
     }
     if (spec.sampled)
         stats.finish();
+    ft.add(strfmt("matupdate_P%u_Tf%zu_tau%u_K%zu", spec.p, spec.tf,
+                  spec.tau, spec.k),
+           sys);
     return {cycles, r, sys.stats().scalarValue("maPerCycle"), wall};
 }
 
@@ -103,8 +107,10 @@ main(int argc, char **argv)
     BenchJsonWriter json("table_6_1");
     json.config("fp", "token");
     json.config("quick", quick ? 1 : 0);
+    json.config("fast_tier", fastTierDefault() ? "on" : "off");
     TraceSession trace(argc, argv);
     StatsSession stats(argc, argv);
+    FastTierReportSession ft(argc, argv);
     const unsigned cells[] = {1, 4, 16};
     const std::size_t tfs[] = {512, 2048};
     const unsigned taus[] = {2, 4};
@@ -149,10 +155,11 @@ main(int argc, char **argv)
     std::vector<std::function<CaseResult()>> tasks;
     for (const CaseSpec &spec : specs)
         tasks.push_back(
-            [&spec, &trace, &stats] {
-                return runCase(spec, trace, stats);
+            [&spec, &trace, &stats, &ft] {
+                return runCase(spec, trace, stats, ft);
             });
     auto results = sim::sweep<CaseResult>(tasks, jobs);
+    ft.finish();
 
     std::size_t idx = 0;
     for (unsigned tau : taus) {

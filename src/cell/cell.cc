@@ -25,7 +25,8 @@ Cell::Cell(std::string name, const CellConfig &cfg,
       _sum("sum", cfg.tf, cfg.fifoLatency),
       _ret("ret", cfg.tf, cfg.fifoLatency),
       _reby("reby", cfg.tf, cfg.fifoLatency),
-      statGroup(name, parent_stats)
+      statGroup(name, parent_stats),
+      ftGroup(name + ".fastTier")
 {
     // Order matches isa::CellQueue (the decoded-operand queue ids).
     queueTab = {&_sum, &_ret, &_reby, &_tpo, &_tpx, &_tpy};
@@ -52,6 +53,29 @@ Cell::Cell(std::string name, const CellConfig &cfg,
                          "times the cell entered the faulted state");
     statGroup.addCounter("hardResets", &statHardResets,
                          "reset-line pulses received");
+    // Fast-tier diagnostics live in a detached group: the stats JSON
+    // under statGroup must stay byte-identical with the tier on or
+    // off, and burst engagement depends on the engine mode.
+    ftGroup.addCounter("compiled", &statFtCompiled,
+                       "loop bodies analyzed burst-eligible");
+    ftGroup.addCounter("ineligible", &statFtIneligible,
+                       "loop bodies analyzed and rejected");
+    ftGroup.addCounter("bursts", &statFtBursts,
+                       "burst windows executed");
+    ftGroup.addCounter("burstCycles", &statFtBurstCycles,
+                       "cycles executed inside bursts");
+    ftGroup.addCounter("burstIssued", &statFtBurstIssued,
+                       "micro-ops issued inside bursts");
+    ftGroup.addCounter("burstIters", &statFtBurstIters,
+                       "loop iterations completed inside bursts");
+    ftGroup.addCounter("turboCycles", &statFtTurboCycles,
+                       "burst cycles run by the specialized executor");
+    ftGroup.addCounter("fallbackObserver", &statFtFallbackObserver,
+                       "burst refused: per-cycle observer attached");
+    ftGroup.addCounter("fallbackBody", &statFtFallbackBody,
+                       "burst refused: body not burst-eligible");
+    ftGroup.addCounter("fallbackInflight", &statFtFallbackInflight,
+                       "burst refused: interface write in flight");
     _tpx.addStats(statGroup);
     _tpy.addStats(statGroup);
     _tpo.addStats(statGroup);
@@ -172,6 +196,10 @@ Cell::loadMicrocode(Word entry, isa::Program prog, unsigned nparams)
                                     entry));
     Kernel &k = microcode[entry];
     k = Kernel{std::move(prog), nparams};
+    // Reloading an entry reuses the map node, so cached body analyses
+    // keyed on the Kernel address would go stale: drop them all.
+    fastBodies.clear();
+    burstBody = nullptr;
     if (tracer)
         tracer->internTrack(traceComp, k.prog.name());
 }

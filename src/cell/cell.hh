@@ -63,6 +63,12 @@ struct CellConfig
     FpKind fp = FpKind::Soft;       //!< arithmetic back-end
     /** Word protection on all seven FIFO queues (--parity=). */
     fault::ParityMode parity = fault::ParityMode::Off;
+    /**
+     * Offer superop bursts of steady-state innermost loop bodies to
+     * the engine (--fast-tier=). Results are byte-identical either
+     * way; off forces the pure per-cycle interpreter.
+     */
+    bool fastTier = true;
 };
 
 /** Why the sequencer could not issue this cycle (for stall stats). */
@@ -177,6 +183,30 @@ class Cell : public sim::Component
     Cycle nextEventAt(Cycle now) const override;
     void fastForward(Cycle from, Cycle cycles,
                      sim::Engine &engine) override;
+
+    /**
+     * Superop fast tier (src/cell/fast_tier.cc): when the sequencer
+     * is streaming the body of an innermost hardware loop that only
+     * touches local state (sum/ret/reby, registers — never
+     * tpx/tpy/tpo/tpi), grant the engine a quantum of the
+     * instructions left in the loop region and execute them in bulk,
+     * byte-identical to the per-cycle path.
+     */
+    Cycle burstQuantum(Cycle now) override;
+    void burstRun(Cycle from, Cycle cycles, sim::Engine &engine,
+                  std::uint64_t *progress_bits) override;
+
+    /**
+     * Fast-tier counters (bodies compiled, bursts, bulk iterations,
+     * fallback reasons). A detached group — never registered under
+     * the coprocessor's stats root, because burst engagement depends
+     * on engine mode and flags while the stats JSON must not.
+     */
+    const stats::StatGroup &fastTierStats() const { return ftGroup; }
+    std::uint64_t burstCyclesExecuted() const
+    {
+        return statFtBurstCycles.value();
+    }
 
     // Observability.
     std::uint64_t issuedOps() const { return statIssued.value(); }
@@ -293,6 +323,47 @@ class Cell : public sim::Component
     bool stepControl(Cycle now);
     void tickSequencer(Cycle now, sim::Engine &engine);
 
+    /**
+     * One analyzed innermost-loop body (fast_tier.cc). The program is
+     * already decoded, so "compiling" pins the region [bodyPc, endPc]
+     * (endPc = the LoopEnd) and proves it burst-eligible: straight-
+     * line Compute ops touching only local queues and registers.
+     */
+    struct FastBody
+    {
+        const Kernel *kernel;
+        std::size_t bodyPc;
+        std::size_t endPc;
+        bool eligible;
+
+        /**
+         * Superop specialization: the body is the canonical
+         * steady-state chained fma of the compute-bound kernels —
+         * one instruction `fma(<recirc local queue>, <reg/const>,
+         * <pop local queue>, Dst<same queue>)`, e.g. matupdate's
+         * `fma(rebyR, regAy, sum, DstSum)`. turboRun() executes such
+         * a body with direct ring rotation and bulk bookkeeping
+         * instead of the interpreter building blocks.
+         */
+        bool turbo = false;
+        TimedFifo *turboRotQ = nullptr; //!< recirculating mul operand
+        TimedFifo *turboPopQ = nullptr; //!< popped addend == destination
+        std::uint8_t turboDstMask = 0;
+        isa::Operand turboMulB{};       //!< register/constant operand
+        isa::AddOp turboAddOp = isa::AddOp::Add;
+    };
+    /** Analyze (or fetch the cached analysis of) the innermost body. */
+    const FastBody *fastBodyFor(std::size_t body_pc);
+
+    /**
+     * Specialized executor for a FastBody::turbo body: execute up to
+     * @p cycles steady-state iterations starting at @p from, or return
+     * 0 without side effects when the machine state does not satisfy
+     * the (checkable, sufficient) steady-state entry conditions.
+     */
+    std::uint64_t turboRun(Cycle from, Cycle cycles,
+                           sim::Engine &engine);
+
     // -- configuration and structure ------------------------------------
     CellConfig cfg;
     std::unique_ptr<FpUnit> fpu;
@@ -339,6 +410,11 @@ class Cell : public sim::Component
     Cycle hangUntil = 0;   //!< frozen while now < hangUntil
     std::string faultWhy;  //!< what flagged the fault (status line)
 
+    /** Analyzed loop bodies, invalidated by loadMicrocode(). */
+    std::vector<FastBody> fastBodies;
+    /** Body validated by the burstQuantum() that granted the window. */
+    const FastBody *burstBody = nullptr;
+
     std::vector<InFlight> inflight;
     /**
      * Lower bound on the cycle at which any inflight writeback can
@@ -370,6 +446,20 @@ class Cell : public sim::Component
     stats::Counter statHangCycles;
     stats::Counter statFaults;
     stats::Counter statHardResets;
+
+    // Fast-tier diagnostics: a detached group (no parent), surfaced
+    // only through Coprocessor::fastTierReport() / fastTierStats().
+    stats::StatGroup ftGroup;
+    stats::Counter statFtCompiled;
+    stats::Counter statFtIneligible;
+    stats::Counter statFtBursts;
+    stats::Counter statFtBurstCycles;
+    stats::Counter statFtBurstIssued;
+    stats::Counter statFtBurstIters;
+    stats::Counter statFtTurboCycles;
+    stats::Counter statFtFallbackObserver;
+    stats::Counter statFtFallbackBody;
+    stats::Counter statFtFallbackInflight;
 };
 
 } // namespace opac::cell

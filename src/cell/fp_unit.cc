@@ -66,6 +66,9 @@ class NativeFpUnit : public FpUnit
 class TokenFpUnit : public FpUnit
 {
   public:
+    bool valueFree() const override { return true; }
+
+  protected:
     Word mulImpl(Word, Word) override { return 0; }
     Word addImpl(Word, Word, isa::AddOp) override { return 0; }
 };

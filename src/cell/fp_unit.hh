@@ -61,6 +61,23 @@ class FpUnit
     virtual std::uint8_t flags() const { return 0; }
 
     /**
+     * True when mulImpl/addImpl compute nothing and always return 0
+     * (the Token back-end). The fast tier's specialized executor then
+     * skips the per-cycle calls, substitutes 0 results and settles the
+     * invocation counters in bulk with countBulk().
+     */
+    virtual bool valueFree() const { return false; }
+
+    /** Count @p n multiplier and @p n adder invocations whose results
+     *  the caller reproduced without calling mul()/add(). */
+    void
+    countBulk(std::uint64_t n)
+    {
+        statMuls += n;
+        statAdds += n;
+    }
+
+    /**
      * Register the operator-invocation counters as an "fpu" child of
      * @p parent (typically the owning cell's group).
      */

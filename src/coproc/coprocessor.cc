@@ -16,10 +16,13 @@ Coprocessor::Coprocessor(const CoprocConfig &cfg)
         mode = sim::EngineMode::Spin;
     eng.setMode(mode);
     eng.setThreads(cfg.simThreads);
+    eng.setFastTier(cfg.fastTier);
+    cell::CellConfig ccfg = cfg.cell;
+    ccfg.fastTier = cfg.fastTier && cfg.cell.fastTier;
     std::vector<cell::Cell *> raw;
     for (unsigned i = 0; i < cfg.cells; ++i) {
         cellPtrs.push_back(std::make_unique<cell::Cell>(
-            strfmt("cell%u", i), cfg.cell, &statRoot));
+            strfmt("cell%u", i), ccfg, &statRoot));
         raw.push_back(cellPtrs.back().get());
     }
     hostPtr = std::make_unique<host::Host>("host", cfg.host, mem, raw,
@@ -189,6 +192,19 @@ Coprocessor::statsReport() const
 {
     std::string out;
     statRoot.dump(out);
+    return out;
+}
+
+std::string
+Coprocessor::fastTierReport() const
+{
+    std::string out = strfmt(
+        "engine: burstAttempts %llu  bursts %llu  burstCycles %llu\n",
+        (unsigned long long)eng.burstAttempts(),
+        (unsigned long long)eng.bursts(),
+        (unsigned long long)eng.burstCycles());
+    for (const auto &c : cellPtrs)
+        c->fastTierStats().dump(out);
     return out;
 }
 

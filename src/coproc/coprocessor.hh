@@ -68,6 +68,15 @@ struct CoprocConfig
     Cycle statsSampleInterval = 0;
 
     /**
+     * Superop fast tier (the benches' --fast-tier= flag): let the
+     * engine grant cells multi-cycle quanta over steady-state
+     * innermost loop bodies (docs/PERFORMANCE.md). Byte-identical
+     * either way; off forces the pure per-cycle interpreter in every
+     * engine mode. ANDed with cell.fastTier per cell.
+     */
+    bool fastTier = true;
+
+    /**
      * Fault-injection plan (docs/RESILIENCE.md). Empty (the default)
      * builds no injector and leaves the whole fault path cold: runs
      * are byte-identical to a build without the subsystem. Parity
@@ -119,6 +128,14 @@ class Coprocessor
 
     /** Render the full statistics tree. */
     std::string statsReport() const;
+
+    /**
+     * Fast-tier diagnostics: engine burst counts plus every cell's
+     * detached fastTier counter group. Deliberately NOT part of
+     * statsReport()/statsJson() — burst engagement varies with engine
+     * mode and flags while those outputs must not.
+     */
+    std::string fastTierReport() const;
 
     /**
      * The full statistics tree plus the sampled time series (when

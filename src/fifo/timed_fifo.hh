@@ -129,6 +129,88 @@ class TimedFifo
         occupancy.sample(double(count), n);
     }
 
+    /**
+     * Record @p n occupancy samples of a *past* occupancy @p value.
+     * The superop fast tier batches runs of bulk-executed cycles over
+     * which the occupancy did not change and flushes each run in one
+     * call after the count has already moved on — byte-identical to n
+     * per-cycle sampleOccupancy() calls made while the count was
+     * @p value. Watermark and push/pop counters are unaffected: the
+     * fast tier mutates the queue through the ordinary push/pop
+     * operations, which keep those exact on their own.
+     */
+    void
+    sampleOccupancyRun(std::size_t value, std::uint64_t n)
+    {
+        occupancy.sample(double(value), n);
+    }
+
+    // --- superop fast-tier streaming (src/cell/fast_tier.cc) -------
+
+    /**
+     * True when the fast tier's specialized executor may bypass this
+     * queue's per-call bookkeeping for a burst window starting at
+     * @p from: plain words (parity Off, so stored check bits are 0 and
+     * reads verify nothing), no tracer, no armed injector fault, and
+     * every stored entry already fallen through by @p from. The last
+     * condition checks only the newest entry: `ready` is nondecreasing
+     * along the ring because every mutator stamps `now + latency` with
+     * nondecreasing `now`. `count >= latency` additionally guarantees
+     * that a word pushed mid-window is ready again by the time the
+     * steady one-push-one-pop rotation returns to it.
+     */
+    bool
+    streamable(Cycle from) const
+    {
+        return parityMode == fault::ParityMode::Off && !tracer
+               && pendingCorrupt == 0 && !pendingReorder
+               && count >= latency && count != 0
+               && ring[(head + count - 1) & mask].ready <= from;
+    }
+
+    /**
+     * One steady fast-tier cycle on a queue that takes one writeback
+     * and loses one word per cycle: pushReserved(@p landed, @p now)
+     * followed by pop(now), with occupancy, reservations, tracing and
+     * protection all invariant (the caller checked streamable()).
+     * Counters are settled afterwards by streamCommit().
+     */
+    Word
+    streamExchange(Word landed, Cycle now)
+    {
+        ring[(head + count) & mask] = Entry{landed, now + latency, 0};
+        Word w = ring[head].word;
+        head = (head + 1) & mask;
+        return w;
+    }
+
+    /** Steady fast-tier recirculate: head-to-tail rotate with the
+     *  re-timestamp recirculate() applies. */
+    Word
+    streamRotate(Cycle now)
+    {
+        Word w = ring[head].word;
+        head = (head + 1) & mask;
+        ring[(head + count - 1) & mask] = Entry{w, now + latency, 0};
+        return w;
+    }
+
+    /**
+     * Settle the counters for @p n streamed cycles of one push plus
+     * one pop each. @p observe_high replays the per-push watermark
+     * observation of streamExchange() cycles (the push lands before
+     * the pop, so every push saw depth count + 1); streamRotate()
+     * cycles pass false — recirculate() never observes the watermark.
+     */
+    void
+    streamCommit(std::uint64_t n, bool observe_high)
+    {
+        pushes += n;
+        pops += n;
+        if (observe_high)
+            highWaterMark.observe(count + 1);
+    }
+
     /** Register this FIFO's stats under @p parent. */
     void addStats(stats::StatGroup &parent);
 

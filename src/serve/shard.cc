@@ -106,6 +106,7 @@ Shard::Shard(unsigned id, const ShardConfig &cfg)
     cc.skipIdleCycles = cfg.skipIdleCycles;
     cc.engineMode = cfg.engineMode;
     cc.simThreads = cfg.simThreads;
+    cc.fastTier = cfg.fastTier;
     cc.statsSampleInterval = cfg.statsSampleInterval;
     cc.faults = cfg.faults;
     sys_ = std::make_unique<copro::Coprocessor>(cc);

@@ -62,6 +62,8 @@ struct ShardConfig
     sim::EngineMode engineMode = sim::EngineMode::Skip;
     bool skipIdleCycles = true;
     unsigned simThreads = 0;
+    /** Superop fast tier (byte-identical; forwards to CoprocConfig). */
+    bool fastTier = true;
 
     /** Device-stat sampling period in cycles (0 = off): forwards to
      *  CoprocConfig::statsSampleInterval, so each shard's machine can

@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -8,6 +9,8 @@
 
 namespace opac::sim
 {
+
+thread_local unsigned Engine::tlsSlot_ = 0;
 
 const char *
 engineModeName(EngineMode m)
@@ -78,6 +81,143 @@ Engine::run(Cycle max_cycles)
     return 0;
 }
 
+bool
+Engine::attemptBurst(Cycle start, Cycle max_cycles, bool event_mode)
+{
+    ++_burstAttempts;
+    const unsigned n = static_cast<unsigned>(components.size());
+
+    // Who can burst, and for how long? The window is the smallest
+    // granted quantum. Sleeping slots (event mode) are never bursters:
+    // their slept rounds have not been replayed, so their counters lag
+    // behind their architectural state.
+    burstSlots_.clear();
+    Cycle w = Component::noEvent;
+    for (unsigned s = 0; s < n; ++s) {
+        if (event_mode && sleep_[s].asleep)
+            continue;
+        Cycle q = components[s]->burstQuantum(cycle);
+        if (q > 0) {
+            burstSlots_.push_back(s);
+            w = std::min(w, q);
+        }
+    }
+    if (burstSlots_.empty()) {
+        burstFailed(cycle);
+        return false;
+    }
+
+    // Everyone else must be provably passive across the window: no
+    // progress attributed in the round just executed, and a
+    // nextEventAt hint strictly in the future (which then bounds the
+    // window — the hint is valid precisely because the bursters touch
+    // nothing the passive component observes). A sleeping slot's wake
+    // time plays the role of its hint and it replays lazily on wake,
+    // exactly as it would across an all-asleep jump.
+    auto passiveFail = [&] {
+        burstFailed(cycle);
+        return false;
+    };
+    unsigned nburst = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        if (nburst < burstSlots_.size() && burstSlots_[nburst] == s) {
+            ++nburst;
+            continue;
+        }
+        Component *c = components[s];
+        if (event_mode && sleep_[s].asleep) {
+            if (sleep_[s].wakeAt <= cycle)
+                return passiveFail();
+            w = std::min(w, sleep_[s].wakeAt - cycle);
+            continue;
+        }
+        if (slotProg_[s])
+            return passiveFail();
+        Cycle at = c->nextEventAt(cycle);
+        if (at <= cycle)
+            return passiveFail();
+        w = std::min(w, at - cycle);
+        // An observer tick (the stats sampler) must see every counter
+        // live; its hint normally coincides, but clamp explicitly.
+        Cycle ob = c->observesSystemAt(cycle);
+        if (ob != Component::noEvent) {
+            if (ob <= cycle)
+                return passiveFail();
+            w = std::min(w, ob - cycle);
+        }
+    }
+
+    // Deadline clamps, same as the skip jump: the watchdog and
+    // max_cycles must fire at exactly the cycle a spin run reaches
+    // them.
+    if (watchdogCycles != 0)
+        w = std::min(w, lastProgress + watchdogCycles - cycle);
+    if (max_cycles != 0)
+        w = std::min(w, start + max_cycles - cycle);
+    if (w < minBurstCycles) {
+        burstFailed(cycle);
+        return false;
+    }
+
+    // Execute. Bursters run first, then the passives bulk-replay the
+    // window; the order is immaterial because the bursters touch no
+    // state the passives observe (the burstQuantum contract).
+    burstBits_.assign(std::size_t((w + 63) / 64), 0);
+    for (unsigned s : burstSlots_) {
+        tlsSlot_ = s;
+        components[s]->burstRun(cycle, w, *this, burstBits_.data());
+    }
+    nburst = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        if (nburst < burstSlots_.size() && burstSlots_[nburst] == s) {
+            ++nburst;
+            continue;
+        }
+        if (event_mode && sleep_[s].asleep)
+            continue;
+        components[s]->fastForward(cycle, w, *this);
+    }
+
+    // Idle/watchdog accounting from the progress bitmap: a window
+    // cycle with no progress bit is exactly a round in which no
+    // component would have reported progress.
+    Cycle busy = 0;
+    std::ptrdiff_t lastSet = -1;
+    for (std::size_t i = 0; i < burstBits_.size(); ++i) {
+        std::uint64_t m = burstBits_[i];
+        if (i + 1 == burstBits_.size() && (w & 63))
+            m &= (std::uint64_t(1) << (w & 63)) - 1;
+        busy += Cycle(std::popcount(m));
+        if (m != 0) {
+            lastSet = std::ptrdiff_t(i) * 64
+                      + (63 - std::countl_zero(m));
+        }
+    }
+    if (lastSet >= 0)
+        lastProgress = cycle + Cycle(lastSet) + 1;
+    cycle += w;
+    statCycles += w;
+    statIdleCycles += w - busy;
+    ++_bursts;
+    _burstCycles += w;
+    nextBurstTry_ = cycle; // streaming: try again right away
+    burstFailStreak_ = 0;
+    return true;
+}
+
+void
+Engine::burstFailed(Cycle at)
+{
+    Cycle d = burstRetryInterval;
+    if (burstFailStreak_ >= 2) {
+        unsigned shift = std::min(burstFailStreak_ - 1, 31u);
+        d = burstRetryInterval << shift;
+        d = std::min(d, burstBackoffMax);
+    }
+    ++burstFailStreak_;
+    nextBurstTry_ = at + d;
+}
+
 Cycle
 Engine::runSerial(Cycle max_cycles, bool skip)
 {
@@ -87,6 +227,15 @@ Engine::runSerial(Cycle max_cycles, bool skip)
     // tick-loop iterations, so every run mode counts idleness the
     // same way no matter how its loop is shaped.
     lastProgress = cycle;
+    // Superop bursts only when skipping (Spin stays the pure per-cycle
+    // reference) and untraced (traces need per-cycle event edges).
+    const bool burst = skip && fastTier_ && !_tracer;
+    attributeProgress_ = burst;
+    if (burst) {
+        slotProg_.assign(components.size(), 0);
+        nextBurstTry_ = cycle;
+        burstFailStreak_ = 0;
+    }
     auto watchdogExpired = [&] {
         if (watchdogHandler && watchdogHandler(*this)) {
             // A recovery handler claimed the expiry; restart the count
@@ -110,12 +259,29 @@ Engine::runSerial(Cycle max_cycles, bool skip)
                        statusDump().c_str());
         }
         progressed.store(false, std::memory_order_relaxed);
-        for (auto *c : components)
-            c->tick(*this);
+        if (burst) {
+            std::fill(slotProg_.begin(), slotProg_.end(),
+                      std::uint8_t(0));
+            for (auto *c : components) {
+                tlsSlot_ = c->slot();
+                c->tick(*this);
+            }
+        } else {
+            for (auto *c : components)
+                c->tick(*this);
+        }
         ++cycle;
         ++statCycles;
         if (progressed.load(std::memory_order_relaxed)) {
             lastProgress = cycle;
+            // A streaming component is the burst opportunity: try to
+            // hand it a multi-cycle quantum while everyone else is
+            // provably passive.
+            if (burst && cycle >= nextBurstTry_
+                && attemptBurst(start, max_cycles, false)
+                && watchdogCycles != 0
+                && cycle - lastProgress >= watchdogCycles)
+                watchdogExpired();
             continue;
         }
         ++statIdleCycles;

@@ -137,6 +137,45 @@ class Component
         (void)engine;
     }
 
+    /**
+     * Superop fast tier: number of cycles this component could
+     * execute in bulk starting at @p now without touching any state
+     * another component observes (for a cell: a steady-state
+     * innermost hardware-loop body reading and writing only its local
+     * queues and registers). 0 — the default and the common case —
+     * means "cannot burst". A positive quantum is a guarantee: for
+     * any engine grant w <= the quantum, burstRun(now, w, ...)
+     * reproduces byte-exactly what w consecutive live tick() rounds
+     * would have done, and every externally observable queue stays
+     * untouched for the whole window. Only consulted when the
+     * engine's fast tier is on and no tracer is attached.
+     */
+    virtual Cycle burstQuantum(Cycle now)
+    {
+        (void)now;
+        return 0;
+    }
+
+    /**
+     * Execute @p cycles tick rounds in bulk starting at cycle
+     * @p from, against a preceding burstQuantum(from) guarantee. Must
+     * leave every counter, FIFO and architectural register exactly as
+     * @p cycles live tick() rounds would have, in a window where no
+     * other component acts. For each bulk cycle from + k in which a
+     * live tick would have reported progress, set bit k in
+     * @p progress_bits (an engine-owned bitmap of at least @p cycles
+     * bits, shared by all bursting components) — the engine derives
+     * idle-cycle and watchdog accounting from it.
+     */
+    virtual void burstRun(Cycle from, Cycle cycles, Engine &engine,
+                          std::uint64_t *progress_bits)
+    {
+        (void)from;
+        (void)cycles;
+        (void)engine;
+        (void)progress_bits;
+    }
+
     /** One-line state description, used in deadlock reports. */
     virtual std::string statusLine() const { return "(no status)"; }
 
@@ -221,8 +260,24 @@ class Engine
      * progress. Relaxed ordering suffices: the parallel engine's
      * per-cycle barrier orders the store against the main thread's
      * end-of-round load.
+     *
+     * With the fast tier enabled the progress is also attributed to
+     * the component being ticked (slot set by the run loops via
+     * thread-local state): a burst attempt must prove components
+     * individually quiescent, because a component's nextEventAt hint
+     * alone cannot — a FIFO front that became ready strictly before
+     * `now` reports no event even while its consumer is streaming.
+     * Slots are distinct bytes of slotProg_, so concurrent writers in
+     * parallel mode never race; the per-cycle barrier orders them
+     * against the main thread's reads.
      */
-    void noteProgress() { progressed.store(true, std::memory_order_relaxed); }
+    void
+    noteProgress()
+    {
+        progressed.store(true, std::memory_order_relaxed);
+        if (attributeProgress_)
+            slotProg_[tlsSlot_] = 1;
+    }
 
     /**
      * Run until every component reports done(), or max_cycles elapse
@@ -294,11 +349,32 @@ class Engine
     bool skipEnabled() const { return _mode != EngineMode::Spin; }
 
     /**
+     * Enable the superop fast tier (default off at the engine level;
+     * the coprocessor turns it on from its config). When on, the
+     * Skip/Event/Parallel run loops may grant a component advertising
+     * a burstQuantum() a multi-cycle quantum and bulk-replay every
+     * other (provably passive) component across the window. Spin mode
+     * never bursts — it stays the pure per-cycle reference — and a
+     * run with a tracer attached never bursts either, so every output
+     * stays byte-identical with the tier on or off.
+     */
+    void setFastTier(bool on) { fastTier_ = on; }
+    bool fastTierEnabled() const { return fastTier_; }
+
+    /**
      * Skip diagnostics. Deliberately NOT registered as statistics:
      * the stats JSON must be identical between spin and skip modes.
      */
     std::uint64_t fastForwards() const { return _fastForwards; }
     std::uint64_t skippedCycles() const { return _skippedCycles; }
+
+    /**
+     * Fast-tier diagnostics, unregistered for the same reason: burst
+     * engagement depends on the run mode, the stats JSON must not.
+     */
+    std::uint64_t burstAttempts() const { return _burstAttempts; }
+    std::uint64_t bursts() const { return _bursts; }
+    std::uint64_t burstCycles() const { return _burstCycles; }
 
   private:
     friend class Component;
@@ -328,6 +404,46 @@ class Engine
     /** Replay every sleeping slot through round upTo - 1. */
     void catchUpAll(Cycle upTo);
 
+    /**
+     * Superop burst: collect every component granting a quantum, prove
+     * the rest passive for the window (no progress attributed in the
+     * round just executed and a future-only nextEventAt hint — or, in
+     * event mode, asleep with a wake past the window), execute the
+     * bursters in bulk and fast-forward the passives. Returns true
+     * when a burst ran (the clock advanced); the caller re-checks the
+     * watchdog. @p start / @p max_cycles clamp the window to the run
+     * deadline; @p event_mode applies the sleeping-slot rules.
+     */
+    bool attemptBurst(Cycle start, Cycle max_cycles, bool event_mode);
+
+    /** Burst windows shorter than this lose to their own setup cost. */
+    static constexpr Cycle minBurstCycles = 4;
+    /**
+     * Live rounds before retrying after a failed attempt. Kept short
+     * on every failure path: the steady-state windows are only as
+     * long as the innermost loop count (tens of cycles), and both
+     * common failures clear within a cycle or two — a passive host
+     * pushes one bus word at a loop boundary and re-blocks on the
+     * full interface queue, and a sequencer crossing a loop boundary
+     * (no quantum to grant) re-enters the body immediately. A long
+     * back-off here blanks most of the next window; the attempt
+     * itself is one cheap burstQuantum() poll per component.
+     */
+    static constexpr Cycle burstRetryInterval = 2;
+    /**
+     * Ceiling for the adaptive retry delay. The first two consecutive
+     * misses retry at burstRetryInterval (loop boundaries clear that
+     * fast); a longer streak means the machine is in a phase bursts
+     * cannot cover at all — e.g. the host actively pacing the bus
+     * clamps every window below minBurstCycles — where re-probing
+     * every other cycle is pure overhead, so the delay doubles per
+     * miss up to this cap. One successful burst resets the streak.
+     */
+    static constexpr Cycle burstBackoffMax = 16;
+
+    /** Record a failed burst attempt and schedule the next probe. */
+    void burstFailed(Cycle at);
+
     /** Per-slot scheduling state (Event mode). */
     struct SleepState
     {
@@ -350,6 +466,18 @@ class Engine
     Cycle lastProgress = 0;
     std::uint64_t _fastForwards = 0;
     std::uint64_t _skippedCycles = 0;
+    bool fastTier_ = false;
+    bool attributeProgress_ = false;
+    Cycle nextBurstTry_ = 0;
+    unsigned burstFailStreak_ = 0;         //!< consecutive failed attempts
+    std::vector<std::uint8_t> slotProg_;   //!< per-slot progress, 1 round
+    std::vector<unsigned> burstSlots_;     //!< scratch: bursting slots
+    std::vector<std::uint64_t> burstBits_; //!< scratch: progress bitmap
+    std::uint64_t _burstAttempts = 0;
+    std::uint64_t _bursts = 0;
+    std::uint64_t _burstCycles = 0;
+    /** Slot of the component the current thread is ticking. */
+    static thread_local unsigned tlsSlot_;
     trace::Tracer *_tracer = nullptr;
     stats::StatGroup statGroup;
     stats::Counter statCycles;

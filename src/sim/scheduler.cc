@@ -133,6 +133,18 @@ Engine::runEvent(Cycle max_cycles)
     sleep_.assign(n, SleepState{});
     currentSlot_ = 0;
     const bool ordered = _tracer != nullptr;
+    // Superop bursts: an awake streaming component can take a
+    // multi-cycle quantum while every other slot is either asleep past
+    // the window or provably passive (attributed-quiescent with a
+    // future hint). Sleeping slots stay asleep and replay lazily, as
+    // across an all-asleep jump.
+    const bool burst = fastTier_ && !ordered;
+    attributeProgress_ = burst;
+    if (burst) {
+        slotProg_.assign(n, 0);
+        nextBurstTry_ = cycle;
+        burstFailStreak_ = 0;
+    }
     if (ordered)
         _tracer->beginOrdered(n);
     eventActive_ = true;
@@ -179,6 +191,9 @@ Engine::runEvent(Cycle max_cycles)
                        statusDump().c_str());
         }
         bool roundProgress = false;
+        if (burst)
+            std::fill(slotProg_.begin(), slotProg_.end(),
+                      std::uint8_t(0));
         for (unsigned s = 0; s < n; ++s) {
             SleepState &ss = sleep_[s];
             if (ss.asleep) {
@@ -191,6 +206,7 @@ Engine::runEvent(Cycle max_cycles)
                 ss.idleTicks = 0;
             }
             currentSlot_ = s;
+            tlsSlot_ = s;
             Component *c = components[s];
             if (c->observesSystemAt(cycle) == cycle)
                 catchUpAll(cycle);
@@ -236,6 +252,13 @@ Engine::runEvent(Cycle max_cycles)
                     watermark = ss.sleptFrom;
             }
             _tracer->flushOrdered(watermark);
+        }
+        if (burst && roundProgress && cycle >= nextBurstTry_
+            && attemptBurst(start, max_cycles, true)) {
+            if (watchdogCycles != 0
+                && cycle - lastProgress >= watchdogCycles)
+                watchdogExpired();
+            continue;
         }
         bool allAsleep = true;
         for (const SleepState &ss : sleep_) {
@@ -301,6 +324,19 @@ Engine::runParallel(Cycle max_cycles)
         return runSerial(max_cycles, true);
 
     const bool ordered = _tracer != nullptr;
+    // Superop bursts execute serially on the main thread between
+    // barrier rounds (the workers spin idle through them), so the
+    // one-cycle barrier contract of the live rounds is untouched.
+    // Attribution writes from the workers land in distinct slotProg_
+    // bytes and the per-round barrier orders them against the main
+    // thread's burst-attempt reads.
+    const bool burst = fastTier_ && !ordered;
+    attributeProgress_ = burst;
+    if (burst) {
+        slotProg_.assign(n, 0);
+        nextBurstTry_ = cycle;
+        burstFailStreak_ = 0;
+    }
     if (ordered)
         _tracer->beginOrdered(n);
 
@@ -313,6 +349,7 @@ Engine::runParallel(Cycle max_cycles)
         for (unsigned i = lo; i < hi; ++i) {
             if (ordered)
                 trace::Tracer::setEmitSlot(i);
+            tlsSlot_ = i;
             components[i]->tick(*this);
         }
     };
@@ -407,11 +444,15 @@ Engine::runParallel(Cycle max_cycles)
                        statusDump().c_str());
         }
         progressed.store(false, std::memory_order_relaxed);
+        if (burst)
+            std::fill(slotProg_.begin(), slotProg_.end(),
+                      std::uint8_t(0));
         // Serial phase: sampler, injector, host — anything that may
         // touch cell state runs alone.
         for (unsigned i = 0; i < firstIndep; ++i) {
             if (ordered)
                 trace::Tracer::setEmitSlot(i);
+            tlsSlot_ = i;
             components[i]->tick(*this);
         }
         // Parallel phase: fan the cell shards out, tick the last one
@@ -431,6 +472,11 @@ Engine::runParallel(Cycle max_cycles)
             lastProgress = cycle;
             if (ordered)
                 _tracer->flushOrdered(cycle);
+            if (burst && cycle >= nextBurstTry_
+                && attemptBurst(start, max_cycles, false)
+                && watchdogCycles != 0
+                && cycle - lastProgress >= watchdogCycles)
+                watchdogExpired();
             continue;
         }
         ++statIdleCycles;
