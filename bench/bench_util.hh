@@ -30,6 +30,7 @@
 #include "fault/fault.hh"
 #include "kernels/kernel_set.hh"
 #include "sim/sweep.hh"
+#include "snap/snapshot.hh"
 #include "trace/aggregate.hh"
 #include "trace/json.hh"
 #include "trace/sinks.hh"
@@ -309,6 +310,7 @@ class FastTierReportSession
     {
         if (!wanted())
             return;
+        snap::ensureParentDir(path);
         std::ofstream out(path);
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -352,6 +354,7 @@ class TraceSession
         opac_assert(wanted() && !attached(),
                     "attach on an unwanted or already-claimed session");
         tracer = std::make_unique<trace::Tracer>();
+        snap::ensureParentDir(path);
         file.open(path, std::ios::out | std::ios::trunc);
         if (!file) {
             opac_fatal("cannot open trace file '%s'", path.c_str());
@@ -590,6 +593,7 @@ class StatsSession
     {
         if (!attached())
             return;
+        snap::ensureParentDir(path);
         std::ofstream out(path, std::ios::out | std::ios::trunc);
         if (!out) {
             opac_fatal("cannot open stats file '%s'", path.c_str());
@@ -602,6 +606,90 @@ class StatsSession
   private:
     std::string path;
     Cycle interval;
+    copro::Coprocessor *sys = nullptr;
+};
+
+/**
+ * Checkpoint/resume flags for a bench's representative run
+ * (docs/RESILIENCE.md, "Checkpoint & replay"):
+ *
+ *   --snapshot-at=CYCLE   pause the claimed system once its clock
+ *                         reaches CYCLE and write a snapshot file
+ *                         before running on to completion
+ *   --snapshot-file=PATH  where to write it (default opac.snap;
+ *                         missing directories are created)
+ *   --resume-from=FILE    restore the claimed system from FILE before
+ *                         running it
+ *
+ * Both directions preserve byte identity: a run that snapshots at N
+ * and a second process that resumes from the file report exactly the
+ * cycle counts, stats and sampler series of the uninterrupted run.
+ */
+class SnapshotSession
+{
+  public:
+    SnapshotSession(int argc, char **argv)
+        : file(argText(argc, argv, "--snapshot-file")),
+          resume(argText(argc, argv, "--resume-from"))
+    {
+        std::string at = argText(argc, argv, "--snapshot-at");
+        if (!at.empty()) {
+            snapshotAt = Cycle(std::atoll(at.c_str()));
+            opac_assert(snapshotAt > 0, "bad --snapshot-at value '%s'",
+                        at.c_str());
+        }
+        if (snapshotAt != 0 && file.empty())
+            file = "opac.snap";
+    }
+
+    /** True when any checkpoint/resume flag was given. */
+    bool wanted() const { return snapshotAt != 0 || !resume.empty(); }
+
+    /** True once a system has been claimed. */
+    bool attached() const { return sys != nullptr; }
+
+    /**
+     * Claim @p s (freshly constructed, kernels installed, nothing run)
+     * and restore the --resume-from file into it if one was given.
+     */
+    void
+    attach(copro::Coprocessor &s)
+    {
+        opac_assert(wanted() && !attached(),
+                    "attach on an unwanted or already-claimed session");
+        sys = &s;
+        if (!resume.empty())
+            sys->loadSnapshot(resume);
+    }
+
+    /**
+     * Run the claimed system to completion, pausing at --snapshot-at
+     * (if given, and not already passed by a resume) to write the
+     * checkpoint. Returns the cycles simulated by this call.
+     */
+    Cycle
+    runClaimed(Cycle max_cycles = 0)
+    {
+        opac_assert(attached(), "runClaimed without a claimed system");
+        if (snapshotAt != 0 && snapshotAt > sys->engine().now()) {
+            sys->runUntil(snapshotAt, max_cycles);
+            sys->saveSnapshot(file);
+            std::printf("snapshot at cycle %llu -> %s\n",
+                        (unsigned long long)sys->engine().now(),
+                        file.c_str());
+        }
+        sys->run(max_cycles);
+        // Report the absolute end cycle, not the cycles run in this
+        // process: a --resume-from run starts mid-stream, and its
+        // reported cycle count must be byte-identical to the
+        // uninterrupted run's.
+        return sys->engine().now();
+    }
+
+  private:
+    std::string file;
+    std::string resume;
+    Cycle snapshotAt = 0;
     copro::Coprocessor *sys = nullptr;
 };
 

@@ -89,10 +89,20 @@ struct ObsOut
     std::string flightDir; //!< flight-recorder postmortems
 };
 
+/** Crash-durability knobs (--checkpoint-dir and friends). */
+struct DurOpts
+{
+    std::string dir;          //!< per-case subdirs created under this
+    unsigned every = 1;       //!< batches between shard checkpoints
+    unsigned crashAfter = 0;  //!< crash+restart after N deliveries
+    bool resume = false;      //!< resume from the directory up front
+};
+
 void
 writeText(const std::string &path, const std::string &text,
           const char *what)
 {
+    snap::ensureParentDir(path);
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "serve_load: cannot write %s to '%s'\n",
@@ -136,7 +146,7 @@ drawRequest(Rng &rng)
 }
 
 CaseOut
-runCase(const LoadCase &lc, const ObsOut &obs)
+runCase(const LoadCase &lc, const ObsOut &obs, const DurOpts &dur)
 {
     ServeConfig cfg;
     cfg.shards = lc.shards;
@@ -157,16 +167,13 @@ runCase(const LoadCase &lc, const ObsOut &obs)
         cfg.shardFaults.emplace_back(
             0u, fault::parseFaultSpec(lc.killShard0));
     }
-    Server srv(cfg);
-
     // Open-loop Poisson arrivals: exponential interarrival times at
     // lc.rate jobs per megacycle, from a per-case deterministic
-    // stream.
+    // stream. Drawn up front so a crash-restarted server can re-submit
+    // the identical workload.
     Rng rng(17);
-    double wall0 = wallSeconds();
     double t = 0.0;
     std::vector<JobRequest> reqs;
-    std::vector<std::future<JobResult>> futs;
     for (unsigned i = 0; i < lc.njobs; ++i) {
         t += -std::log(1.0 - double(rng.uniform())) * 1e6 / lc.rate;
         JobRequest r = drawRequest(rng);
@@ -178,9 +185,45 @@ runCase(const LoadCase &lc, const ObsOut &obs)
         if (i % 4 == 3)
             r.deadline = 8000;
         reqs.push_back(r);
-        futs.push_back(srv.submit(r));
     }
-    srv.drain();
+
+    auto makeServer = [&cfg, &lc, &dur](bool resume,
+                                        unsigned crash_after) {
+        ServeConfig c = cfg;
+        if (!dur.dir.empty())
+            c.checkpointDir = dur.dir + "/" + lc.name;
+        c.checkpointEvery = dur.every;
+        c.resume = resume;
+        c.crashAfterDeliveries = crash_after;
+        return std::make_unique<Server>(c);
+    };
+    auto submitAll = [&reqs](Server &s) {
+        std::vector<std::future<JobResult>> f;
+        f.reserve(reqs.size());
+        for (const JobRequest &r : reqs)
+            f.push_back(s.submit(r));
+        return f;
+    };
+
+    auto srvp = makeServer(dur.resume, dur.crashAfter);
+    double wall0 = wallSeconds();
+    std::vector<std::future<JobResult>> futs = submitAll(*srvp);
+    try {
+        srvp->drain();
+    } catch (const Error &e) {
+        // The --crash-after hook fired mid-drain. Model a process
+        // restart: throw the wounded server away and bring up a fresh
+        // one over the same checkpoint directory — journaled results
+        // are re-delivered without re-execution, everything else runs
+        // from the last shard checkpoints.
+        std::printf("serve_load: %s; restarting with --resume\n",
+                    e.what());
+        srvp.reset();
+        srvp = makeServer(true, 0);
+        futs = submitAll(*srvp);
+        srvp->drain();
+    }
+    Server &srv = *srvp;
     const double wall = wallSeconds() - wall0;
 
     CaseOut out;
@@ -241,6 +284,7 @@ runCase(const LoadCase &lc, const ObsOut &obs)
     if (!obs.prom.empty())
         writeText(obs.prom, srv.metricsProm(), "prometheus metrics");
     if (!obs.spanTrace.empty()) {
+        snap::ensureParentDir(obs.spanTrace);
         std::ofstream tf(obs.spanTrace);
         if (tf) {
             srv.writeSpanChromeTrace(tf);
@@ -284,9 +328,34 @@ main(int argc, char **argv)
     obs.spanTrace = argText(argc, argv, "--span-trace");
     obs.prom = argText(argc, argv, "--prom");
     obs.flightDir = argText(argc, argv, "--flight-dir");
+    if (!obs.flightDir.empty())
+        snap::ensureDirectories(obs.flightDir);
     std::string obsCase = argText(argc, argv, "--obs-case");
     if (obsCase.empty())
         obsCase = "s2_shardkill";
+
+    // Crash durability (docs/RESILIENCE.md, "Checkpoint & replay"):
+    //   --checkpoint-dir=DIR    journal + per-shard checkpoints under
+    //                           DIR/<case>/ (directories are created)
+    //   --checkpoint-every=N    batches between shard checkpoints
+    //   --crash-after=N         simulate a crash after N deliveries,
+    //                           then restart the server with resume
+    //                           (requires --checkpoint-dir)
+    //   --resume                resume from --checkpoint-dir up front
+    DurOpts dur;
+    dur.dir = argText(argc, argv, "--checkpoint-dir");
+    std::string every = argText(argc, argv, "--checkpoint-every");
+    if (!every.empty())
+        dur.every = unsigned(std::atol(every.c_str()));
+    std::string crash = argText(argc, argv, "--crash-after");
+    if (!crash.empty())
+        dur.crashAfter = unsigned(std::atol(crash.c_str()));
+    dur.resume = argFlag(argc, argv, "--resume");
+    if (dur.crashAfter != 0 && dur.dir.empty()) {
+        std::fprintf(stderr, "serve_load: --crash-after needs "
+                             "--checkpoint-dir\n");
+        return 2;
+    }
 
     // Random flips everywhere vs a targeted mid-traffic shard kill.
     const std::string flips =
@@ -322,7 +391,8 @@ main(int argc, char **argv)
               "p50", "p99", "util", "fovr", "dead"});
 
     for (const LoadCase &lc : grid) {
-        CaseOut r = runCase(lc, lc.name == obsCase ? obs : ObsOut());
+        CaseOut r =
+            runCase(lc, lc.name == obsCase ? obs : ObsOut(), dur);
         double mcyc = double(r.makespan) / 1e6;
         double served = mcyc > 0.0 ? double(r.completed) / mcyc : 0.0;
         double completion =

@@ -49,6 +49,7 @@ struct CaseSpec
     std::size_t k;
     bool traced;
     bool sampled;
+    bool snapped;
 };
 
 struct CaseResult
@@ -61,7 +62,7 @@ struct CaseResult
 
 CaseResult
 runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats,
-        FastTierReportSession &ft)
+        FastTierReportSession &ft, SnapshotSession &snapshot)
 {
     auto cfg = timingConfig(spec.p, spec.tf, spec.tau);
     if (spec.sampled)
@@ -78,8 +79,14 @@ runCase(const CaseSpec &spec, TraceSession &trace, StatsSession &stats,
     plan.commit();
     if (spec.traced)
         trace.attach(sys);
+    // Claiming restores --resume-from state (program, memory, clock)
+    // over the freshly planned machine; runClaimed pauses at
+    // --snapshot-at to write the checkpoint. Byte-identical either
+    // way (docs/RESILIENCE.md, "Checkpoint & replay").
+    if (spec.snapped)
+        snapshot.attach(sys);
     double t0 = wallSeconds();
-    Cycle cycles = sys.run();
+    Cycle cycles = spec.snapped ? snapshot.runClaimed() : sys.run();
     double wall = wallSeconds() - t0;
     double r = analytic::matUpdateMultiplyAdds(spec.n, spec.k)
                / double(cycles);
@@ -111,6 +118,7 @@ main(int argc, char **argv)
     TraceSession trace(argc, argv);
     StatsSession stats(argc, argv);
     FastTierReportSession ft(argc, argv);
+    SnapshotSession snapshot(argc, argv);
     const unsigned cells[] = {1, 4, 16};
     const std::size_t tfs[] = {512, 2048};
     const unsigned taus[] = {2, 4};
@@ -145,8 +153,14 @@ main(int argc, char **argv)
                                        [](const CaseSpec &s) {
                                            return s.sampled;
                                        });
+                    bool snapped = snapshot.wanted() && rep
+                                   && std::none_of(
+                                       specs.begin(), specs.end(),
+                                       [](const CaseSpec &s) {
+                                           return s.snapped;
+                                       });
                     specs.push_back(
-                        {p, tf, tau, n, k, traced, sampled});
+                        {p, tf, tau, n, k, traced, sampled, snapped});
                 }
             }
         }
@@ -155,8 +169,8 @@ main(int argc, char **argv)
     std::vector<std::function<CaseResult()>> tasks;
     for (const CaseSpec &spec : specs)
         tasks.push_back(
-            [&spec, &trace, &stats, &ft] {
-                return runCase(spec, trace, stats, ft);
+            [&spec, &trace, &stats, &ft, &snapshot] {
+                return runCase(spec, trace, stats, ft, snapshot);
             });
     auto results = sim::sweep<CaseResult>(tasks, jobs);
     ft.finish();

@@ -73,6 +73,43 @@ sanitize="$build_root/sanitize"
 (cd "$sanitize" && ./bench/serve_load --smoke > /dev/null)
 echo "fault matrix OK"
 
+# Snapshot & resume (sanitized): pause the representative table_6_1
+# case at a fixed cycle, write a checkpoint, validate it, and resume
+# it — under ASan/UBSan so the whole save/load path soaks. The golden
+# byte-identity matrix itself (4 engine modes x fast tier, serve
+# crash/restart exactly-once) is tests/test_snapshot, which every
+# ctest pass above already ran; this leg pins the bench-flag wiring
+# and keeps a snapshot in the CI artifacts.
+echo "=== snapshot & resume (sanitized) ==="
+artifacts="$build_root/artifacts"
+mkdir -p "$artifacts"
+(cd "$sanitize" && ctest -R test_snapshot --output-on-failure)
+(cd "$sanitize" && ./bench/table_6_1 --quick \
+    --snapshot-at=5000 --snapshot-file=ci_resume.snap > /dev/null)
+"$sanitize/tools/snapshot_inspect" --check "$sanitize/ci_resume.snap"
+(cd "$sanitize" && ./bench/table_6_1 --quick \
+    --resume-from=ci_resume.snap > /dev/null)
+cp "$sanitize/ci_resume.snap" "$artifacts/table_6_1_resume.snap"
+# Damaged snapshots must be rejected up front by the checksum — a
+# truncated copy and a bit-flipped copy must both fail --check with
+# the tool's clean "bad file" exit (1), not a parse error or crash.
+head -c 100 "$sanitize/ci_resume.snap" > "$sanitize/ci_trunc.snap"
+cp "$sanitize/ci_resume.snap" "$sanitize/ci_flip.snap"
+b=$(od -An -tu1 -j200 -N1 "$sanitize/ci_flip.snap" | tr -d ' ')
+printf "\\$(printf '%03o' $(( (b + 128) % 256 )))" \
+    | dd of="$sanitize/ci_flip.snap" bs=1 seek=200 conv=notrunc \
+        2>/dev/null
+for bad in ci_trunc.snap ci_flip.snap; do
+    status=0
+    "$sanitize/tools/snapshot_inspect" --check "$sanitize/$bad" \
+        >/dev/null 2>&1 || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "corrupt snapshot $bad not rejected (exit $status)" >&2
+        exit 1
+    fi
+done
+echo "snapshot & resume OK"
+
 # Bench regression gate: rerun the gated benches and compare their
 # BENCH_*.json against the committed baselines. The simulator is
 # cycle-deterministic, so any delta is a real machine-model change; a

@@ -5,7 +5,9 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "isa/disasm.hh"
+#include "isa/encode.hh"
 #include "sim/replay.hh"
+#include "snap/snapshot.hh"
 
 namespace opac::cell
 {
@@ -1027,6 +1029,176 @@ Cell::enterFaulted(const char *why, Cycle now)
     if (traceHook)
         traceHook(strfmt("%llu faulted (%s)", (unsigned long long)now,
                          why));
+}
+
+void
+Cell::saveState(snap::Writer &w) const
+{
+    static_assert(isa::numRegs <= 64, "regPending saved as a u64 mask");
+    // The complete microcode store, as encoded images: kernels can be
+    // installed at runtime, so the snapshot cannot assume the fresh
+    // machine it restores into has the same store. std::map iterates
+    // in entry-id order — stable across install order.
+    w.u32(std::uint32_t(microcode.size()));
+    for (const auto &[entry, k] : microcode) {
+        w.u32(entry);
+        w.u32(k.nparams);
+        w.str(k.prog.name());
+        std::vector<std::uint32_t> image = isa::encode(k.prog);
+        w.u32(std::uint32_t(image.size()));
+        for (std::uint32_t word : image)
+            w.u32(word);
+    }
+    for (Word v : regs)
+        w.u32(v);
+    std::uint64_t pend = 0;
+    for (unsigned i = 0; i < isa::numRegs; ++i) {
+        if (regPending[i])
+            pend |= std::uint64_t(1) << i;
+    }
+    w.u64(pend);
+    w.u32(regAy);
+    w.b(regAyPending);
+
+    w.u8(static_cast<std::uint8_t>(state));
+    // The running kernel is named by its microcode entry id; the
+    // Kernel pointer itself is process-local.
+    bool running = current != nullptr;
+    Word entry = 0;
+    if (running) {
+        for (const auto &[e, k] : microcode) {
+            if (&k == current) {
+                entry = e;
+                break;
+            }
+        }
+    }
+    w.b(running);
+    w.u32(entry);
+    w.u64(pc);
+    w.u32(paramsToRead);
+    w.u32(paramIndex);
+    w.u32(decodeLeft);
+    w.b(pmuCall);
+    for (std::int32_t p : params)
+        w.i32(p);
+    w.u32(static_cast<std::uint32_t>(loopStack.size()));
+    for (const LoopFrame &f : loopStack) {
+        w.u64(f.bodyPc);
+        w.u32(f.remaining);
+    }
+    w.u32(static_cast<std::uint32_t>(inflight.size()));
+    for (const InFlight &f : inflight) {
+        w.u64(f.when);
+        w.u32(f.value);
+        w.u8(f.dstMask);
+        w.u8(f.dstReg);
+    }
+    w.u64(wbReadyAt);
+
+    w.b(_faulted);
+    w.b(_broken);
+    w.b(_dead);
+    w.u64(hangUntil);
+    w.str(faultWhy);
+    w.u16(callTrack);
+    w.u8(fpu->flags());
+
+    for (const TimedFifo *q :
+         {&_tpx, &_tpy, &_tpo, &_tpi, &_sum, &_ret, &_reby})
+        q->saveState(w);
+}
+
+void
+Cell::loadState(snap::Reader &r, std::uint32_t version)
+{
+    (void)version;
+    std::uint32_t nkernels = r.u32();
+    microcode.clear();
+    current = nullptr;
+    for (std::uint32_t i = 0; i < nkernels; ++i) {
+        Word entry = r.u32();
+        unsigned nparams = r.u32();
+        std::string kname = r.str();
+        std::vector<std::uint32_t> image(r.u32());
+        for (std::uint32_t &word : image)
+            word = r.u32();
+        try {
+            loadMicrocode(entry, isa::decode(image, kname), nparams);
+        } catch (const Error &e) {
+            r.fail(name() + ": snapshot microcode entry " +
+                   std::to_string(entry) + " rejected: " + e.what());
+        }
+    }
+    for (Word &v : regs)
+        v = r.u32();
+    std::uint64_t pend = r.u64();
+    for (unsigned i = 0; i < isa::numRegs; ++i)
+        regPending[i] = (pend >> i) & 1;
+    regAy = r.u32();
+    regAyPending = r.b();
+
+    std::uint8_t st = r.u8();
+    if (st > static_cast<std::uint8_t>(SeqState::PmuRespond))
+        r.fail(name() + ": bad sequencer state " + std::to_string(st));
+    state = static_cast<SeqState>(st);
+    bool running = r.b();
+    Word entry = r.u32();
+    current = nullptr;
+    if (running) {
+        auto it = microcode.find(entry);
+        if (it == microcode.end())
+            r.fail(name() + ": running microcode entry " +
+                   std::to_string(entry) + " is not installed");
+        current = &it->second;
+    }
+    pc = r.u64();
+    if (current && pc >= current->prog.size())
+        r.fail(name() + ": pc " + std::to_string(pc) +
+               " out of range for kernel '" + current->prog.name() +
+               "'");
+    paramsToRead = r.u32();
+    paramIndex = r.u32();
+    decodeLeft = r.u32();
+    pmuCall = r.b();
+    if (paramIndex > isa::numParams || paramsToRead > isa::numParams)
+        r.fail(name() + ": parameter cursor out of range");
+    for (std::int32_t &p : params)
+        p = r.i32();
+    loopStack.assign(r.u32(), LoopFrame{});
+    for (LoopFrame &f : loopStack) {
+        f.bodyPc = r.u64();
+        f.remaining = r.u32();
+        if (current && f.bodyPc >= current->prog.size())
+            r.fail(name() + ": loop frame pc out of range");
+    }
+    inflight.assign(r.u32(), InFlight{});
+    for (InFlight &f : inflight) {
+        f.when = r.u64();
+        f.value = r.u32();
+        f.dstMask = r.u8();
+        f.dstReg = r.u8();
+        if ((f.dstMask & isa::DstReg) && f.dstReg >= isa::numRegs)
+            r.fail(name() + ": in-flight writeback register out of "
+                            "range");
+    }
+    wbReadyAt = r.u64();
+
+    _faulted = r.b();
+    _broken = r.b();
+    _dead = r.b();
+    hangUntil = r.u64();
+    faultWhy = r.str();
+    callTrack = r.u16();
+    fpu->setFlags(r.u8());
+
+    for (TimedFifo *q :
+         {&_tpx, &_tpy, &_tpo, &_tpi, &_sum, &_ret, &_reby})
+        q->loadState(r);
+
+    // Derived caches rebuild lazily against the restored state.
+    fastBodies.clear();
+    burstBody = nullptr;
 }
 
 std::string

@@ -197,6 +197,21 @@ class Cell : public sim::Component
                   std::uint64_t *progress_bits) override;
 
     /**
+     * Snapshot support: serialize the full architectural state —
+     * registers, sequencer, loop stack, in-flight pipeline results,
+     * fault latches, FP exception flags and all seven queues. The
+     * payload leads with the complete microcode store (entry ids plus
+     * encoded instruction images), because kernels can be installed
+     * at runtime (the conv2d planner generates per-geometry
+     * microcode): a restore rebuilds exactly the store the snapshot
+     * saw, whatever the fresh machine had installed. Decoded-body
+     * caches (the fast tier) rebuild on demand and are not saved.
+     */
+    std::uint32_t stateVersion() const override { return 1; }
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r, std::uint32_t version) override;
+
+    /**
      * Fast-tier counters (bodies compiled, bursts, bulk iterations,
      * fallback reasons). A detached group — never registered under
      * the coprocessor's stats root, because burst engagement depends

@@ -33,6 +33,8 @@ class SoftFpUnit : public FpUnit
 
     std::uint8_t flags() const override { return ctx.flags; }
 
+    void setFlags(std::uint8_t f) override { ctx.flags = f; }
+
   private:
     sf::Context ctx;
 };

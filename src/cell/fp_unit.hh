@@ -60,6 +60,10 @@ class FpUnit
     /** Accumulated IEEE exception flags (0 where not modelled). */
     virtual std::uint8_t flags() const { return 0; }
 
+    /** Restore the accumulated flags (snapshot resume); no-op where
+     *  flags are not modelled. */
+    virtual void setFlags(std::uint8_t f) { (void)f; }
+
     /**
      * True when mulImpl/addImpl compute nothing and always return 0
      * (the Token back-end). The fast tier's specialized executor then

@@ -83,6 +83,18 @@ class RecoveryError : public Error
     using Error::Error;
 };
 
+/**
+ * A snapshot file was rejected: truncated, checksum mismatch, unknown
+ * format version, wrong configuration fingerprint, or a component
+ * section whose payload does not decode. The site names the snapshot
+ * path or the component section that failed.
+ */
+class SnapshotError : public Error
+{
+  public:
+    using Error::Error;
+};
+
 } // namespace opac
 
 #endif // OPAC_COMMON_ERROR_HH

@@ -1,5 +1,8 @@
 #include "coproc/coprocessor.hh"
 
+#include <bit>
+
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace opac::copro
@@ -185,6 +188,162 @@ Coprocessor::run(Cycle max_cycles)
     if (samplerPtr)
         samplerPtr->snapshot(eng.now());
     return cycles;
+}
+
+Cycle
+Coprocessor::runUntil(Cycle stop, Cycle max_cycles)
+{
+    // Deliberately no end-of-window sampler snapshot: the periodic
+    // tick already recorded every boundary up to `stop`, and an extra
+    // row here would differ from the uninterrupted run's series.
+    return eng.runUntil(stop, max_cycles);
+}
+
+std::uint64_t
+Coprocessor::configFingerprint() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) { h = snap::fnvMix(h, v); };
+    mix(cfg.cells);
+    mix(cfg.cell.tf);
+    mix(cfg.cell.interfaceDepth);
+    mix(cfg.cell.tpiDepth);
+    mix(cfg.cell.mulLatency);
+    mix(cfg.cell.addLatency);
+    mix(cfg.cell.moveLatency);
+    mix(cfg.cell.fifoLatency);
+    mix(cfg.cell.callDecodeCycles);
+    mix(cfg.cell.controlOpsPerCycle);
+    mix(std::uint64_t(cfg.cell.fp));
+    mix(std::uint64_t(cfg.cell.parity));
+    mix(cfg.host.tau);
+    mix(cfg.host.callWordCost);
+    mix(cfg.host.recipCycles);
+    mix(cfg.host.recovery.enabled);
+    mix(cfg.host.recovery.timeoutCycles);
+    mix(cfg.host.recovery.retryBudget);
+    mix(cfg.host.recovery.resetCostCycles);
+    mix(cfg.memoryWords);
+    mix(cfg.watchdogCycles);
+    mix(cfg.statsSampleInterval);
+    mix(cfg.faults.seed);
+    mix(cfg.faults.horizon);
+    mix(std::bit_cast<std::uint64_t>(cfg.faults.ratePerMcycle));
+    mix(cfg.faults.count);
+    mix(cfg.faults.kindMask);
+    mix(cfg.faults.maxFlipBits);
+    mix(cfg.faults.explicitEvents.size());
+    for (const fault::FaultEvent &e : cfg.faults.explicitEvents) {
+        mix(e.at);
+        mix(std::uint64_t(e.kind));
+        mix(e.cell);
+        mix(std::uint64_t(e.site));
+        mix(e.mask);
+        mix(e.arg);
+    }
+    return h;
+}
+
+std::vector<const sim::Component *>
+Coprocessor::componentList() const
+{
+    std::vector<const sim::Component *> list;
+    if (samplerPtr)
+        list.push_back(samplerPtr.get());
+    if (injectorPtr)
+        list.push_back(injectorPtr.get());
+    list.push_back(hostPtr.get());
+    for (const auto &c : cellPtrs)
+        list.push_back(c.get());
+    return list;
+}
+
+snap::Snapshot
+Coprocessor::takeSnapshot() const
+{
+    snap::Snapshot s;
+    s.cycle = eng.now();
+    s.fingerprint = configFingerprint();
+    {
+        snap::Writer w;
+        eng.saveState(w);
+        s.add("engine", 1, w.take());
+    }
+    {
+        snap::Writer w;
+        statRoot.saveState(w);
+        s.add("stats", 1, w.take());
+    }
+    {
+        snap::Writer w;
+        mem.saveState(w);
+        s.add("memory", 1, w.take());
+    }
+    for (const sim::Component *c : componentList()) {
+        snap::Writer w;
+        c->saveState(w);
+        s.add("comp." + c->name(), c->stateVersion(), w.take());
+    }
+    return s;
+}
+
+void
+Coprocessor::restoreSnapshot(const snap::Snapshot &s)
+{
+    if (s.fingerprint != configFingerprint())
+        throw SnapshotError(
+            "snapshot",
+            strfmt("configuration fingerprint mismatch: snapshot "
+                   "%016llx, this machine %016llx",
+                   (unsigned long long)s.fingerprint,
+                   (unsigned long long)configFingerprint()));
+    auto load = [&s](const std::string &name, auto &&fn) {
+        const snap::Section &sec = s.require(name);
+        snap::Reader r(sec.payload, "section '" + name + "'");
+        fn(r, sec.version);
+        r.expectEnd();
+    };
+    load("engine", [this](snap::Reader &r, std::uint32_t) {
+        eng.loadState(r);
+    });
+    load("stats", [this](snap::Reader &r, std::uint32_t) {
+        statRoot.loadState(r);
+    });
+    load("memory", [this](snap::Reader &r, std::uint32_t) {
+        mem.loadState(r);
+    });
+    std::vector<const sim::Component *> comps = componentList();
+    // Same config => same component set: 3 fixed sections + one per
+    // component, anything else means a corrupted or foreign snapshot.
+    if (s.sections().size() != comps.size() + 3)
+        throw SnapshotError(
+            "snapshot",
+            strfmt("expected %zu sections, snapshot has %zu",
+                   comps.size() + 3, s.sections().size()));
+    for (const sim::Component *c : comps) {
+        load("comp." + c->name(),
+             [c](snap::Reader &r, std::uint32_t version) {
+                 // Components are engine slots the Coprocessor owns
+                 // non-const; the const walk is only for saveState.
+                 const_cast<sim::Component *>(c)->loadState(r, version);
+             });
+    }
+    if (s.cycle != eng.now())
+        throw SnapshotError("snapshot",
+                            "engine section disagrees with the header "
+                            "cycle");
+}
+
+void
+Coprocessor::saveSnapshot(const std::string &path) const
+{
+    takeSnapshot().writeFile(path);
+}
+
+void
+Coprocessor::loadSnapshot(const std::string &path)
+{
+    restoreSnapshot(snap::Snapshot::readFile(path));
 }
 
 std::string

@@ -18,6 +18,7 @@
 #include "cell/cell.hh"
 #include "fault/fault.hh"
 #include "fault/injector.hh"
+#include "snap/snapshot.hh"
 #include "stats/sampler.hh"
 #include "stats/stats.hh"
 #include "host/host.hh"
@@ -126,6 +127,55 @@ class Coprocessor
      */
     Cycle run(Cycle max_cycles = 0);
 
+    // --- checkpoint / resume ---------------------------------------
+    //
+    // A snapshot captures the whole machine — engine clock, statistics
+    // tree, host memory and program, every cell's sequencer/pipeline/
+    // queue state, the fault plan cursor and the sampled series — such
+    // that restoring it into a freshly constructed Coprocessor with
+    // the same configuration and continuing yields byte-identical
+    // results to the uninterrupted run: same cycle counts, stats JSON,
+    // sampler series and trace suffix, in any engine mode and with the
+    // fast tier on or off. See docs/RESILIENCE.md "Checkpoint &
+    // replay".
+
+    /**
+     * Hash of every configuration field that shapes machine state or
+     * deterministic behavior. Engine mode, thread count, idle-skip and
+     * fast-tier flags are deliberately excluded: those toggles are
+     * byte-identical by contract, so a snapshot taken under one may be
+     * resumed under another.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /** Capture the full system state at the current cycle. */
+    snap::Snapshot takeSnapshot() const;
+
+    /**
+     * Restore a snapshot taken by takeSnapshot() on a system with the
+     * same configuration (enforced via the fingerprint). Throws
+     * opac::SnapshotError on any mismatch; the machine must be
+     * freshly constructed (same microcode loaded, nothing run yet).
+     * A tracer, replan handler or arm handler must be re-attached by
+     * the caller — callbacks do not travel with snapshots.
+     */
+    void restoreSnapshot(const snap::Snapshot &s);
+
+    /** takeSnapshot() serialized to @p path (atomic tmp + rename). */
+    void saveSnapshot(const std::string &path) const;
+
+    /** restoreSnapshot() from a file written by saveSnapshot(). */
+    void loadSnapshot(const std::string &path);
+
+    /**
+     * Run until the clock reaches @p stop (or the system completes,
+     * whichever is first) and return the cycles simulated. Unlike
+     * run() this takes no end-of-run sampler snapshot: a later
+     * resumed run must append to the series exactly where the
+     * uninterrupted one would have.
+     */
+    Cycle runUntil(Cycle stop, Cycle max_cycles = 0);
+
     /** Render the full statistics tree. */
     std::string statsReport() const;
 
@@ -157,6 +207,9 @@ class Coprocessor
   private:
     /** Routes one armed fault event to the component it targets. */
     void applyFault(const fault::FaultEvent &e, Cycle now);
+
+    /** Engine slot order: sampler, injector, host, cells. */
+    std::vector<const sim::Component *> componentList() const;
 
     /** The FIFO a flip/reorder fault addresses. */
     TimedFifo &fifoAt(unsigned cell, fault::FifoSite site);

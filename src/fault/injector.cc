@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snap/snapshot.hh"
 
 namespace opac::fault
 {
@@ -49,6 +50,28 @@ Injector::nextEventAt(Cycle now) const
     // tick() at `now` consumed everything due, so this is in the
     // future; clamp defensively anyway.
     return std::max(plan[next].at, now + 1);
+}
+
+void
+Injector::saveState(snap::Writer &w) const
+{
+    w.u64(plan.size());
+    w.u64(next);
+}
+
+void
+Injector::loadState(snap::Reader &r, std::uint32_t version)
+{
+    (void)version;
+    std::uint64_t size = r.u64();
+    if (size != plan.size())
+        r.fail(name() + ": snapshot plan has " + std::to_string(size) +
+               " faults, this machine generated " +
+               std::to_string(plan.size()));
+    std::uint64_t cursor = r.u64();
+    if (cursor > plan.size())
+        r.fail(name() + ": arming cursor past the end of the plan");
+    next = std::size_t(cursor);
 }
 
 std::string

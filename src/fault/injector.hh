@@ -55,6 +55,16 @@ class Injector : public sim::Component
     Cycle nextEventAt(Cycle now) const override;
     std::string statusLine() const override;
 
+    /**
+     * Snapshot support. The plan itself is a pure function of the
+     * FaultSpec (covered by the snapshot's config fingerprint), so only
+     * the arming cursor travels; a resumed injector fires exactly the
+     * faults the uninterrupted run still had ahead of it.
+     */
+    std::uint32_t stateVersion() const override { return 1; }
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r, std::uint32_t version) override;
+
     std::size_t armedCount() const { return next; }
     std::size_t planSize() const { return plan.size(); }
     std::uint64_t injected() const { return statInjected.value(); }

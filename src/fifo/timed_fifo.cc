@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "snap/snapshot.hh"
 
 namespace opac
 {
@@ -221,6 +222,46 @@ TimedFifo::faultReorder(Cycle now)
     ++faultsInjected;
     if (parityMode != fault::ParityMode::Off && protHandler)
         protHandler(now);
+}
+
+void
+TimedFifo::saveState(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+        const Entry &e = ring[(head + i) & mask];
+        w.u32(e.word);
+        w.u64(e.ready);
+        w.u8(e.ecc);
+    }
+    w.u32(static_cast<std::uint32_t>(_reserved));
+    w.u32(pendingCorrupt);
+    w.b(pendingReorder);
+}
+
+void
+TimedFifo::loadState(snap::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n > _capacity)
+        r.fail("FIFO '" + _name + "': snapshot holds " +
+               std::to_string(n) + " words, capacity is " +
+               std::to_string(_capacity));
+    head = 0;
+    count = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Entry &e = ring[i];
+        e.word = r.u32();
+        e.ready = r.u64();
+        e.ecc = r.u8();
+    }
+    std::uint32_t res = r.u32();
+    if (count + res > _capacity)
+        r.fail("FIFO '" + _name +
+               "': stored words plus reservations exceed capacity");
+    _reserved = res;
+    pendingCorrupt = r.u32();
+    pendingReorder = r.b();
 }
 
 void

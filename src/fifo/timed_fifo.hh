@@ -286,6 +286,23 @@ class TimedFifo
      */
     void faultReorder(Cycle now);
 
+    // --- snapshot / restore ----------------------------------------
+
+    /**
+     * Serialize the stored words (in pop order, with fall-through
+     * timestamps and check bits), outstanding reservations, and any
+     * armed-but-unapplied fault state. Registered statistics travel
+     * with the owning stats tree, not here.
+     */
+    void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore state saved by saveState() into a freshly constructed
+     * queue of the same capacity/latency. The ring is repacked from
+     * index 0 — the head position is not architectural.
+     */
+    void loadState(snap::Reader &r);
+
     std::uint64_t totalFaultsInjected() const
     {
         return faultsInjected.value();

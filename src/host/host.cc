@@ -5,9 +5,12 @@
 #include <cmath>
 #include <iterator>
 
+#include <map>
+
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/replay.hh"
+#include "snap/snapshot.hh"
 
 namespace opac::host
 {
@@ -784,6 +787,194 @@ bool
 Host::done() const
 {
     return program.empty();
+}
+
+void
+HostMemory::saveState(snap::Writer &w) const
+{
+    w.u64(mem.size());
+    w.u64(brk);
+    for (std::size_t i = 0; i < brk; ++i)
+        w.u32(mem[i]);
+}
+
+void
+HostMemory::loadState(snap::Reader &r)
+{
+    std::uint64_t size = r.u64();
+    if (size != mem.size())
+        r.fail("host memory size mismatch: snapshot has " +
+               std::to_string(size) + " words, this machine has " +
+               std::to_string(mem.size()));
+    std::uint64_t frontier = r.u64();
+    if (frontier > mem.size())
+        r.fail("host memory frontier past the end");
+    brk = std::size_t(frontier);
+    for (std::size_t i = 0; i < brk; ++i)
+        mem[i] = r.u32();
+    std::fill(mem.begin() + std::ptrdiff_t(brk), mem.end(), 0);
+}
+
+namespace
+{
+
+void
+saveRegion(snap::Writer &w, const Region &rg)
+{
+    w.u64(rg.rawBase());
+    w.u64(rg.rawPerCol());
+    w.u64(rg.rawStride());
+    w.u64(rg.rawCols());
+    w.u64(rg.rawLd());
+}
+
+Region
+loadRegion(snap::Reader &r)
+{
+    std::size_t base = std::size_t(r.u64());
+    std::size_t per_col = std::size_t(r.u64());
+    std::size_t stride = std::size_t(r.u64());
+    std::size_t cols = std::size_t(r.u64());
+    std::size_t ld = std::size_t(r.u64());
+    return Region::grid(base, per_col, stride, cols, ld);
+}
+
+void
+saveOp(snap::Writer &w, const HostOp &op)
+{
+    w.u8(std::uint8_t(op.kind));
+    w.u32(op.cellMask);
+    w.u8(std::uint8_t(op.target));
+    saveRegion(w, op.region);
+    w.u32(std::uint32_t(op.callWords.size()));
+    for (Word cw : op.callWords)
+        w.u32(cw);
+    w.u8(std::uint8_t(op.scalarOp));
+    w.u64(op.scalarDst);
+    w.u64(op.scalarDst2);
+    w.u64(op.scalarSrc);
+    w.u32(op.jobId);
+    w.u64(op.timeoutCycles);
+}
+
+HostOp
+loadOp(snap::Reader &r)
+{
+    HostOp op;
+    std::uint8_t kind = r.u8();
+    if (kind > std::uint8_t(HostOp::Kind::Reset))
+        r.fail("bad host descriptor kind " + std::to_string(kind));
+    op.kind = HostOp::Kind(kind);
+    op.cellMask = r.u32();
+    std::uint8_t target = r.u8();
+    if (target > std::uint8_t(SendTarget::TpY))
+        r.fail("bad host send target " + std::to_string(target));
+    op.target = SendTarget(target);
+    op.region = loadRegion(r);
+    op.callWords.resize(r.u32());
+    for (Word &cw : op.callWords)
+        cw = r.u32();
+    std::uint8_t scalar = r.u8();
+    if (scalar > std::uint8_t(HostScalarOp::SqrtRecip))
+        r.fail("bad host scalar op " + std::to_string(scalar));
+    op.scalarOp = HostScalarOp(scalar);
+    op.scalarDst = std::size_t(r.u64());
+    op.scalarDst2 = std::size_t(r.u64());
+    op.scalarSrc = std::size_t(r.u64());
+    op.jobId = r.u32();
+    op.timeoutCycles = r.u64();
+    return op;
+}
+
+} // anonymous namespace
+
+void
+Host::saveState(snap::Writer &w) const
+{
+    w.u32(std::uint32_t(program.size()));
+    for (const HostOp &op : program)
+        saveOp(w, op);
+    w.u64(pos);
+    w.u32(cooldown);
+    w.u32(computeLeft);
+
+    w.b(inTxn);
+    w.u32(txnJob);
+    w.u32(txnMask);
+    w.u64(txnTimeout);
+    w.u64(txnDeadline);
+    w.u32(txnRetries);
+    w.b(parityTripped);
+    w.u32(std::uint32_t(journal.size()));
+    for (const HostOp &op : journal)
+        saveOp(w, op);
+    // The staging overlay is an unordered map: emit it address-sorted
+    // so identical state always produces identical bytes.
+    std::map<std::size_t, Word> sorted(staging.begin(), staging.end());
+    w.u32(std::uint32_t(sorted.size()));
+    for (const auto &[addr, word] : sorted) {
+        w.u64(addr);
+        w.u32(word);
+    }
+    w.u32(_deadMask);
+    w.u32(std::uint32_t(_completedJobs.size()));
+    for (std::uint32_t j : _completedJobs)
+        w.u32(j);
+
+    w.u32(std::uint32_t(cells.size()));
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        w.u32(busDrops[c]);
+        w.u32(busDups[c]);
+    }
+    w.u32(memSpike);
+    w.b(opAnnounced);
+}
+
+void
+Host::loadState(snap::Reader &r, std::uint32_t version)
+{
+    (void)version;
+    program.clear();
+    std::uint32_t nprog = r.u32();
+    for (std::uint32_t i = 0; i < nprog; ++i)
+        program.push_back(loadOp(r));
+    pos = std::size_t(r.u64());
+    cooldown = r.u32();
+    computeLeft = r.u32();
+
+    inTxn = r.b();
+    txnJob = r.u32();
+    txnMask = r.u32();
+    txnTimeout = r.u64();
+    txnDeadline = r.u64();
+    txnRetries = r.u32();
+    parityTripped = r.b();
+    journal.clear();
+    std::uint32_t njournal = r.u32();
+    for (std::uint32_t i = 0; i < njournal; ++i)
+        journal.push_back(loadOp(r));
+    staging.clear();
+    std::uint32_t nstaged = r.u32();
+    for (std::uint32_t i = 0; i < nstaged; ++i) {
+        std::size_t addr = std::size_t(r.u64());
+        Word word = r.u32();
+        if (addr >= mem.size())
+            r.fail("staged store out of memory range");
+        staging[addr] = word;
+    }
+    _deadMask = r.u32();
+    _completedJobs.assign(r.u32(), 0);
+    for (std::uint32_t &j : _completedJobs)
+        j = r.u32();
+
+    if (r.u32() != cells.size())
+        r.fail("host snapshot was taken with a different cell count");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        busDrops[c] = r.u32();
+        busDups[c] = r.u32();
+    }
+    memSpike = r.u32();
+    opAnnounced = r.b();
 }
 
 std::string

@@ -150,6 +150,18 @@ class Host : public sim::Component
     std::string statusLine() const override;
 
     /**
+     * Snapshot support. The full transfer program (pending descriptors
+     * plus the transaction journal and staging overlay) is serialized,
+     * so a resumed host replays nothing and re-plans nothing — it
+     * continues mid-descriptor. The replan handler is a callback and
+     * cannot travel with the snapshot: the restorer must re-install it
+     * (the planner layer does) before a degradation can fire.
+     */
+    std::uint32_t stateVersion() const override { return 1; }
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r, std::uint32_t version) override;
+
+    /**
      * Idle-cycle skipping support. The host's own future events are
      * its countdowns (the inter-word cooldown and the scalar-compute
      * latency) and, inside a transaction, the recovery deadline. A

@@ -18,6 +18,12 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+namespace opac::snap
+{
+class Writer;
+class Reader;
+} // namespace opac::snap
+
 namespace opac::host
 {
 
@@ -77,6 +83,16 @@ class HostMemory
 
     std::size_t size() const { return mem.size(); }
 
+    /**
+     * Snapshot support: serialize the allocation frontier and every
+     * word below it. Words above the frontier are zero by construction
+     * (rewind() scrubs them), so they are not stored; loadState()
+     * re-zeroes them to restore the exact same image. Fails the load
+     * when the snapshot was taken against a different memory size.
+     */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
+
   private:
     std::vector<Word> mem;
     std::size_t brk = 0;
@@ -126,6 +142,15 @@ class Region
 
     /** Total number of words addressed. */
     std::size_t count() const { return perCol * cols; }
+
+    // Raw pattern accessors for snapshot serialization: a Region
+    // round-trips as grid(rawBase, rawPerCol, rawStride, rawCols,
+    // rawLd).
+    std::size_t rawBase() const { return base; }
+    std::size_t rawPerCol() const { return perCol; }
+    std::size_t rawStride() const { return stride; }
+    std::size_t rawCols() const { return cols; }
+    std::size_t rawLd() const { return ld; }
 
     /** Address of the i-th word in transfer order (column by column). */
     std::size_t

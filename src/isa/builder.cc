@@ -1,5 +1,6 @@
 #include "isa/builder.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace opac::isa
@@ -68,10 +69,15 @@ ProgramBuilder &
 ProgramBuilder::withMove(Operand from, std::uint8_t dst_mask,
                          std::uint8_t dst_reg)
 {
-    opac_assert(prog.size() > 0, "withMove on empty program");
+    if (prog.size() == 0) {
+        throw MicrocodeError(prog.name(), "withMove on an empty program");
+    }
     Instr &in = prog.lastInstr();
-    opac_assert(in.op == Opcode::Compute && !in.mvActive(),
-                "withMove needs a preceding compute without a move");
+    if (in.op != Opcode::Compute || in.mvActive()) {
+        throw MicrocodeError(
+            prog.name(),
+            "withMove needs a preceding compute without a move");
+    }
     in.mvSrc = from;
     in.mvDstMask = dst_mask;
     in.mvDstReg = dst_reg;

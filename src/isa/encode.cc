@@ -12,7 +12,12 @@ namespace
 constexpr unsigned wordsPerInstr = 4;
 constexpr std::uint8_t maxSrcKind = std::uint8_t(Src::One);
 
-/** Little bit-field writer/reader over one 32-bit word. */
+/**
+ * Little bit-field writer/reader over one 32-bit word. Overflows
+ * throw MicrocodeError rather than aborting: a malformed instruction
+ * or image reaching pack/unpack is caller input, not a simulator
+ * invariant, so it must surface as a catchable, named error.
+ */
 struct FieldWriter
 {
     std::uint32_t word = 0;
@@ -21,9 +26,17 @@ struct FieldWriter
     void
     put(std::uint32_t v, unsigned bits)
     {
-        opac_assert(pos + bits <= 32, "field overflow");
-        opac_assert(v < (1u << bits), "field value %u exceeds %u bits", v,
-                    bits);
+        if (pos + bits > 32) {
+            throw MicrocodeError(
+                "microcode.pack",
+                strfmt("field overflow: %u bits at position %u",
+                       bits, pos));
+        }
+        if (v >= (1u << bits)) {
+            throw MicrocodeError(
+                "microcode.pack",
+                strfmt("field value %u exceeds %u bits", v, bits));
+        }
         word |= v << pos;
         pos += bits;
     }
@@ -37,7 +50,12 @@ struct FieldReader
     std::uint32_t
     get(unsigned bits)
     {
-        opac_assert(pos + bits <= 32, "field overflow");
+        if (pos + bits > 32) {
+            throw MicrocodeError(
+                "microcode.unpack",
+                strfmt("field overflow: %u bits at position %u",
+                       bits, pos));
+        }
         std::uint32_t v = (word >> pos) & ((1u << bits) - 1);
         pos += bits;
         return v;
@@ -141,7 +159,10 @@ decode(const std::vector<std::uint32_t> &image, const std::string &name)
             throw MicrocodeError(name, strfmt("bad addOp %u", add_op));
         in.addOp = AddOp(add_op);
         in.countIsParam = r0.get(1) != 0;
-        in.fifo = LocalFifo(r0.get(2));
+        std::uint32_t fifo = r0.get(2);
+        if (fifo > std::uint8_t(LocalFifo::Reby))
+            throw MicrocodeError(name, strfmt("bad local fifo %u", fifo));
+        in.fifo = LocalFifo(fifo);
 
         in.addB = getOperand(r1);
         in.dstMask = std::uint8_t(r1.get(6));

@@ -379,6 +379,11 @@ Scheduler::harvestAll()
         }
         st.inflight.clear();
         any_alive |= shards_[i]->alive();
+        // Checkpoint cue: the batch's effects (deliveries, failovers,
+        // the journal) are all applied, and the shard's worker is idle
+        // until the next dispatch round.
+        if (batchDone_ && shards_[i]->alive())
+            batchDone_(i);
     }
     (void)any_alive;
 }

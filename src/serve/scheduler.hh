@@ -90,6 +90,15 @@ class Scheduler
                              postmortem);
 
     /**
+     * Hook called after one shard's batch outcome has been fully
+     * applied (results delivered, failovers re-queued) and the shard
+     * is still alive — the server's cue to checkpoint that shard's
+     * machine, which is quiescent between batches. May be null.
+     */
+    using BatchDoneFn = std::function<void(unsigned shard)>;
+    void setBatchDoneHook(BatchDoneFn fn) { batchDone_ = std::move(fn); }
+
+    /**
      * Run the DES until every submission is delivered. @p subs must be
      * sorted by (arrival, submission order); tickets must be unique.
      * Blocks the calling thread; shard workers do the heavy lifting.
@@ -152,6 +161,7 @@ class Scheduler
     obs::SpanLog *spans_ = nullptr;
     obs::FlightRecorders *flight_ = nullptr;
     std::function<void(const std::string &)> postmortem_;
+    BatchDoneFn batchDone_;
 };
 
 } // namespace opac::serve

@@ -1,13 +1,17 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "obs/metrics.hh"
+#include "snap/snapshot.hh"
 
 namespace opac::serve
 {
@@ -125,18 +129,7 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
     shardFormulas_.reserve(4 * cfg.shards + 4);
 
     for (unsigned i = 0; i < cfg.shards; ++i) {
-        ShardConfig sc = cfg.shard;
-        bool overridden = false;
-        for (const auto &[id, spec] : cfg.shardFaults)
-            if (id == i) {
-                sc.faults = spec;
-                overridden = true;
-            }
-        if (!overridden && cfg.faults.any()) {
-            // Independent but replayable fault streams per shard.
-            sc.faults = cfg.faults;
-            sc.faults.seed = cfg.faults.seed + 1000003ull * i;
-        }
+        const ShardConfig sc = shardConfigFor(i);
         shards_.push_back(std::make_unique<Shard>(i, sc));
         faultPlans_.push_back({});
         for (const fault::FaultEvent &ev :
@@ -145,23 +138,26 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
 
         auto g = std::make_unique<stats::StatGroup>(
             "shard" + std::to_string(i), shardsGroup_.get());
-        Shard *sp = shards_.back().get();
+        // Formulas go through shards_[i], not a raw Shard pointer:
+        // migrateShard() replaces the pool entry, and the gauges must
+        // follow the replacement.
         shardFormulas_.emplace_back(
-            [sp] { return double(sp->busyCycles()); });
+            [this, i] { return double(shards_[i]->busyCycles()); });
         g->addFormula("busy_cycles", &shardFormulas_.back(),
                       "engine cycles spent serving batches");
         shardFormulas_.emplace_back(
-            [sp] { return double(sp->aliveCells()); });
+            [this, i] { return double(shards_[i]->aliveCells()); });
         g->addFormula("alive_cells", &shardFormulas_.back(),
                       "usable cells (0 once the shard died)");
-        shardFormulas_.emplace_back([sp, this] {
+        shardFormulas_.emplace_back([this, i] {
             const Cycle ms = sched_ ? sched_->makespan() : 0;
-            return ms ? double(sp->busyCycles()) / double(ms) : 0.0;
+            return ms ? double(shards_[i]->busyCycles()) / double(ms)
+                      : 0.0;
         });
         g->addFormula("occupancy", &shardFormulas_.back(),
                       "fraction of the makespan spent serving");
         shardFormulas_.emplace_back(
-            [sp] { return double(sp->peakBatchJobs()); });
+            [this, i] { return double(shards_[i]->peakBatchJobs()); });
         g->addFormula("peak_batch_jobs", &shardFormulas_.back(),
                       "largest batch served (jobs)");
         shardJobs_.push_back(std::make_unique<stats::Counter>());
@@ -194,9 +190,149 @@ Server::Server(const ServeConfig &cfg) : cfg_(cfg)
     root_->addFormula("utilization", &shardFormulas_.back(),
                       "mean fraction of the makespan each shard spent "
                       "serving");
+
+    if (!cfg_.checkpointDir.empty()) {
+        snap::ensureDirectories(cfg_.checkpointDir);
+        sinceCkpt_.assign(cfg.shards, 0);
+        if (cfg_.resume) {
+            loadJournal();
+            for (unsigned i = 0; i < cfg.shards; ++i) {
+                const std::string path = checkpointPath(i);
+                if (std::filesystem::exists(path))
+                    shards_[i]->readCheckpoint(path);
+            }
+        }
+        const std::string jpath = cfg_.checkpointDir + "/journal.log";
+        journal_ = std::make_unique<std::ofstream>(jpath, std::ios::app);
+        if (!*journal_)
+            throw SnapshotError(jpath, "cannot open the serve journal");
+        sched_->setBatchDoneHook([this](unsigned i) {
+            if (++sinceCkpt_[i] >= std::max(1u, cfg_.checkpointEvery)) {
+                sinceCkpt_[i] = 0;
+                shards_[i]->writeCheckpoint(checkpointPath(i));
+            }
+        });
+    }
 }
 
 Server::~Server() = default;
+
+ShardConfig
+Server::shardConfigFor(unsigned i) const
+{
+    ShardConfig sc = cfg_.shard;
+    bool overridden = false;
+    for (const auto &[id, spec] : cfg_.shardFaults)
+        if (id == i) {
+            sc.faults = spec;
+            overridden = true;
+        }
+    if (!overridden && cfg_.faults.any()) {
+        // Independent but replayable fault streams per shard.
+        sc.faults = cfg_.faults;
+        sc.faults.seed = cfg_.faults.seed + 1000003ull * i;
+    }
+    return sc;
+}
+
+void
+Server::migrateShard(unsigned i)
+{
+    opac_assert(i < shards_.size(), "migrate of unknown shard %u", i);
+    snap::Snapshot s = shards_[i]->takeSnapshot();
+    auto fresh = std::make_unique<Shard>(i, shardConfigFor(i));
+    fresh->restoreSnapshot(s);
+    shards_[i] = std::move(fresh);
+}
+
+std::string
+Server::checkpointPath(unsigned i) const
+{
+    return cfg_.checkpointDir + "/shard" + std::to_string(i) + ".snap";
+}
+
+void
+Server::writeJournal(const std::string &line)
+{
+    *journal_ << line << '\n';
+    journal_->flush();
+    if (!*journal_)
+        throw SnapshotError(cfg_.checkpointDir + "/journal.log",
+                            "serve journal write failed");
+}
+
+void
+Server::loadJournal()
+{
+    std::ifstream in(cfg_.checkpointDir + "/journal.log");
+    if (!in)
+        return; // nothing journaled yet — fresh directory
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream is(line);
+        std::string tag;
+        is >> tag;
+        if (tag != "R")
+            continue;
+        Recovered rec;
+        JobResult &r = rec.result;
+        unsigned status = 0, correct = 0;
+        unsigned long long arrival = 0, started = 0, finished = 0,
+                           deadline = 0, checksum = 0, cycles = 0,
+                           ma = 0;
+        is >> r.ticket >> status >> r.shard >> arrival >> started
+            >> finished >> deadline >> std::hex >> checksum >> std::dec
+            >> correct >> r.failovers >> cycles >> ma;
+        if (!is || status > unsigned(JobStatus::Failed))
+            continue; // torn final record from the crash — ignore
+        r.status = JobStatus(status);
+        r.arrival = arrival;
+        r.started = started;
+        r.finished = finished;
+        r.deadline = deadline;
+        r.checksum = checksum;
+        r.correct = correct != 0;
+        rec.cycles = cycles;
+        rec.ma = ma;
+        std::getline(is, r.note);
+        if (!r.note.empty() && r.note.front() == ' ')
+            r.note.erase(0, 1);
+        recovered_[r.ticket] = std::move(rec);
+    }
+}
+
+void
+Server::deliverRecovered()
+{
+    if (recovered_.empty())
+        return;
+    struct Replay
+    {
+        JobRequest req;
+        Recovered rec;
+    };
+    std::vector<Replay> replays;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            PendingEntry &e = *pending_[i];
+            const std::uint32_t ticket = std::uint32_t(i + 1);
+            auto it = recovered_.find(ticket);
+            if (e.queued || it == recovered_.end())
+                continue;
+            e.queued = true; // keep it away from the scheduler
+            replays.push_back(Replay{e.req, it->second});
+        }
+    }
+    // Replayed deliveries repopulate the accounting tree but are not
+    // re-journaled (the journal already holds them) and never count
+    // against the crash hook.
+    replaying_ = true;
+    for (Replay &rp : replays)
+        deliver(rp.req, std::move(rp.rec.result), rp.rec.cycles,
+                rp.rec.ma);
+    replaying_ = false;
+}
 
 Server::TenantStats &
 Server::tenant(std::uint32_t id)
@@ -237,6 +373,15 @@ Server::submit(JobRequest req, Callback cb)
     ++cSubmitted_;
     ++tenant(req.tenant).submitted;
 
+    if (journal_)
+        writeJournal(strfmt(
+            "S %u %u %zu %zu %zu %zu %zu %zu %u %u %llu %llu %llu",
+            lastTicket_, unsigned(req.kind), req.m, req.k, req.n, req.p,
+            req.q, req.batch, req.tenant, req.priority,
+            static_cast<unsigned long long>(req.deadline),
+            static_cast<unsigned long long>(req.seed),
+            static_cast<unsigned long long>(req.arrival)));
+
     obs::JobSpan &span = spans_.open(lastTicket_);
     span.tenant = req.tenant;
     span.kind = kernelKindName(req.kind);
@@ -249,6 +394,10 @@ Server::submit(JobRequest req, Callback cb)
 void
 Server::drain()
 {
+    // Resume path: results the journal proves were already delivered
+    // are re-delivered from the record, never re-executed.
+    deliverRecovered();
+
     std::vector<ShardJob> subs;
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -328,6 +477,27 @@ Server::deliver(const JobRequest &req, JobResult r, Cycle cycles,
         e.delivered = true;
         cb = std::move(e.cb);
         prom = &e.prom;
+
+        if (journal_ && !replaying_) {
+            writeJournal(strfmt(
+                "R %u %u %u %llu %llu %llu %llu %llx %u %u %llu %llu %s",
+                r.ticket, unsigned(r.status), r.shard,
+                static_cast<unsigned long long>(r.arrival),
+                static_cast<unsigned long long>(r.started),
+                static_cast<unsigned long long>(r.finished),
+                static_cast<unsigned long long>(r.deadline),
+                static_cast<unsigned long long>(r.checksum),
+                r.correct ? 1u : 0u, r.failovers,
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(ma), r.note.c_str()));
+            // The record is durable; a "crash" here models the worst
+            // case for exactly-once (delivered but not checkpointed).
+            if (cfg_.crashAfterDeliveries != 0
+                && ++deliveries_ >= cfg_.crashAfterDeliveries)
+                throw Error("serve.crash-test",
+                            strfmt("simulated crash after %u deliveries",
+                                   deliveries_));
+        }
     }
     // Fulfil outside the lock: a callback may submit() more work.
     prom->set_value(r);

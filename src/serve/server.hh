@@ -58,6 +58,28 @@ struct ServeConfig
      *  An override replaces the base plan verbatim (no seed mix). */
     std::vector<std::pair<unsigned, fault::FaultSpec>> shardFaults;
 
+    /**
+     * Crash durability (docs/RESILIENCE.md, "Checkpoint & replay").
+     *
+     * With a non-empty checkpointDir the server appends every
+     * submission and delivery to <dir>/journal.log (flushed per
+     * record) and writes <dir>/shardN.snap — atomically — after every
+     * checkpointEvery batches a shard completes. A server constructed
+     * with resume = true over the same directory restores each
+     * shard's machine from its last checkpoint and re-delivers the
+     * already-journaled results without re-executing them; the client
+     * re-submits the identical workload (tickets are assigned by
+     * submission order), and only the jobs that had not yet been
+     * delivered actually run.
+     */
+    std::string checkpointDir;
+    unsigned checkpointEvery = 1; //!< batches between checkpoints
+    bool resume = false;          //!< restore from checkpointDir
+
+    /** Test hook: throw from the Nth delivery (0 = never), simulating
+     *  a crash mid-drain with journal and checkpoints on disk. */
+    unsigned crashAfterDeliveries = 0;
+
     /** Observability knobs (docs/OBSERVABILITY.md). */
     struct ObsConfig
     {
@@ -113,6 +135,16 @@ class Server
     const Shard &shard(unsigned i) const { return *shards_[i]; }
     unsigned aliveShards() const;
 
+    /**
+     * Live-migrate shard @p i: snapshot it, construct a fresh shard
+     * (same configuration, fresh worker thread), restore the snapshot
+     * into it and swap it into the pool. Pending work is untouched —
+     * jobs queued for later drain() calls land on the replacement and
+     * produce byte-identical results. Only valid between drain()
+     * calls (no batch in flight).
+     */
+    void migrateShard(unsigned i);
+
     /** Mean fraction of the makespan each shard spent serving. */
     double utilization() const;
 
@@ -161,11 +193,24 @@ class Server
     struct KindStats;
     struct PendingEntry;
 
+    /** A journaled delivery replayed on resume. */
+    struct Recovered
+    {
+        JobResult result;
+        Cycle cycles = 0;
+        std::uint64_t ma = 0;
+    };
+
     TenantStats &tenant(std::uint32_t id);
     KindStats &kindStats(KernelKind k);
     void deliver(const JobRequest &req, JobResult r, Cycle cycles,
                  std::uint64_t ma);
     void recordFlightDump(const std::string &reason);
+    ShardConfig shardConfigFor(unsigned i) const;
+    std::string checkpointPath(unsigned i) const;
+    void writeJournal(const std::string &line);
+    void loadJournal();
+    void deliverRecovered();
 
     ServeConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -191,6 +236,13 @@ class Server
     std::vector<std::unique_ptr<stats::StatGroup>> shardGroups_;
     std::vector<std::unique_ptr<stats::Counter>> shardJobs_;
     std::vector<stats::Formula> shardFormulas_;
+
+    // Crash durability (null / empty when checkpointDir is unset).
+    std::unique_ptr<std::ofstream> journal_;
+    std::map<std::uint32_t, Recovered> recovered_;
+    std::vector<unsigned> sinceCkpt_;
+    bool replaying_ = false;
+    unsigned deliveries_ = 0;
 
     // Observability.
     obs::SpanLog spans_;

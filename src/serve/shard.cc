@@ -178,6 +178,70 @@ Shard::worker()
     }
 }
 
+snap::Snapshot
+Shard::takeSnapshot() const
+{
+    snap::Snapshot s = sys_->takeSnapshot();
+    snap::Writer w;
+    w.u64(baseMark_);
+    w.u32(nextJobId_);
+    w.u64(lastMa_);
+    w.u64(lastRetries_);
+    w.b(failed_);
+    w.u32(aliveCells_);
+    w.u64(busyCycles_);
+    peakBatch_.saveState(w);
+    s.add("serve.shard", 1, w.take());
+    return s;
+}
+
+void
+Shard::restoreSnapshot(const snap::Snapshot &s)
+{
+    // The machine restore is strict about its section inventory, so
+    // peel the shard's own section off into a core-only copy first.
+    snap::Snapshot core;
+    core.cycle = s.cycle;
+    core.fingerprint = s.fingerprint;
+    for (const snap::Section &sec : s.sections())
+        if (sec.name != "serve.shard")
+            core.add(sec.name, sec.version, sec.payload);
+    sys_->restoreSnapshot(core);
+
+    const snap::Section &sec = s.require("serve.shard");
+    snap::Reader r(sec.payload, "section 'serve.shard'");
+    std::uint64_t mark = r.u64();
+    if (mark != baseMark_)
+        r.fail("base memory mark differs (different kernel set?)");
+    nextJobId_ = r.u32();
+    lastMa_ = r.u64();
+    lastRetries_ = r.u64();
+    failed_ = r.b();
+    aliveCells_ = r.u32();
+    busyCycles_ = r.u64();
+    peakBatch_.loadState(r);
+    r.expectEnd();
+
+    // Belt and braces: if the checkpoint predates deliveries that are
+    // already journaled (crash between a delivery and the next
+    // checkpoint), the restored job-id base could collide with ids the
+    // host has already committed. Keep it strictly ahead.
+    for (std::uint32_t j : sys_->host().completedJobs())
+        nextJobId_ = std::max(nextJobId_, j + 1);
+}
+
+void
+Shard::writeCheckpoint(const std::string &path) const
+{
+    takeSnapshot().writeFile(path);
+}
+
+void
+Shard::readCheckpoint(const std::string &path)
+{
+    restoreSnapshot(snap::Snapshot::readFile(path));
+}
+
 BatchOutcome
 Shard::execute(const std::vector<ShardJob> &batch)
 {

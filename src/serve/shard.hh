@@ -160,6 +160,30 @@ class Shard
     /** Block for the outcome of the launched batch. */
     BatchOutcome harvest();
 
+    /**
+     * Checkpoint/restore (docs/RESILIENCE.md "Checkpoint & replay").
+     *
+     * takeSnapshot() captures the complete shard: the simulated
+     * machine (via Coprocessor::takeSnapshot) plus a "serve.shard"
+     * section with the shard's own batch bookkeeping (job-id base,
+     * accounting deltas, liveness). Only valid between launch() and
+     * harvest() rounds, when the worker thread is idle.
+     *
+     * restoreSnapshot() is the inverse, meant for a freshly
+     * constructed shard of the same configuration (the machine
+     * fingerprint is verified). After a restore the shard continues
+     * bit-identically — this is also the shard-migration primitive:
+     * snapshot one shard, build a new one, restore into it.
+     *
+     * writeCheckpoint()/readCheckpoint() are the file-backed forms;
+     * writes are atomic (temp file + rename), so a crash mid-write
+     * leaves the previous checkpoint intact.
+     */
+    snap::Snapshot takeSnapshot() const;
+    void restoreSnapshot(const snap::Snapshot &s);
+    void writeCheckpoint(const std::string &path) const;
+    void readCheckpoint(const std::string &path);
+
   private:
     void worker();
     BatchOutcome execute(const std::vector<ShardJob> &batch);

@@ -5,12 +5,28 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "snap/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace opac::sim
 {
 
 thread_local unsigned Engine::tlsSlot_ = 0;
+
+void
+Component::saveState(snap::Writer &w) const
+{
+    (void)w;
+}
+
+void
+Component::loadState(snap::Reader &r, std::uint32_t version)
+{
+    (void)version;
+    if (!r.atEnd())
+        r.fail("component '" + _name +
+               "' has no loadState but the snapshot carries a payload");
+}
 
 const char *
 engineModeName(EngineMode m)
@@ -79,6 +95,46 @@ Engine::run(Cycle max_cycles)
         return runParallel(max_cycles);
     }
     return 0;
+}
+
+Cycle
+Engine::runUntil(Cycle stop, Cycle max_cycles)
+{
+    opac_assert(stop >= cycle,
+                "runUntil target %llu is behind the clock (%llu)",
+                static_cast<unsigned long long>(stop),
+                static_cast<unsigned long long>(cycle));
+    stopAt_ = stop;
+    Cycle ran;
+    try {
+        ran = run(max_cycles);
+    } catch (...) {
+        stopAt_ = cycleNever;
+        throw;
+    }
+    stopAt_ = cycleNever;
+    // Carry the idle baseline over the boundary only when the run was
+    // actually cut short; a natural completion leaves the engine in
+    // the same state a plain run() would, so multi-run callers see no
+    // difference.
+    if (!allDone())
+        idleCarry_ = cycle - lastProgress;
+    return ran;
+}
+
+void
+Engine::saveState(snap::Writer &w) const
+{
+    w.u64(cycle);
+    w.u64(idleCarry_);
+}
+
+void
+Engine::loadState(snap::Reader &r)
+{
+    cycle = r.u64();
+    idleCarry_ = r.u64();
+    lastProgress = cycle;
 }
 
 bool
@@ -154,6 +210,8 @@ Engine::attemptBurst(Cycle start, Cycle max_cycles, bool event_mode)
         w = std::min(w, lastProgress + watchdogCycles - cycle);
     if (max_cycles != 0)
         w = std::min(w, start + max_cycles - cycle);
+    if (stopAt_ != cycleNever)
+        w = std::min(w, stopAt_ - cycle);
     if (w < minBurstCycles) {
         burstFailed(cycle);
         return false;
@@ -225,8 +283,11 @@ Engine::runSerial(Cycle max_cycles, bool skip)
     // The watchdog and the skip hysteresis both derive from engine
     // time (cycles since the last round that made progress), not from
     // tick-loop iterations, so every run mode counts idleness the
-    // same way no matter how its loop is shaped.
-    lastProgress = cycle;
+    // same way no matter how its loop is shaped. A runUntil() stop
+    // carries the idle baseline forward so a resumed run counts
+    // idleness from the same cycle an uninterrupted one would.
+    lastProgress = cycle - std::min(idleCarry_, cycle);
+    idleCarry_ = 0;
     // Superop bursts only when skipping (Spin stays the pure per-cycle
     // reference) and untraced (traces need per-cycle event edges).
     const bool burst = skip && fastTier_ && !_tracer;
@@ -250,7 +311,7 @@ Engine::runSerial(Cycle max_cycles, bool skip)
                    static_cast<unsigned long long>(watchdogCycles),
                    skip ? "on" : "off", statusDump().c_str()));
     };
-    while (!allDone()) {
+    while (!allDone() && cycle < stopAt_) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {
             opac_fatal("simulation exceeded max_cycles = %llu "
                        "(%llu cycles simulated)\n%s",
@@ -312,6 +373,7 @@ Engine::runSerial(Cycle max_cycles, bool skip)
             target = std::min(target, lastProgress + watchdogCycles);
         if (max_cycles != 0)
             target = std::min(target, start + max_cycles);
+        target = std::min(target, stopAt_);
         // A one-cycle jump costs more than the live round it replaces
         // (fastForward visits every component too); live rounds are
         // always correct, so just run one.

@@ -67,6 +67,12 @@ namespace opac::trace
 class Tracer;
 }
 
+namespace opac::snap
+{
+class Writer;
+class Reader;
+} // namespace opac::snap
+
 namespace opac::sim
 {
 
@@ -180,6 +186,33 @@ class Component
     virtual std::string statusLine() const { return "(no status)"; }
 
     /**
+     * Version tag stamped on this component's saveState() payload.
+     * Bump it when the payload layout changes; loadState() receives
+     * the version the snapshot was written with and may translate or
+     * reject old layouts.
+     */
+    virtual std::uint32_t stateVersion() const { return 1; }
+
+    /**
+     * Serialize every piece of mutable state a resumed run needs to
+     * be bit-identical to an uninterrupted one: architectural
+     * registers, queue contents, in-flight operations, countdowns,
+     * fault latches. Registered statistics are saved separately
+     * through the stats tree; derived caches that rebuild on demand
+     * need not be saved. The default saves nothing (for stateless
+     * components).
+     */
+    virtual void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore state saved by saveState() on a freshly constructed,
+     * identically configured component. @p version is the payload's
+     * stateVersion() at save time. Throws opac::SnapshotError (via
+     * Reader::fail) on malformed payloads.
+     */
+    virtual void loadState(snap::Reader &r, std::uint32_t version);
+
+    /**
      * True when tick() only ever touches this component's own state
      * and its own FIFOs, never another component's: the parallel
      * engine may then tick it concurrently with other independent
@@ -285,6 +318,31 @@ class Engine
      * watchdog expiry with a full component status dump.
      */
     Cycle run(Cycle max_cycles = 0);
+
+    /**
+     * Run until the clock reaches @p stop (or everything is done,
+     * whichever comes first) and return the cycles simulated. The
+     * machine is left in exactly the state a run() would pass through
+     * at cycle @p stop — counters settled, slept rounds replayed — so
+     * it can be snapshotted and the run continued (by run() or
+     * another runUntil()) with byte-identical results. The idle-time
+     * baseline the watchdog and skip hysteresis derive from is
+     * carried across the boundary (idleCarry_), so deadlock expiry
+     * and jump decisions land on the same cycles as an uninterrupted
+     * run.
+     */
+    Cycle runUntil(Cycle stop, Cycle max_cycles = 0);
+
+    /**
+     * Serialize the engine-level mutable state (the clock and the
+     * carried idle baseline). Registered stats (cycles/idleCycles)
+     * travel with the stats tree; per-mode scheduler scratch
+     * (sleep lists, burst backoff) re-initializes at run entry and
+     * is deliberately not saved — all modes are byte-identical, so a
+     * resumed run may even switch modes.
+     */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
     /** True when every registered component is done. */
     bool allDone() const;
@@ -455,6 +513,22 @@ class Engine
 
     std::vector<Component *> components;
     Cycle cycle = 0;
+    /**
+     * Early-stop deadline for runUntil(): every run loop breaks when
+     * the clock reaches it, and every skip jump / burst window is
+     * clamped to it so the stop lands on the exact cycle. cycleNever
+     * when a plain run() is active.
+     */
+    Cycle stopAt_ = cycleNever;
+    /**
+     * Cycles of idleness (cycle - lastProgress) carried across a
+     * runUntil() boundary. Run loops normally reset their idle
+     * baseline at entry; consuming this carry instead keeps watchdog
+     * expiry and skip hysteresis on the same cycles as an
+     * uninterrupted run. Zero after natural completion, so multi-run
+     * callers (the serve shards) are unaffected.
+     */
+    Cycle idleCarry_ = 0;
     Cycle watchdogCycles;
     WatchdogHandler watchdogHandler;
     std::atomic<bool> progressed{false};

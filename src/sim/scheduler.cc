@@ -128,7 +128,8 @@ Cycle
 Engine::runEvent(Cycle max_cycles)
 {
     Cycle start = cycle;
-    lastProgress = cycle;
+    lastProgress = cycle - std::min(idleCarry_, cycle);
+    idleCarry_ = 0;
     const unsigned n = static_cast<unsigned>(components.size());
     sleep_.assign(n, SleepState{});
     currentSlot_ = 0;
@@ -181,7 +182,7 @@ Engine::runEvent(Cycle max_cycles)
                    statusDump().c_str()));
     };
 
-    while (!allDone()) {
+    while (!allDone() && cycle < stopAt_) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {
             settle();
             opac_fatal("simulation exceeded max_cycles = %llu "
@@ -280,6 +281,7 @@ Engine::runEvent(Cycle max_cycles)
             target = std::min(target, lastProgress + watchdogCycles);
         if (max_cycles != 0)
             target = std::min(target, start + max_cycles);
+        target = std::min(target, stopAt_);
         if (target == Component::noEvent) {
             // No wake-up and no deadline armed: the spin engine would
             // hang here forever, which helps nobody.
@@ -418,7 +420,8 @@ Engine::runParallel(Cycle max_cycles)
         pool.emplace_back(workerFn, w);
 
     Cycle start = cycle;
-    lastProgress = cycle;
+    lastProgress = cycle - std::min(idleCarry_, cycle);
+    idleCarry_ = 0;
     auto watchdogExpired = [&] {
         if (watchdogHandler && watchdogHandler(*this)) {
             lastProgress = cycle;
@@ -433,7 +436,7 @@ Engine::runParallel(Cycle max_cycles)
                    static_cast<unsigned long long>(watchdogCycles),
                    statusDump().c_str()));
     };
-    while (!allDone()) {
+    while (!allDone() && cycle < stopAt_) {
         if (max_cycles != 0 && cycle - start >= max_cycles) {
             if (ordered)
                 _tracer->flushOrdered(Component::noEvent);
@@ -502,6 +505,7 @@ Engine::runParallel(Cycle max_cycles)
             target = std::min(target, lastProgress + watchdogCycles);
         if (max_cycles != 0)
             target = std::min(target, start + max_cycles);
+        target = std::min(target, stopAt_);
         if (target == Component::noEvent || target < cycle + 2)
             continue;
 

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Versioned, checksummed machine snapshots.
+ *
+ * A Snapshot is a bag of named, individually versioned component
+ * sections plus a header that pins the simulated cycle and a
+ * configuration fingerprint. The container format is deliberately
+ * dumb — length-prefixed little-endian records with an FNV-1a footer —
+ * so `tools/snapshot_inspect` can dump and diff files without linking
+ * the simulator, and so a truncated or bit-flipped file is rejected
+ * before any component sees a byte of it.
+ *
+ * File layout (all integers little-endian):
+ *
+ *     u64  magic            "OPACSNAP" as a little-endian u64
+ *     u32  formatVersion    container layout version (currently 1)
+ *     u64  cycle            simulated cycle the machine was saved at
+ *     u64  fingerprint      configuration fingerprint (see coproc)
+ *     u32  sectionCount
+ *     sectionCount times:
+ *       u32  nameLen, nameLen bytes   section name ("comp.cell0", ...)
+ *       u32  version                  component payload version
+ *       u64  payloadLen, payloadLen bytes
+ *     u64  checksum         FNV-1a over every byte above
+ *
+ * Components serialize through Writer (append-only primitives) and
+ * deserialize through Reader (bounds-checked; throws SnapshotError
+ * naming the section on any overrun). writeFile() is atomic: the
+ * bytes land in a sibling temp file that is renamed over the target,
+ * so a crash mid-checkpoint can never leave a half-written snapshot
+ * behind.
+ */
+
+#ifndef OPAC_SNAP_SNAPSHOT_HH
+#define OPAC_SNAP_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace opac::snap
+{
+
+/** Container layout version written into every snapshot file. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** "OPACSNAP" as a little-endian u64. */
+constexpr std::uint64_t magic = 0x50414e534341504full;
+
+/** FNV-1a 64-bit over a byte range (seed/prime per the reference). */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+/** Mix one integer into a running FNV-1a hash (fingerprinting). */
+std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value);
+
+/** Append-only little-endian primitive encoder for section payloads. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { _buf.push_back(static_cast<char>(v)); }
+    void u16(std::uint16_t v) { putLe(v, 2); }
+    void u32(std::uint32_t v) { putLe(v, 4); }
+    void u64(std::uint64_t v) { putLe(v, 8); }
+    void i64(std::int64_t v) { putLe(static_cast<std::uint64_t>(v), 8); }
+    void i32(std::int32_t v)
+    {
+        putLe(static_cast<std::uint32_t>(v), 4);
+    }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Doubles travel as raw bit patterns: save/load is bit-exact. */
+    void f64(double v);
+
+    /** u32 length prefix + raw bytes. */
+    void str(const std::string &s);
+    void bytes(const void *data, std::size_t len);
+
+    const std::string &buffer() const { return _buf; }
+    std::string take() { return std::move(_buf); }
+
+  private:
+    void putLe(std::uint64_t v, int n);
+
+    std::string _buf;
+};
+
+/** Bounds-checked decoder over one section payload. */
+class Reader
+{
+  public:
+    Reader(const std::string &payload, std::string site)
+        : _data(payload), _site(std::move(site))
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16() { return static_cast<std::uint16_t>(getLe(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(getLe(4)); }
+    std::uint64_t u64() { return getLe(8); }
+    std::int64_t i64() { return static_cast<std::int64_t>(getLe(8)); }
+    std::int32_t i32() { return static_cast<std::int32_t>(getLe(4)); }
+    bool b() { return u8() != 0; }
+    double f64();
+    std::string str();
+    void bytes(void *out, std::size_t len);
+
+    std::size_t remaining() const { return _data.size() - _pos; }
+    bool atEnd() const { return _pos == _data.size(); }
+
+    /** Throw unless every payload byte was consumed (schema check). */
+    void expectEnd() const;
+
+    const std::string &site() const { return _site; }
+
+    /** Raise a SnapshotError at this reader's site. */
+    [[noreturn]] void fail(const std::string &what) const;
+
+  private:
+    std::uint64_t getLe(int n);
+    void need(std::size_t n) const;
+
+    const std::string &_data;
+    std::string _site;
+    std::size_t _pos = 0;
+};
+
+/** One named, versioned component payload. */
+struct Section
+{
+    std::string name;
+    std::uint32_t version = 1;
+    std::string payload;
+};
+
+/** A decoded snapshot: header fields plus component sections. */
+class Snapshot
+{
+  public:
+    Cycle cycle = 0;
+    std::uint64_t fingerprint = 0;
+
+    /** Append a section (names must be unique; checked on encode). */
+    void add(std::string name, std::uint32_t version,
+             std::string payload);
+
+    /** Find a section by name, or nullptr. */
+    const Section *find(const std::string &name) const;
+
+    /** Find a section by name, or throw SnapshotError. */
+    const Section &require(const std::string &name) const;
+
+    const std::vector<Section> &sections() const { return _sections; }
+
+    /** Serialize to the on-disk byte stream (appends checksum). */
+    std::string encode() const;
+
+    /**
+     * Parse an encoded snapshot. Throws SnapshotError (site = @p site)
+     * on bad magic, unknown format version, truncation, or checksum
+     * mismatch.
+     */
+    static Snapshot decode(const std::string &bytes,
+                           const std::string &site);
+
+    /** Atomically write encode() to @p path (temp file + rename). */
+    void writeFile(const std::string &path) const;
+
+    /** Read and decode a snapshot file (site = the path). */
+    static Snapshot readFile(const std::string &path);
+
+  private:
+    std::vector<Section> _sections;
+};
+
+/** mkdir -p for @p dir; throws SnapshotError on failure. */
+void ensureDirectories(const std::string &dir);
+
+/** mkdir -p for the parent directory of @p path (if it has one). */
+void ensureParentDir(const std::string &path);
+
+} // namespace opac::snap
+
+#endif // OPAC_SNAP_SNAPSHOT_HH

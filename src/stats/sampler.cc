@@ -1,6 +1,7 @@
 #include "stats/sampler.hh"
 
 #include "common/logging.hh"
+#include "snap/snapshot.hh"
 #include "trace/json.hh"
 
 namespace opac::stats
@@ -50,6 +51,39 @@ Sampler::value(std::size_t idx, const std::string &name) const
             return _samples[idx].values[i];
     }
     opac_panic("no sampled stat '%s'", name.c_str());
+}
+
+void
+Sampler::saveState(snap::Writer &w) const
+{
+    w.u64(_interval);
+    w.u32(std::uint32_t(_names.size()));
+    for (const std::string &n : _names)
+        w.str(n);
+    w.u32(std::uint32_t(_samples.size()));
+    for (const Sample &s : _samples) {
+        w.u64(s.cycle);
+        for (double v : s.values)
+            w.f64(v);
+    }
+}
+
+void
+Sampler::loadState(snap::Reader &r, std::uint32_t version)
+{
+    (void)version;
+    if (r.u64() != _interval)
+        r.fail(name() + ": snapshot sampled at a different interval");
+    _names.assign(r.u32(), {});
+    for (std::string &n : _names)
+        n = r.str();
+    _samples.assign(r.u32(), {});
+    for (Sample &s : _samples) {
+        s.cycle = r.u64();
+        s.values.resize(_names.size());
+        for (double &v : s.values)
+            v = r.f64();
+    }
 }
 
 std::string

@@ -89,6 +89,15 @@ class Sampler : public sim::Component
     const std::vector<std::string> &names() const { return _names; }
     const std::vector<Sample> &samples() const { return _samples; }
 
+    /**
+     * Snapshot support: the recorded series (name table plus every
+     * sample row) travels with the machine, so a resumed run's final
+     * json() is byte-identical to the uninterrupted run's.
+     */
+    std::uint32_t stateVersion() const override { return 1; }
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r, std::uint32_t version) override;
+
     /** Value of stat @p name in sample @p idx (test convenience). */
     double value(std::size_t idx, const std::string &name) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snap/snapshot.hh"
 #include "trace/json.hh"
 
 namespace opac::stats
@@ -485,6 +486,172 @@ StatGroup::forEachQuantile(
         fn(base + "." + n, *e.quant);
     for (const auto *c : children)
         c->forEachQuantile(fn, base);
+}
+
+// ------------------------------------------------------- serialization
+
+void
+Counter::saveState(snap::Writer &w) const
+{
+    w.u64(_value);
+}
+
+void
+Counter::loadState(snap::Reader &r)
+{
+    _value = r.u64();
+}
+
+void
+Watermark::saveState(snap::Writer &w) const
+{
+    w.u64(_max);
+}
+
+void
+Watermark::loadState(snap::Reader &r)
+{
+    _max = r.u64();
+}
+
+void
+Average::saveState(snap::Writer &w) const
+{
+    w.f64(_sum);
+    w.u64(_weight);
+}
+
+void
+Average::loadState(snap::Reader &r)
+{
+    _sum = r.f64();
+    _weight = r.u64();
+}
+
+void
+Distribution::saveState(snap::Writer &w) const
+{
+    w.u64(_count);
+    w.f64(_sum);
+    w.f64(_min);
+    w.f64(_max);
+}
+
+void
+Distribution::loadState(snap::Reader &r)
+{
+    _count = r.u64();
+    _sum = r.f64();
+    _min = r.f64();
+    _max = r.f64();
+}
+
+void
+Histogram::saveState(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(_buckets.size()));
+    for (std::uint64_t b : _buckets)
+        w.u64(b);
+    w.u64(_count);
+    w.u64(_max);
+    w.f64(_sum);
+}
+
+void
+Histogram::loadState(snap::Reader &r)
+{
+    _buckets.assign(r.u32(), 0);
+    for (std::uint64_t &b : _buckets)
+        b = r.u64();
+    _count = r.u64();
+    _max = r.u64();
+    _sum = r.f64();
+}
+
+void
+Quantile::saveState(snap::Writer &w) const
+{
+    // The raw sample order matters: resumed runs keep appending, and
+    // byte-identity of the exported quantile summaries only needs the
+    // multiset — but the insertion-ordered vector also preserves the
+    // lazily-sorted flag semantics exactly.
+    w.u64(_samples.size());
+    for (double v : _samples)
+        w.f64(v);
+    w.b(_sorted);
+    w.f64(_sum);
+}
+
+void
+Quantile::loadState(snap::Reader &r)
+{
+    _samples.resize(r.u64());
+    for (double &v : _samples)
+        v = r.f64();
+    _sorted = r.b();
+    _sum = r.f64();
+}
+
+void
+StatGroup::saveState(snap::Writer &w) const
+{
+    w.str(_name);
+    auto kind = [&w](const auto &entries, auto member) {
+        w.u32(static_cast<std::uint32_t>(entries.size()));
+        for (const auto &[n, e] : entries) {
+            w.str(n);
+            (e.*member)->saveState(w);
+        }
+    };
+    kind(counters, &CounterEntry::counter);
+    kind(watermarks, &WatermarkEntry::mark);
+    kind(averages, &AverageEntry::avg);
+    kind(dists, &DistEntry::dist);
+    kind(hists, &HistEntry::hist);
+    kind(quants, &QuantileEntry::quant);
+    w.u32(static_cast<std::uint32_t>(children.size()));
+    for (const StatGroup *c : children)
+        c->saveState(w);
+}
+
+void
+StatGroup::loadState(snap::Reader &r)
+{
+    std::string name = r.str();
+    if (name != _name)
+        r.fail("stats tree mismatch: snapshot group '" + name +
+               "', this machine has '" + _name + "'");
+    auto kind = [&r, this](auto &entries, auto member,
+                           const char *what) {
+        std::uint32_t n = r.u32();
+        if (n != entries.size())
+            r.fail("stats group '" + _name + "': snapshot has " +
+                   std::to_string(n) + " " + what +
+                   " entries, this machine registered " +
+                   std::to_string(entries.size()));
+        for (auto &[en, e] : entries) {
+            std::string sn = r.str();
+            if (sn != en)
+                r.fail("stats group '" + _name + "': snapshot " +
+                       what + " '" + sn + "' does not match '" + en +
+                       "'");
+            (e.*member)->loadState(r);
+        }
+    };
+    kind(counters, &CounterEntry::counter, "counter");
+    kind(watermarks, &WatermarkEntry::mark, "watermark");
+    kind(averages, &AverageEntry::avg, "average");
+    kind(dists, &DistEntry::dist, "distribution");
+    kind(hists, &HistEntry::hist, "histogram");
+    kind(quants, &QuantileEntry::quant, "quantile");
+    std::uint32_t nchild = r.u32();
+    if (nchild != children.size())
+        r.fail("stats group '" + _name + "': snapshot has " +
+               std::to_string(nchild) +
+               " child groups, this machine has " +
+               std::to_string(children.size()));
+    for (StatGroup *c : children)
+        c->loadState(r);
 }
 
 } // namespace opac::stats

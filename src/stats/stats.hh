@@ -31,6 +31,12 @@
 #include <string>
 #include <vector>
 
+namespace opac::snap
+{
+class Writer;
+class Reader;
+} // namespace opac::snap
+
 namespace opac::stats
 {
 
@@ -46,6 +52,9 @@ class Counter
     std::uint64_t value() const { return _value; }
     void reset() { _value = 0; }
 
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
+
   private:
     std::uint64_t _value = 0;
 };
@@ -58,6 +67,9 @@ class Watermark
 
     std::uint64_t value() const { return _max; }
     void reset() { _max = 0; }
+
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     std::uint64_t _max = 0;
@@ -72,6 +84,9 @@ class Average
     std::uint64_t weight() const { return _weight; }
     double mean() const { return _weight ? _sum / double(_weight) : 0.0; }
     void reset();
+
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     double _sum = 0.0;
@@ -98,6 +113,9 @@ class Distribution
     double mean() const { return _count ? _sum / double(_count) : 0.0; }
     void reset();
 
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
+
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
@@ -123,6 +141,9 @@ class Histogram
     std::string render() const;
 
     void reset();
+
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     std::vector<std::uint64_t> _buckets;
@@ -167,6 +188,9 @@ class Quantile
     double p99() const { return percentile(99.0); }
 
     void reset();
+
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     mutable std::vector<double> _samples;
@@ -280,6 +304,21 @@ class StatGroup
         const std::function<void(const std::string &, const Quantile &)>
             &fn,
         const std::string &prefix = "") const;
+
+    /**
+     * Serialize every registered stat in this subtree, with names, in
+     * a deterministic order (kinds in declaration order, entries
+     * name-sorted within a kind, children in registration order).
+     * Formulas are derived and carry no state.
+     */
+    void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore a subtree saved by saveState(). The registered names
+     * and tree shape must match exactly — they double as the schema
+     * check for the stats section; any mismatch throws SnapshotError.
+     */
+    void loadState(snap::Reader &r);
 
   private:
     struct CounterEntry { Counter *counter; std::string desc; };

@@ -168,3 +168,170 @@ TEST(TimedFifoProperty, RecirculationPreservesCyclicOrder)
         ++t;
     }
 }
+
+// --- superop fast-tier stream ops (PR 8) ---------------------------
+
+TEST(TimedFifoStream, StreamableEdges)
+{
+    TimedFifo f("f", 4, 2);
+    // Empty: nothing to exchange or rotate.
+    EXPECT_FALSE(f.streamable(10));
+    f.push(1, 0);
+    // count < latency: a word re-pushed mid-window would not be ready
+    // again by the time the one-per-cycle rotation returns to it.
+    EXPECT_FALSE(f.streamable(10));
+    f.push(2, 0);
+    // Newest entry is still falling through at cycle 1.
+    EXPECT_FALSE(f.streamable(1));
+    // From its ready cycle onwards the burst window may open.
+    EXPECT_TRUE(f.streamable(2));
+    EXPECT_TRUE(f.streamable(100));
+    // Word protection forces the per-call path (reads verify check
+    // bits); streaming must refuse.
+    f.setParity(fault::ParityMode::Detect);
+    EXPECT_FALSE(f.streamable(100));
+    f.setParity(fault::ParityMode::Off);
+    EXPECT_TRUE(f.streamable(100));
+}
+
+/**
+ * streamExchange() must be byte-for-byte the pushReserved-then-pop
+ * pair it replaces, across the ring-wrap boundary and one word short
+ * of full — the fast tier's steady state on queue ret.
+ */
+TEST(TimedFifoStream, ExchangeMatchesPushReservedPlusPop)
+{
+    stats::StatGroup gs("s"), gr("r");
+    TimedFifo fs("q", 4, 1), fr("q", 4, 1);
+    fs.addStats(gs);
+    fr.addStats(gr);
+    for (Word w = 0; w < 3; ++w) {
+        fs.push(w, 0);
+        fr.push(w, 0);
+    }
+    Cycle t = 1;
+    ASSERT_TRUE(fs.streamable(t));
+    const unsigned n = 10; // 2.5 revolutions of the 4-slot ring
+    for (unsigned i = 0; i < n; ++i, ++t) {
+        Word landed = 100 + i;
+        Word a = fs.streamExchange(landed, t);
+        // The fast tier holds one output slot reserved throughout the
+        // burst; mirror that on the reference queue each cycle.
+        fr.reserve();
+        fr.pushReserved(landed, t);
+        Word b = fr.pop(t);
+        EXPECT_EQ(a, b);
+    }
+    fs.streamCommit(n, true);
+    // Identical contents, order and fall-through timing afterwards.
+    ASSERT_EQ(fs.size(), fr.size());
+    for (Cycle c = t - 2; c <= t + 1; ++c)
+        EXPECT_EQ(fs.canPop(c), fr.canPop(c));
+    while (!fr.empty())
+        EXPECT_EQ(fs.pop(t + 10), fr.pop(t + 10));
+    EXPECT_TRUE(fs.empty());
+    // Settled lifetime counters match the per-call bookkeeping.
+    EXPECT_EQ(gs.counterValue("q.pushes"), gr.counterValue("q.pushes"));
+    EXPECT_EQ(gs.counterValue("q.pops"), gr.counterValue("q.pops"));
+    EXPECT_EQ(gs.scalarValue("q.highWater"),
+              gr.scalarValue("q.highWater"));
+}
+
+/**
+ * streamRotate() must match recirculate() on a completely full queue
+ * (count == capacity == ring size), where every slot is touched and
+ * the head wraps twice — the reby rotation case.
+ */
+TEST(TimedFifoStream, RotateMatchesRecirculateWhenFull)
+{
+    stats::StatGroup gs("s"), gr("r");
+    TimedFifo fs("q", 4, 1), fr("q", 4, 1);
+    fs.addStats(gs);
+    fr.addStats(gr);
+    for (Word w = 0; w < 4; ++w) {
+        fs.push(w, 0);
+        fr.push(w, 0);
+    }
+    Cycle t = 1;
+    ASSERT_TRUE(fs.streamable(t));
+    const unsigned n = 9; // two full revolutions plus one
+    for (unsigned i = 0; i < n; ++i, ++t) {
+        Word a = fs.streamRotate(t);
+        Word b = fr.recirculate(t);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(a, Word(i % 4));
+    }
+    fs.streamCommit(n, false);
+    // Re-timestamps agree: the same entries become poppable at the
+    // same cycles on both queues.
+    for (Cycle c = t - 4; c <= t + 1; ++c)
+        EXPECT_EQ(fs.canPop(c), fr.canPop(c));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(fs.pop(t + 10), fr.pop(t + 10));
+    // recirculate() counts one push + one pop and never observes the
+    // watermark; streamCommit(n, false) must settle identically.
+    EXPECT_EQ(gs.counterValue("q.pushes"), gr.counterValue("q.pushes"));
+    EXPECT_EQ(gs.counterValue("q.pops"), gr.counterValue("q.pops"));
+    EXPECT_EQ(gs.scalarValue("q.highWater"),
+              gr.scalarValue("q.highWater"));
+}
+
+/**
+ * Property: random bursts of stream ops interleaved with per-call
+ * traffic leave the queue indistinguishable — contents, timing and
+ * lifetime counters — from one driven through the per-call API only.
+ */
+TEST(TimedFifoStreamProperty, BurstsMatchPerCallReference)
+{
+    Rng rng(0x5eed);
+    stats::StatGroup gs("s"), gr("r");
+    TimedFifo fs("q", 8, 1), fr("q", 8, 1);
+    fs.addStats(gs);
+    fr.addStats(gr);
+    Word next = 0;
+    Cycle t = 1;
+    for (int round = 0; round < 200; ++round) {
+        // Random per-call traffic between bursts.
+        for (int i = int(rng.range(0, 4)); i-- > 0; ++t) {
+            if (rng.range(0, 1) == 0 && fs.canPush()) {
+                fs.push(next, t);
+                fr.push(next, t);
+                ++next;
+            }
+            if (rng.range(0, 2) == 0 && fs.canPop(t))
+                EXPECT_EQ(fs.pop(t), fr.pop(t));
+        }
+        ++t; // let the newest push fall through
+        if (!fs.streamable(t))
+            continue;
+        unsigned exchanges = 0, rotates = 0;
+        for (unsigned b = unsigned(rng.range(1, 6)); b-- > 0; ++t) {
+            // Exchange needs a free ring slot for the landing word
+            // (the reservation the fast tier holds open).
+            if (rng.range(0, 1) == 0
+                && fs.size() < fs.capacity()) {
+                Word landed = 10000 + next++;
+                Word a = fs.streamExchange(landed, t);
+                fr.reserve();
+                fr.pushReserved(landed, t);
+                EXPECT_EQ(a, fr.pop(t));
+                ++exchanges;
+            } else {
+                EXPECT_EQ(fs.streamRotate(t), fr.recirculate(t));
+                ++rotates;
+            }
+        }
+        if (exchanges)
+            fs.streamCommit(exchanges, true);
+        if (rotates)
+            fs.streamCommit(rotates, false);
+    }
+    // Drain and compare everything that survived.
+    ASSERT_EQ(fs.size(), fr.size());
+    while (!fr.empty())
+        EXPECT_EQ(fs.pop(t + 10), fr.pop(t + 10));
+    EXPECT_EQ(gs.counterValue("q.pushes"), gr.counterValue("q.pushes"));
+    EXPECT_EQ(gs.counterValue("q.pops"), gr.counterValue("q.pops"));
+    EXPECT_EQ(gs.scalarValue("q.highWater"),
+              gr.scalarValue("q.highWater"));
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "isa/builder.hh"
@@ -292,7 +293,8 @@ TEST(Builder, WithMoveOnMoveIsRejected)
 {
     ProgramBuilder b("bad");
     b.mov(Src::TpX, DstSum);
-    EXPECT_THROW(b.withMove(src(Src::TpY), DstRet), std::logic_error);
+    EXPECT_THROW(b.withMove(src(Src::TpY), DstRet),
+                 opac::MicrocodeError);
 }
 
 TEST(Builder, WithMoveCreatingPortConflictFailsValidation)
